@@ -1,0 +1,79 @@
+"""Ablation A3 — OSM ranking policy.
+
+Section 3.4: the director ranks the OSMs at the beginning of each control
+step to avoid non-determinism; Section 5: "the director ranks the OSMs
+according to their ages, i.e. the order in which they last leave state
+I."
+
+This bench compares ranking policies on the PPC-750 model:
+
+* ``seq``  — strict program order (fetch sequence number; the refined
+  age ranking this reproduction uses, since several OSMs can leave I in
+  the same control step of a superscalar model);
+* ``age``  — the paper's age ranking with arbitrary (pool-serial) ties;
+* ``reversed`` — deliberately youngest-first, to show ranking is
+  load-bearing.
+
+All policies are deterministic (the model always terminates with the
+correct architectural result); they differ in cycle accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.core.director import age_rank, operation_seq_rank
+from repro.isa.ppc import assemble
+from repro.models.ppc750 import Ppc750Model
+from repro.reporting import format_table, percent
+from repro.workloads import mediabench, speclike
+
+
+def _reversed_rank(osm):
+    operation = osm.operation
+    if operation is None:
+        return (1, osm.serial)
+    return (0, -operation.seq)
+
+
+POLICIES = [
+    ("seq", operation_seq_rank),
+    ("age", age_rank),
+    ("reversed", _reversed_rank),
+]
+
+
+def run_ablation():
+    rows = []
+    worst = {name: 0.0 for name, _ in POLICIES}
+    for workload in ("gsm_enc", "pointer_chase"):
+        if workload in speclike.SPECLIKE_NAMES:
+            source = speclike.ppc_source(workload)
+        else:
+            source = mediabench.ppc_source(workload)
+        results = {}
+        for name, rank in POLICIES:
+            model = Ppc750Model(assemble(source))
+            model.director.rank_key = rank
+            model.run()
+            results[name] = model.cycles
+        base = results["seq"]
+        row = [workload]
+        for name, _ in POLICIES:
+            delta = 100.0 * (results[name] - base) / base
+            worst[name] = max(worst[name], abs(delta))
+            row.append(f"{results[name]} ({percent(delta)})")
+        rows.append(row)
+    return rows, worst
+
+
+def test_ablation_ranking(benchmark, report):
+    rows, worst = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    table = format_table(
+        ["workload"] + [name for name, _ in POLICIES],
+        rows,
+        title="A3. OSM ranking-policy ablation (cycles, delta vs seq)",
+    )
+    report("ablation_ranking", table)
+    # Age ranking with arbitrary tie-break stays close to program order...
+    assert worst["age"] <= 20.0, worst
+    # ...and determinism holds for every policy (implicitly: all runs
+    # completed with correct functional results).

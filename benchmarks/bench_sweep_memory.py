@@ -1,0 +1,69 @@
+"""Experiment E2 — memory-hierarchy sweeps (extension figures).
+
+Cache/TLB structures live purely in the hardware layer (no TMI), so
+memory-system exploration never touches the operation layer — the
+separation of concerns Section 4 claims.  This bench sweeps the StrongARM
+D-cache size and the miss penalty on a striding workload and reports the
+cycles/miss-rate series.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.simplescalar import SimpleScalarArm
+from repro.isa.arm import assemble
+from repro.memory import Cache
+from repro.models.strongarm import StrongArmModel
+from repro.reporting import format_table
+from repro.workloads import kernels
+
+WORKLOAD = "stride8"
+
+
+def run_sweeps():
+    source = kernels.arm_source(WORKLOAD)
+
+    size_series = []
+    for size in (512, 1024, 2048, 8192):
+        dcache = Cache("d", size=size, line_size=32, assoc=4, miss_penalty=26)
+        model = StrongArmModel(assemble(source), dcache=dcache,
+                               icache=None, itlb=None, dtlb=None,
+                               perfect_memory=False)
+        model.run()
+        size_series.append((size, model.cycles, dcache.stats.hit_rate))
+
+    penalty_series = []
+    for penalty in (5, 15, 30, 60):
+        dcache = Cache("d", size=512, line_size=32, assoc=4, miss_penalty=penalty)
+        model = StrongArmModel(assemble(source), dcache=dcache,
+                               icache=None, itlb=None, dtlb=None,
+                               perfect_memory=False)
+        model.run()
+        penalty_series.append((penalty, model.cycles))
+    return size_series, penalty_series
+
+
+def test_sweep_memory(benchmark, report):
+    size_series, penalty_series = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+    rows = [
+        [f"{size}B", cycles, f"{hit_rate:.1%}"]
+        for size, cycles, hit_rate in size_series
+    ]
+    table1 = format_table(
+        ["D-cache size", "cycles", "hit rate"], rows,
+        title=f"E2a. D-cache size sweep on {WORKLOAD}",
+    )
+    table2 = format_table(
+        ["miss penalty", "cycles"],
+        [[f"{p} cyc", c] for p, c in penalty_series],
+        title="E2b. miss-penalty sweep (512B cache)",
+    )
+    report("sweep_memory", table1 + "\n\n" + table2)
+
+    # bigger caches never lose; hit rate is monotone non-decreasing
+    cycle_values = [cycles for _, cycles, _ in size_series]
+    assert all(a >= b for a, b in zip(cycle_values, cycle_values[1:]))
+    hit_rates = [rate for _, _, rate in size_series]
+    assert all(a <= b + 1e-9 for a, b in zip(hit_rates, hit_rates[1:]))
+    # cycles grow with the miss penalty
+    penalty_cycles = [c for _, c in penalty_series]
+    assert all(a <= b for a, b in zip(penalty_cycles, penalty_cycles[1:]))

@@ -1,0 +1,78 @@
+"""Experiment T1 — Table 1: StrongARM model versus iPAQ run time.
+
+The paper runs the largest MediaBench applications on an iPAQ-3650
+(timed with the `time` utility) and on the OSM StrongARM model, and
+reports the signed percentage difference per benchmark; all differences
+are small (single-digit percent).
+
+Here the iPAQ is the :class:`~repro.baselines.reference.IpaqReference`
+detailed simulator (bus contention, DRAM page misses, syscall kernel
+overhead, `time` quantisation — see DESIGN.md) and the applications are
+the MediaBench-like kernels.  Kernel cycle counts are extrapolated to
+application-scale run times with per-benchmark repeat factors so the
+`time`-utility model operates in its real regime.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.reference import IpaqReference
+from repro.isa.arm import assemble
+from repro.models.strongarm import CLOCK_HZ, StrongArmModel
+from repro.reporting import format_table, percent
+from repro.workloads import mediabench
+
+#: kernel-to-application extrapolation: how many kernel invocations make
+#: up one application run (chosen to land in the paper's seconds range)
+APP_REPEATS = {
+    "gsm_dec": 120_000,
+    "gsm_enc": 90_000,
+    "g721_dec": 110_000,
+    "g721_enc": 80_000,
+    "mpeg2_dec": 60_000,
+    "mpeg2_enc": 70_000,
+}
+
+MAX_ABS_DIFF_PERCENT = 8.0
+
+
+def run_table1():
+    rows = []
+    diffs = []
+    for name in mediabench.MEDIABENCH_NAMES:
+        source = mediabench.arm_source(name)
+        model = StrongArmModel(assemble(source))
+        model.run()
+        reference = IpaqReference(assemble(source))
+        reference.run()
+        assert model.exit_code == reference.exit_code, f"{name}: functional mismatch"
+        repeats = APP_REPEATS[name]
+        sim_seconds = model.cycles * repeats / CLOCK_HZ
+        ref_cycles_total = reference.cycles * repeats
+        ipaq_seconds = _measure_like_time(reference, ref_cycles_total)
+        diff = 100.0 * (sim_seconds - ipaq_seconds) / ipaq_seconds
+        diffs.append(diff)
+        rows.append([name.replace("_", "/"), f"{ipaq_seconds:.2f}",
+                     f"{sim_seconds:.2f}", percent(diff)])
+    return rows, diffs
+
+
+def _measure_like_time(reference: IpaqReference, total_cycles: int) -> float:
+    from repro.baselines.reference.sim import STARTUP_OVERHEAD_SECONDS, TIME_TICK_SECONDS
+
+    true_seconds = total_cycles / reference.clock_hz + STARTUP_OVERHEAD_SECONDS
+    ticks = round(true_seconds / TIME_TICK_SECONDS)
+    return max(1, ticks) * TIME_TICK_SECONDS
+
+
+def test_table1_strongarm_validation(benchmark, report):
+    rows, diffs = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    table = format_table(
+        ["benchmark", "ipaq(sec)", "Simulator(sec)", "difference"],
+        rows,
+        title="Table 1. StrongARM model comparison (reproduced)",
+    )
+    report("table1_strongarm_validation", table)
+    # Shape assertions: every difference is small, as in the paper.
+    assert all(abs(d) <= MAX_ABS_DIFF_PERCENT for d in diffs), diffs
+    # And non-trivial: the reference is genuinely more detailed.
+    assert any(abs(d) > 0.1 for d in diffs)

@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table/figure/in-text result of the
+paper (see DESIGN.md section 4 for the experiment index).  Reports are
+printed around pytest's capture (``report`` fixture) and archived under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print a report to the real terminal and archive it."""
+
+    def emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return emit
+
+
+@pytest.fixture(scope="session")
+def mediabench_arm_programs():
+    from repro.isa.arm import assemble
+    from repro.workloads import mediabench
+
+    return {
+        name: mediabench.arm_source(name)
+        for name in mediabench.MEDIABENCH_NAMES
+    }
+
+
+@pytest.fixture(scope="session")
+def mediabench_ppc_sources():
+    from repro.workloads import mediabench
+
+    return {
+        name: mediabench.ppc_source(name)
+        for name in mediabench.MEDIABENCH_NAMES
+    }
+
+
+@pytest.fixture(scope="session")
+def speclike_ppc_sources():
+    from repro.workloads import speclike
+
+    return {name: speclike.ppc_source(name) for name in speclike.SPECLIKE_NAMES}

@@ -1,0 +1,36 @@
+"""repro: the OSM retargetable microprocessor modeling framework.
+
+A from-scratch reproduction of Qin & Malik, *Flexible and Formal Modeling
+of Microprocessors with Application to Retargetable Simulation* (DATE
+2003).  See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+
+Package map
+-----------
+``repro.core``
+    The OSM formalism: tokens, managers, transaction primitives, the
+    director and the simulation kernels.
+``repro.de``
+    Discrete-event hardware layer (events, scheduler, modules, ports).
+``repro.isa`` / ``repro.iss`` / ``repro.memory``
+    ISA substrates (ARM-like and PowerPC-like), instruction-set
+    simulators, and the memory subsystem.
+``repro.models``
+    OSM micro-architecture models: the tutorial 5-stage pipeline, the
+    StrongARM and PPC-750 case studies, VLIW and multithreaded variants.
+``repro.baselines``
+    Comparison simulators: SimpleScalar-style (ad-hoc sequential),
+    SystemC-style (port-based hardware-centric), and the hardware
+    reference used for Table 1.
+``repro.adl``
+    The declarative architecture description language and its OSM
+    synthesiser (the paper's "next step", implemented).
+``repro.analysis``
+    Formal analysis (ASM export, reachability, deadlock) and compiler
+    information extraction (operand latencies, reservation tables).
+``repro.workloads``
+    MediaBench-like kernels, SPEC-like kernels and the 40 diagnostic
+    loops, for both target ISAs.
+"""
+
+__version__ = "1.0.0"

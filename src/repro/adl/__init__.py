@@ -1,0 +1,20 @@
+"""The OSM architecture description language (the paper's "next step")."""
+
+from .ast import EdgeDecl, MachineDecl, ManagerDecl, PrimitiveDecl, ProcessorDecl, StateDecl
+from .parser import AdlError, parse
+from .synth import PIPELINE5_ADL, STRONGARM_ADL, SynthesizedModel, synthesize
+
+__all__ = [
+    "AdlError",
+    "EdgeDecl",
+    "MachineDecl",
+    "ManagerDecl",
+    "PIPELINE5_ADL",
+    "PrimitiveDecl",
+    "ProcessorDecl",
+    "STRONGARM_ADL",
+    "StateDecl",
+    "SynthesizedModel",
+    "parse",
+    "synthesize",
+]

@@ -1,0 +1,97 @@
+"""Abstract syntax of the OSM architecture description language.
+
+The paper's conclusion: "The next step in our research is to devise an
+architecture description language based on the OSM model and to implement
+a retargetable microprocessor modeling framework."  This package is that
+step, scoped to what the case studies need: a declarative description of
+token managers, machine states and edges whose conditions are
+conjunctions of the four primitives, from which a working simulator is
+synthesised (:mod:`repro.adl.synth`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class ManagerDecl:
+    """``manager NAME kind KIND [key value ...]``"""
+
+    name: str
+    kind: str  # fetch | stage | pool | regfile | reset
+    params: Dict[str, int] = field(default_factory=dict)
+    #: regfile variant: plain (stall-at-decode) or forwarding
+    forwarding: bool = False
+
+
+@dataclass
+class PrimitiveDecl:
+    """One primitive inside an edge's condition block.
+
+    ``op`` is one of allocate / allocate_many / inquire / release /
+    release_many / discard; ``manager`` names the target (slot name for
+    release forms); ``ident`` is the identifier vocabulary word
+    (``sources`` / ``dests`` / ``unit`` / none); ``slot`` optionally
+    renames the token-buffer slot.
+    """
+
+    op: str
+    manager: Optional[str] = None
+    ident: Optional[str] = None
+    slot: Optional[str] = None
+
+
+@dataclass
+class EdgeDecl:
+    src: str
+    dst: str
+    primitives: List[PrimitiveDecl] = field(default_factory=list)
+    priority: int = 0
+    #: action names applied in order on commit (the vocabulary is defined
+    #: by the synthesiser)
+    actions: List[str] = field(default_factory=list)
+
+
+@dataclass
+class StateDecl:
+    name: str
+    initial: bool = False
+
+
+@dataclass
+class MachineDecl:
+    name: str
+    states: List[StateDecl] = field(default_factory=list)
+    edges: List[EdgeDecl] = field(default_factory=list)
+
+    @property
+    def initial_state(self) -> Optional[str]:
+        for state in self.states:
+            if state.initial:
+                return state.name
+        return None
+
+
+@dataclass
+class ProcessorDecl:
+    name: str
+    managers: List[ManagerDecl] = field(default_factory=list)
+    machines: List[MachineDecl] = field(default_factory=list)
+    params: Dict[str, int] = field(default_factory=dict)
+
+    def manager(self, name: str) -> ManagerDecl:
+        for decl in self.managers:
+            if decl.name == name:
+                return decl
+        raise KeyError(f"undeclared manager {name!r}")
+
+    @property
+    def machine(self) -> MachineDecl:
+        if len(self.machines) != 1:
+            raise ValueError(
+                f"processor {self.name!r} declares {len(self.machines)} machines; "
+                "the pipeline synthesiser expects exactly one"
+            )
+        return self.machines[0]

@@ -1,0 +1,206 @@
+"""Parser for the OSM architecture description language.
+
+Grammar (see ``examples/adl_synthesis.py`` for a complete description)::
+
+    processor  := "processor" NAME "{" item* "}"
+    item       := manager | machine | param
+    param      := "param" NAME INT
+    manager    := "manager" NAME "kind" KIND (NAME INT | "forwarding")*
+    machine    := "machine" NAME "{" (state | edge)* "}"
+    state      := "state" NAME ["initial"]
+    edge       := "edge" NAME "->" NAME ["priority" INT]
+                  "{" prim (";" prim)* "}" ["action" NAME]
+    prim       := OP [NAME] [IDENT] ["as" NAME]
+
+Comments run from ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .ast import EdgeDecl, MachineDecl, ManagerDecl, PrimitiveDecl, ProcessorDecl, StateDecl
+
+
+class AdlError(Exception):
+    """Raised on a syntax or semantic error in a description."""
+
+    def __init__(self, message: str, lineno: Optional[int] = None):
+        prefix = f"line {lineno}: " if lineno is not None else ""
+        super().__init__(prefix + message)
+        self.lineno = lineno
+
+
+_TOKEN_RE = re.compile(
+    r"(?P<ws>\s+)|(?P<comment>#[^\n]*)|(?P<arrow>->)"
+    r"|(?P<int>-?\d+)|(?P<name>[A-Za-z_][\w.]*)|(?P<sym>[{};])"
+)
+
+MANAGER_KINDS = frozenset(("fetch", "stage", "pool", "regfile", "reset"))
+PRIMITIVE_OPS = frozenset(
+    ("allocate", "allocate_many", "inquire", "release", "release_many", "discard")
+)
+IDENT_WORDS = frozenset(("sources", "dests"))
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.items: List[Tuple[str, str, int]] = []
+        lineno = 1
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                raise AdlError(f"bad character {text[pos]!r}", lineno)
+            pos = match.end()
+            kind = match.lastgroup
+            value = match.group(kind)
+            lineno += value.count("\n")
+            if kind in ("ws", "comment"):
+                continue
+            self.items.append((kind, value, lineno))
+        self.index = 0
+
+    def peek(self) -> Optional[Tuple[str, str, int]]:
+        if self.index < len(self.items):
+            return self.items[self.index]
+        return None
+
+    def next(self, expect_kind: Optional[str] = None, expect_value: Optional[str] = None):
+        token = self.peek()
+        if token is None:
+            raise AdlError("unexpected end of description")
+        kind, value, lineno = token
+        if expect_kind is not None and kind != expect_kind:
+            raise AdlError(f"expected {expect_kind}, got {value!r}", lineno)
+        if expect_value is not None and value != expect_value:
+            raise AdlError(f"expected {expect_value!r}, got {value!r}", lineno)
+        self.index += 1
+        return token
+
+    def accept(self, value: str) -> bool:
+        token = self.peek()
+        if token is not None and token[1] == value:
+            self.index += 1
+            return True
+        return False
+
+
+def parse(text: str) -> ProcessorDecl:
+    """Parse a processor description into its AST."""
+    tokens = _Tokens(text)
+    tokens.next("name", "processor")
+    _, name, _ = tokens.next("name")
+    tokens.next("sym", "{")
+    processor = ProcessorDecl(name)
+    while not tokens.accept("}"):
+        kind, value, lineno = tokens.next("name")
+        if value == "manager":
+            processor.managers.append(_parse_manager(tokens))
+        elif value == "machine":
+            processor.machines.append(_parse_machine(tokens))
+        elif value == "param":
+            _, pname, _ = tokens.next("name")
+            _, pvalue, _ = tokens.next("int")
+            processor.params[pname] = int(pvalue)
+        else:
+            raise AdlError(f"expected manager/machine/param, got {value!r}", lineno)
+    _validate(processor)
+    return processor
+
+
+def _parse_manager(tokens: _Tokens) -> ManagerDecl:
+    _, name, _ = tokens.next("name")
+    tokens.next("name", "kind")
+    _, kind, lineno = tokens.next("name")
+    if kind not in MANAGER_KINDS:
+        raise AdlError(f"unknown manager kind {kind!r}", lineno)
+    decl = ManagerDecl(name, kind)
+    while True:
+        token = tokens.peek()
+        if token is None or token[1] in ("manager", "machine", "param", "}"):
+            break
+        _, key, key_line = tokens.next("name")
+        if key == "forwarding":
+            decl.forwarding = True
+            continue
+        value_token = tokens.next("int")
+        decl.params[key] = int(value_token[1])
+    return decl
+
+
+def _parse_machine(tokens: _Tokens) -> MachineDecl:
+    _, name, _ = tokens.next("name")
+    tokens.next("sym", "{")
+    machine = MachineDecl(name)
+    while not tokens.accept("}"):
+        _, keyword, lineno = tokens.next("name")
+        if keyword == "state":
+            _, state_name, _ = tokens.next("name")
+            initial = tokens.accept("initial")
+            machine.states.append(StateDecl(state_name, initial))
+        elif keyword == "edge":
+            machine.edges.append(_parse_edge(tokens))
+        else:
+            raise AdlError(f"expected state/edge, got {keyword!r}", lineno)
+    return machine
+
+
+def _parse_edge(tokens: _Tokens) -> EdgeDecl:
+    _, src, _ = tokens.next("name")
+    tokens.next("arrow")
+    _, dst, _ = tokens.next("name")
+    priority = 0
+    if tokens.accept("priority"):
+        priority = int(tokens.next("int")[1])
+    tokens.next("sym", "{")
+    primitives: List[PrimitiveDecl] = []
+    while not tokens.accept("}"):
+        primitives.append(_parse_primitive(tokens))
+        tokens.accept(";")
+    actions: List[str] = []
+    while tokens.accept("action"):
+        actions.append(tokens.next("name")[1])
+    return EdgeDecl(src, dst, primitives, priority, actions)
+
+
+def _parse_primitive(tokens: _Tokens) -> PrimitiveDecl:
+    _, op, lineno = tokens.next("name")
+    if op not in PRIMITIVE_OPS:
+        raise AdlError(f"unknown primitive {op!r}", lineno)
+    prim = PrimitiveDecl(op)
+    token = tokens.peek()
+    if token is not None and token[0] == "name" and token[1] not in (
+        "action", "as", ";"
+    ) and token[1] not in PRIMITIVE_OPS:
+        prim.manager = tokens.next("name")[1]
+    token = tokens.peek()
+    if token is not None and token[1] in IDENT_WORDS:
+        prim.ident = tokens.next("name")[1]
+    if tokens.accept("as"):
+        prim.slot = tokens.next("name")[1]
+    return prim
+
+
+def _validate(processor: ProcessorDecl) -> None:
+    manager_names = {m.name for m in processor.managers}
+    if len(manager_names) != len(processor.managers):
+        raise AdlError(f"duplicate manager names in {processor.name!r}")
+    for machine in processor.machines:
+        state_names = {s.name for s in machine.states}
+        if machine.initial_state is None:
+            raise AdlError(f"machine {machine.name!r} has no initial state")
+        for edge in machine.edges:
+            for endpoint in (edge.src, edge.dst):
+                if endpoint not in state_names:
+                    raise AdlError(
+                        f"edge {edge.src}->{edge.dst} references unknown state"
+                    )
+            for prim in edge.primitives:
+                needs_manager = prim.op in ("allocate", "allocate_many", "inquire")
+                if needs_manager and (prim.manager not in manager_names):
+                    raise AdlError(
+                        f"primitive {prim.op} on edge {edge.src}->{edge.dst} "
+                        f"references unknown manager {prim.manager!r}"
+                    )

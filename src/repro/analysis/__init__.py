@@ -1,0 +1,26 @@
+"""Formal analysis and compiler-information extraction (Section 6)."""
+
+from . import asm_export, compiler_info, deadlock, modelcheck, reachability
+from .asm_export import AsmRule, export_asm, render_asm
+from .compiler_info import canonical_path, operand_latencies, reservation_table
+from .deadlock import DeadlockReport
+from .modelcheck import ModelCheckReport, check as model_check
+from .reachability import ReachabilityReport
+
+__all__ = [
+    "AsmRule",
+    "DeadlockReport",
+    "ModelCheckReport",
+    "ReachabilityReport",
+    "asm_export",
+    "canonical_path",
+    "compiler_info",
+    "deadlock",
+    "model_check",
+    "modelcheck",
+    "export_asm",
+    "operand_latencies",
+    "render_asm",
+    "reachability",
+    "reservation_table",
+]

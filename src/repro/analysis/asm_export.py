@@ -1,0 +1,104 @@
+"""Export OSM specifications as abstract state machines (Section 6).
+
+"The OSM model is highly declarative.  The state machines in the model
+can be expressed in the ASM [abstract state machine] formalism.  Thus it
+is possible to extract model properties for formal verification
+purposes."
+
+:func:`export_asm` walks a :class:`~repro.core.MachineSpec` and produces
+the guarded-update rule system: one rule per edge, whose guard is the
+conjunction of the edge's token-transaction primitives and whose update
+moves the control state and transforms the token buffer.  The output is
+both a structured form (for the analysis passes in this package) and a
+human-readable rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..core.osm import MachineSpec
+from ..core.primitives import (
+    Allocate,
+    AllocateMany,
+    Discard,
+    Guard,
+    Inquire,
+    Release,
+    ReleaseMany,
+)
+
+
+@dataclass
+class AsmRule:
+    """One guarded-update rule: ``if guard then update``."""
+
+    name: str
+    source: str
+    target: str
+    priority: int
+    guards: List[str] = field(default_factory=list)
+    updates: List[str] = field(default_factory=list)
+    #: (kind, manager name or slot) pairs for machine analysis
+    transactions: List[Tuple[str, str]] = field(default_factory=list)
+
+    def render(self) -> str:
+        guard_text = " and ".join(["state = " + self.source] + self.guards)
+        update_lines = [f"    state := {self.target}"] + [
+            f"    {u}" for u in self.updates
+        ]
+        return f"rule {self.name}:\n  if {guard_text} then\n" + "\n".join(update_lines)
+
+
+def export_asm(spec: MachineSpec) -> List[AsmRule]:
+    """The ASM rule system equivalent to *spec*."""
+    rules = []
+    for index, edge in enumerate(spec.edges):
+        rule = AsmRule(
+            name=edge.label or f"r{index}",
+            source=edge.src.name,
+            target=edge.dst.name,
+            priority=edge.priority,
+        )
+        for primitive in edge.condition.primitives:
+            if isinstance(primitive, (Allocate, AllocateMany)):
+                manager = primitive.manager.name
+                rule.guards.append(f"available({manager})")
+                rule.updates.append(f"buffer[{primitive.slot}] := grant({manager})")
+                rule.transactions.append(("allocate", manager))
+            elif isinstance(primitive, Inquire):
+                manager = primitive.manager.name
+                rule.guards.append(f"inquire({manager})")
+                rule.transactions.append(("inquire", manager))
+            elif isinstance(primitive, Release):
+                rule.guards.append(f"accepts_return({primitive.slot})")
+                rule.updates.append(f"buffer[{primitive.slot}] := free")
+                rule.transactions.append(("release", primitive.slot))
+            elif isinstance(primitive, ReleaseMany):
+                rule.guards.append(f"accepts_return({primitive.prefix}*)")
+                rule.updates.append(f"buffer[{primitive.prefix}*] := free")
+                rule.transactions.append(("release", primitive.prefix))
+            elif isinstance(primitive, Discard):
+                slot = primitive.slot or "*"
+                rule.updates.append(f"buffer[{slot}] := free")
+                rule.transactions.append(("discard", slot))
+            elif isinstance(primitive, Guard):
+                rule.guards.append(f"predicate({primitive.label})")
+                rule.transactions.append(("guard", primitive.label))
+            else:
+                rule.guards.append(f"predicate({type(primitive).__name__})")
+                rule.transactions.append(("guard", type(primitive).__name__))
+        rules.append(rule)
+    return rules
+
+
+def render_asm(spec: MachineSpec) -> str:
+    """Human-readable ASM rendering of the whole specification."""
+    header = (
+        f"asm {spec.name}\n"
+        f"  control states: {', '.join(sorted(spec.states))}\n"
+        f"  initial: {spec.initial.name if spec.initial else '?'}\n"
+    )
+    body = "\n\n".join(rule.render() for rule in export_asm(spec))
+    return header + "\n" + body

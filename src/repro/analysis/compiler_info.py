@@ -1,0 +1,143 @@
+"""Compiler-facing information extraction (Section 6).
+
+"Operation properties such as the operand latencies and reservation
+tables can also be extracted and used by a retargetable compiler during
+operation scheduling."
+
+Two extractors are provided:
+
+* :func:`reservation_table` — static: walks the specification's canonical
+  operation path and reports which structure resources an operation holds
+  at each step after leaving the initial state — the classic reservation
+  table a scheduler uses for structural-hazard-aware scheduling.
+
+* :func:`operand_latencies` — empirical: synthesises producer/consumer
+  probe programs with varying separation and measures, per producer
+  class, how many independent instructions a compiler must place between
+  producer and consumer to avoid a stall.  This treats the simulator as
+  the golden timing reference, which is exactly how a retargetable
+  compiler back end would consume a generated model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..core.osm import Edge, MachineSpec
+from ..core.primitives import Allocate, AllocateMany, Discard, Release, ReleaseMany
+
+
+def canonical_path(spec: MachineSpec, max_steps: int = 32) -> List[Edge]:
+    """The default (highest-priority non-reset) cycle I -> ... -> I."""
+    if spec.initial is None:
+        raise ValueError(f"{spec.name}: no initial state")
+    path: List[Edge] = []
+    state = spec.initial
+    for _ in range(max_steps):
+        candidates = [e for e in state.out_edges if not e.dst.is_initial or e is state.out_edges[-1]]
+        # Prefer the forward edge: the lowest-priority edges are the
+        # normal flow (reset edges carry high priority).
+        forward = [e for e in state.out_edges if not (e.dst.is_initial and e.priority > 0)]
+        if not forward:
+            break
+        edge = forward[-1] if state.out_edges else None
+        # pick the lowest-priority (normal) edge deterministically
+        edge = min(forward, key=lambda e: e.priority)
+        path.append(edge)
+        state = edge.dst
+        if state.is_initial:
+            break
+    else:
+        raise ValueError(f"{spec.name}: no I-to-I path within {max_steps} steps")
+    return path
+
+
+def reservation_table(spec: MachineSpec) -> List[Tuple[str, Tuple[str, ...]]]:
+    """(state, resources held) per step along the canonical path."""
+    path = canonical_path(spec)
+    held: Dict[str, str] = {}  # slot -> manager name
+    table: List[Tuple[str, Tuple[str, ...]]] = []
+    for edge in path:
+        for primitive in edge.condition.primitives:
+            if isinstance(primitive, (Allocate, AllocateMany)):
+                held[primitive.slot] = primitive.manager.name
+            elif isinstance(primitive, Release):
+                held.pop(primitive.slot, None)
+            elif isinstance(primitive, ReleaseMany):
+                for slot in [s for s in held if s.startswith(primitive.prefix)]:
+                    held.pop(slot)
+            elif isinstance(primitive, Discard):
+                if primitive.slot is None:
+                    held.clear()
+                else:
+                    held.pop(primitive.slot, None)
+        if not edge.dst.is_initial:
+            table.append((edge.dst.name, tuple(sorted(set(held.values())))))
+    return table
+
+
+#: producer templates per class: write r1 from r2/r3 inputs
+_PRODUCERS = {
+    "alu": "    add  r1, r2, r3",
+    "mul": "    mul  r1, r2, r3",
+    "load": "    ldr  r1, [r8]",
+}
+
+_PROBE_TEMPLATE = """
+    .text
+_start:
+    li   r8, slot
+    mov  r2, #21
+    mov  r3, #2
+    mov  r9, #0
+loop:
+{producer}
+{fillers}
+    add  r4, r1, #1      ; consumer of r1
+    add  r9, r9, #1
+    cmp  r9, #64
+    blt  loop
+    mov  r0, #0
+    swi  #0
+    .data
+slot: .word 42
+"""
+
+
+def operand_latencies(
+    model_factory: Callable,
+    classes: Tuple[str, ...] = ("alu", "mul", "load"),
+    max_distance: int = 6,
+) -> Dict[str, int]:
+    """Measure producer-to-consumer scheduling distances on a model.
+
+    Returns, per producer class, the number of independent filler
+    instructions needed between producer and consumer for the loop to hit
+    its minimum cycle count — i.e. the operand latency the compiler's
+    scheduler should honour.
+    """
+    from ..isa.arm import assemble
+
+    latencies: Dict[str, int] = {}
+    for klass in classes:
+        producer = _PRODUCERS[klass]
+        cycles_at: List[int] = []
+        for distance in range(max_distance + 1):
+            fillers = "\n".join(
+                f"    add  r{5 + (i % 2)}, r9, #{i}" for i in range(distance)
+            )
+            source = _PROBE_TEMPLATE.format(producer=producer, fillers=fillers)
+            model = model_factory(assemble(source))
+            model.run()
+            cycles_at.append(model.cycles)
+        # Increasing distance adds filler work (cycles rise again once the
+        # stall is hidden); the latency is the first distance where adding
+        # one more filler no longer removes a stall cycle.
+        best = 0
+        for distance in range(1, max_distance + 1):
+            # a filler is "free" while it hides a stall: cycle count does
+            # not grow by the filler's own cost
+            if cycles_at[distance] <= cycles_at[distance - 1]:
+                best = distance
+        latencies[klass] = best
+    return latencies

@@ -1,0 +1,2 @@
+"""Comparison simulators: SimpleScalar-style, SystemC-style, and the
+hardware reference used as the Table-1 stand-in."""

@@ -1,0 +1,5 @@
+"""Hardware reference simulator (the Table-1 iPAQ stand-in)."""
+
+from .sim import CLOCK_HZ, IpaqReference
+
+__all__ = ["CLOCK_HZ", "IpaqReference"]

@@ -1,0 +1,114 @@
+"""The hardware reference: the Table-1 "iPAQ-3650" stand-in.
+
+The paper validates the StrongARM model against a real iPAQ, measuring
+run time with the Linux ``time`` utility, and attributes the residual
+differences to (a) the resolution and overhead of ``time``, (b) system
+call interpretation in the ISS, and (c) unknown details of the memory
+subsystem.
+
+We cannot ship an iPAQ, so the reference is an *independent* simulator
+(built on the hand-coded pipeline) that differs from the OSM model in
+exactly those components:
+
+* a shared memory bus with contention and DRAM page-miss behaviour on
+  cache refills (the OSM model idealises refill latency as a constant);
+* a per-syscall kernel-entry overhead (the paper's ISS interprets system
+  calls, the iPAQ runs a real kernel);
+* a deterministic measurement-jitter model for the ``time`` utility
+  (quantisation to clock ticks plus process startup overhead).
+
+Each effect is small; together they produce the low-single-digit signed
+percentage differences that Table 1 reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...isa.program import Program
+from ...memory.bus import MemoryBus
+from ...memory.cache import Cache
+from ...memory.tlb import Tlb
+from ..simplescalar.sim import SimpleScalarArm
+
+CLOCK_HZ = 206_000_000  # SA-1100 in the iPAQ-3650
+#: `time` reports in 10 ms ticks on the iPAQ's kernel
+TIME_TICK_SECONDS = 0.01
+#: process startup + syscall measurement overhead of `time`
+STARTUP_OVERHEAD_SECONDS = 0.004
+#: extra kernel-entry cycles per software interrupt on real hardware
+SYSCALL_KERNEL_CYCLES = 180
+#: fraction of refills that hit a DRAM page miss, as an LCG threshold
+DRAM_PAGE_MISS_PERIOD = 3
+DRAM_PAGE_MISS_EXTRA = 8
+
+
+class IpaqReference(SimpleScalarArm):
+    """Detailed StrongARM hardware reference for Table 1."""
+
+    def __init__(
+        self,
+        program: Program,
+        icache: Optional[Cache] = None,
+        dcache: Optional[Cache] = None,
+        itlb: Optional[Tlb] = None,
+        dtlb: Optional[Tlb] = None,
+        stdin: bytes = b"",
+    ):
+        from ...models.strongarm.model import (
+            default_dcache,
+            default_dtlb,
+            default_icache,
+            default_itlb,
+        )
+
+        super().__init__(
+            program,
+            icache=icache if icache is not None else default_icache(),
+            dcache=dcache if dcache is not None else default_dcache(),
+            itlb=itlb if itlb is not None else default_itlb(),
+            dtlb=dtlb if dtlb is not None else default_dtlb(),
+            stdin=stdin,
+        )
+        self.bus = MemoryBus("sa1100-bus", beat_cycles=2, width_bytes=4)
+        self._refills = 0
+        self.clock_hz = CLOCK_HZ
+
+    # -- memory-subsystem detail the OSM model does not have -----------------
+
+    def _refill_extra(self) -> int:
+        """Bus contention + occasional DRAM page miss on a refill."""
+        self._refills += 1
+        extra = self.bus.request(self.cycles, 32)
+        if self._refills % DRAM_PAGE_MISS_PERIOD == 0:
+            extra += DRAM_PAGE_MISS_EXTRA
+        return extra
+
+    def fetch_latency(self, pc: int) -> int:
+        latency = super().fetch_latency(pc)
+        if latency > 1:  # a miss went to memory
+            latency += self._refill_extra()
+        return latency
+
+    def memory_latency(self, op) -> int:
+        latency = super().memory_latency(op)
+        info = op.info
+        beats = 1
+        if info is not None and info.mem_addrs is not None:
+            beats = len(info.mem_addrs)
+        if latency > beats:  # some beat went to memory
+            latency += self._refill_extra()
+        if op.instr.kind == "swi" and op.info is not None and op.info.executed:
+            latency += SYSCALL_KERNEL_CYCLES
+        return latency
+
+    # -- `time` utility model ----------------------------------------------------
+
+    def measured_seconds(self) -> float:
+        """What the `time` utility would report for this run."""
+        true_seconds = self.cycles / self.clock_hz + STARTUP_OVERHEAD_SECONDS
+        ticks = round(true_seconds / TIME_TICK_SECONDS)
+        return max(1, ticks) * TIME_TICK_SECONDS
+
+    def true_seconds(self) -> float:
+        return self.cycles / self.clock_hz

@@ -1,0 +1,5 @@
+"""SimpleScalar-style ad-hoc sequential StrongARM simulator."""
+
+from .sim import SimpleScalarArm
+
+__all__ = ["SimpleScalarArm"]

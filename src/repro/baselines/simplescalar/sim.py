@@ -1,0 +1,280 @@
+"""SimpleScalar-style hand-coded StrongARM pipeline simulator.
+
+This is the comparison point of Section 5.1: a conventional
+micro-architecture simulator in which "programmers have to sequentialize
+the concurrency of hardware in ad-hoc ways".  The pipeline registers,
+hazard checks, forwarding distances, squash logic and stall counters are
+all written out by hand here — no OSMs, no token managers — implementing
+the *same* micro-architecture as
+:class:`~repro.models.strongarm.StrongArmModel` so that the two can be
+cross-validated cycle-for-cycle and raced for simulation speed (the
+paper's 650k vs 550k cycles/s comparison).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from ...isa.arm import semantics as arm_semantics
+from ...isa.bits import popcount_significant_bytes
+from ...isa.program import Program
+from ...iss.interpreter import ArmInterpreter
+from ...memory.cache import Cache
+from ...memory.tlb import Tlb
+
+N_HAZARD_REGS = 17  # r0..r15 + flags pseudo-register
+MAX_WRITERS_PER_REG = 3  # update-token pool depth (matches the OSM model)
+
+
+class _PipelineOp:
+    __slots__ = ("seq", "pc", "instr", "info")
+
+    def __init__(self, seq: int, pc: int, instr):
+        self.seq = seq
+        self.pc = pc
+        self.instr = instr
+        self.info = None
+
+
+class SimpleScalarArm:
+    """Ad-hoc sequentialised five-stage StrongARM simulator.
+
+    Same micro-architecture as the OSM model: F/D/E/B/W stages, combined
+    register file with forwarding (ALU results forward from B, load
+    results from W), early-terminating multiplier, I/D caches and TLBs,
+    two-cycle taken-branch penalty with next-cycle squash.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        icache: Optional[Cache] = None,
+        dcache: Optional[Cache] = None,
+        itlb: Optional[Tlb] = None,
+        dtlb: Optional[Tlb] = None,
+        stdin: bytes = b"",
+    ):
+        self.iss = ArmInterpreter(program, stdin=stdin)
+        self.state = self.iss.state
+        self.decode_at = self.iss.fetch_decode
+        self.icache = icache
+        self.dcache = dcache
+        self.itlb = itlb
+        self.dtlb = dtlb
+
+        self.fetch_pc = program.entry
+        self.halted_fetch = False
+        self._seq = 0
+        # pipeline registers
+        self.f_op: Optional[_PipelineOp] = None
+        self.d_op: Optional[_PipelineOp] = None
+        self.e_op: Optional[_PipelineOp] = None
+        self.b_op: Optional[_PipelineOp] = None
+        self.w_op: Optional[_PipelineOp] = None
+        # stall countdowns
+        self.fetch_hold = 0
+        self.e_hold = 0
+        self.b_hold = 0
+        # hazard scoreboard: outstanding writers (program order) + the
+        # youngest writer's result-ready flag, mirroring the OSM model's
+        # per-register update-token pool
+        self.reg_writers: List[List[_PipelineOp]] = [[] for _ in range(N_HAZARD_REGS)]
+        self.reg_ready: List[bool] = [True] * N_HAZARD_REGS
+        # squash/redirect latches
+        self._squash_pending = False
+        self._redirect_target: Optional[int] = None
+
+        self.cycles = 0
+        self.retired = 0
+        self.wall_seconds = 0.0
+
+    # -- timing hooks (identical policies to the OSM model) ------------------
+
+    def execute_latency(self, op: _PipelineOp) -> int:
+        instr = op.instr
+        if instr.unit == "mul" and op.info is not None and op.info.executed:
+            operand = op.info.mul_operand or 0
+            latency = 1 + popcount_significant_bytes(operand)
+            if instr.kind == "mull":
+                latency += 1
+            return latency
+        return 1
+
+    def memory_latency(self, op: _PipelineOp) -> int:
+        info = op.info
+        if info is None or info.mem_addr is None:
+            return 1
+        addresses = info.mem_addrs if info.mem_addrs is not None else (info.mem_addr,)
+        latency = 0
+        for index, address in enumerate(addresses):
+            beat = 1
+            if self.dtlb is not None and index == 0:
+                beat += self.dtlb.access(address)
+            if self.dcache is not None:
+                beat += self.dcache.access(address, info.mem_is_store) - 1
+            latency += beat
+        return latency
+
+    def fetch_latency(self, pc: int) -> int:
+        latency = 1
+        if self.itlb is not None:
+            latency += self.itlb.access(pc)
+        if self.icache is not None:
+            latency += self.icache.access(pc) - 1
+        return latency
+
+    # -- hazard helpers ----------------------------------------------------------
+
+    def _sources_ready(self, op: _PipelineOp) -> bool:
+        for reg in op.instr.src_regs:
+            if self.reg_writers[reg] and not self.reg_ready[reg]:
+                return False
+        return True
+
+    def _dests_free(self, op: _PipelineOp) -> bool:
+        return all(
+            len(self.reg_writers[reg]) < MAX_WRITERS_PER_REG
+            for reg in op.instr.dst_regs
+        )
+
+    def _claim_dests(self, op: _PipelineOp) -> None:
+        for reg in op.instr.dst_regs:
+            self.reg_writers[reg].append(op)
+            self.reg_ready[reg] = False
+
+    def _publish_dests(self, op: _PipelineOp) -> None:
+        for reg in op.instr.dst_regs:
+            writers = self.reg_writers[reg]
+            if writers and writers[-1] is op:
+                self.reg_ready[reg] = True
+
+    def _free_dests(self, op: _PipelineOp) -> None:
+        for reg in op.instr.dst_regs:
+            writers = self.reg_writers[reg]
+            if op in writers:
+                writers.remove(op)
+            if not writers:
+                self.reg_ready[reg] = True
+
+    # -- one simulated cycle ---------------------------------------------------------
+
+    def cycle(self) -> None:
+        # begin-of-cycle: countdowns tick (mirrors StageUnit.begin_cycle)
+        if self.fetch_hold > 0:
+            self.fetch_hold -= 1
+        if self.e_hold > 0:
+            self.e_hold -= 1
+        if self.b_hold > 0:
+            self.b_hold -= 1
+
+        # Stages are processed oldest-first so a stage freed this cycle can
+        # be refilled this cycle (what the director's rank order achieves).
+        # retire: W -> done
+        if self.w_op is not None:
+            self._free_dests(self.w_op)
+            self.retired += 1
+            self.w_op = None
+        # B -> W
+        if self.b_op is not None and self.b_hold == 0:
+            op = self.b_op
+            self.b_op = None
+            self.w_op = op
+            if op.instr.is_load:
+                self._publish_dests(op)
+        # E -> B
+        if self.e_op is not None and self.b_op is None and self.e_hold == 0:
+            op = self.e_op
+            self.e_op = None
+            self.b_op = op
+            latency = self.memory_latency(op)
+            if latency > 1:
+                self.b_hold = latency - 1
+            if not op.instr.is_load:
+                self._publish_dests(op)
+        # D -> E (issue + functional execute)
+        if (
+            self.d_op is not None
+            and self.e_op is None
+            and self._sources_ready(self.d_op)
+            and self._dests_free(self.d_op)
+        ):
+            op = self.d_op
+            self.d_op = None
+            self.e_op = op
+            op.info = arm_semantics.execute(self.state, op.instr)
+            self.state.instret += 1
+            self._claim_dests(op)
+            extra = self.execute_latency(op) - 1
+            if extra > 0:
+                self.e_hold = extra
+            sequential = (op.pc + 4) & 0xFFFFFFFF
+            if op.info.next_pc != sequential:
+                self._squash_pending = True
+                self._redirect_target = op.info.next_pc
+            if self.state.halted:
+                self.halted_fetch = True
+                self._squash_pending = True
+                self._redirect_target = None
+        # F -> D
+        if self.f_op is not None and self.d_op is None and self.fetch_hold == 0:
+            self.d_op = self.f_op
+            self.f_op = None
+        # fetch -> F
+        if (
+            self.f_op is None
+            and not self.halted_fetch
+            and not self._squash_pending
+        ):
+            pc = self.fetch_pc
+            op = _PipelineOp(self._seq, pc, self.decode_at(pc))
+            self._seq += 1
+            self.f_op = op
+            self.fetch_pc = (pc + 4) & 0xFFFFFFFF
+            latency = self.fetch_latency(pc)
+            if latency > 1:
+                self.fetch_hold = latency - 1
+
+        # end-of-cycle: apply squash/redirect (mirrors end_cycle latching)
+        if self._squash_pending:
+            self.f_op = None
+            self.d_op = None
+            self.fetch_hold = 0
+            if self._redirect_target is not None:
+                self.fetch_pc = self._redirect_target
+            self._squash_pending = False
+            self._redirect_target = None
+
+        self.cycles += 1
+
+    # -- run loop -------------------------------------------------------------------
+
+    def finished(self) -> bool:
+        return (
+            self.state.halted
+            and self.f_op is None
+            and self.d_op is None
+            and self.e_op is None
+            and self.b_op is None
+            and self.w_op is None
+        )
+
+    def run(self, max_cycles: int = 10_000_000) -> int:
+        """Run to completion; returns the cycle count."""
+        start = time.perf_counter()
+        while not self.finished():
+            if self.cycles >= max_cycles:
+                raise RuntimeError(f"did not finish within {max_cycles} cycles")
+            self.cycle()
+        self.wall_seconds += time.perf_counter() - start
+        return self.cycles
+
+    @property
+    def exit_code(self) -> int:
+        return self.state.exit_code
+
+    @property
+    def cycles_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.cycles / self.wall_seconds

@@ -1,0 +1,6 @@
+"""SystemC-style hardware-centric PPC-750 simulator."""
+
+from .modules import PipelineOp
+from .sim import Ppc750SystemC
+
+__all__ = ["PipelineOp", "Ppc750SystemC"]

@@ -1,0 +1,593 @@
+"""Port-based hardware modules of the SystemC-style PPC-750 model.
+
+This is the hardware-centric organisation the paper compares against
+(Sections 2 and 5.2): modules communicate exclusively through wires with
+SystemC evaluate/update (delta-cycle) semantics — state latches at the
+clock edge (``on_clock``), request/grant wires settle combinationally
+(``evaluate`` repeated until no wire changes).
+
+The micro-architecture is the same dual-issue out-of-order MPC750 as
+:class:`repro.models.ppc750.Ppc750Model` — fetch queue, dual in-order
+dispatch, six units with reservation stations, rename buffers, completion
+queue, BHT/BTIC — so the two simulators can be cross-validated.  The
+paper reports agreement within 3%; residual differences here come from
+delta-cycle versus director-scheduled intra-cycle ordering, exactly the
+"subtle mismatches in interpreting the micro-architecture specifications"
+it describes.
+
+Wire protocol summary (one cycle = all ``on_clock`` in module order, then
+delta iterations of ``evaluate``/update):
+
+* decisions (fetch bundle, dispatch grants, issue grants, retire grants,
+  branch redirect/squash) are *combinational* — recomputed every delta
+  with no side effects;
+* commitments (queue contents, rename tables, unit countdowns, cache and
+  predictor state) happen once, in ``on_clock``, reading the settled
+  wires of the previous cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...de.module import PortModule
+from ...isa.ppc import isa as ppc_isa
+from ...iss.oracle import ExecRecord, Oracle
+from ...memory.cache import Cache
+from ...models.ppc750.branch import BranchPredictor
+
+UNIT_NAMES = (ppc_isa.UNIT_IU1, ppc_isa.UNIT_IU2, ppc_isa.UNIT_SRU,
+              ppc_isa.UNIT_LSU, ppc_isa.UNIT_FPU, ppc_isa.UNIT_BPU)
+MULDIV_LATENCY = {"mulli": 3, "mullw": 4, "mulhw": 5, "divw": 19, "divwu": 19}
+LSU_BASE_LATENCY = 2
+GPR_RENAMES = 6
+FETCH_WIDTH = 4
+DISPATCH_WIDTH = 2
+RETIRE_WIDTH = 2
+FQ_SIZE = 6
+CQ_SIZE = 6
+
+
+class PipelineOp:
+    """An operation flowing through the wire-connected pipeline."""
+
+    __slots__ = ("seq", "pc", "instr", "record", "predicted_next", "done",
+                 "retire_ready", "deps", "unit", "rename_counts")
+
+    def __init__(self, seq: int, pc: int, instr, record: Optional[ExecRecord]):
+        self.seq = seq
+        self.pc = pc
+        self.instr = instr
+        self.record = record
+        self.predicted_next = (pc + 4) & 0xFFFFFFFF
+        self.done = False
+        self.retire_ready = False
+        self.deps: Tuple["PipelineOp", ...] = ()
+        self.unit: Optional[str] = None
+        self.rename_counts: Dict[str, int] = {}
+
+    @property
+    def wrong_path(self) -> bool:
+        return self.record is None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PipelineOp(#{self.seq} {self.instr.text})"
+
+
+def rename_file_of(reg: int) -> str:
+    if reg < 32:
+        return "gpr"
+    if reg == 32:
+        return "cr"
+    if reg == 33:
+        return "lr"
+    return "ctr"
+
+
+def unit_routes(instr) -> Tuple[str, ...]:
+    if instr.unit == ppc_isa.UNIT_IU2:
+        return (ppc_isa.UNIT_IU2, ppc_isa.UNIT_IU1)
+    return (instr.unit,)
+
+
+def _squash_threshold(*signals) -> Optional[int]:
+    """Combine squash wires; the lowest surviving sequence wins."""
+    thresholds = [s[0] for s in signals if s]
+    if not thresholds:
+        return None
+    return min(thresholds)
+
+
+class FetchModule(PortModule):
+    """Program counter, branch prediction, I-cache timing.
+
+    ``evaluate`` computes the cycle's fetch bundle purely (memoised on
+    the settled inputs); ``on_clock`` commits it: PC/cursor advance,
+    I-cache fills, predictor statistics.
+    """
+
+    def __init__(self, oracle: Oracle, predictor: BranchPredictor,
+                 entry: int, icache: Optional[Cache]):
+        super().__init__("fetcher")
+        self.oracle = oracle
+        self.predictor = predictor
+        self.icache = icache
+        self.fetch_pc = entry
+        self.cursor = 0
+        self.halted = False
+        self.stall = 0
+        self.seq = 0
+        self.fetched = 0
+        self.p_iq_free = self.port("iq_free", "in")
+        self.p_redirect = self.port("redirect", "in")
+        self.p_bundle = self.port("fetch_bundle", "out")
+        self._memo_key: Optional[Tuple] = None
+        self._memo_bundle: Tuple[PipelineOp, ...] = ()
+
+    # -- combinational ------------------------------------------------------
+
+    def evaluate(self, cycle: int) -> None:
+        free = self.p_iq_free.read() or 0
+        redirect = self.p_redirect.read()
+        key = (cycle, free, redirect if redirect is None else redirect[1:])
+        if key != self._memo_key:
+            self._memo_key = key
+            self._memo_bundle = self._compute_bundle(free, redirect)
+        self.p_bundle.write(self._memo_bundle)
+
+    def _compute_bundle(self, free: int, redirect) -> Tuple[PipelineOp, ...]:
+        if self.halted or self.stall > 0 or redirect is not None or free <= 0:
+            return ()
+        bundle: List[PipelineOp] = []
+        pc = self.fetch_pc
+        cursor = self.cursor
+        seq = self.seq
+        for _ in range(min(FETCH_WIDTH, free)):
+            expected = self.oracle.record(cursor)
+            if expected is not None and expected.pc == pc:
+                record: Optional[ExecRecord] = expected
+                cursor += 1
+            elif expected is None:
+                break  # past program exit: nothing sensible to fetch
+            else:
+                record = None  # wrong path
+            instr = self.oracle.decode_at(pc)
+            op = PipelineOp(seq, pc, instr, record)
+            seq += 1
+            if instr.is_branch:
+                taken, target = self.predictor.predict_pure(instr)
+                if taken and target is not None:
+                    op.predicted_next = target
+            bundle.append(op)
+            icache_miss = self.icache is not None and not self.icache.probe(pc)
+            pc = op.predicted_next
+            if icache_miss:
+                break  # the miss stalls the fetch stream
+        return tuple(bundle)
+
+    # -- commitment -----------------------------------------------------------
+
+    def on_clock(self, cycle: int) -> None:
+        bundle = self.p_bundle.read() or ()
+        for op in bundle:
+            self.fetched += 1
+            if op.instr.is_branch:
+                self.predictor.predict(op.instr)  # statistics commit
+            if self.icache is not None:
+                extra = self.icache.access(op.pc) - 1
+                if extra > 0:
+                    # The commit edge is already one cycle past the fetch
+                    # decision, so charge extra - 1 further blocked cycles
+                    # (aligning with the OSM fetch engine's countdown).
+                    self.stall = max(0, extra - 1)
+            self.fetch_pc = op.predicted_next
+            self.cursor = op.record.index + 1 if op.record is not None else self.cursor
+            self.seq = op.seq + 1
+        if self.stall > 0 and not bundle:
+            self.stall -= 1
+        redirect = self.p_redirect.read()
+        if redirect is not None:
+            _, target, cursor = redirect
+            self.fetch_pc = target
+            self.cursor = cursor
+            self.stall = 0
+        self._memo_key = None
+
+
+class InstructionQueueModule(PortModule):
+    """The 6-entry fetch queue as a wire-connected FIFO."""
+
+    def __init__(self):
+        super().__init__("iq")
+        self.entries: List[PipelineOp] = []
+        self.p_bundle = self.port("fetch_bundle", "in")
+        self.p_grants = self.port("dispatch_grants", "in")
+        self.p_squash_br = self.port("squash_br", "in")
+        self.p_squash_halt = self.port("squash_halt", "in")
+        self.p_free = self.port("iq_free", "out")
+        self.p_heads = self.port("iq_heads", "out")
+
+    def evaluate(self, cycle: int) -> None:
+        grants = self.p_grants.read() or ()
+        granted = {op.seq for op in grants}
+        remaining = sum(1 for op in self.entries if op.seq not in granted)
+        self.p_free.write(FQ_SIZE - remaining)
+        self.p_heads.write(tuple(self.entries[:DISPATCH_WIDTH]))
+
+    def on_clock(self, cycle: int) -> None:
+        granted = {op.seq for op in (self.p_grants.read() or ())}
+        self.entries = [op for op in self.entries if op.seq not in granted]
+        self.entries.extend(self.p_bundle.read() or ())
+        threshold = _squash_threshold(self.p_squash_br.read(), self.p_squash_halt.read())
+        if threshold is not None:
+            self.entries = [op for op in self.entries if op.seq <= threshold]
+
+
+class RenameModule(PortModule):
+    """Rename buffers and producer chains for the five register files."""
+
+    SIZES = {"gpr": GPR_RENAMES, "fpr": GPR_RENAMES, "cr": 1, "lr": 1, "ctr": 1}
+
+    def __init__(self):
+        super().__init__("rename")
+        self.used = {name: 0 for name in self.SIZES}
+        self.producers: Dict[int, List[PipelineOp]] = {r: [] for r in range(35)}
+        self.p_grants = self.port("dispatch_grants", "in")
+        self.p_retiring = self.port("retire_grants", "in")
+        self.p_squash_br = self.port("squash_br", "in")
+        self.p_squash_halt = self.port("squash_halt", "in")
+
+    def last_producer_before(self, reg: int, seq: int) -> Optional[PipelineOp]:
+        for producer in reversed(self.producers[reg]):
+            if producer.seq < seq:
+                return producer
+        return None
+
+    def on_clock(self, cycle: int) -> None:
+        for op in self.p_retiring.read() or ():
+            self._release(op)
+        for op in self.p_grants.read() or ():
+            for reg in op.instr.dst_regs:
+                file_name = rename_file_of(reg)
+                self.used[file_name] += 1
+                op.rename_counts[file_name] = op.rename_counts.get(file_name, 0) + 1
+                self.producers[reg].append(op)
+        threshold = _squash_threshold(self.p_squash_br.read(), self.p_squash_halt.read())
+        if threshold is not None:
+            victims: List[PipelineOp] = []
+            seen: Set[int] = set()
+            for chain in self.producers.values():
+                for op in chain:
+                    if op.seq > threshold and id(op) not in seen:
+                        seen.add(id(op))
+                        victims.append(op)
+            for op in victims:
+                self._release(op)
+
+    def _release(self, op: PipelineOp) -> None:
+        for file_name, count in op.rename_counts.items():
+            self.used[file_name] -= count
+        op.rename_counts = {}
+        for reg in op.instr.dst_regs:
+            chain = self.producers[reg]
+            if op in chain:
+                chain.remove(op)
+
+
+class DispatcherModule(PortModule):
+    """Dual in-order dispatch: IQ heads into units or reservation stations."""
+
+    def __init__(self, rename: RenameModule):
+        super().__init__("dispatcher")
+        self.rename = rename
+        self.p_heads = self.port("iq_heads", "in")
+        self.p_cq_free = self.port("cq_free", "in")
+        self.p_unit_avail = self.port("unit_avail", "in")
+        self.p_rs_avail = self.port("rs_avail", "in")
+        self.p_retiring = self.port("retire_grants", "in")
+        self.p_grants = self.port("dispatch_grants", "out")
+        self.p_direct = self.port("direct_issues", "out")
+        self.p_rs_fills = self.port("rs_fills", "out")
+
+    def evaluate(self, cycle: int) -> None:
+        heads = self.p_heads.read() or ()
+        cq_free = self.p_cq_free.read() or 0
+        unit_avail = set(self.p_unit_avail.read() or ())
+        rs_avail = set(self.p_rs_avail.read() or ())
+        grants: List[PipelineOp] = []
+        direct: List[Tuple[str, PipelineOp]] = []
+        rs_fills: List[Tuple[str, PipelineOp]] = []
+        # Rename budget: current usage minus buffers freed by this cycle's
+        # retirements (usable the same cycle, as in the OSM model).
+        budget = dict(self.rename.used)
+        for op in self.p_retiring.read() or ():
+            for file_name, count in op.rename_counts.items():
+                budget[file_name] -= count
+        pending_writes: Set[int] = set()
+
+        for position, op in enumerate(heads):
+            if len(grants) >= DISPATCH_WIDTH or cq_free <= len(grants):
+                break
+            if position != len(grants):
+                break  # in-order: an earlier head stalled
+            if not self._rename_fits(op, budget):
+                break
+            ready = self._operands_ready(op, pending_writes)
+            placed = False
+            for unit in unit_routes(op.instr):
+                if ready and unit in unit_avail:
+                    direct.append((unit, op))
+                    unit_avail.discard(unit)
+                    placed = True
+                    break
+            if not placed:
+                for unit in unit_routes(op.instr):
+                    if unit in rs_avail:
+                        rs_fills.append((unit, op))
+                        rs_avail.discard(unit)
+                        placed = True
+                        break
+            if not placed:
+                break
+            for reg in op.instr.dst_regs:
+                budget[rename_file_of(reg)] += 1
+                pending_writes.add(reg)
+            grants.append(op)
+        self.p_grants.write(tuple(grants))
+        self.p_direct.write(tuple(direct))
+        self.p_rs_fills.write(tuple(rs_fills))
+
+    @staticmethod
+    def _rename_fits(op: PipelineOp, budget: Dict[str, int]) -> bool:
+        need: Dict[str, int] = {}
+        for reg in op.instr.dst_regs:
+            file_name = rename_file_of(reg)
+            need[file_name] = need.get(file_name, 0) + 1
+        return all(
+            RenameModule.SIZES[f] - budget[f] >= n for f, n in need.items()
+        )
+
+    def _operands_ready(self, op: PipelineOp, pending_writes: Set[int]) -> bool:
+        for reg in op.instr.src_regs:
+            if reg in pending_writes:
+                return False  # written by an earlier same-cycle dispatch
+            producer = self.rename.last_producer_before(reg, op.seq)
+            if producer is not None and not producer.done:
+                return False
+        return True
+
+
+class ReservationStationModule(PortModule):
+    """One-entry reservation station in front of a function unit."""
+
+    def __init__(self, unit_name: str, rename: RenameModule):
+        super().__init__(f"rs_{unit_name}")
+        self.unit_name = unit_name
+        self.rename = rename
+        self.entry: Optional[PipelineOp] = None
+        self.p_rs_fills = self.port("rs_fills", "in")
+        self.p_issue_grant = self.port(f"issue_grant_{unit_name}", "in")
+        self.p_squash_br = self.port("squash_br", "in")
+        self.p_squash_halt = self.port("squash_halt", "in")
+        self.p_request = self.port(f"rs_request_{unit_name}", "out")
+        self.p_avail = self.port("rs_avail_single", "out")  # rebound in sim
+
+    def evaluate(self, cycle: int) -> None:
+        entry = self.entry
+        if entry is not None and all(dep.done for dep in entry.deps):
+            self.p_request.write(entry)
+        else:
+            self.p_request.write(None)
+        granted = self.p_issue_grant.read()
+        frees = self.entry is None or (granted is not None and granted is self.entry)
+        self.p_avail.write(self.unit_name if frees else None)
+
+    def on_clock(self, cycle: int) -> None:
+        granted = self.p_issue_grant.read()
+        if granted is not None and granted is self.entry:
+            self.entry = None
+        for unit, op in self.p_rs_fills.read() or ():
+            if unit == self.unit_name:
+                self._capture_deps(op)
+                self.entry = op
+        threshold = _squash_threshold(self.p_squash_br.read(), self.p_squash_halt.read())
+        if threshold is not None and self.entry is not None and self.entry.seq > threshold:
+            self.entry = None
+
+    def _capture_deps(self, op: PipelineOp) -> None:
+        deps = []
+        for reg in op.instr.src_regs:
+            producer = self.rename.last_producer_before(reg, op.seq)
+            if producer is not None and not producer.done:
+                deps.append(producer)
+        op.deps = tuple(deps)
+
+
+class FunctionUnitModule(PortModule):
+    """One execution unit: accepts a granted op, counts down its latency."""
+
+    def __init__(self, unit_name: str, dcache: Optional[Cache]):
+        super().__init__(f"fu_{unit_name}")
+        self.unit_name = unit_name
+        self.dcache = dcache
+        self.busy_op: Optional[PipelineOp] = None
+        self.countdown = 0
+        self.p_direct = self.port("direct_issues", "in")
+        self.p_rs_request = self.port(f"rs_request_{unit_name}", "in")
+        self.p_squash_br = self.port("squash_br", "in")
+        self.p_squash_halt = self.port("squash_halt", "in")
+        self.p_issue_grant = self.port(f"issue_grant_{unit_name}", "out")
+        self.p_avail = self.port("fu_avail_single", "out")  # rebound in sim
+
+    def evaluate(self, cycle: int) -> None:
+        free = self.busy_op is None
+        rs_op = self.p_rs_request.read()
+        will_grant_rs = free and rs_op is not None
+        self.p_issue_grant.write(rs_op if will_grant_rs else None)
+        # The reservation-station op is older than any same-cycle direct
+        # dispatch, so the unit is unavailable to the dispatcher when it
+        # is granting its station.
+        self.p_avail.write(self.unit_name if free and not will_grant_rs else None)
+
+    def latency_of(self, op: PipelineOp) -> int:
+        instr = op.instr
+        if instr.unit == ppc_isa.UNIT_LSU:
+            latency = LSU_BASE_LATENCY
+            if (op.record is not None and op.record.mem_addr is not None
+                    and self.dcache is not None):
+                latency += self.dcache.access(op.record.mem_addr,
+                                              op.record.mem_is_store) - 1
+            return latency
+        if instr.mnemonic in MULDIV_LATENCY:
+            return MULDIV_LATENCY[instr.mnemonic]
+        return 1
+
+    def on_clock(self, cycle: int) -> None:
+        threshold = _squash_threshold(self.p_squash_br.read(), self.p_squash_halt.read())
+        if self.busy_op is not None:
+            self.countdown -= 1
+            if self.countdown <= 0:
+                self.busy_op.done = True
+                self.busy_op = None
+        accepted: Optional[PipelineOp] = None
+        granted = self.p_issue_grant.read()
+        if self.busy_op is None and granted is not None:
+            accepted = granted
+        if accepted is None and self.busy_op is None:
+            for unit, op in self.p_direct.read() or ():
+                if unit == self.unit_name:
+                    accepted = op
+                    break
+        if accepted is not None and threshold is not None and accepted.seq > threshold:
+            accepted = None  # squashed in its grant cycle
+        if accepted is not None:
+            accepted.unit = self.unit_name
+            # The grant cycle counts as the first execution cycle, so the
+            # residual occupancy is latency - 2 (floor 0): a 1- or 2-cycle
+            # op is forwardable the cycle after its grant, matching the
+            # OSM model's done-at-X->W timing.
+            self.countdown = max(0, self.latency_of(accepted) - 2)
+            if self.countdown == 0:
+                accepted.done = True
+            else:
+                self.busy_op = accepted
+        if (threshold is not None and self.busy_op is not None
+                and self.busy_op.seq > threshold):
+            self.busy_op = None
+            self.countdown = 0
+
+
+class CompletionModule(PortModule):
+    """The completion queue: allocated at dispatch, in-order retirement."""
+
+    def __init__(self, oracle: Oracle):
+        super().__init__("completion")
+        self.oracle = oracle
+        self.entries: List[PipelineOp] = []
+        self.retired = 0
+        self.instructions = 0
+        self.halted = False
+        self.halt_seq: Optional[int] = None
+        self.p_grants = self.port("dispatch_grants", "in")
+        self.p_squash_br = self.port("squash_br", "in")
+        self.p_cq_free = self.port("cq_free", "out")
+        self.p_retire_grants = self.port("retire_grants", "out")
+        self.p_squash_halt = self.port("squash_halt", "out")
+
+    def evaluate(self, cycle: int) -> None:
+        retire: List[PipelineOp] = []
+        for op in self.entries[:RETIRE_WIDTH]:
+            if op.retire_ready:
+                retire.append(op)
+            else:
+                break
+        self.p_retire_grants.write(tuple(retire))
+        self.p_cq_free.write(CQ_SIZE - len(self.entries) + len(retire))
+        self.p_squash_halt.write(
+            (self.halt_seq,) if self.halt_seq is not None else None
+        )
+
+    def on_clock(self, cycle: int) -> None:
+        # 1. commit last cycle's retirements
+        for op in self.p_retire_grants.read() or ():
+            if op in self.entries:
+                self.entries.remove(op)
+            self.retired += 1
+            if op.record is not None:
+                self.instructions += 1
+                if (self.oracle.length is not None
+                        and op.record.index == self.oracle.length - 1):
+                    self.halted = True
+                    self.halt_seq = op.seq
+        # 2. promote operations whose results existed last cycle (retire
+        #    happens the cycle after completion, as in the OSM model);
+        #    this module's on_clock runs before the units', so the done
+        #    flags read here are last cycle's.
+        for op in self.entries:
+            if op.done:
+                op.retire_ready = True
+        # 3. accept this edge's dispatches
+        self.entries.extend(self.p_grants.read() or ())
+        # 4. squash
+        threshold = _squash_threshold(
+            self.p_squash_br.read(),
+            (self.halt_seq,) if self.halt_seq is not None else None,
+        )
+        if threshold is not None:
+            self.entries = [op for op in self.entries if op.seq <= threshold]
+
+    @property
+    def drained(self) -> bool:
+        return self.halted and not self.entries
+
+
+class BranchResolveModule(PortModule):
+    """Resolves correct-path branches in their grant cycle.
+
+    Purely combinational in ``evaluate`` (drives redirect/squash from the
+    grant wires); predictor training and misprediction accounting commit
+    in ``on_clock`` against the settled grants.
+    """
+
+    def __init__(self, predictor: BranchPredictor):
+        super().__init__("branch_resolve")
+        self.predictor = predictor
+        self.p_direct = self.port("direct_issues", "in")
+        self.p_issue_grant = self.port(f"issue_grant_{ppc_isa.UNIT_BPU}", "in")
+        self.p_redirect = self.port("redirect", "out")
+        self.p_squash_br = self.port("squash_br", "out")
+        self.mispredicts = 0
+
+    def _granted_branch(self) -> Optional[PipelineOp]:
+        granted = self.p_issue_grant.read()
+        if granted is not None and granted.record is not None:
+            return granted
+        for unit, op in self.p_direct.read() or ():
+            if unit == ppc_isa.UNIT_BPU and op.record is not None:
+                return op
+        return None
+
+    def evaluate(self, cycle: int) -> None:
+        op = self._granted_branch()
+        if op is None:
+            self.p_redirect.write(None)
+            self.p_squash_br.write(None)
+            return
+        record = op.record
+        if op.predicted_next != record.next_pc:
+            self.p_redirect.write((op.seq, record.next_pc, record.index + 1))
+            self.p_squash_br.write((op.seq,))
+        else:
+            self.p_redirect.write(None)
+            self.p_squash_br.write(None)
+
+    def on_clock(self, cycle: int) -> None:
+        op = self._granted_branch()
+        if op is None:
+            return
+        record = op.record
+        taken = record.next_pc != ((op.pc + 4) & 0xFFFFFFFF)
+        self.predictor.resolve(op.instr, taken, record.next_pc)
+        if op.predicted_next != record.next_pc:
+            self.mispredicts += 1
+            self.predictor.note_mispredict()

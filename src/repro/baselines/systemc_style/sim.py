@@ -1,0 +1,196 @@
+"""The SystemC-style PPC-750 simulator: module instantiation and wiring.
+
+Builds the ~20 port-based modules of :mod:`.modules`, connects them with
+explicit wires (the paper notes the real SystemC PowerPC model needed
+"more than 200 wires or buses ... to connect 20 modules" — the count here
+is printed by :func:`Ppc750SystemC.wiring_summary`), and runs them under
+the delta-cycle engine.
+
+This simulator exists to reproduce two claims of Section 5.2: the OSM
+model is about 4x *faster* (delta-cycle settling visits every module
+several times per cycle) and substantially *smaller*, while the two agree
+closely on timing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from ...de.module import PortModule, Wire
+from ...de.scheduler import DeltaCycleSimulator
+from ...isa.ppc import isa as ppc_isa
+from ...isa.program import Program
+from ...iss.interpreter import PpcInterpreter
+from ...iss.oracle import Oracle
+from ...memory.cache import Cache
+from ...models.ppc750.branch import BranchPredictor
+from .modules import (
+    UNIT_NAMES,
+    BranchResolveModule,
+    CompletionModule,
+    DispatcherModule,
+    FetchModule,
+    FunctionUnitModule,
+    InstructionQueueModule,
+    RenameModule,
+    ReservationStationModule,
+)
+
+
+class AvailabilityAggregator(PortModule):
+    """Combinational OR-reduction of per-unit availability wires into the
+    tuple wires the dispatcher consumes (a hardware-centric model needs
+    this kind of glue module; the OSM model does not)."""
+
+    def __init__(self, kind: str):
+        super().__init__(f"{kind}_aggregate")
+        self.inputs = [self.port(f"{kind}_{unit}", "in") for unit in UNIT_NAMES]
+        self.output = self.port(f"{kind}_avail", "out")
+
+    def evaluate(self, cycle: int) -> None:
+        names = tuple(p.read() for p in self.inputs if p.read() is not None)
+        self.output.write(names)
+
+
+def default_icache() -> Cache:
+    return Cache("icache", size=32 * 1024, line_size=32, assoc=8, miss_penalty=30)
+
+
+def default_dcache() -> Cache:
+    return Cache("dcache", size=32 * 1024, line_size=32, assoc=8, miss_penalty=30)
+
+
+class Ppc750SystemC:
+    """Hardware-centric (port/wire/delta-cycle) PPC-750 simulator."""
+
+    def __init__(self, program: Program, icache: Optional[Cache] = None,
+                 dcache: Optional[Cache] = None, perfect_memory: bool = False,
+                 stdin: bytes = b""):
+        if not perfect_memory:
+            icache = icache if icache is not None else default_icache()
+            dcache = dcache if dcache is not None else default_dcache()
+        self.oracle = Oracle(PpcInterpreter(program, stdin=stdin))
+        self.predictor = BranchPredictor()
+        self.sim = DeltaCycleSimulator()
+
+        # -- modules (order fixes on_clock sequencing; see modules.py) -----
+        self.completion = CompletionModule(self.oracle)
+        self.rename = RenameModule()
+        self.fetcher = FetchModule(self.oracle, self.predictor, program.entry, icache)
+        self.iq = InstructionQueueModule()
+        self.dispatcher = DispatcherModule(self.rename)
+        self.stations: Dict[str, ReservationStationModule] = {
+            unit: ReservationStationModule(unit, self.rename) for unit in UNIT_NAMES
+        }
+        self.units: Dict[str, FunctionUnitModule] = {
+            unit: FunctionUnitModule(unit, dcache) for unit in UNIT_NAMES
+        }
+        self.branch_resolve = BranchResolveModule(self.predictor)
+        self.rs_aggregate = AvailabilityAggregator("rs")
+        self.fu_aggregate = AvailabilityAggregator("fu")
+
+        for module in (self.completion, self.rename, self.fetcher, self.iq,
+                       *self.stations.values(), *self.units.values(),
+                       self.branch_resolve, self.dispatcher,
+                       self.rs_aggregate, self.fu_aggregate):
+            self.sim.add_module(module)
+
+        self._wire_up()
+        self.wall_seconds = 0.0
+
+    # -- wiring -------------------------------------------------------------
+
+    def _wire_up(self) -> None:
+        sim = self.sim
+
+        def wire(name: str, *ports) -> Wire:
+            w = sim.wire(name, None)
+            for port in ports:
+                port.bind(w)
+            return w
+
+        wire("fetch_bundle", self.fetcher.p_bundle, self.iq.p_bundle)
+        wire("iq_free", self.iq.p_free, self.fetcher.p_iq_free)
+        wire("iq_heads", self.iq.p_heads, self.dispatcher.p_heads)
+        wire("dispatch_grants", self.dispatcher.p_grants, self.iq.p_grants,
+             self.rename.p_grants, self.completion.p_grants)
+        wire("direct_issues", self.dispatcher.p_direct,
+             self.branch_resolve.p_direct,
+             *[fu.p_direct for fu in self.units.values()])
+        wire("rs_fills", self.dispatcher.p_rs_fills,
+             *[rs.p_rs_fills for rs in self.stations.values()])
+        wire("cq_free", self.completion.p_cq_free, self.dispatcher.p_cq_free)
+        wire("retire_grants", self.completion.p_retire_grants,
+             self.rename.p_retiring, self.dispatcher.p_retiring)
+        wire("redirect", self.branch_resolve.p_redirect, self.fetcher.p_redirect)
+        squash_br_ports = [self.branch_resolve.p_squash_br, self.iq.p_squash_br,
+                           self.rename.p_squash_br, self.completion.p_squash_br]
+        squash_halt_ports = [self.completion.p_squash_halt, self.iq.p_squash_halt,
+                             self.rename.p_squash_halt]
+        for unit in UNIT_NAMES:
+            station = self.stations[unit]
+            fu = self.units[unit]
+            wire(f"rs_request_{unit}", station.p_request, fu.p_rs_request)
+            wire(f"issue_grant_{unit}", fu.p_issue_grant, station.p_issue_grant)
+            wire(f"rs_has_{unit}", station.p_avail,
+                 self.rs_aggregate.ports[f"rs_{unit}"])
+            wire(f"fu_has_{unit}", fu.p_avail,
+                 self.fu_aggregate.ports[f"fu_{unit}"])
+            squash_br_ports.extend([station.p_squash_br, fu.p_squash_br])
+            squash_halt_ports.extend([station.p_squash_halt, fu.p_squash_halt])
+        # the branch resolver listens on the BPU issue-grant wire
+        self.branch_resolve.p_issue_grant.bind(
+            self.units[ppc_isa.UNIT_BPU].p_issue_grant.wire
+        )
+        wire("squash_br", *squash_br_ports)
+        wire("squash_halt", *squash_halt_ports)
+        wire("rs_avail", self.rs_aggregate.output, self.dispatcher.p_rs_avail)
+        wire("fu_avail", self.fu_aggregate.output, self.dispatcher.p_unit_avail)
+
+    def wiring_summary(self) -> str:
+        n_modules = len(self.sim.modules)
+        n_wires = len(self.sim.wires)
+        n_ports = sum(len(m.ports) for m in self.sim.modules)
+        return (f"{n_modules} modules, {n_wires} wires, {n_ports} port bindings")
+
+    # -- running ----------------------------------------------------------------
+
+    def finished(self) -> bool:
+        return (
+            self.completion.drained
+            and not self.iq.entries
+            and all(rs.entry is None for rs in self.stations.values())
+            and all(fu.busy_op is None for fu in self.units.values())
+        )
+
+    def run(self, max_cycles: int = 10_000_000) -> int:
+        start = time.perf_counter()
+        while not self.finished():
+            if self.sim.cycle >= max_cycles:
+                raise RuntimeError(f"did not finish within {max_cycles} cycles")
+            self.sim.step()
+        self.wall_seconds += time.perf_counter() - start
+        return self.sim.cycle
+
+    @property
+    def cycles(self) -> int:
+        return self.sim.cycle
+
+    @property
+    def retired(self) -> int:
+        return self.completion.retired
+
+    @property
+    def instructions(self) -> int:
+        return self.completion.instructions
+
+    @property
+    def exit_code(self) -> int:
+        return self.oracle.exit_code
+
+    @property
+    def cycles_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.cycles / self.wall_seconds

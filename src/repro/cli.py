@@ -1,0 +1,265 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the framework a downstream-usable front end:
+
+* ``run``      — assemble a program and run it on a model or ISS,
+                 optionally with a pipeline trace
+* ``asm``      — assemble to a hex/word listing
+* ``analyze``  — reachability/deadlock/ASM-export of a model's OSM spec
+* ``bench``    — quick cycles-per-second measurement of a model
+* ``workload`` — emit a bundled workload's assembly source
+
+Examples::
+
+    python -m repro run --model strongarm examples/sum.s
+    python -m repro run --model ppc750 --isa ppc --trace prog.s
+    python -m repro asm --isa arm prog.s
+    python -m repro analyze --model pipeline5
+    python -m repro workload gsm_dec --isa ppc
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _assemble(isa: str, source: str):
+    if isa == "arm":
+        from .isa.arm import assemble
+    elif isa == "ppc":
+        from .isa.ppc import assemble
+    else:
+        raise SystemExit(f"unknown ISA {isa!r} (choose arm or ppc)")
+    return assemble(source)
+
+
+def _build_model(name: str, program, isa: str):
+    if name == "iss":
+        from .iss import ArmInterpreter, PpcInterpreter
+
+        return (ArmInterpreter if isa == "arm" else PpcInterpreter)(program)
+    if name == "pipeline5":
+        from .models.pipeline5 import Pipeline5Model
+
+        _require_isa(name, isa, "arm")
+        return Pipeline5Model(program)
+    if name == "strongarm":
+        from .models.strongarm import StrongArmModel
+
+        _require_isa(name, isa, "arm")
+        return StrongArmModel(program)
+    if name == "vliw":
+        from .models.vliw import VliwModel
+
+        _require_isa(name, isa, "arm")
+        return VliwModel(program)
+    if name == "ppc750":
+        from .models.ppc750 import Ppc750Model
+
+        _require_isa(name, isa, "ppc")
+        return Ppc750Model(program)
+    raise SystemExit(
+        f"unknown model {name!r} (choose iss, pipeline5, strongarm, vliw, ppc750)"
+    )
+
+
+def _require_isa(model: str, isa: str, expected: str) -> None:
+    if isa != expected:
+        raise SystemExit(f"model {model!r} targets the {expected} ISA, not {isa!r}")
+
+
+MODEL_DEFAULT_ISA = {
+    "iss": "arm",
+    "pipeline5": "arm",
+    "strongarm": "arm",
+    "vliw": "arm",
+    "ppc750": "ppc",
+}
+
+
+def cmd_run(args) -> int:
+    source = _read_source(args.file)
+    isa = args.isa or MODEL_DEFAULT_ISA.get(args.model, "arm")
+    program = _assemble(isa, source)
+    model = _build_model(args.model, program, isa)
+
+    if args.model == "iss":
+        exit_code = model.run(args.max_cycles)
+        print(f"exit={exit_code} instructions={model.steps}")
+        output = model.syscalls.output_text
+        if output:
+            print(f"output: {output!r}")
+        return 0
+
+    tracer = None
+    if args.trace:
+        from .reporting.pipeview import PipelineTracer
+
+        tracer = PipelineTracer(model)
+    stats = model.run(args.max_cycles)
+    print(f"exit={model.exit_code} cycles={stats.cycles} "
+          f"instructions={stats.instructions} IPC={stats.ipc:.3f}")
+    output = getattr(model, "output_text", "")
+    if output:
+        print(f"output: {output!r}")
+    if tracer is not None:
+        print()
+        print(tracer.render(count=args.trace_ops))
+    return 0
+
+
+def cmd_asm(args) -> int:
+    source = _read_source(args.file)
+    program = _assemble(args.isa, source)
+    if args.isa == "arm":
+        from .isa.arm import decode
+    else:
+        from .isa.ppc import decode
+    print(f"entry: {program.entry:#x}")
+    for address, word in program.text_words():
+        text = decode(address, word).text
+        print(f"{address:#10x}: {word:08x}  {text}")
+    data = program.data
+    if data is not None and data.size:
+        print(f".data at {data.base:#x}, {data.size} bytes")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    placeholder = """
+    .text
+_start:
+    mov r0, #0
+    swi #0
+"""
+    program = _assemble("arm", placeholder)
+    if args.model == "ppc750":
+        from .isa.ppc import assemble as asm_ppc
+        from .models.ppc750 import Ppc750Model
+
+        model = Ppc750Model(asm_ppc("""
+    .text
+_start:
+    li r0, 0
+    li r3, 0
+    sc
+"""))
+    else:
+        model = _build_model(args.model, program, "arm")
+    spec = model.spec
+    from .analysis import render_asm, reservation_table
+    from .analysis.deadlock import analyze as analyze_deadlock
+    from .analysis.reachability import analyze as analyze_reachability
+
+    reach = analyze_reachability(spec)
+    deadlock = analyze_deadlock(spec)
+    print(f"specification: {spec.name} "
+          f"({len(spec.states)} states, {len(spec.edges)} edges)")
+    print(f"reachability clean : {reach.clean}")
+    print(f"deadlock free      : {deadlock.deadlock_free}")
+    print("reservation table  :")
+    for state, resources in reservation_table(spec):
+        print(f"  {state}: {', '.join(resources) or '-'}")
+    if args.asm:
+        print()
+        print(render_asm(spec))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .workloads import mediabench
+
+    isa = args.isa or MODEL_DEFAULT_ISA.get(args.model, "arm")
+    names = mediabench.MEDIABENCH_NAMES
+    total_cycles = 0
+    import time
+
+    start = time.perf_counter()
+    for name in names:
+        source = (mediabench.arm_source if isa == "arm" else mediabench.ppc_source)(name)
+        model = _build_model(args.model, _assemble(isa, source), isa)
+        model.run(args.max_cycles)
+        total_cycles += model.cycles
+    elapsed = time.perf_counter() - start
+    print(f"{args.model}: {total_cycles} cycles in {elapsed:.2f}s "
+          f"= {total_cycles / elapsed:,.0f} cycles/sec")
+    return 0
+
+
+def cmd_workload(args) -> int:
+    from .workloads import kernels, mediabench, speclike
+
+    name = args.name
+    if name in mediabench.MEDIABENCH_NAMES:
+        source = (mediabench.arm_source if args.isa == "arm" else mediabench.ppc_source)(name)
+    elif name in kernels.KERNEL_NAMES:
+        if args.isa != "arm":
+            raise SystemExit("diagnostic loops are ARM-only")
+        source = kernels.arm_source(name)
+    elif name in speclike.SPECLIKE_NAMES:
+        if args.isa != "ppc":
+            raise SystemExit("SPEC-like kernels are PPC-only")
+        source = speclike.ppc_source(name)
+    else:
+        raise SystemExit(f"unknown workload {name!r}")
+    print(source)
+    return 0
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="OSM retargetable microprocessor simulation"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="assemble and simulate a program")
+    run.add_argument("file", help="assembly source ('-' for stdin)")
+    run.add_argument("--model", default="strongarm",
+                     choices=sorted(MODEL_DEFAULT_ISA))
+    run.add_argument("--isa", choices=("arm", "ppc"))
+    run.add_argument("--trace", action="store_true", help="print a pipeline chart")
+    run.add_argument("--trace-ops", type=int, default=40)
+    run.add_argument("--max-cycles", type=int, default=10_000_000)
+    run.set_defaults(func=cmd_run)
+
+    asm = sub.add_parser("asm", help="assemble and list")
+    asm.add_argument("file")
+    asm.add_argument("--isa", default="arm", choices=("arm", "ppc"))
+    asm.set_defaults(func=cmd_asm)
+
+    analyze = sub.add_parser("analyze", help="formal analysis of a model spec")
+    analyze.add_argument("--model", default="pipeline5",
+                         choices=("pipeline5", "strongarm", "vliw", "ppc750"))
+    analyze.add_argument("--asm", action="store_true", help="dump the ASM rules")
+    analyze.set_defaults(func=cmd_analyze)
+
+    bench = sub.add_parser("bench", help="measure simulation speed")
+    bench.add_argument("--model", default="strongarm",
+                       choices=sorted(set(MODEL_DEFAULT_ISA) - {"iss"}))
+    bench.add_argument("--isa", choices=("arm", "ppc"))
+    bench.add_argument("--max-cycles", type=int, default=10_000_000)
+    bench.set_defaults(func=cmd_bench)
+
+    workload = sub.add_parser("workload", help="print a bundled workload source")
+    workload.add_argument("name")
+    workload.add_argument("--isa", default="arm", choices=("arm", "ppc"))
+    workload.set_defaults(func=cmd_workload)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,238 @@
+"""The director: deterministic scheduling of OSM state transitions.
+
+Section 3.4: at each control step the state machines voluntarily send
+token-transaction requests and change state if possible; the director
+ranks the OSMs, serves transaction requests in rank order, and guarantees
+deterministic behaviour.  The scheduling algorithm implemented by
+:meth:`Director.control_step` is the paper's Figure 3, with the
+case-study optimisation (Section 5) available as ``restart=False``: when
+no senior operation ever depends on a junior one for resources — true of
+both the StrongARM and PPC-750 models — the outer-loop restart is
+unnecessary and a single rank-ordered pass suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from .errors import SchedulingDeadlockError
+from .osm import Edge, OperationStateMachine
+from .stats import SimulationStats
+
+
+def age_rank(osm: OperationStateMachine) -> Tuple[int, int, int]:
+    """Default ranking: by age (order of last leaving state I).
+
+    Operations in flight rank above idle OSMs; among in-flight operations,
+    the one that left I earliest (smallest age stamp) ranks first; the OSM
+    serial number breaks remaining ties deterministically (several OSMs may
+    leave I in the same control step of a superscalar model).
+    """
+    if osm.age < 0:
+        return (1, 0, osm.serial)
+    return (0, osm.age, osm.serial)
+
+
+def operation_seq_rank(osm: OperationStateMachine) -> Tuple[int, int]:
+    """Rank strictly by operation fetch-sequence number.
+
+    Age-based ranking cannot order two OSMs that left state I in the same
+    control step (a superscalar model fetches several per cycle; the
+    serial tie-break is pool-allocation order, not program order).  When
+    the model stamps a monotonically increasing ``seq`` on each operation
+    payload, ranking by it restores exact program order.
+    """
+    operation = osm.operation
+    if operation is None:
+        return (1, osm.serial)
+    return (0, operation.seq)
+
+
+class Director:
+    """Coordinates the OSMs of one model (paper Fig. 3).
+
+    Parameters
+    ----------
+    rank_key:
+        ``callable(osm) -> sortable``; smaller ranks first (higher
+        priority).  Defaults to :func:`age_rank`.
+    restart:
+        When True (the general algorithm of Fig. 3), a committed
+        transition restarts the outer loop from the highest-ranked
+        remaining OSM, so a senior OSM blocked on a resource freed by a
+        junior one still transitions this control step.  When False (the
+        case-study optimisation), the director performs a single
+        rank-ordered pass.
+    deadlock_check:
+        When True, a control step in which no OSM transitions triggers a
+        cyclic-wait analysis over the managers' holder information; a
+        cycle raises :class:`SchedulingDeadlockError` (the paper's
+        director "will abort in such cases").  Stalls with acyclic waits
+        (e.g. everyone behind one cache miss) are normal and do not abort.
+    """
+
+    def __init__(
+        self,
+        rank_key: Optional[Callable[[OperationStateMachine], Any]] = None,
+        restart: bool = True,
+        deadlock_check: bool = True,
+        stats: Optional[SimulationStats] = None,
+    ):
+        self.rank_key = rank_key or age_rank
+        self.restart = restart
+        self.deadlock_check = deadlock_check
+        self.osms: List[OperationStateMachine] = []
+        self.stats = stats or SimulationStats()
+        self.clock = 0
+        #: optional trace sink: callable(clock, osm, edge)
+        self.trace: Optional[Callable[[int, OperationStateMachine, Edge], None]] = None
+        #: observable-state version: bumped on every committed transition
+        #: and by hardware modules on condition-relevant changes (hold
+        #: expiry, redirect/latch application, budget refresh).  An OSM
+        #: whose last probe failed at the current version cannot succeed
+        #: now, so the director skips it — this makes stalled cycles cheap
+        #: without changing any scheduling decision.
+        self.version = 0
+
+    def add(self, *osms: OperationStateMachine) -> None:
+        """Register OSMs with the director."""
+        self.osms.extend(osms)
+        for osm in osms:
+            osm._fail_version = -1
+
+    def notify(self) -> None:
+        """Signal an observable hardware-state change (wakes blocked OSMs)."""
+        self.version += 1
+
+    # -- the scheduling algorithm (paper Fig. 3) ----------------------------
+
+    def control_step(self) -> int:
+        """Run one control step; returns the number of transitions."""
+        # updateOSMList(): rank at the beginning of each control step.
+        pending = sorted(self.osms, key=self.rank_key)
+        transitions = 0
+        probed = 0
+        i = 0
+        trace = self.trace
+        while i < len(pending):
+            osm = pending[i]
+            if osm._fail_version == self.version:
+                # Nothing observable changed since this OSM last failed;
+                # the probe outcome is guaranteed identical.
+                i += 1
+                continue
+            edge = osm.try_transition(self.clock)
+            probed += 1
+            self.stats.control_step_passes += 1
+            if edge is not None:
+                self.version += 1
+                transitions += 1
+                if trace is not None:
+                    trace(self.clock, osm, edge)
+                # "When an OSM changes its state ... it is removed from the
+                # list so that it will not be scheduled again in the current
+                # control step."
+                pending.pop(i)
+                if self.restart:
+                    # "we restart the outer-loop from the remaining OSM with
+                    # the highest rank."
+                    i = 0
+                # else: continue at the same index, which now addresses the
+                # next OSM in rank order (single-pass mode).
+            else:
+                osm._fail_version = self.version
+                if osm.operation is None:
+                    # Idle OSMs of the same machine and thread are ranked
+                    # last and share the fetch edge: once one fails, its
+                    # peers fail identically this step.
+                    for trailing in pending[i + 1:]:
+                        if (
+                            trailing.operation is None
+                            and trailing.tag == osm.tag
+                            and trailing.spec is osm.spec
+                        ):
+                            trailing._fail_version = self.version
+                i += 1
+        self.stats.transitions += transitions
+        if transitions == 0 and probed and self.deadlock_check:
+            self._abort_on_cyclic_wait()
+        self.clock += 1
+        return transitions
+
+    # -- deadlock analysis ---------------------------------------------------
+
+    def _abort_on_cyclic_wait(self) -> None:
+        """Detect a cyclic resource dependency among blocked OSMs.
+
+        Builds the wait-for graph: OSM -> holder(s) of the resource it is
+        blocked on, using each manager's ``holders_of`` knowledge where
+        available (falling back to token holders).  A cycle means the model
+        is faulty (a cyclic pipeline) and the director aborts.
+        """
+        waits = {}
+        for osm in self.osms:
+            if osm.blocked_on is None:
+                continue
+            manager, ident = osm.blocked_on
+            if (
+                not hasattr(manager, "holders_of")
+                and isinstance(ident, str)
+                and ident in osm.token_buffer
+            ):
+                # A refused release of a token the OSM itself holds is a
+                # hardware hold (variable latency), not a wait on another
+                # OSM — unless the manager says otherwise via holders_of.
+                continue
+            holders = _holders(manager, ident)
+            targets = {id(h) for h in holders if h is not None and h is not osm}
+            if targets:
+                waits[id(osm)] = (osm, targets)
+        # DFS cycle detection over the wait-for graph.
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {key: WHITE for key in waits}
+        for start in list(waits):
+            if colour[start] != WHITE:
+                continue
+            stack = [(start, iter(waits[start][1]))]
+            colour[start] = GREY
+            path = [start]
+            while stack:
+                node, successors = stack[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in waits:
+                        continue
+                    if colour[succ] == GREY:
+                        cycle_start = path.index(succ)
+                        cycle = [waits[k][0] for k in path[cycle_start:]]
+                        raise SchedulingDeadlockError(self.clock, cycle)
+                    if colour[succ] == WHITE:
+                        colour[succ] = GREY
+                        stack.append((succ, iter(waits[succ][1])))
+                        path.append(succ)
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+                    path.pop()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Director({len(self.osms)} OSMs, clock={self.clock})"
+
+
+def _holders(manager, ident) -> Iterable[Any]:
+    """Best-effort answer to "who holds the resource *ident* of *manager*"."""
+    holders_of = getattr(manager, "holders_of", None)
+    if holders_of is not None:
+        return holders_of(ident)
+    token = getattr(manager, "token", None)
+    if token is not None:  # SlotManager-like
+        return [token.holder]
+    tokens = getattr(manager, "tokens", None)
+    if tokens is not None:  # PoolManager-like: waiting for any free entry
+        return [t.holder for t in tokens]
+    pending_writer = getattr(manager, "pending_writer", None)
+    if pending_writer is not None and isinstance(ident, int):
+        return [pending_writer(ident)]
+    return []

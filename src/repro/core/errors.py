@@ -1,0 +1,45 @@
+"""Exception hierarchy for the OSM core.
+
+Every error raised by the operation-state-machine layer derives from
+:class:`OsmError` so that callers embedding the kernel (examples, benchmark
+harnesses, the ADL synthesiser) can catch model-level failures without
+masking ordinary Python bugs.
+"""
+
+from __future__ import annotations
+
+
+class OsmError(Exception):
+    """Base class for all OSM model errors."""
+
+
+class SchedulingDeadlockError(OsmError):
+    """Raised when the director detects a cyclic resource dependency.
+
+    The paper (Section 3.4) treats deadlock as a pathological situation:
+    in a processor model a cyclic wait between operations implies a cyclic
+    pipeline, which occurs only under faulty models, so the director aborts.
+    """
+
+    def __init__(self, cycle, waiters):
+        self.cycle = cycle
+        self.waiters = list(waiters)
+        names = " -> ".join(str(w) for w in self.waiters)
+        super().__init__(
+            f"scheduling deadlock at control step {cycle}: cyclic wait {names}"
+        )
+
+
+class TokenError(OsmError):
+    """Raised on an ill-formed token transaction (e.g. releasing a token the
+    OSM does not hold, or a manager granting a token it does not own)."""
+
+
+class SpecError(OsmError):
+    """Raised when a machine specification is inconsistent (unknown state,
+    duplicate edge priority, missing initial state, ...)."""
+
+
+class SimulationError(OsmError):
+    """Raised when the simulation kernel cannot make progress or is
+    configured inconsistently."""

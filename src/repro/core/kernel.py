@@ -1,0 +1,147 @@
+"""Simulation kernels embedding the OSM domain in the hardware layer.
+
+Two kernels are provided, matching the two organisations the paper
+describes:
+
+* :class:`SimulationKernel` — the paper's Figure 4: a discrete-event
+  scheduler whose queue carries hardware events plus periodic clock
+  events; at each clock edge the director's control step runs (in zero DE
+  time, introducing no events of its own).
+
+* :class:`CycleDrivenKernel` — the specialisation used by both case
+  studies (Section 5: "We utilized cycle-driven simulation for the
+  hardware layer"): hardware modules expose begin/end-of-cycle hooks and
+  the kernel alternates hardware phases with OSM control steps, avoiding
+  the event-queue overhead entirely.
+
+The ablation benchmark A2 compares the two on identical models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from ..de.clock import Clock
+from ..de.module import HardwareModule
+from ..de.scheduler import DiscreteEventScheduler
+from .director import Director
+from .errors import SimulationError
+from .stats import SimulationStats
+
+
+class KernelBase:
+    """Shared plumbing of the two kernels."""
+
+    def __init__(self, director: Director, modules: Iterable[HardwareModule] = ()):
+        self.director = director
+        self.modules: List[HardwareModule] = list(modules)
+        self.stats: SimulationStats = director.stats
+        #: predicate checked after every cycle; simulation stops when true
+        self.stop_condition: Optional[Callable[[], bool]] = None
+        self.cycle = 0
+        for module in self.modules:
+            module.notify = director.notify
+
+    def add_module(self, module: HardwareModule) -> HardwareModule:
+        self.modules.append(module)
+        module.notify = self.director.notify
+        return module
+
+    def _finished(self) -> bool:
+        return self.stop_condition is not None and self.stop_condition()
+
+    def run(self, max_cycles: int) -> SimulationStats:
+        raise NotImplementedError
+
+
+class CycleDrivenKernel(KernelBase):
+    """Cycle-driven kernel: the case-study configuration."""
+
+    def step(self) -> None:
+        """One clock cycle: hardware begin phase, OSM control step,
+        hardware end phase."""
+        cycle = self.cycle
+        for module in self.modules:
+            module.begin_cycle(cycle)
+        self.director.control_step()
+        for module in self.modules:
+            module.end_cycle(cycle)
+        self.cycle += 1
+        self.stats.cycles += 1
+
+    def run(self, max_cycles: int = 10_000_000) -> SimulationStats:
+        """Run until the stop condition holds or *max_cycles* elapse."""
+        self.stats.start_timer()
+        try:
+            while self.cycle < max_cycles:
+                if self._finished():
+                    return self.stats
+                self.step()
+        finally:
+            self.stats.stop_timer()
+        if not self._finished():
+            raise SimulationError(
+                f"simulation did not terminate within {max_cycles} cycles"
+            )
+        return self.stats
+
+
+class SimulationKernel(KernelBase):
+    """The paper's Fig. 4 kernel: OSM control steps embedded in DE.
+
+    Hardware modules may schedule events on :attr:`scheduler` at arbitrary
+    timestamps; the kernel inserts a clock event every ``clock.edge_interval``
+    and runs the director's control step when it fires.  Module hooks are
+    also honoured so the same models run unchanged under either kernel:
+    ``begin_cycle`` is scheduled just before each edge's control step and
+    ``end_cycle`` just after (still at the same timestamp, ordered by
+    insertion).
+    """
+
+    def __init__(
+        self,
+        director: Director,
+        modules: Iterable[HardwareModule] = (),
+        clock: Optional[Clock] = None,
+    ):
+        super().__init__(director, modules)
+        self.scheduler = DiscreteEventScheduler()
+        self.clock = clock or Clock()
+
+    def step(self) -> None:
+        """Advance to (and through) the next clock edge, per Fig. 4."""
+        interval = self.clock.period // self.clock.phases
+        next_edge = self.scheduler.now + interval
+        # Run all hardware events strictly before the edge.
+        self.scheduler.run_until(next_edge)
+        cycle = self.cycle
+        for module in self.modules:
+            module.begin_cycle(cycle)
+        # The control step finishes in zero time from the DE viewpoint and
+        # introduces no events directly.
+        before = len(self.scheduler.queue)
+        self.director.control_step()
+        if len(self.scheduler.queue) != before:
+            raise SimulationError(
+                "OSM control step scheduled DE events; the control step must "
+                "finish in zero time (paper Fig. 4)"
+            )
+        for module in self.modules:
+            module.end_cycle(cycle)
+        self.cycle += 1
+        self.stats.cycles += 1
+
+    def run(self, max_cycles: int = 10_000_000) -> SimulationStats:
+        self.stats.start_timer()
+        try:
+            while self.cycle < max_cycles:
+                if self._finished():
+                    return self.stats
+                self.step()
+        finally:
+            self.stats.stop_timer()
+        if not self._finished():
+            raise SimulationError(
+                f"simulation did not terminate within {max_cycles} cycles"
+            )
+        return self.stats

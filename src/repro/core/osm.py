@@ -1,0 +1,265 @@
+"""Operation state machines (Section 3.1).
+
+An OSM's *states* represent the execution steps of a machine operation; its
+*edges* carry guard conditions (conjunctions of token-transaction
+primitives) and static priorities.  Each OSM owns a token buffer of
+allocated resources and has a distinguished initial state ``I`` in which
+the buffer is empty.  OSMs never talk to each other — their only interface
+to the world is token transactions against managers.
+
+Because a simulated processor keeps a pool of identical OSMs (one per
+potentially in-flight operation), the state graph is factored into an
+immutable :class:`MachineSpec` shared by all instances, and the mutable
+per-operation part lives in :class:`OperationStateMachine`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from .errors import SpecError, TokenError
+from .primitives import ALWAYS, Condition, Primitive
+from .token import Token
+
+Action = Callable[["OperationStateMachine"], None]
+
+
+class State:
+    """A named state in a machine specification."""
+
+    __slots__ = ("name", "is_initial", "on_enter", "out_edges")
+
+    def __init__(self, name: str, is_initial: bool = False, on_enter: Optional[Action] = None):
+        self.name = name
+        self.is_initial = is_initial
+        self.on_enter = on_enter
+        #: outgoing edges sorted by descending static priority
+        self.out_edges: List["Edge"] = []
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"State({self.name!r})"
+
+
+class Edge:
+    """A transition between two states.
+
+    Parameters
+    ----------
+    src, dst:
+        Source and destination states.
+    condition:
+        The guard condition; defaults to always-satisfied.
+    priority:
+        Static priority.  When several outgoing edges of a state are
+        simultaneously satisfied, the highest-priority edge is taken
+        (Section 3.1: this models multiple execution paths in superscalar
+        processors).  Higher number = higher priority.
+    action:
+        Optional callback run right after the transaction commits and the
+        state updates (e.g. "compute the result" on entering E).
+    label:
+        Trace label.
+    """
+
+    __slots__ = ("src", "dst", "condition", "priority", "action", "label")
+
+    def __init__(
+        self,
+        src: State,
+        dst: State,
+        condition: Optional[Condition] = None,
+        priority: int = 0,
+        action: Optional[Action] = None,
+        label: str = "",
+    ):
+        if isinstance(condition, Primitive):
+            condition = Condition([condition])
+        self.src = src
+        self.dst = dst
+        self.condition = condition if condition is not None else ALWAYS
+        self.priority = priority
+        self.action = action
+        self.label = label or f"{src.name}->{dst.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Edge({self.label}, prio={self.priority})"
+
+
+class MachineSpec:
+    """The immutable state graph shared by a family of OSM instances."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.states: Dict[str, State] = {}
+        self.edges: List[Edge] = []
+        self.initial: Optional[State] = None
+
+    def state(self, name: str, initial: bool = False, on_enter: Optional[Action] = None) -> State:
+        """Declare (or fetch) a state.  Exactly one state must be initial."""
+        if name in self.states:
+            return self.states[name]
+        st = State(name, initial, on_enter)
+        self.states[name] = st
+        if initial:
+            if self.initial is not None:
+                raise SpecError(f"{self.name}: two initial states ({self.initial.name}, {name})")
+            self.initial = st
+        return st
+
+    def edge(
+        self,
+        src: str,
+        dst: str,
+        condition: Optional[Condition] = None,
+        priority: int = 0,
+        action: Optional[Action] = None,
+        label: str = "",
+    ) -> Edge:
+        """Declare an edge between two already-declared states."""
+        for endpoint in (src, dst):
+            if endpoint not in self.states:
+                raise SpecError(f"{self.name}: edge references unknown state {endpoint!r}")
+        e = Edge(self.states[src], self.states[dst], condition, priority, action, label)
+        self.edges.append(e)
+        out = self.states[src].out_edges
+        out.append(e)
+        # keep outgoing edges sorted: highest static priority first, then
+        # declaration order (stable sort) for determinism among equals
+        out.sort(key=lambda edge: -edge.priority)
+        return e
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`SpecError`."""
+        if self.initial is None:
+            raise SpecError(f"{self.name}: no initial state declared")
+        reachable = {self.initial.name}
+        frontier = [self.initial]
+        while frontier:
+            st = frontier.pop()
+            for e in st.out_edges:
+                if e.dst.name not in reachable:
+                    reachable.add(e.dst.name)
+                    frontier.append(e.dst)
+        unreachable = set(self.states) - reachable
+        if unreachable:
+            raise SpecError(
+                f"{self.name}: states unreachable from {self.initial.name}: "
+                f"{sorted(unreachable)}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MachineSpec({self.name!r}, {len(self.states)} states, {len(self.edges)} edges)"
+
+
+class OperationStateMachine:
+    """One in-flight operation, executing over a shared :class:`MachineSpec`.
+
+    Attributes
+    ----------
+    token_buffer:
+        slot name -> held :class:`~repro.core.token.Token` (Section 3.1:
+        "Each state machine contains a token buffer for allocated
+        resources"; the buffer is empty in state I).
+    operation:
+        Opaque per-operation payload set by model code at fetch/decode time
+        (typically a decoded-instruction record); cleared when the OSM
+        returns to I.
+    age:
+        Monotonic stamp assigned when the OSM last left state I, used by
+        the default age-based ranking (Section 5: "the director ranks the
+        OSMs according to their ages, i.e. the order in which they last
+        leave state I").
+    tag:
+        Free-form grouping tag (Section 6 uses it for the thread id in
+        multi-threaded models; it may contribute to ranking and to manager
+        decisions).
+    """
+
+    _next_serial = 0
+
+    def __init__(self, spec: MachineSpec, name: Optional[str] = None, tag: Any = None):
+        if spec.initial is None:
+            raise SpecError(f"{spec.name}: cannot instantiate, no initial state")
+        self.spec = spec
+        serial = OperationStateMachine._next_serial
+        OperationStateMachine._next_serial += 1
+        self.name = name or f"{spec.name}#{serial}"
+        self.serial = serial
+        self.tag = tag
+        self.current = spec.initial
+        self.token_buffer: Dict[str, Token] = {}
+        self.operation: Any = None
+        self.age: int = -1
+        #: (manager, ident) the OSM most recently failed a probe against,
+        #: consumed by deadlock analysis and traces
+        self.blocked_on: Optional[Tuple[Any, Any]] = None
+        #: transition count, for stats
+        self.n_transitions = 0
+        #: director bookkeeping: observable-state version at the last
+        #: failed probe (see Director.control_step)
+        self._fail_version = -1
+
+    # -- token buffer helpers ---------------------------------------------
+
+    def token(self, slot: str) -> Token:
+        """The held token in *slot*; raises if absent."""
+        try:
+            return self.token_buffer[slot]
+        except KeyError:
+            raise TokenError(f"{self.name}: no token in slot {slot!r}") from None
+
+    def holds(self, slot: str) -> bool:
+        return slot in self.token_buffer
+
+    def slot_of(self, token: Token) -> Optional[str]:
+        for slot, held in self.token_buffer.items():
+            if held is token:
+                return slot
+        return None
+
+    # -- state machinery (driven by the director) --------------------------
+
+    @property
+    def in_initial(self) -> bool:
+        return self.current is self.spec.initial
+
+    def note_blocked_on(self, manager, ident) -> None:
+        self.blocked_on = (manager, ident)
+
+    def try_transition(self, clock: int) -> Optional[Edge]:
+        """Attempt one transition per the per-OSM scheduling rules.
+
+        Probes outgoing edges in static-priority order; on the first
+        satisfied condition, commits the transaction, updates state, runs
+        the edge action and the destination's ``on_enter``, and returns the
+        edge.  Returns ``None`` when no edge fires.
+        """
+        self.blocked_on = None
+        for edge in self.current.out_edges:
+            txn = edge.condition.probe(self)
+            if txn is None:
+                continue
+            left_initial = self.in_initial
+            txn.commit()
+            self.current = edge.dst
+            self.n_transitions += 1
+            if left_initial:
+                self.age = clock
+            if edge.action is not None:
+                edge.action(self)
+            if edge.dst.on_enter is not None:
+                edge.dst.on_enter(self)
+            if edge.dst.is_initial:
+                # Back to I: token buffer must be empty (model invariant).
+                if self.token_buffer:
+                    raise TokenError(
+                        f"{self.name}: returned to initial state still holding "
+                        f"{sorted(self.token_buffer)}"
+                    )
+                self.operation = None
+                self.age = -1
+            return edge
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"OSM({self.name}@{self.current.name})"

@@ -1,0 +1,70 @@
+"""Simulation statistics collected by the director and kernels."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+
+class SimulationStats:
+    """Counters describing one simulation run.
+
+    The case studies (Section 5) report model efficiency as simulated
+    cycles per wall-clock second; :attr:`cycles_per_second` provides that
+    figure, alongside transition/transaction counts useful for the
+    ablation benches.
+    """
+
+    def __init__(self):
+        self.cycles = 0
+        self.transitions = 0
+        self.control_step_passes = 0
+        self.instructions = 0
+        #: per-state occupancy histogram: state name -> OSM-cycles spent
+        self.state_occupancy: Dict[str, int] = {}
+        self._wall_start: Optional[float] = None
+        self.wall_seconds = 0.0
+
+    def start_timer(self) -> None:
+        self._wall_start = time.perf_counter()
+
+    def stop_timer(self) -> None:
+        if self._wall_start is not None:
+            self.wall_seconds += time.perf_counter() - self._wall_start
+            self._wall_start = None
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Simulated cycles per wall-clock second (0.0 when untimed)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.cycles / self.wall_seconds
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    def record_occupancy(self, osms) -> None:
+        """Accumulate one cycle of state occupancy for *osms* (optional,
+        enabled by kernels only when tracing is requested — it costs time)."""
+        occ = self.state_occupancy
+        for osm in osms:
+            name = osm.current.name
+            occ[name] = occ.get(name, 0) + 1
+
+    def summary(self) -> str:
+        lines = [
+            f"cycles           : {self.cycles}",
+            f"instructions     : {self.instructions}",
+            f"IPC              : {self.ipc:.3f}",
+            f"transitions      : {self.transitions}",
+            f"wall seconds     : {self.wall_seconds:.3f}",
+            f"cycles/second    : {self.cycles_per_second:,.0f}",
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SimulationStats(cycles={self.cycles}, instructions={self.instructions})"

@@ -1,0 +1,108 @@
+"""Tokens: the currency of the OSM model.
+
+Section 3.2 of the paper: *"Microprocessor operations require structure and
+data resources for their fetching, issuing, execution and completion.  In
+the OSM model, we model the resources as tokens."*
+
+A :class:`Token` represents one unit of a structure resource (a pipeline
+stage slot, a reservation-station entry, a rename buffer) or a data
+resource (a register value).  Tokens are created and owned by a token
+manager; operations obtain and return them exclusively through the four
+transaction primitives of the :mod:`repro.core.primitives` language.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class Token:
+    """A single resource unit managed by a token manager.
+
+    Attributes
+    ----------
+    manager:
+        The :class:`~repro.core.manager.TokenManager` that owns this token.
+    name:
+        Human-readable identity, used in traces and error messages.
+    index:
+        Position of the token within its manager (slot number, register
+        number, ...).
+    value:
+        Optional payload carried by the token.  Value tokens representing
+        registers use this for the register content; structure tokens
+        usually leave it ``None``.
+    holder:
+        The OSM currently holding the token, or ``None`` when the token is
+        free.  Maintained by the manager, never by client code.
+    """
+
+    __slots__ = ("manager", "name", "index", "value", "holder")
+
+    def __init__(self, manager, name: str, index: int = 0, value: Any = None):
+        self.manager = manager
+        self.name = name
+        self.index = index
+        self.value = value
+        self.holder = None
+
+    @property
+    def is_free(self) -> bool:
+        """True when no OSM holds the token."""
+        return self.holder is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        owner = getattr(self.holder, "name", None)
+        return f"Token({self.name}@{self.manager.name}, holder={owner})"
+
+
+class TokenIdentifier:
+    """An identifier presented to a manager during allocate/inquire.
+
+    The paper: *"An OSM may request a token from a manager by presenting a
+    token identifier.  The manager interprets the identifier and maps it to
+    a token."*  Identifiers are opaque to the OSM layer; only the target
+    manager interprets them.  An identifier may be static (fixed at model
+    construction, e.g. "the decode-stage slot") or dynamic (computed per
+    operation after decode, e.g. "the value token of source register r3").
+
+    ``TokenIdentifier`` is a small convenience wrapper; managers accept any
+    hashable object (or this wrapper) as an identifier.
+    """
+
+    __slots__ = ("kind", "key")
+
+    def __init__(self, kind: str, key: Any = None):
+        self.kind = kind
+        self.key = key
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TokenIdentifier)
+            and self.kind == other.kind
+            and self.key == other.key
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.key))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.key is None:
+            return f"TokenIdentifier({self.kind!r})"
+        return f"TokenIdentifier({self.kind!r}, {self.key!r})"
+
+
+def resolve_identifier(ident, osm) -> Optional[Any]:
+    """Resolve a possibly-dynamic identifier against an OSM.
+
+    Identifiers on edges may be given as plain values (used as-is) or as
+    callables taking the OSM and returning the actual identifier; the
+    callable form is how models express "the register number decoded by
+    *this* operation".  A callable returning ``None`` means the primitive
+    does not apply to this operation (e.g. an instruction with no second
+    source register) and the caller treats the primitive as trivially
+    satisfied.
+    """
+    if callable(ident):
+        return ident(osm)
+    return ident

@@ -1,0 +1,123 @@
+"""Atomic token-transaction context.
+
+Section 3.3: *"A condition is satisfied only if all its primitives succeed
+simultaneously.  If a condition is satisfied, the OSM can transition to the
+next state along the edge and commit all transactions of the condition
+simultaneously.  If all primitives do not succeed, the condition is not
+satisfied and all transaction requests are abandoned."*
+
+The two-phase probe/commit protocol is realised by a :class:`Transaction`
+object created per edge evaluation.  During the probe phase primitives ask
+their managers whether the transaction *would* succeed; grants recorded in
+the transaction are tentative.  Managers consult the transaction so that a
+condition allocating two tokens from one pool is answered consistently
+(the second allocate must not be offered the token tentatively granted to
+the first).  Only when every primitive succeeds does the director commit
+the transaction, at which point ownership actually changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from .token import Token
+
+
+class Transaction:
+    """Records the tentative effects of one edge-condition evaluation."""
+
+    __slots__ = ("osm", "grants", "releases", "discards", "inquiries", "_granted_ids")
+
+    def __init__(self, osm):
+        self.osm = osm
+        #: tokens tentatively granted, with the buffer slot they will occupy
+        self.grants: List[Tuple[str, Token]] = []
+        #: tokens tentatively released (with optional writeback value)
+        self.releases: List[Tuple[Token, Any]] = []
+        #: tokens to be discarded on commit
+        self.discards: List[Token] = []
+        #: (manager, ident) pairs successfully inquired, for tracing
+        self.inquiries: List[Tuple[Any, Any]] = []
+        self._granted_ids: Set[int] = set()
+
+    # -- probe-phase bookkeeping -------------------------------------------
+
+    def add_grant(self, slot: str, token: Token) -> None:
+        """Record a tentative allocate grant into buffer slot *slot*."""
+        self.grants.append((slot, token))
+        self._granted_ids.add(id(token))
+
+    def add_release(self, token: Token, value: Any = None) -> None:
+        """Record a tentative release (with optional value handed back)."""
+        self.releases.append((token, value))
+
+    def add_discard(self, token: Token) -> None:
+        self.discards.append(token)
+
+    def add_inquiry(self, manager, ident) -> None:
+        self.inquiries.append((manager, ident))
+
+    def reset(self, osm) -> None:
+        """Recycle this transaction for a fresh probe (object pooling:
+        most probes fail and their transactions are reused)."""
+        self.osm = osm
+        self.grants.clear()
+        self.releases.clear()
+        self.discards.clear()
+        self.inquiries.clear()
+        self._granted_ids.clear()
+
+    def is_tentatively_granted(self, token: Token) -> bool:
+        """True when *token* was already promised earlier in this probe.
+
+        Pool managers call this so that one condition containing two
+        ``Allocate`` primitives against the same pool never receives the
+        same physical token twice.
+        """
+        return bool(self._granted_ids) and id(token) in self._granted_ids
+
+    def tentative_release_value(self, token: Token) -> Optional[Any]:
+        for released, value in self.releases:
+            if released is token:
+                return value
+        return None
+
+    def is_tentatively_released(self, token: Token) -> bool:
+        if not self.releases:
+            return False
+        return any(released is token for released, _ in self.releases)
+
+    # -- commit phase --------------------------------------------------------
+
+    def commit(self) -> None:
+        """Apply all tentative effects atomically.
+
+        Ordering within the commit is: releases and discards first (so the
+        token buffer sheds outgoing tokens), then grants.  Managers receive
+        their commit callbacks in the same order.  Note that cross-OSM
+        ordering is the director's responsibility; a single transaction only
+        ever concerns one OSM.
+        """
+        buffer = self.osm.token_buffer
+        for token, value in self.releases:
+            slot = self.osm.slot_of(token)
+            if slot is not None:
+                del buffer[slot]
+            token.holder = None
+            token.manager.on_release_commit(self.osm, token, value)
+        for token in self.discards:
+            slot = self.osm.slot_of(token)
+            if slot is not None:
+                del buffer[slot]
+            token.holder = None
+            token.manager.on_discard(self.osm, token)
+        for slot, token in self.grants:
+            token.holder = self.osm
+            buffer[slot] = token
+            token.manager.on_allocate_commit(self.osm, token)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Transaction(osm={self.osm.name}, grants={len(self.grants)}, "
+            f"releases={len(self.releases)}, discards={len(self.discards)})"
+        )

@@ -1,0 +1,18 @@
+"""Discrete-event hardware layer substrate."""
+
+from .event import Event, EventQueue
+from .module import HardwareModule, Port, PortModule, Wire
+from .scheduler import DeltaCycleSimulator, DiscreteEventScheduler
+from .clock import Clock
+
+__all__ = [
+    "Clock",
+    "DeltaCycleSimulator",
+    "DiscreteEventScheduler",
+    "Event",
+    "EventQueue",
+    "HardwareModule",
+    "Port",
+    "PortModule",
+    "Wire",
+]

@@ -1,0 +1,42 @@
+"""Clock generation helpers for the DE hardware layer."""
+
+from __future__ import annotations
+
+class Clock:
+    """A periodic clock described by its period and phase offsets.
+
+    The OSM control step synchronises with clock edges (Section 4: the
+    interval between two control steps corresponds to a clock cycle or a
+    phase).  A clock with ``phases=2`` yields control steps on both the
+    rising and the falling edge.
+    """
+
+    def __init__(self, period: int = 1, phases: int = 1, name: str = "clk"):
+        if period <= 0:
+            raise ValueError(f"clock period must be positive, got {period}")
+        if phases not in (1, 2):
+            raise ValueError(f"clock phases must be 1 or 2, got {phases}")
+        self.period = period
+        self.phases = phases
+        self.name = name
+
+    @property
+    def edge_interval(self) -> float:
+        """Time between successive control-step edges."""
+        return self.period / self.phases
+
+    def edges(self, start: int = 0):
+        """Infinite generator of edge timestamps (integer timeline: a
+        two-phase clock with period 2 yields 0, 1, 2, ...)."""
+        step = self.period // self.phases if self.period % self.phases == 0 else None
+        if step is None:
+            raise ValueError(
+                f"period {self.period} not divisible by phases {self.phases}"
+            )
+        t = start
+        while True:
+            yield t
+            t += step
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Clock({self.name!r}, period={self.period}, phases={self.phases})"

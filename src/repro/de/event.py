@@ -1,0 +1,79 @@
+"""Events and the event queue of the discrete-event hardware layer.
+
+The hardware layer of an OSM model runs under the discrete-event model of
+computation (Section 4); MIMOLA/HASE/SystemC-style baselines use the same
+queue.  Events carry a timestamp and a run() callback; ties are broken by
+insertion order, giving deterministic execution.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+
+class Event:
+    """A schedulable unit of hardware activity."""
+
+    __slots__ = ("timestamp", "action", "label", "cancelled")
+
+    def __init__(self, timestamp: int, action: Callable[[], None], label: str = ""):
+        self.timestamp = timestamp
+        self.action = action
+        self.label = label
+        self.cancelled = False
+
+    def run(self) -> None:
+        if not self.cancelled:
+            self.action()
+
+    def cancel(self) -> None:
+        """Mark the event dead; the queue drops it on pop."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Event(t={self.timestamp}, {self.label or self.action!r})"
+
+
+class EventQueue:
+    """A deterministic priority queue of events.
+
+    Events with equal timestamps run in insertion order (a total order,
+    unlike a bare heap on timestamps, which would be unstable).
+    """
+
+    def __init__(self):
+        self._heap: List[Tuple[int, int, Event]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def empty(self) -> bool:
+        return not self._heap
+
+    def insert(self, event: Event) -> Event:
+        heapq.heappush(self._heap, (event.timestamp, self._seq, event))
+        self._seq += 1
+        return event
+
+    def schedule(self, timestamp: int, action: Callable[[], None], label: str = "") -> Event:
+        """Convenience: create and insert an event."""
+        return self.insert(Event(timestamp, action, label))
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or None when empty."""
+        while self._heap:
+            _, _, event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the earliest live event, or None."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]

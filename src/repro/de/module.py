@@ -1,0 +1,155 @@
+"""Hardware modules, ports and wires.
+
+Two styles of hardware module coexist in this repository, mirroring the
+paper's comparison:
+
+* **OSM-style modules** (:class:`HardwareModule`) expose a token-manager
+  interface to the operation layer and need *no* interconnection —
+  Section 4: "modules such as the register file, the decode stage and the
+  write back stage need no interconnection with others and contain no more
+  code than their TMIs."  They receive ``begin_cycle``/``end_cycle`` hooks
+  from the kernel.
+
+* **Port-based modules** (:class:`PortModule` with :class:`Port` and
+  :class:`Wire`) model the hardware-centric SystemC/HASE organisation the
+  paper argues against: explicit port communication, delta-cycle signal
+  update semantics, and per-connection overhead.  The
+  :mod:`repro.baselines.systemc_style` PPC-750 model is built from these,
+  providing the 4x-speed and complexity comparison of Section 5.2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+
+def _noop() -> None:
+    """Default notify callback (no director attached)."""
+
+
+class HardwareModule:
+    """Base class for OSM-style hardware modules.
+
+    Subclasses override :meth:`begin_cycle` (runs before the OSM control
+    step: advance internal pipelines, complete memory transactions, update
+    hold-release flags) and/or :meth:`end_cycle` (runs after the control
+    step: latch decisions taken by operations this cycle).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        #: wake-up callback into the director's observable-state version;
+        #: modules call it whenever they change state that an OSM edge
+        #: condition can observe (hold expiry, redirect, budget refresh).
+        #: The kernel binds it; it defaults to a no-op for standalone use.
+        self.notify = _noop
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Hardware activity before this cycle's OSM control step."""
+
+    def end_cycle(self, cycle: int) -> None:
+        """Hardware activity after this cycle's OSM control step."""
+
+    def reset(self) -> None:
+        """Return the module to its power-on state."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Wire:
+    """A signal with SystemC-style request/update semantics.
+
+    Writes performed during a delta cycle become visible only after the
+    update phase, so all port-based modules observe a consistent snapshot.
+    """
+
+    __slots__ = ("name", "value", "_next", "_dirty", "watchers")
+
+    def __init__(self, name: str, initial: Any = 0):
+        self.name = name
+        self.value = initial
+        self._next = initial
+        self._dirty = False
+        #: callbacks invoked when the committed value changes
+        self.watchers: List[Callable[[Any], None]] = []
+
+    def write(self, value: Any) -> None:
+        self._next = value
+        self._dirty = True
+
+    def read(self) -> Any:
+        return self.value
+
+    def update(self) -> bool:
+        """Commit the pending write; returns True if the value changed."""
+        if not self._dirty:
+            return False
+        self._dirty = False
+        changed = self._next != self.value
+        self.value = self._next
+        if changed:
+            for watcher in self.watchers:
+                watcher(self.value)
+        return changed
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Wire({self.name!r}={self.value!r})"
+
+
+class Port:
+    """A typed endpoint binding a :class:`PortModule` to a :class:`Wire`."""
+
+    __slots__ = ("name", "wire", "direction")
+
+    def __init__(self, name: str, direction: str = "inout"):
+        if direction not in ("in", "out", "inout"):
+            raise ValueError(f"bad port direction {direction!r}")
+        self.name = name
+        self.direction = direction
+        self.wire: Optional[Wire] = None
+
+    def bind(self, wire: Wire) -> None:
+        self.wire = wire
+
+    def read(self) -> Any:
+        # Output ports are readable too (as in SystemC's sc_out): modules
+        # commonly latch against their own settled decision wires.
+        if self.wire is None:
+            raise ValueError(f"port {self.name!r} is unbound")
+        return self.wire.read()
+
+    def write(self, value: Any) -> None:
+        if self.direction == "in":
+            raise ValueError(f"writing input port {self.name!r}")
+        if self.wire is None:
+            raise ValueError(f"port {self.name!r} is unbound")
+        self.wire.write(value)
+
+
+class PortModule:
+    """Base class for hardware-centric (SystemC-style) modules.
+
+    Subclasses declare ports with :meth:`port` and implement
+    :meth:`evaluate`, called once per delta cycle; the enclosing
+    :class:`~repro.de.scheduler.DeltaCycleSimulator` repeats
+    evaluate/update until the wires settle, then advances the clock.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.ports: Dict[str, Port] = {}
+
+    def port(self, name: str, direction: str = "inout") -> Port:
+        p = Port(f"{self.name}.{name}", direction)
+        self.ports[name] = p
+        return p
+
+    def evaluate(self, cycle: int) -> None:
+        """Combinational + sequential behaviour for this delta cycle."""
+
+    def on_clock(self, cycle: int) -> None:
+        """Clock-edge behaviour (latch state)."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.name!r}, {len(self.ports)} ports)"

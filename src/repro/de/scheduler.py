@@ -1,0 +1,114 @@
+"""Discrete-event and delta-cycle schedulers for the hardware layer."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .event import Event, EventQueue
+from .module import PortModule, Wire
+
+
+class DiscreteEventScheduler:
+    """A plain DE scheduler: pops events in timestamp order and runs them.
+
+    The OSM simulation kernel (paper Fig. 4) embeds an OSM control step at
+    every clock edge by consulting :meth:`run_until`; hardware modules
+    schedule their own activity as events in between.
+    """
+
+    def __init__(self):
+        self.queue = EventQueue()
+        self.now = 0
+        self.events_run = 0
+
+    def schedule(self, delay: int, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule *action* to run *delay* time units from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.queue.schedule(self.now + delay, action, label)
+
+    def schedule_at(self, timestamp: int, action: Callable[[], None], label: str = "") -> Event:
+        if timestamp < self.now:
+            raise ValueError(f"scheduling in the past: {timestamp} < {self.now}")
+        return self.queue.schedule(timestamp, action, label)
+
+    def run_until(self, timestamp: int) -> None:
+        """Run every event with ``t < timestamp``; leaves ``now`` there."""
+        while True:
+            t = self.queue.peek_time()
+            if t is None or t >= timestamp:
+                break
+            event = self.queue.pop()
+            self.now = event.timestamp
+            event.run()
+            self.events_run += 1
+        self.now = timestamp
+
+    def run_all(self, horizon: Optional[int] = None) -> None:
+        """Drain the queue (optionally only up to *horizon*)."""
+        while True:
+            t = self.queue.peek_time()
+            if t is None or (horizon is not None and t > horizon):
+                break
+            event = self.queue.pop()
+            self.now = event.timestamp
+            event.run()
+            self.events_run += 1
+
+
+class DeltaCycleSimulator:
+    """SystemC-style evaluate/update simulator over port-based modules.
+
+    Each clock cycle: run ``on_clock`` for every module, then iterate
+    evaluate-all / update-all-wires delta cycles until no wire changes.
+    This faithfully reproduces the overhead structure the paper attributes
+    to hardware-centric models — every module is visited every delta cycle
+    and every wire is checked for changes — and is the engine of the
+    :mod:`repro.baselines.systemc_style` PPC-750 baseline.
+    """
+
+    def __init__(self, max_deltas: int = 64):
+        self.modules: List[PortModule] = []
+        self.wires: List[Wire] = []
+        self.cycle = 0
+        self.max_deltas = max_deltas
+        self.delta_cycles_run = 0
+
+    def add_module(self, module: PortModule) -> PortModule:
+        self.modules.append(module)
+        return module
+
+    def wire(self, name: str, initial=0) -> Wire:
+        w = Wire(name, initial)
+        self.wires.append(w)
+        return w
+
+    def connect(self, wire: Wire, *ports) -> Wire:
+        for port in ports:
+            port.bind(wire)
+        return wire
+
+    def step(self) -> None:
+        """Advance one clock cycle."""
+        for module in self.modules:
+            module.on_clock(self.cycle)
+        for _ in range(self.max_deltas):
+            for module in self.modules:
+                module.evaluate(self.cycle)
+            self.delta_cycles_run += 1
+            changed = False
+            for wire in self.wires:
+                if wire.update():
+                    changed = True
+            if not changed:
+                break
+        else:
+            raise RuntimeError(
+                f"wires failed to settle after {self.max_deltas} delta cycles "
+                f"at clock {self.cycle} (combinational loop?)"
+            )
+        self.cycle += 1
+
+    def run(self, n_cycles: int) -> None:
+        for _ in range(n_cycles):
+            self.step()

@@ -1,0 +1,14 @@
+"""ISA substrates: bit utilities, program images, assembler, target ISAs."""
+
+from .assembler import Assembler, AssemblyError, split_operands
+from .instruction import Instruction
+from .program import Program, Section
+
+__all__ = [
+    "Assembler",
+    "AssemblyError",
+    "Instruction",
+    "Program",
+    "Section",
+    "split_operands",
+]

@@ -1,0 +1,33 @@
+"""ARM-like subset ISA (the StrongARM case-study target)."""
+
+from .decode import ArmInstruction, branch_target, decode
+from .isa import CONDITIONS, COND_AL, FLAGS_REG, LR, N_HAZARD_REGS, N_REGS, PC, SP
+from .semantics import ExecInfo, condition_passed, execute
+from .syntax import ArmSyntax, parse_mnemonic
+
+__all__ = [
+    "ArmInstruction",
+    "ArmSyntax",
+    "CONDITIONS",
+    "COND_AL",
+    "ExecInfo",
+    "FLAGS_REG",
+    "LR",
+    "N_HAZARD_REGS",
+    "N_REGS",
+    "PC",
+    "SP",
+    "assemble",
+    "branch_target",
+    "condition_passed",
+    "decode",
+    "execute",
+    "parse_mnemonic",
+]
+
+
+def assemble(source: str, **kwargs):
+    """Assemble ARM-like source text into a :class:`~repro.isa.program.Program`."""
+    from ..assembler import Assembler
+
+    return Assembler(ArmSyntax(), **kwargs).assemble(source)

@@ -1,0 +1,186 @@
+"""ARM-like instruction word builders (used by the assembler).
+
+Field layouts follow the ARM ARM for the implemented classes:
+
+* data processing: ``cond 00 I opcode S Rn Rd shifter_operand``
+* multiply:        ``cond 000000 A S Rd Rn Rs 1001 Rm``
+* multiply long:   ``cond 00001 U A S RdHi RdLo Rs 1001 Rm``
+* load/store:      ``cond 01 I P U B W L Rn Rd offset12``
+* branch:          ``cond 101 L offset24``
+* branch exchange: ``cond 00010010 1111 1111 1111 0001 Rm``
+* swi:             ``cond 1111 imm24``
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..bits import ror32, u32
+
+
+def encode_rotated_immediate(value: int) -> Optional[Tuple[int, int]]:
+    """Find (rotate, imm8) such that ``ror32(imm8, 2*rotate) == value``.
+
+    Returns ``None`` when the 32-bit value is not expressible as an 8-bit
+    immediate rotated right by an even amount (the ARM immediate form).
+    """
+    value = u32(value)
+    for rotate in range(16):
+        imm8 = ror32(value, 32 - 2 * rotate) if rotate else value
+        # ror left by 2*rotate == ror right by (32 - 2*rotate)
+        if imm8 < 0x100:
+            return rotate, imm8
+    return None
+
+
+def dp_immediate(cond: int, opcode: int, s: int, rn: int, rd: int, value: int) -> int:
+    encoded = encode_rotated_immediate(value)
+    if encoded is None:
+        raise ValueError(f"immediate {value:#x} not encodable as rotated 8-bit")
+    rotate, imm8 = encoded
+    return (
+        (cond << 28)
+        | (1 << 25)
+        | (opcode << 21)
+        | (s << 20)
+        | (rn << 16)
+        | (rd << 12)
+        | (rotate << 8)
+        | imm8
+    )
+
+
+def dp_register(
+    cond: int,
+    opcode: int,
+    s: int,
+    rn: int,
+    rd: int,
+    rm: int,
+    shift_type: int = 0,
+    shift_amount: int = 0,
+) -> int:
+    if not 0 <= shift_amount < 32:
+        raise ValueError(f"shift amount {shift_amount} out of range")
+    return (
+        (cond << 28)
+        | (opcode << 21)
+        | (s << 20)
+        | (rn << 16)
+        | (rd << 12)
+        | (shift_amount << 7)
+        | (shift_type << 5)
+        | rm
+    )
+
+
+def multiply(cond: int, accumulate: int, s: int, rd: int, rn: int, rs: int, rm: int) -> int:
+    return (
+        (cond << 28)
+        | (accumulate << 21)
+        | (s << 20)
+        | (rd << 16)
+        | (rn << 12)
+        | (rs << 8)
+        | (0b1001 << 4)
+        | rm
+    )
+
+
+def multiply_long(
+    cond: int, signed: int, accumulate: int, s: int, rdhi: int, rdlo: int, rs: int, rm: int
+) -> int:
+    return (
+        (cond << 28)
+        | (0b00001 << 23)
+        | (signed << 22)
+        | (accumulate << 21)
+        | (s << 20)
+        | (rdhi << 16)
+        | (rdlo << 12)
+        | (rs << 8)
+        | (0b1001 << 4)
+        | rm
+    )
+
+
+def load_store_immediate(
+    cond: int, load: int, byte: int, rn: int, rd: int, offset: int
+) -> int:
+    up = 1 if offset >= 0 else 0
+    magnitude = abs(offset)
+    if magnitude >= 1 << 12:
+        raise ValueError(f"load/store offset {offset} out of 12-bit range")
+    return (
+        (cond << 28)
+        | (0b01 << 26)
+        | (1 << 24)  # P: pre-indexed (offset addressing, no writeback)
+        | (up << 23)
+        | (byte << 22)
+        | (load << 20)
+        | (rn << 16)
+        | (rd << 12)
+        | magnitude
+    )
+
+
+def load_store_register(
+    cond: int,
+    load: int,
+    byte: int,
+    rn: int,
+    rd: int,
+    rm: int,
+    shift_type: int = 0,
+    shift_amount: int = 0,
+    up: int = 1,
+) -> int:
+    return (
+        (cond << 28)
+        | (0b01 << 26)
+        | (1 << 25)  # I: register offset
+        | (1 << 24)
+        | (up << 23)
+        | (byte << 22)
+        | (load << 20)
+        | (rn << 16)
+        | (rd << 12)
+        | (shift_amount << 7)
+        | (shift_type << 5)
+        | rm
+    )
+
+
+def branch(cond: int, link: int, offset_words: int) -> int:
+    if not -(1 << 23) <= offset_words < (1 << 23):
+        raise ValueError(f"branch offset {offset_words} out of 24-bit range")
+    return (cond << 28) | (0b101 << 25) | (link << 24) | (offset_words & 0xFFFFFF)
+
+
+def branch_exchange(cond: int, rm: int) -> int:
+    return (cond << 28) | 0x012FFF10 | rm
+
+
+def software_interrupt(cond: int, number: int) -> int:
+    if not 0 <= number < (1 << 24):
+        raise ValueError(f"swi number {number} out of 24-bit range")
+    return (cond << 28) | (0xF << 24) | number
+
+
+def block_transfer(
+    cond: int, load: int, rn: int, reglist: int,
+    pre: int, up: int, writeback: int,
+) -> int:
+    """LDM/STM: ``cond 100 P U 0 W L Rn register_list``."""
+    if not 0 < reglist < (1 << 16):
+        raise ValueError(f"register list {reglist:#x} out of range")
+    return (
+        (cond << 28)
+        | (0b100 << 25)
+        | (pre << 24)
+        | (up << 23)
+        | (writeback << 21)
+        | (load << 20)
+        | (rn << 16)
+        | reglist
+    )

@@ -1,0 +1,85 @@
+"""ARM-like subset ISA: architectural constants and mnemonic tables.
+
+The subset covers what the StrongARM case study exercises: the sixteen
+data-processing operations with the barrel shifter, multiply and
+multiply-accumulate (including 64-bit long forms, needed for the
+early-terminating multiplier latency model), word/byte loads and stores
+with immediate or register offsets, conditional branches with link, BX,
+and SWI for the syscall interface.  Encodings follow the ARM ARM layouts
+for these classes; unsupported classes (LDM/STM, coprocessor, PSR
+transfer, halfword) decode to ``udf``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+N_REGS = 16
+PC = 15
+LR = 14
+SP = 13
+#: pseudo-register number used for NZCV flag dependences in hazard tracking
+FLAGS_REG = 16
+#: total architectural name space seen by the hazard machinery
+N_HAZARD_REGS = 17
+
+#: condition field encodings (ARM ARM Table A3-1, minus reserved NV)
+CONDITIONS: Dict[str, int] = {
+    "eq": 0x0,
+    "ne": 0x1,
+    "cs": 0x2,
+    "hs": 0x2,
+    "cc": 0x3,
+    "lo": 0x3,
+    "mi": 0x4,
+    "pl": 0x5,
+    "vs": 0x6,
+    "vc": 0x7,
+    "hi": 0x8,
+    "ls": 0x9,
+    "ge": 0xA,
+    "lt": 0xB,
+    "gt": 0xC,
+    "le": 0xD,
+    "al": 0xE,
+}
+COND_AL = 0xE
+COND_NAMES = {
+    0x0: "eq", 0x1: "ne", 0x2: "cs", 0x3: "cc", 0x4: "mi", 0x5: "pl",
+    0x6: "vs", 0x7: "vc", 0x8: "hi", 0x9: "ls", 0xA: "ge", 0xB: "lt",
+    0xC: "gt", 0xD: "le", 0xE: "al",
+}
+
+#: data-processing opcode field values
+DP_OPCODES: Dict[str, int] = {
+    "and": 0x0, "eor": 0x1, "sub": 0x2, "rsb": 0x3,
+    "add": 0x4, "adc": 0x5, "sbc": 0x6, "rsc": 0x7,
+    "tst": 0x8, "teq": 0x9, "cmp": 0xA, "cmn": 0xB,
+    "orr": 0xC, "mov": 0xD, "bic": 0xE, "mvn": 0xF,
+}
+DP_NAMES = {v: k for k, v in DP_OPCODES.items()}
+
+#: opcodes that compare/test only (always set flags, no destination)
+DP_NO_DEST = frozenset(("tst", "teq", "cmp", "cmn"))
+#: opcodes with no first source register
+DP_NO_RN = frozenset(("mov", "mvn"))
+
+SHIFT_TYPES: Dict[str, int] = {"lsl": 0, "lsr": 1, "asr": 2, "ror": 3}
+SHIFT_NAMES = {v: k for k, v in SHIFT_TYPES.items()}
+
+REGISTER_ALIASES: Dict[str, int] = {
+    **{f"r{i}": i for i in range(16)},
+    "sl": 10,
+    "fp": 11,
+    "ip": 12,
+    "sp": SP,
+    "lr": LR,
+    "pc": PC,
+}
+
+#: SWI numbers implemented by :mod:`repro.iss.syscalls`
+SWI_EXIT = 0
+SWI_PUTC = 1
+SWI_WRITE = 2
+SWI_GETC = 3
+SWI_CYCLES = 4

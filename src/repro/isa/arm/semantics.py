@@ -1,0 +1,315 @@
+"""ARM-like instruction semantics.
+
+:func:`execute` applies one decoded instruction to an architectural state
+and returns an :class:`ExecInfo` describing what happened — the record the
+functional oracle hands to micro-architecture timing models (next PC,
+condition outcome, memory address, multiplier operand magnitude).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..bits import (
+    add_carries,
+    asr32,
+    lsl32,
+    lsr32,
+    ror32,
+    s32,
+    sub_borrows,
+    u32,
+)
+from .decode import ArmInstruction
+from .isa import LR, PC
+
+
+class ExecInfo:
+    """Outcome of executing one instruction."""
+
+    __slots__ = ("executed", "next_pc", "mem_addr", "mem_addrs", "mem_is_store",
+                 "mul_operand", "taken")
+
+    def __init__(self, executed: bool, next_pc: int):
+        self.executed = executed
+        self.next_pc = next_pc
+        #: effective address for loads/stores (None otherwise)
+        self.mem_addr: Optional[int] = None
+        #: every address touched (block transfers; None for single access)
+        self.mem_addrs = None
+        self.mem_is_store = False
+        #: multiplier Rs operand magnitude (early-termination latency model)
+        self.mul_operand: Optional[int] = None
+        #: True when a branch actually redirected control flow
+        self.taken = False
+
+
+def condition_passed(cond: int, n: int, z: int, c: int, v: int) -> bool:
+    """Evaluate an ARM condition code against the NZCV flags."""
+    if cond == 0x0:
+        return z == 1
+    if cond == 0x1:
+        return z == 0
+    if cond == 0x2:
+        return c == 1
+    if cond == 0x3:
+        return c == 0
+    if cond == 0x4:
+        return n == 1
+    if cond == 0x5:
+        return n == 0
+    if cond == 0x6:
+        return v == 1
+    if cond == 0x7:
+        return v == 0
+    if cond == 0x8:
+        return c == 1 and z == 0
+    if cond == 0x9:
+        return c == 0 or z == 1
+    if cond == 0xA:
+        return n == v
+    if cond == 0xB:
+        return n != v
+    if cond == 0xC:
+        return z == 0 and n == v
+    if cond == 0xD:
+        return z == 1 or n != v
+    return True  # AL
+
+
+def _read_reg(state, instr: ArmInstruction, reg: int) -> int:
+    """Register read with the ARM convention that PC reads as addr+8."""
+    if reg == PC:
+        return u32(instr.addr + 8)
+    return state.read_reg(reg)
+
+
+def _shifter_operand(state, instr: ArmInstruction):
+    """Compute the data-processing operand2 and the shifter carry-out."""
+    if instr.has_imm:
+        value = instr.imm
+        # Immediate with nonzero rotate sets carry to bit 31 of the value;
+        # zero rotate leaves carry unchanged.
+        carry = (value >> 31) & 1 if value > 0xFF else state.flag_c
+        return value, carry
+    value = _read_reg(state, instr, instr.rm)
+    amount = instr.shift_amount
+    shift_type = instr.shift_type
+    if shift_type == 0:  # LSL
+        if amount == 0:
+            return value, state.flag_c
+        return lsl32(value, amount), (value >> (32 - amount)) & 1
+    if shift_type == 1:  # LSR (amount 0 encodes 32)
+        amount = amount or 32
+        carry = (value >> (amount - 1)) & 1 if amount <= 32 else 0
+        return lsr32(value, amount), carry
+    if shift_type == 2:  # ASR (amount 0 encodes 32)
+        amount = amount or 32
+        carry = (s32(value) >> min(amount - 1, 31)) & 1
+        return asr32(value, amount), carry
+    # ROR (amount 0 encodes RRX)
+    if amount == 0:
+        carry_in = state.flag_c
+        return u32((carry_in << 31) | (u32(value) >> 1)), value & 1
+    rotated = ror32(value, amount)
+    return rotated, (rotated >> 31) & 1
+
+
+def execute(state, instr: ArmInstruction) -> ExecInfo:
+    """Apply *instr* to *state*; returns the :class:`ExecInfo` record."""
+    sequential = u32(instr.addr + 4)
+    if not condition_passed(instr.cond, state.flag_n, state.flag_z, state.flag_c, state.flag_v):
+        state.pc = sequential
+        return ExecInfo(False, sequential)
+
+    info = ExecInfo(True, sequential)
+    kind = instr.kind
+    if kind == "dp":
+        _execute_dp(state, instr, info)
+    elif kind == "mul":
+        _execute_mul(state, instr, info)
+    elif kind == "mull":
+        _execute_mull(state, instr, info)
+    elif kind == "ldst":
+        _execute_ldst(state, instr, info)
+    elif kind == "ldm":
+        _execute_block_transfer(state, instr, info)
+    elif kind == "branch":
+        if instr.link:
+            state.write_reg(LR, sequential)
+        info.next_pc = u32(instr.addr + 8 + instr.imm)
+        info.taken = True
+    elif kind == "bx":
+        info.next_pc = _read_reg(state, instr, instr.rm) & ~1
+        info.taken = True
+    elif kind == "swi":
+        state.syscalls.handle(state, instr.swi_number)
+    else:
+        raise ValueError(f"undefined instruction at {instr.addr:#x}: {instr.word:#010x}")
+    state.pc = info.next_pc
+    return info
+
+
+_LOGICAL_OPS = frozenset(("and", "eor", "tst", "teq", "orr", "mov", "bic", "mvn"))
+
+
+def _execute_dp(state, instr: ArmInstruction, info: ExecInfo) -> None:
+    mnemonic = instr.mnemonic
+    operand2, shifter_carry = _shifter_operand(state, instr)
+    rn_value = _read_reg(state, instr, instr.rn)
+    carry_flags = None  # (carry, overflow) for arithmetic results
+
+    if mnemonic in ("and", "tst"):
+        result = rn_value & operand2
+    elif mnemonic in ("eor", "teq"):
+        result = rn_value ^ operand2
+    elif mnemonic in ("sub", "cmp"):
+        result, carry, overflow = sub_borrows(rn_value, operand2)
+        carry_flags = (carry, overflow)
+    elif mnemonic == "rsb":
+        result, carry, overflow = sub_borrows(operand2, rn_value)
+        carry_flags = (carry, overflow)
+    elif mnemonic in ("add", "cmn"):
+        result, carry, overflow = add_carries(rn_value, operand2)
+        carry_flags = (carry, overflow)
+    elif mnemonic == "adc":
+        result, carry, overflow = add_carries(rn_value, operand2, state.flag_c)
+        carry_flags = (carry, overflow)
+    elif mnemonic == "sbc":
+        result, carry, overflow = sub_borrows(rn_value, operand2, state.flag_c)
+        carry_flags = (carry, overflow)
+    elif mnemonic == "rsc":
+        result, carry, overflow = sub_borrows(operand2, rn_value, state.flag_c)
+        carry_flags = (carry, overflow)
+    elif mnemonic == "orr":
+        result = rn_value | operand2
+    elif mnemonic == "mov":
+        result = operand2
+    elif mnemonic == "bic":
+        result = rn_value & ~operand2 & 0xFFFFFFFF
+    else:  # mvn
+        result = ~operand2 & 0xFFFFFFFF
+
+    result = u32(result)
+    if instr.sets_flags:
+        state.flag_n = (result >> 31) & 1
+        state.flag_z = 1 if result == 0 else 0
+        if carry_flags is not None:
+            state.flag_c, state.flag_v = carry_flags
+        elif mnemonic in _LOGICAL_OPS:
+            state.flag_c = shifter_carry
+    if instr.dst_regs and instr.dst_regs[0] != 16:
+        dest = instr.rd
+        if dest == PC:
+            info.next_pc = result & ~3
+            info.taken = True
+        else:
+            state.write_reg(dest, result)
+
+
+def _execute_mul(state, instr: ArmInstruction, info: ExecInfo) -> None:
+    rm_value = _read_reg(state, instr, instr.rm)
+    rs_value = _read_reg(state, instr, instr.rs)
+    info.mul_operand = rs_value
+    result = rm_value * rs_value
+    if instr.accumulate:
+        result += _read_reg(state, instr, instr.rn)
+    result = u32(result)
+    state.write_reg(instr.rd, result)
+    if instr.s:
+        state.flag_n = (result >> 31) & 1
+        state.flag_z = 1 if result == 0 else 0
+
+
+def _execute_mull(state, instr: ArmInstruction, info: ExecInfo) -> None:
+    rm_value = _read_reg(state, instr, instr.rm)
+    rs_value = _read_reg(state, instr, instr.rs)
+    info.mul_operand = rs_value
+    if instr.signed_mul:
+        product = s32(rm_value) * s32(rs_value)
+    else:
+        product = u32(rm_value) * u32(rs_value)
+    if instr.accumulate:
+        acc = (state.read_reg(instr.rdhi) << 32) | state.read_reg(instr.rdlo)
+        if instr.signed_mul:
+            acc = acc - (1 << 64) if acc & (1 << 63) else acc
+        product += acc
+    product &= (1 << 64) - 1
+    state.write_reg(instr.rdlo, product & 0xFFFFFFFF)
+    state.write_reg(instr.rdhi, (product >> 32) & 0xFFFFFFFF)
+    if instr.s:
+        state.flag_n = (product >> 63) & 1
+        state.flag_z = 1 if product == 0 else 0
+
+
+def _execute_block_transfer(state, instr: ArmInstruction, info: ExecInfo) -> None:
+    """LDM/STM: lowest register at the lowest address (ARM ARM A5.4)."""
+    registers = [r for r in range(16) if instr.reglist & (1 << r)]
+    count = len(registers)
+    base = _read_reg(state, instr, instr.rn)
+    if instr.up:
+        start = base + 4 if instr.pre_index else base
+        new_base = u32(base + 4 * count)
+    else:
+        start = base - 4 * count + (0 if instr.pre_index else 4)
+        new_base = u32(base - 4 * count)
+    addresses = [u32(start + 4 * i) for i in range(count)]
+    info.mem_addr = addresses[0] if addresses else None
+    info.mem_addrs = addresses
+    info.mem_is_store = instr.is_store
+    if instr.is_load:
+        loaded_pc = None
+        for reg, address in zip(registers, addresses):
+            value = state.memory.read_word(address & ~3)
+            if reg == PC:
+                loaded_pc = value & ~3
+            else:
+                state.write_reg(reg, value)
+        if instr.writeback and not (instr.reglist & (1 << instr.rn)):
+            state.write_reg(instr.rn, new_base)
+        if loaded_pc is not None:
+            info.next_pc = loaded_pc
+            info.taken = True
+    else:
+        for reg, address in zip(registers, addresses):
+            state.memory.write_word(address & ~3, _read_reg(state, instr, reg))
+        if instr.writeback:
+            state.write_reg(instr.rn, new_base)
+
+
+def _execute_ldst(state, instr: ArmInstruction, info: ExecInfo) -> None:
+    base = _read_reg(state, instr, instr.rn)
+    if instr.has_imm:
+        offset = instr.imm
+    else:
+        value = _read_reg(state, instr, instr.rm)
+        amount = instr.shift_amount
+        shift_type = instr.shift_type
+        if shift_type == 0:
+            value = lsl32(value, amount)
+        elif shift_type == 1:
+            value = lsr32(value, amount or 32)
+        elif shift_type == 2:
+            value = asr32(value, amount or 32)
+        else:
+            value = ror32(value, amount)
+        offset = value if instr.up else -value
+    address = u32(base + offset)
+    info.mem_addr = address
+    info.mem_is_store = instr.is_store
+    if instr.is_load:
+        if instr.byte:
+            value = state.memory.read_byte(address)
+        else:
+            value = state.memory.read_word(address & ~3)
+        if instr.rd == PC:
+            info.next_pc = value & ~3
+            info.taken = True
+        else:
+            state.write_reg(instr.rd, value)
+    else:
+        value = _read_reg(state, instr, instr.rd)
+        if instr.byte:
+            state.memory.write_byte(address, value & 0xFF)
+        else:
+            state.memory.write_word(address & ~3, value)

@@ -1,0 +1,496 @@
+"""Generic two-pass assembler core.
+
+Both target ISAs share this driver: it handles source-line parsing, labels,
+directives, the symbol table and expression evaluation; per-ISA syntax
+plugins (:mod:`repro.isa.arm.syntax`, :mod:`repro.isa.ppc.syntax`) translate
+individual instruction statements into machine words.
+
+Supported directives::
+
+    .text / .data          switch section
+    .org ADDR              set location counter within the section
+    .align N               pad to a 2**N boundary
+    .word E [, E ...]      32-bit little-endian words
+    .half E [, E ...]      16-bit values
+    .byte E [, E ...]      8-bit values
+    .space N [, FILL]      N fill bytes
+    .ascii "S" / .asciz "S" string data (asciz adds a NUL)
+    .equ NAME, E           define a symbol
+    .globl NAME            accepted and ignored (ELF compatibility)
+
+Comments start with ``;``, ``@`` or ``//``.  Labels are ``name:`` at the
+start of a line.  Expressions support labels, ``.`` (the current address),
+decimal/hex/binary/char literals and the operators ``+ - * / % << >> & | ^``
+with parentheses and unary ``+ - ~``.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from .program import Program
+
+DEFAULT_TEXT_BASE = 0x8000
+DEFAULT_DATA_BASE = 0x40000
+
+
+class AssemblyError(Exception):
+    """A source-level assembly error, annotated with file line number."""
+
+    def __init__(self, message: str, lineno: Optional[int] = None, line: str = ""):
+        self.lineno = lineno
+        self.line = line
+        prefix = f"line {lineno}: " if lineno is not None else ""
+        suffix = f"\n    {line.strip()}" if line else ""
+        super().__init__(f"{prefix}{message}{suffix}")
+
+
+# ---------------------------------------------------------------------------
+# expression evaluation
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<num>0[xX][0-9a-fA-F]+|0[bB][01]+|\d+)"
+    r"|(?P<char>'(?:\\.|[^'])')"
+    r"|(?P<name>[.A-Za-z_$][.\w$]*)"
+    r"|(?P<op><<|>>|[-+*/%&|^~()])"
+    r")"
+)
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", "'": "'", '"': '"'}
+
+
+def _tokenize_expr(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise AssemblyError(f"bad expression near {text[pos:]!r}")
+        pos = match.end()
+        for kind in ("num", "char", "name", "op"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class ExpressionEvaluator:
+    """Recursive-descent evaluator over the symbol table."""
+
+    _PRECEDENCE = [
+        {"|"},
+        {"^"},
+        {"&"},
+        {"<<", ">>"},
+        {"+", "-"},
+        {"*", "/", "%"},
+    ]
+
+    def __init__(self, symbols: Dict[str, int], here: int = 0):
+        self.symbols = symbols
+        self.here = here
+        self._tokens: List[Tuple[str, str]] = []
+        self._pos = 0
+
+    def eval(self, text: str) -> int:
+        self._tokens = _tokenize_expr(text)
+        self._pos = 0
+        if not self._tokens:
+            raise AssemblyError(f"empty expression in {text!r}")
+        value = self._binary(0)
+        if self._pos != len(self._tokens):
+            kind, tok = self._tokens[self._pos]
+            raise AssemblyError(f"unexpected {tok!r} in expression {text!r}")
+        return value
+
+    def _peek(self) -> Optional[Tuple[str, str]]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> Tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise AssemblyError("unexpected end of expression")
+        self._pos += 1
+        return token
+
+    def _binary(self, level: int) -> int:
+        if level == len(self._PRECEDENCE):
+            return self._unary()
+        ops = self._PRECEDENCE[level]
+        value = self._binary(level + 1)
+        while True:
+            token = self._peek()
+            if token is None or token[0] != "op" or token[1] not in ops:
+                return value
+            op = self._next()[1]
+            rhs = self._binary(level + 1)
+            if op == "+":
+                value += rhs
+            elif op == "-":
+                value -= rhs
+            elif op == "*":
+                value *= rhs
+            elif op == "/":
+                value = value // rhs
+            elif op == "%":
+                value = value % rhs
+            elif op == "<<":
+                value <<= rhs
+            elif op == ">>":
+                value >>= rhs
+            elif op == "&":
+                value &= rhs
+            elif op == "^":
+                value ^= rhs
+            elif op == "|":
+                value |= rhs
+
+    def _unary(self) -> int:
+        kind, token = self._next()
+        if kind == "op":
+            if token == "-":
+                return -self._unary()
+            if token == "+":
+                return self._unary()
+            if token == "~":
+                return ~self._unary()
+            if token == "(":
+                value = self._binary(0)
+                kind, token = self._next()
+                if token != ")":
+                    raise AssemblyError("missing ')' in expression")
+                return value
+            raise AssemblyError(f"unexpected operator {token!r}")
+        if kind == "num":
+            return int(token, 0)
+        if kind == "char":
+            body = token[1:-1]
+            if body.startswith("\\"):
+                return ord(_ESCAPES.get(body[1], body[1]))
+            return ord(body)
+        if kind == "name":
+            if token == ".":
+                return self.here
+            if token not in self.symbols:
+                raise AssemblyError(f"undefined symbol {token!r}")
+            return self.symbols[token]
+        raise AssemblyError(f"bad token {token!r}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# the assembler driver
+# ---------------------------------------------------------------------------
+
+
+def split_operands(text: str) -> List[str]:
+    """Split an operand string on top-level commas (brackets/quotes nest)."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    in_string: Optional[str] = None
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if in_string:
+            current.append(ch)
+            if ch == "\\":
+                if i + 1 < len(text):
+                    current.append(text[i + 1])
+                    i += 1
+            elif ch == in_string:
+                in_string = None
+        elif ch in "\"'":
+            in_string = ch
+            current.append(ch)
+        elif ch in "([{":
+            depth += 1
+            current.append(ch)
+        elif ch in ")]}":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    tail = "".join(current).strip()
+    if tail or parts:
+        parts.append(tail)
+    return parts
+
+
+class Statement:
+    """One parsed source statement (after label extraction)."""
+
+    __slots__ = ("lineno", "line", "mnemonic", "operands", "section", "address", "size")
+
+    def __init__(self, lineno: int, line: str, mnemonic: str, operands: str):
+        self.lineno = lineno
+        self.line = line
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.section = ".text"
+        self.address = 0
+        self.size = 0
+
+
+class IsaSyntax:
+    """Per-ISA assembler plugin interface."""
+
+    #: instruction width in bytes for fixed-width ISAs
+    word_size = 4
+
+    def statement_size(self, mnemonic: str, operands: str) -> int:
+        """Byte size of the statement (pseudo-ops may expand to several
+        words; must be computable without the symbol table)."""
+        raise NotImplementedError
+
+    def encode_statement(self, mnemonic: str, operands: str, ctx: "AsmContext") -> bytes:
+        """Encode the statement to bytes; may consult ``ctx`` for symbols
+        and the current address."""
+        raise NotImplementedError
+
+
+class AsmContext:
+    """Evaluation context handed to syntax plugins during pass 2."""
+
+    def __init__(self, symbols: Dict[str, int], address: int, lineno: int, line: str):
+        self.symbols = symbols
+        self.address = address
+        self.lineno = lineno
+        self.line = line
+
+    def eval(self, expr: str) -> int:
+        try:
+            return ExpressionEvaluator(self.symbols, self.address).eval(expr)
+        except AssemblyError as exc:
+            raise AssemblyError(str(exc), self.lineno, self.line) from None
+
+    def error(self, message: str) -> AssemblyError:
+        return AssemblyError(message, self.lineno, self.line)
+
+
+_LABEL_RE = re.compile(r"^([.A-Za-z_$][\w$.]*):\s*(.*)$")
+_STRING_RE = re.compile(r'"((?:\\.|[^"\\])*)"')
+
+
+def _unescape(text: str) -> bytes:
+    out = bytearray()
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            out.append(ord(_ESCAPES.get(text[i + 1], text[i + 1])))
+            i += 2
+        else:
+            out.append(ord(ch))
+            i += 1
+    return bytes(out)
+
+
+class Assembler:
+    """The shared two-pass driver."""
+
+    def __init__(
+        self,
+        syntax: IsaSyntax,
+        text_base: int = DEFAULT_TEXT_BASE,
+        data_base: int = DEFAULT_DATA_BASE,
+    ):
+        self.syntax = syntax
+        self.bases = {".text": text_base, ".data": data_base}
+
+    # -- public API -----------------------------------------------------------
+
+    def assemble(self, source: str, entry_symbol: str = "_start") -> Program:
+        """Assemble *source* and return a loadable :class:`Program`."""
+        statements, symbols = self._pass1(source)
+        images = self._pass2(statements, symbols)
+        program = Program()
+        for name, (base, blob) in images.items():
+            if blob:
+                program.add_section(name, base, bytes(blob))
+        program.symbols = symbols
+        program.entry = symbols.get(entry_symbol, self.bases[".text"])
+        return program
+
+    # -- pass 1: sizing and symbol collection ---------------------------------
+
+    def _pass1(self, source: str):
+        symbols: Dict[str, int] = {}
+        counters = dict(self.bases)
+        section = ".text"
+        statements: List[Statement] = []
+
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw)
+            text = line.strip()
+            while text:
+                match = _LABEL_RE.match(text)
+                if match is None:
+                    break
+                name = match.group(1)
+                if name in symbols:
+                    raise AssemblyError(f"duplicate label {name!r}", lineno, raw)
+                symbols[name] = counters[section]
+                text = match.group(2).strip()
+            if not text:
+                continue
+            parts = text.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = parts[1].strip() if len(parts) > 1 else ""
+            stmt = Statement(lineno, raw, mnemonic, operands)
+
+            if mnemonic in (".text", ".data"):
+                section = mnemonic
+                continue
+            if mnemonic == ".globl" or mnemonic == ".global":
+                continue
+            if mnemonic == ".equ" or mnemonic == ".set":
+                # evaluated immediately: .equ constants must precede use
+                name, _, expr = operands.partition(",")
+                try:
+                    symbols[name.strip()] = ExpressionEvaluator(symbols).eval(expr.strip())
+                except AssemblyError as exc:
+                    raise AssemblyError(str(exc), lineno, raw) from None
+                continue
+            if mnemonic == ".org":
+                value = ExpressionEvaluator(symbols, counters[section]).eval(operands)
+                if value < counters[section] and value < self.bases[section]:
+                    raise AssemblyError(".org moves backwards", lineno, raw)
+                counters[section] = value
+                stmt.mnemonic = ".org"
+                stmt.size = 0
+                stmt.section = section
+                stmt.address = value
+                statements.append(stmt)
+                continue
+
+            stmt.section = section
+            stmt.address = counters[section]
+            stmt.size = self._statement_size(stmt, counters[section], symbols)
+            if mnemonic == ".align":
+                # size depends on current address; recompute in pass 2 too
+                pass
+            counters[section] += stmt.size
+            statements.append(stmt)
+
+        return statements, symbols
+
+    def _statement_size(self, stmt: Statement, address: int, symbols: Dict[str, int]) -> int:
+        mnemonic, operands = stmt.mnemonic, stmt.operands
+        if mnemonic == ".word":
+            return 4 * len(split_operands(operands))
+        if mnemonic == ".half":
+            return 2 * len(split_operands(operands))
+        if mnemonic == ".byte":
+            return len(split_operands(operands))
+        if mnemonic == ".space":
+            parts = split_operands(operands)
+            return int(ExpressionEvaluator(symbols).eval(parts[0]))
+        if mnemonic in (".ascii", ".asciz"):
+            match = _STRING_RE.search(operands)
+            if match is None:
+                raise AssemblyError("expected string literal", stmt.lineno, stmt.line)
+            return len(_unescape(match.group(1))) + (1 if mnemonic == ".asciz" else 0)
+        if mnemonic == ".align":
+            power = int(ExpressionEvaluator({}).eval(operands or "2"))
+            boundary = 1 << power
+            return (-address) % boundary
+        if mnemonic.startswith("."):
+            raise AssemblyError(f"unknown directive {mnemonic!r}", stmt.lineno, stmt.line)
+        try:
+            return self.syntax.statement_size(mnemonic, operands)
+        except AssemblyError as exc:
+            raise AssemblyError(str(exc), stmt.lineno, stmt.line) from None
+
+    # -- pass 2: encoding -----------------------------------------------------
+
+    def _pass2(self, statements: List[Statement], symbols: Dict[str, int]):
+        images: Dict[str, Tuple[int, bytearray]] = {
+            name: (base, bytearray()) for name, base in self.bases.items()
+        }
+
+        def emit(section: str, address: int, blob: bytes) -> None:
+            base, image = images[section]
+            offset = address - base
+            if offset < len(image):
+                raise AssemblyError(f"overlapping emission at {address:#x}")
+            image.extend(b"\x00" * (offset - len(image)))
+            image.extend(blob)
+
+        for stmt in statements:
+            ctx = AsmContext(symbols, stmt.address, stmt.lineno, stmt.line)
+            mnemonic, operands = stmt.mnemonic, stmt.operands
+            if mnemonic == ".org":
+                continue
+            if mnemonic == ".word":
+                blob = b"".join(
+                    struct.pack("<I", ctx.eval(op) & 0xFFFFFFFF)
+                    for op in split_operands(operands)
+                )
+            elif mnemonic == ".half":
+                blob = b"".join(
+                    struct.pack("<H", ctx.eval(op) & 0xFFFF)
+                    for op in split_operands(operands)
+                )
+            elif mnemonic == ".byte":
+                blob = bytes(ctx.eval(op) & 0xFF for op in split_operands(operands))
+            elif mnemonic == ".space":
+                parts = split_operands(operands)
+                fill = ctx.eval(parts[1]) & 0xFF if len(parts) > 1 else 0
+                blob = bytes([fill]) * stmt.size
+            elif mnemonic in (".ascii", ".asciz"):
+                match = _STRING_RE.search(operands)
+                assert match is not None  # checked in pass 1
+                blob = _unescape(match.group(1))
+                if mnemonic == ".asciz":
+                    blob += b"\x00"
+            elif mnemonic == ".align":
+                blob = b"\x00" * stmt.size
+            else:
+                try:
+                    blob = self.syntax.encode_statement(mnemonic, operands, ctx)
+                except AssemblyError:
+                    raise
+                except Exception as exc:
+                    raise AssemblyError(str(exc), stmt.lineno, stmt.line) from exc
+                if len(blob) != stmt.size:
+                    raise AssemblyError(
+                        f"size mismatch for {mnemonic!r}: pass1 said {stmt.size}, "
+                        f"pass2 produced {len(blob)}",
+                        stmt.lineno,
+                        stmt.line,
+                    )
+            emit(stmt.section, stmt.address, blob)
+        return images
+
+
+def _strip_comment(line: str) -> str:
+    in_string: Optional[str] = None
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if in_string:
+            if ch == "\\":
+                i += 1
+            elif ch == in_string:
+                in_string = None
+        elif ch in "\"'":
+            in_string = ch
+        elif ch in ";@":
+            return line[:i]
+        elif ch == "/" and line[i : i + 2] == "//":
+            return line[:i]
+        i += 1
+    return line

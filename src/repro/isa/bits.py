@@ -1,0 +1,110 @@
+"""Bit-field utilities shared by the encoders, decoders and semantics.
+
+All values are Python ints constrained to 32-bit two's-complement views;
+helpers here centralise masking so the ISA code reads like the reference
+manuals.
+"""
+
+from __future__ import annotations
+
+MASK32 = 0xFFFFFFFF
+
+
+def u32(value: int) -> int:
+    """The unsigned 32-bit view of *value*."""
+    return value & MASK32
+
+
+def s32(value: int) -> int:
+    """The signed 32-bit (two's-complement) view of *value*."""
+    value &= MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def bits(word: int, hi: int, lo: int) -> int:
+    """Extract the inclusive bit-field ``word[hi:lo]``."""
+    if hi < lo:
+        raise ValueError(f"bad bit range [{hi}:{lo}]")
+    return (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+def bit(word: int, index: int) -> int:
+    """Extract the single bit ``word[index]``."""
+    return (word >> index) & 1
+
+
+def insert(word: int, hi: int, lo: int, value: int) -> int:
+    """Return *word* with ``[hi:lo]`` replaced by *value* (must fit)."""
+    width = hi - lo + 1
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value:#x} does not fit in [{hi}:{lo}]")
+    mask = ((1 << width) - 1) << lo
+    return (word & ~mask) | (value << lo)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Sign-extend a *width*-bit value to a Python int."""
+    sign = 1 << (width - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def ror32(value: int, amount: int) -> int:
+    """Rotate a 32-bit value right by *amount* (mod 32)."""
+    amount &= 31
+    value = u32(value)
+    if amount == 0:
+        return value
+    return u32((value >> amount) | (value << (32 - amount)))
+
+
+def lsl32(value: int, amount: int) -> int:
+    if amount >= 32:
+        return 0
+    return u32(value << amount)
+
+
+def lsr32(value: int, amount: int) -> int:
+    if amount >= 32:
+        return 0
+    return u32(value) >> amount
+
+
+def asr32(value: int, amount: int) -> int:
+    if amount >= 32:
+        amount = 31
+        return MASK32 if u32(value) & 0x80000000 else 0
+    return u32(s32(value) >> amount)
+
+
+def add_carries(a: int, b: int, carry_in: int = 0):
+    """32-bit addition returning (result, carry_out, overflow)."""
+    a, b = u32(a), u32(b)
+    total = a + b + carry_in
+    result = total & MASK32
+    carry = 1 if total > MASK32 else 0
+    overflow = 1 if ((a ^ result) & (b ^ result)) >> 31 else 0
+    return result, carry, overflow
+
+
+def sub_borrows(a: int, b: int, carry_in: int = 1):
+    """32-bit subtraction ``a - b - (1 - carry_in)`` in ARM style:
+    returns (result, carry_out, overflow) where carry_out=1 means *no*
+    borrow."""
+    return add_carries(a, (~b) & MASK32, carry_in)
+
+
+def popcount_significant_bytes(value: int) -> int:
+    """Number of significant bytes in a 32-bit magnitude.
+
+    Used by the StrongARM early-terminating multiplier latency model: the
+    SA-110 multiplier retires 12 bits of the multiplier operand per cycle,
+    which we approximate by significant-byte count (1..4).
+    """
+    value = u32(value)
+    if value < 0x100:
+        return 1
+    if value < 0x10000:
+        return 2
+    if value < 0x1000000:
+        return 3
+    return 4

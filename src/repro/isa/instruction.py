@@ -1,0 +1,68 @@
+"""Decoded-instruction protocol shared by both target ISAs.
+
+Micro-architecture models (and the oracle ISS) consume decoded
+instructions through this interface only — the OSM layer never looks at
+encodings.  Per-ISA decoders subclass :class:`Instruction` and populate the
+hazard metadata fields; everything a pipeline model needs to route an
+operation (source/destination registers, flag traffic, unit class, memory
+behaviour) is available without touching ISA specifics.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class Instruction:
+    """A decoded machine instruction plus hazard metadata.
+
+    Attributes
+    ----------
+    addr, word:
+        Location and raw encoding.
+    mnemonic:
+        Canonical mnemonic (lower case, without condition suffixes).
+    src_regs, dst_regs:
+        Architectural register numbers read/written.  Condition/status
+        registers are represented by the ISA's ``FLAGS_REG`` pseudo-number
+        so flag dependences flow through the same hazard machinery.
+    unit:
+        Function-unit class: one of ``"alu"``, ``"mul"``, ``"div"``,
+        ``"mem"``, ``"branch"``, ``"system"``.
+    is_load / is_store / is_branch / writes_pc:
+        Memory and control-flow classification.
+    """
+
+    __slots__ = (
+        "addr",
+        "word",
+        "mnemonic",
+        "text",
+        "src_regs",
+        "dst_regs",
+        "unit",
+        "is_load",
+        "is_store",
+        "is_branch",
+        "writes_pc",
+    )
+
+    def __init__(self, addr: int, word: int):
+        self.addr = addr
+        self.word = word
+        self.mnemonic = "?"
+        self.text = ""
+        self.src_regs: Tuple[int, ...] = ()
+        self.dst_regs: Tuple[int, ...] = ()
+        self.unit = "alu"
+        self.is_load = False
+        self.is_store = False
+        self.is_branch = False
+        self.writes_pc = False
+
+    @property
+    def is_mem(self) -> bool:
+        return self.is_load or self.is_store
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.addr:#x}: {self.text or self.mnemonic}>"

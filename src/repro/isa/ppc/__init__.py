@@ -1,0 +1,45 @@
+"""PowerPC-like subset ISA (the PPC-750 case-study target)."""
+
+from .decode import PpcInstruction, decode
+from .isa import (
+    CR0_REG,
+    CTR_REG,
+    LR_REG,
+    N_HAZARD_REGS,
+    N_REGS,
+    UNIT_BPU,
+    UNIT_FPU,
+    UNIT_IU1,
+    UNIT_IU2,
+    UNIT_LSU,
+    UNIT_SRU,
+)
+from .semantics import ExecInfo, execute
+from .syntax import PpcSyntax
+
+__all__ = [
+    "CR0_REG",
+    "CTR_REG",
+    "ExecInfo",
+    "LR_REG",
+    "N_HAZARD_REGS",
+    "N_REGS",
+    "PpcInstruction",
+    "PpcSyntax",
+    "UNIT_BPU",
+    "UNIT_FPU",
+    "UNIT_IU1",
+    "UNIT_IU2",
+    "UNIT_LSU",
+    "UNIT_SRU",
+    "assemble",
+    "decode",
+    "execute",
+]
+
+
+def assemble(source: str, **kwargs):
+    """Assemble PowerPC-like source into a :class:`~repro.isa.program.Program`."""
+    from ..assembler import Assembler
+
+    return Assembler(PpcSyntax(), **kwargs).assemble(source)

@@ -1,0 +1,427 @@
+"""PowerPC-like instruction decoder."""
+
+from __future__ import annotations
+
+from ..bits import bits, bit, sign_extend
+from ..instruction import Instruction
+from . import isa
+from .isa import (
+    BO_DNZ,
+    BO_DZ,
+    CR0_REG,
+    CTR_REG,
+    LR_REG,
+    SPR_CTR,
+    SPR_LR,
+    UNIT_BPU,
+    UNIT_IU1,
+    UNIT_IU2,
+    UNIT_LSU,
+    UNIT_SRU,
+)
+
+
+class PpcInstruction(Instruction):
+    """A decoded PowerPC-like instruction."""
+
+    __slots__ = (
+        "kind",
+        "rt",
+        "ra",
+        "rb",
+        "imm",
+        "bo",
+        "bi",
+        "lk",
+        "aa",
+        "sh",
+        "mb",
+        "me",
+        "rc",
+        "spr",
+        "xo",
+        "reads_cr",
+        "sets_cr",
+        "reads_ctr",
+        "writes_ctr",
+    )
+
+    def __init__(self, addr: int, word: int):
+        super().__init__(addr, word)
+        self.kind = "illegal"
+        self.rt = 0
+        self.ra = 0
+        self.rb = 0
+        self.imm = 0
+        self.bo = 0
+        self.bi = 0
+        self.lk = 0
+        self.aa = 0
+        self.sh = 0
+        self.mb = 0
+        self.me = 0
+        self.rc = 0
+        self.spr = 0
+        self.xo = 0
+        self.reads_cr = False
+        self.sets_cr = False
+        self.reads_ctr = False
+        self.writes_ctr = False
+
+
+#: D-form ALU: opcd -> (kind, signed immediate?, reads rA even when 0?)
+_D_ALU = {
+    isa.OP_MULLI: ("mulli", True),
+    isa.OP_SUBFIC: ("subfic", True),
+    isa.OP_ADDIC: ("addic", True),
+    isa.OP_ADDI: ("addi", True),
+    isa.OP_ADDIS: ("addis", True),
+    isa.OP_ORI: ("ori", False),
+    isa.OP_ORIS: ("oris", False),
+    isa.OP_XORI: ("xori", False),
+    isa.OP_ANDI: ("andi.", False),
+}
+
+_D_MEM = {
+    isa.OP_LWZ: ("lwz", True, False),
+    isa.OP_LBZ: ("lbz", True, True),
+    isa.OP_STW: ("stw", False, False),
+    isa.OP_STB: ("stb", False, True),
+    isa.OP_LHZ: ("lhz", True, False),
+    isa.OP_LHA: ("lha", True, False),
+    isa.OP_STH: ("sth", False, False),
+}
+
+#: X/XO-form: xo -> (mnemonic, kind)
+_X_ALU = {
+    isa.XO_ADD: "add",
+    isa.XO_SUBF: "subf",
+    isa.XO_SUBFC: "subfc",
+    isa.XO_NEG: "neg",
+    isa.XO_MULLW: "mullw",
+    isa.XO_MULHW: "mulhw",
+    isa.XO_DIVW: "divw",
+    isa.XO_DIVWU: "divwu",
+    isa.XO_AND: "and",
+    isa.XO_OR: "or",
+    isa.XO_XOR: "xor",
+    isa.XO_SLW: "slw",
+    isa.XO_SRW: "srw",
+    isa.XO_SRAW: "sraw",
+}
+_X_LOGICAL = {isa.XO_AND, isa.XO_OR, isa.XO_XOR, isa.XO_SLW, isa.XO_SRW, isa.XO_SRAW}
+_X_MULDIV = {isa.XO_MULLW, isa.XO_MULHW, isa.XO_DIVW, isa.XO_DIVWU}
+_X_MEM = {
+    isa.XO_LWZX: ("lwzx", True, False),
+    isa.XO_LBZX: ("lbzx", True, True),
+    isa.XO_STWX: ("stwx", False, False),
+    isa.XO_STBX: ("stbx", False, True),
+}
+
+
+def decode(addr: int, word: int) -> PpcInstruction:
+    """Decode one 32-bit instruction word."""
+    instr = PpcInstruction(addr, word)
+    opcd = bits(word, 31, 26)
+    if opcd in _D_ALU:
+        _decode_d_alu(instr, opcd)
+    elif opcd in (isa.OP_CMPWI, isa.OP_CMPLWI):
+        _decode_cmpi(instr, opcd)
+    elif opcd in _D_MEM:
+        _decode_d_mem(instr, opcd)
+    elif opcd == isa.OP_B:
+        _decode_b(instr)
+    elif opcd == isa.OP_BC:
+        _decode_bc(instr)
+    elif opcd == isa.OP_XL:
+        _decode_xl(instr)
+    elif opcd == isa.OP_RLWINM:
+        _decode_rlwinm(instr)
+    elif opcd == isa.OP_SC:
+        _decode_sc(instr)
+    elif opcd == isa.OP_X:
+        _decode_x(instr)
+    else:
+        instr.mnemonic = "illegal"
+        instr.text = f".word {word:#010x}"
+    return instr
+
+
+def _finish_cr(instr: PpcInstruction) -> None:
+    if instr.sets_cr:
+        instr.dst_regs = instr.dst_regs + (CR0_REG,)
+    if instr.reads_cr:
+        instr.src_regs = instr.src_regs + (CR0_REG,)
+    if instr.writes_ctr:
+        instr.dst_regs = instr.dst_regs + (CTR_REG,)
+    if instr.reads_ctr:
+        instr.src_regs = instr.src_regs + (CTR_REG,)
+
+
+def _decode_d_alu(instr: PpcInstruction, opcd: int) -> None:
+    mnemonic, signed = _D_ALU[opcd]
+    instr.kind = "dalu"
+    instr.mnemonic = mnemonic
+    instr.rt = bits(instr.word, 25, 21)
+    instr.ra = bits(instr.word, 20, 16)
+    raw = bits(instr.word, 15, 0)
+    instr.imm = sign_extend(raw, 16) if signed else raw
+    instr.unit = UNIT_IU2 if mnemonic != "mulli" else UNIT_IU1
+    sources = []
+    # For the logical D-forms the source register is rS (the rt field) and
+    # the destination is rA (PowerPC's backwards logical layout).
+    if mnemonic in ("ori", "oris", "xori", "andi."):
+        sources.append(instr.rt)
+        instr.dst_regs = (instr.ra,)
+        instr.text = f"{mnemonic} r{instr.ra}, r{instr.rt}, {instr.imm}"
+    else:
+        if not (mnemonic in ("addi", "addis") and instr.ra == 0):
+            sources.append(instr.ra)
+        instr.dst_regs = (instr.rt,)
+        instr.text = f"{mnemonic} r{instr.rt}, r{instr.ra}, {instr.imm}"
+    if mnemonic == "andi.":
+        instr.sets_cr = True
+    instr.src_regs = tuple(sources)
+    _finish_cr(instr)
+
+
+def _decode_cmpi(instr: PpcInstruction, opcd: int) -> None:
+    instr.kind = "cmpi"
+    instr.mnemonic = "cmpwi" if opcd == isa.OP_CMPWI else "cmplwi"
+    instr.ra = bits(instr.word, 20, 16)
+    raw = bits(instr.word, 15, 0)
+    instr.imm = sign_extend(raw, 16) if opcd == isa.OP_CMPWI else raw
+    instr.unit = UNIT_IU2
+    instr.sets_cr = True
+    instr.src_regs = (instr.ra,)
+    instr.text = f"{instr.mnemonic} r{instr.ra}, {instr.imm}"
+    _finish_cr(instr)
+
+
+def _decode_d_mem(instr: PpcInstruction, opcd: int) -> None:
+    mnemonic, is_load, _byte = _D_MEM[opcd]
+    instr.kind = "mem"
+    instr.mnemonic = mnemonic
+    instr.rt = bits(instr.word, 25, 21)
+    instr.ra = bits(instr.word, 20, 16)
+    instr.imm = sign_extend(bits(instr.word, 15, 0), 16)
+    instr.unit = UNIT_LSU
+    instr.is_load = is_load
+    instr.is_store = not is_load
+    sources = []
+    if instr.ra != 0:
+        sources.append(instr.ra)
+    if is_load:
+        instr.dst_regs = (instr.rt,)
+    else:
+        sources.append(instr.rt)
+    instr.src_regs = tuple(sources)
+    instr.text = f"{mnemonic} r{instr.rt}, {instr.imm}(r{instr.ra})"
+    _finish_cr(instr)
+
+
+def _decode_b(instr: PpcInstruction) -> None:
+    instr.kind = "b"
+    instr.aa = bit(instr.word, 1)
+    instr.lk = bit(instr.word, 0)
+    instr.imm = sign_extend(bits(instr.word, 25, 2) << 2, 26)
+    instr.mnemonic = "bl" if instr.lk else "b"
+    instr.unit = UNIT_BPU
+    instr.is_branch = True
+    instr.writes_pc = True
+    if instr.lk:
+        instr.dst_regs = (LR_REG,)
+    target = instr.imm if instr.aa else instr.addr + instr.imm
+    instr.text = f"{instr.mnemonic} {target & 0xFFFFFFFF:#x}"
+    _finish_cr(instr)
+
+
+def _decode_bc(instr: PpcInstruction) -> None:
+    instr.kind = "bc"
+    instr.bo = bits(instr.word, 25, 21)
+    instr.bi = bits(instr.word, 20, 16)
+    instr.aa = bit(instr.word, 1)
+    instr.lk = bit(instr.word, 0)
+    instr.imm = sign_extend(bits(instr.word, 15, 2) << 2, 16)
+    instr.mnemonic = "bc"
+    instr.unit = UNIT_BPU
+    instr.is_branch = True
+    instr.writes_pc = True
+    if not (instr.bo & 0b10000):  # condition matters
+        instr.reads_cr = True
+    if instr.bo in (BO_DNZ, BO_DZ):
+        instr.reads_ctr = True
+        instr.writes_ctr = True
+    if instr.lk:
+        instr.dst_regs = (LR_REG,)
+    target = instr.imm if instr.aa else instr.addr + instr.imm
+    instr.text = f"bc {instr.bo}, {instr.bi}, {target & 0xFFFFFFFF:#x}"
+    _finish_cr(instr)
+
+
+def _decode_xl(instr: PpcInstruction) -> None:
+    xo = bits(instr.word, 10, 1)
+    instr.bo = bits(instr.word, 25, 21)
+    instr.bi = bits(instr.word, 20, 16)
+    instr.lk = bit(instr.word, 0)
+    instr.unit = UNIT_BPU
+    instr.is_branch = True
+    instr.writes_pc = True
+    if xo == isa.XL_BCLR:
+        instr.kind = "bclr"
+        instr.mnemonic = "blr"
+        instr.src_regs = (LR_REG,)
+    elif xo == isa.XL_BCCTR:
+        instr.kind = "bcctr"
+        instr.mnemonic = "bctr"
+        instr.src_regs = (CTR_REG,)
+    else:
+        instr.kind = "illegal"
+        instr.mnemonic = "illegal"
+        instr.is_branch = False
+        instr.writes_pc = False
+        return
+    if not (instr.bo & 0b10000):
+        instr.reads_cr = True
+    if instr.lk:
+        instr.dst_regs = (LR_REG,)
+    instr.text = instr.mnemonic
+    _finish_cr(instr)
+
+
+def _decode_rlwinm(instr: PpcInstruction) -> None:
+    instr.kind = "rlwinm"
+    instr.mnemonic = "rlwinm"
+    instr.rt = bits(instr.word, 25, 21)  # rS
+    instr.ra = bits(instr.word, 20, 16)
+    instr.sh = bits(instr.word, 15, 11)
+    instr.mb = bits(instr.word, 10, 6)
+    instr.me = bits(instr.word, 5, 1)
+    instr.rc = bit(instr.word, 0)
+    instr.unit = UNIT_IU2
+    instr.src_regs = (instr.rt,)
+    instr.dst_regs = (instr.ra,)
+    instr.sets_cr = bool(instr.rc)
+    instr.text = f"rlwinm r{instr.ra}, r{instr.rt}, {instr.sh}, {instr.mb}, {instr.me}"
+    _finish_cr(instr)
+
+
+def _decode_sc(instr: PpcInstruction) -> None:
+    instr.kind = "sc"
+    instr.mnemonic = "sc"
+    instr.unit = UNIT_SRU
+    # syscall convention: number in r0, args r3..r5, result r3
+    instr.src_regs = (0, 3, 4, 5)
+    instr.dst_regs = (3,)
+    instr.text = "sc"
+    _finish_cr(instr)
+
+
+def _decode_x(instr: PpcInstruction) -> None:
+    word = instr.word
+    xo = bits(word, 10, 1)
+    instr.xo = xo
+    instr.rc = bit(word, 0)
+    if xo in (isa.XO_CMPW, isa.XO_CMPLW):
+        instr.kind = "cmp"
+        instr.mnemonic = "cmpw" if xo == isa.XO_CMPW else "cmplw"
+        instr.ra = bits(word, 20, 16)
+        instr.rb = bits(word, 15, 11)
+        instr.unit = UNIT_IU2
+        instr.sets_cr = True
+        instr.src_regs = (instr.ra, instr.rb)
+        instr.text = f"{instr.mnemonic} r{instr.ra}, r{instr.rb}"
+    elif xo in _X_MEM:
+        mnemonic, is_load, _byte = _X_MEM[xo]
+        instr.kind = "memx"
+        instr.mnemonic = mnemonic
+        instr.rt = bits(word, 25, 21)
+        instr.ra = bits(word, 20, 16)
+        instr.rb = bits(word, 15, 11)
+        instr.unit = UNIT_LSU
+        instr.is_load = is_load
+        instr.is_store = not is_load
+        sources = [instr.rb]
+        if instr.ra != 0:
+            sources.append(instr.ra)
+        if is_load:
+            instr.dst_regs = (instr.rt,)
+        else:
+            sources.append(instr.rt)
+        instr.src_regs = tuple(sources)
+        instr.text = f"{mnemonic} r{instr.rt}, r{instr.ra}, r{instr.rb}"
+    elif xo in (isa.XO_EXTSB, isa.XO_EXTSH, isa.XO_CNTLZW):
+        names = {isa.XO_EXTSB: "extsb", isa.XO_EXTSH: "extsh", isa.XO_CNTLZW: "cntlzw"}
+        instr.kind = "xunary"
+        instr.mnemonic = names[xo]
+        instr.rt = bits(word, 25, 21)  # rS
+        instr.ra = bits(word, 20, 16)
+        instr.unit = UNIT_IU2
+        instr.src_regs = (instr.rt,)
+        instr.dst_regs = (instr.ra,)
+        instr.sets_cr = bool(instr.rc)
+        instr.text = f"{instr.mnemonic} r{instr.ra}, r{instr.rt}"
+    elif xo == isa.XO_SRAWI:
+        instr.kind = "srawi"
+        instr.mnemonic = "srawi"
+        instr.rt = bits(word, 25, 21)  # rS
+        instr.ra = bits(word, 20, 16)
+        instr.sh = bits(word, 15, 11)
+        instr.unit = UNIT_IU2
+        instr.src_regs = (instr.rt,)
+        instr.dst_regs = (instr.ra,)
+        instr.sets_cr = bool(instr.rc)
+        instr.text = f"srawi r{instr.ra}, r{instr.rt}, {instr.sh}"
+    elif xo == isa.XO_MTSPR or xo == isa.XO_MFSPR:
+        spr_field = bits(word, 20, 11)
+        spr = ((spr_field >> 5) & 0x1F) | ((spr_field & 0x1F) << 5)
+        instr.spr = spr
+        instr.rt = bits(word, 25, 21)
+        instr.unit = UNIT_SRU
+        spr_reg = LR_REG if spr == SPR_LR else CTR_REG
+        spr_name = "lr" if spr == SPR_LR else "ctr"
+        if xo == isa.XO_MTSPR:
+            instr.kind = "mtspr"
+            instr.mnemonic = f"mt{spr_name}"
+            instr.src_regs = (instr.rt,)
+            # spr_reg lands in dst_regs directly; _finish_cr must not add
+            # it a second time via the ctr flag (a duplicate destination
+            # would demand two rename buffers from a one-entry pool).
+            instr.dst_regs = (spr_reg,)
+            instr.text = f"mt{spr_name} r{instr.rt}"
+        else:
+            instr.kind = "mfspr"
+            instr.mnemonic = f"mf{spr_name}"
+            instr.src_regs = (spr_reg,)
+            instr.dst_regs = (instr.rt,)
+            instr.text = f"mf{spr_name} r{instr.rt}"
+    elif xo in _X_ALU:
+        mnemonic = _X_ALU[xo]
+        instr.kind = "xalu"
+        instr.mnemonic = mnemonic
+        instr.rt = bits(word, 25, 21)
+        instr.ra = bits(word, 20, 16)
+        instr.rb = bits(word, 15, 11)
+        instr.sets_cr = bool(instr.rc)
+        if xo in _X_MULDIV:
+            instr.unit = UNIT_IU1
+        else:
+            instr.unit = UNIT_IU2
+        if xo in _X_LOGICAL:
+            # X-form logical: rA <- rS op rB (rt field is the source rS)
+            instr.src_regs = (instr.rt, instr.rb)
+            instr.dst_regs = (instr.ra,)
+            instr.text = f"{mnemonic} r{instr.ra}, r{instr.rt}, r{instr.rb}"
+        elif mnemonic == "neg":
+            instr.src_regs = (instr.ra,)
+            instr.dst_regs = (instr.rt,)
+            instr.text = f"neg r{instr.rt}, r{instr.ra}"
+        else:
+            instr.src_regs = (instr.ra, instr.rb)
+            instr.dst_regs = (instr.rt,)
+            instr.text = f"{mnemonic} r{instr.rt}, r{instr.ra}, r{instr.rb}"
+    else:
+        instr.mnemonic = "illegal"
+        instr.text = f".word {word:#010x}"
+        return
+    _finish_cr(instr)

@@ -1,0 +1,111 @@
+"""PowerPC-like instruction word builders (used by the assembler)."""
+
+from __future__ import annotations
+
+from . import isa
+
+
+def _check_reg(reg: int) -> int:
+    if not 0 <= reg < 32:
+        raise ValueError(f"register r{reg} out of range")
+    return reg
+
+
+def _simm16(value: int) -> int:
+    if not -(1 << 15) <= value < (1 << 15):
+        raise ValueError(f"immediate {value} out of signed 16-bit range")
+    return value & 0xFFFF
+
+
+def _uimm16(value: int) -> int:
+    if not 0 <= value < (1 << 16):
+        raise ValueError(f"immediate {value} out of unsigned 16-bit range")
+    return value
+
+
+def d_form(opcd: int, rt: int, ra: int, imm: int, signed: bool = True) -> int:
+    field = _simm16(imm) if signed else _uimm16(imm)
+    return (opcd << 26) | (_check_reg(rt) << 21) | (_check_reg(ra) << 16) | field
+
+
+def x_form(xo: int, rt: int, ra: int, rb: int, rc: int = 0) -> int:
+    return (
+        (isa.OP_X << 26)
+        | (_check_reg(rt) << 21)
+        | (_check_reg(ra) << 16)
+        | (_check_reg(rb) << 11)
+        | (xo << 1)
+        | rc
+    )
+
+
+def cmp_form(xo: int, ra: int, rb: int) -> int:
+    # crfD = 0, L = 0
+    return (isa.OP_X << 26) | (_check_reg(ra) << 16) | (_check_reg(rb) << 11) | (xo << 1)
+
+
+def cmpi_form(opcd: int, ra: int, imm: int, signed: bool = True) -> int:
+    field = _simm16(imm) if signed else _uimm16(imm)
+    return (opcd << 26) | (_check_reg(ra) << 16) | field
+
+
+def i_form(target_offset: int, aa: int = 0, lk: int = 0) -> int:
+    if target_offset % 4:
+        raise ValueError(f"branch offset {target_offset} not word aligned")
+    if not -(1 << 25) <= target_offset < (1 << 25):
+        raise ValueError(f"branch offset {target_offset} out of 26-bit range")
+    return (isa.OP_B << 26) | (target_offset & 0x03FFFFFC) | (aa << 1) | lk
+
+
+def b_form(bo: int, bi: int, target_offset: int, aa: int = 0, lk: int = 0) -> int:
+    if target_offset % 4:
+        raise ValueError(f"branch offset {target_offset} not word aligned")
+    if not -(1 << 15) <= target_offset < (1 << 15):
+        raise ValueError(f"conditional branch offset {target_offset} out of range")
+    return (
+        (isa.OP_BC << 26)
+        | (bo << 21)
+        | (bi << 16)
+        | (target_offset & 0xFFFC)
+        | (aa << 1)
+        | lk
+    )
+
+
+def xl_form(xo: int, bo: int, bi: int, lk: int = 0) -> int:
+    return (isa.OP_XL << 26) | (bo << 21) | (bi << 16) | (xo << 1) | lk
+
+
+def rlwinm(rs: int, ra: int, sh: int, mb: int, me: int, rc: int = 0) -> int:
+    for field, name in ((sh, "SH"), (mb, "MB"), (me, "ME")):
+        if not 0 <= field < 32:
+            raise ValueError(f"rlwinm {name} field {field} out of range")
+    return (
+        (isa.OP_RLWINM << 26)
+        | (_check_reg(rs) << 21)
+        | (_check_reg(ra) << 16)
+        | (sh << 11)
+        | (mb << 6)
+        | (me << 1)
+        | rc
+    )
+
+
+def srawi(rs: int, ra: int, sh: int, rc: int = 0) -> int:
+    return (
+        (isa.OP_X << 26)
+        | (_check_reg(rs) << 21)
+        | (_check_reg(ra) << 16)
+        | (sh << 11)
+        | (isa.XO_SRAWI << 1)
+        | rc
+    )
+
+
+def spr_move(xo: int, reg: int, spr: int) -> int:
+    spr_field = ((spr & 0x1F) << 5) | ((spr >> 5) & 0x1F)
+    return (isa.OP_X << 26) | (_check_reg(reg) << 21) | (spr_field << 11) | (xo << 1)
+
+
+def sc_form() -> int:
+    return (isa.OP_SC << 26) | 2

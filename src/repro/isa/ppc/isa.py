@@ -1,0 +1,119 @@
+"""PowerPC-like subset ISA: architectural constants and opcode tables.
+
+The subset covers what the PPC-750 case study exercises: D-form integer
+arithmetic/logic, XO-form register arithmetic including multiply/divide,
+X-form logic and shifts, ``rlwinm``, word/byte loads and stores in D-form
+and indexed X-form, compares writing CR0, the full conditional-branch
+family including the CTR-decrementing forms, LR/CTR moves, and ``sc`` for
+syscalls.  Encodings follow the PowerPC UISA field layouts for these
+classes.
+
+CR handling is simplified to CR0 only (``crfD = 0`` compares), which is
+what compiler-generated integer code overwhelmingly uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+N_REGS = 32
+#: pseudo-register numbers for hazard tracking
+CR0_REG = 32
+LR_REG = 33
+CTR_REG = 34
+N_HAZARD_REGS = 35
+
+#: primary opcodes (bits 31:26 of the word, PowerPC "OPCD")
+OP_MULLI = 7
+OP_CMPLWI = 10
+OP_CMPWI = 11
+OP_ADDIC = 12
+OP_ADDI = 14
+OP_ADDIS = 15
+OP_BC = 16
+OP_SC = 17
+OP_B = 18
+OP_XL = 19
+OP_RLWINM = 21
+OP_ORI = 24
+OP_ORIS = 25
+OP_XORI = 26
+OP_ANDI = 28
+OP_X = 31
+OP_LWZ = 32
+OP_LBZ = 34
+OP_STW = 36
+OP_STB = 38
+OP_LHZ = 40
+OP_LHA = 42
+OP_STH = 44
+OP_SUBFIC = 8
+
+#: extended opcodes under primary 31 (bits 10:1)
+XO_CMPW = 0
+XO_SUBFC = 8
+XO_LWZX = 23
+XO_SLW = 24
+XO_AND = 28
+XO_CMPLW = 32
+XO_SUBF = 40
+XO_MULHW = 75
+XO_LBZX = 87
+XO_NEG = 104
+XO_STWX = 151
+XO_STBX = 215
+XO_MULLW = 235
+XO_ADD = 266
+XO_XOR = 316
+XO_MFSPR = 339
+XO_MTSPR = 467
+XO_DIVWU = 459
+XO_DIVW = 491
+XO_OR = 444
+XO_SRW = 536
+XO_SRAW = 792
+XO_SRAWI = 824
+XO_EXTSB = 954
+XO_EXTSH = 922
+XO_CNTLZW = 26
+
+#: extended opcodes under primary 19 (XL-form)
+XL_BCLR = 16
+XL_BCCTR = 528
+
+#: SPR numbers
+SPR_LR = 8
+SPR_CTR = 9
+
+#: BO field values (simplified: the forms compilers emit)
+BO_ALWAYS = 0b10100  # branch always
+BO_TRUE = 0b01100    # branch if CR bit true
+BO_FALSE = 0b00100   # branch if CR bit false
+BO_DNZ = 0b10000     # decrement CTR, branch if CTR != 0
+BO_DZ = 0b10010      # decrement CTR, branch if CTR == 0
+
+#: CR0 bit indices (BI field)
+CR_LT = 0
+CR_GT = 1
+CR_EQ = 2
+CR_SO = 3
+
+#: conditional-branch mnemonics -> (BO, BI)
+BRANCH_CONDITIONS: Dict[str, tuple] = {
+    "blt": (BO_TRUE, CR_LT),
+    "bgt": (BO_TRUE, CR_GT),
+    "beq": (BO_TRUE, CR_EQ),
+    "bge": (BO_FALSE, CR_LT),
+    "ble": (BO_FALSE, CR_GT),
+    "bne": (BO_FALSE, CR_EQ),
+    "bdnz": (BO_DNZ, 0),
+    "bdz": (BO_DZ, 0),
+}
+
+#: function-unit classes of the MPC750 (Section 5.2: "6 function units")
+UNIT_IU1 = "iu1"   # integer unit 1: all integer including mul/div
+UNIT_IU2 = "iu2"   # integer unit 2: all except mul/div
+UNIT_SRU = "sru"   # system register unit
+UNIT_LSU = "lsu"   # load/store unit
+UNIT_FPU = "fpu"   # floating point (present for structure; unused by the subset)
+UNIT_BPU = "bpu"   # branch processing unit

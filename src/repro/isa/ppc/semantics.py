@@ -1,0 +1,319 @@
+"""PowerPC-like instruction semantics.
+
+The CR0 field maps onto the shared :class:`~repro.iss.state.ArchState`
+flags: ``flag_n`` = LT, ``flag_c`` = GT, ``flag_z`` = EQ (``flag_v`` is
+unused by this target).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..bits import s32, u32
+from .decode import PpcInstruction
+from .isa import CR_EQ, CR_GT, CR_LT, SPR_LR
+
+
+class ExecInfo:
+    """Outcome of executing one instruction (same shape as the ARM one)."""
+
+    __slots__ = ("executed", "next_pc", "mem_addr", "mem_addrs", "mem_is_store",
+                 "mul_operand", "taken")
+
+    def __init__(self, executed: bool, next_pc: int):
+        self.executed = executed
+        self.next_pc = next_pc
+        self.mem_addr: Optional[int] = None
+        #: multi-beat accesses (unused by the PPC subset; API symmetry)
+        self.mem_addrs = None
+        self.mem_is_store = False
+        self.mul_operand: Optional[int] = None
+        self.taken = False
+
+
+def _set_cr0(state, value: int) -> None:
+    signed = s32(value)
+    state.flag_n = 1 if signed < 0 else 0   # LT
+    state.flag_c = 1 if signed > 0 else 0   # GT
+    state.flag_z = 1 if signed == 0 else 0  # EQ
+
+
+def _cr0_bit(state, bi: int) -> int:
+    if bi == CR_LT:
+        return state.flag_n
+    if bi == CR_GT:
+        return state.flag_c
+    if bi == CR_EQ:
+        return state.flag_z
+    return 0  # SO unimplemented
+
+
+def _branch_condition(state, bo: int, bi: int) -> bool:
+    """Evaluate the BO/BI condition (CTR decrement included)."""
+    ctr_ok = True
+    if not (bo & 0b00100):  # decrement CTR
+        state.ctr = u32(state.ctr - 1)
+        ctr_zero = state.ctr == 0
+        want_zero = bool(bo & 0b00010)
+        ctr_ok = ctr_zero == want_zero
+    cond_ok = True
+    if not (bo & 0b10000):
+        want_true = bool(bo & 0b01000)
+        cond_ok = bool(_cr0_bit(state, bi)) == want_true
+    return ctr_ok and cond_ok
+
+
+def execute(state, instr: PpcInstruction) -> ExecInfo:
+    """Apply *instr* to *state*; returns the :class:`ExecInfo` record."""
+    sequential = u32(instr.addr + 4)
+    info = ExecInfo(True, sequential)
+    kind = instr.kind
+    if kind == "dalu":
+        _execute_dalu(state, instr)
+    elif kind in ("cmp", "cmpi"):
+        _execute_cmp(state, instr)
+    elif kind in ("mem", "memx"):
+        _execute_mem(state, instr, info)
+    elif kind == "xalu":
+        _execute_xalu(state, instr, info)
+    elif kind == "rlwinm":
+        _execute_rlwinm(state, instr)
+    elif kind == "srawi":
+        _execute_srawi(state, instr)
+    elif kind == "xunary":
+        _execute_xunary(state, instr)
+    elif kind == "b":
+        if instr.lk:
+            state.lr = sequential
+        target = instr.imm if instr.aa else instr.addr + instr.imm
+        info.next_pc = u32(target)
+        info.taken = True
+    elif kind == "bc":
+        if instr.lk:
+            state.lr = sequential
+        if _branch_condition(state, instr.bo, instr.bi):
+            target = instr.imm if instr.aa else instr.addr + instr.imm
+            info.next_pc = u32(target)
+            info.taken = True
+    elif kind == "bclr":
+        target = state.lr & ~3
+        if instr.lk:
+            state.lr = sequential
+        if _branch_condition(state, instr.bo, instr.bi):
+            info.next_pc = u32(target)
+            info.taken = True
+    elif kind == "bcctr":
+        if instr.lk:
+            state.lr = sequential
+        if _branch_condition(state, instr.bo, instr.bi):
+            info.next_pc = state.ctr & ~3
+            info.taken = True
+    elif kind == "mtspr":
+        value = state.read_reg(instr.rt)
+        if instr.spr == SPR_LR:
+            state.lr = value
+        else:
+            state.ctr = value
+    elif kind == "mfspr":
+        value = state.lr if instr.spr == SPR_LR else state.ctr
+        state.write_reg(instr.rt, value)
+    elif kind == "sc":
+        state.syscalls.handle(state, state.read_reg(0))
+    else:
+        raise ValueError(f"illegal instruction at {instr.addr:#x}: {instr.word:#010x}")
+    state.pc = info.next_pc
+    return info
+
+
+def _execute_dalu(state, instr: PpcInstruction) -> None:
+    mnemonic = instr.mnemonic
+    if mnemonic in ("ori", "oris", "xori", "andi."):
+        source = state.read_reg(instr.rt)
+        imm = instr.imm
+        if mnemonic == "ori":
+            result = source | imm
+        elif mnemonic == "oris":
+            result = source | (imm << 16)
+        elif mnemonic == "xori":
+            result = source ^ imm
+        else:  # andi.
+            result = source & imm
+        result = u32(result)
+        state.write_reg(instr.ra, result)
+        if mnemonic == "andi.":
+            _set_cr0(state, result)
+        return
+    base = 0 if instr.ra == 0 and mnemonic in ("addi", "addis") else state.read_reg(instr.ra)
+    if mnemonic == "addi" or mnemonic == "addic":
+        result = base + instr.imm
+    elif mnemonic == "addis":
+        result = base + (instr.imm << 16)
+    elif mnemonic == "subfic":
+        result = instr.imm - s32(base)
+    else:  # mulli
+        result = s32(base) * instr.imm
+    state.write_reg(instr.rt, u32(result))
+
+
+def _execute_cmp(state, instr: PpcInstruction) -> None:
+    a = state.read_reg(instr.ra)
+    if instr.kind == "cmpi":
+        b = instr.imm
+        signed = instr.mnemonic == "cmpwi"
+    else:
+        b = state.read_reg(instr.rb)
+        signed = instr.mnemonic == "cmpw"
+    if signed:
+        left = s32(a)
+        right = s32(b) if instr.kind == "cmp" else instr.imm
+    else:
+        left = u32(a)
+        right = u32(b) if instr.kind == "cmp" else (instr.imm & 0xFFFF)
+    state.flag_n = 1 if left < right else 0
+    state.flag_c = 1 if left > right else 0
+    state.flag_z = 1 if left == right else 0
+
+
+def _execute_mem(state, instr: PpcInstruction, info: ExecInfo) -> None:
+    base = 0 if instr.ra == 0 else state.read_reg(instr.ra)
+    if instr.kind == "mem":
+        address = u32(base + instr.imm)
+    else:
+        address = u32(base + state.read_reg(instr.rb))
+    info.mem_addr = address
+    info.mem_is_store = instr.is_store
+    mnemonic = instr.mnemonic
+    byte = mnemonic in ("lbz", "stb", "lbzx", "stbx")
+    half = mnemonic in ("lhz", "lha", "sth")
+    if instr.is_load:
+        if byte:
+            value = state.memory.read_byte(address)
+        elif half:
+            value = state.memory.read_half(address & ~1)
+            if mnemonic == "lha" and value & 0x8000:
+                value |= 0xFFFF0000
+        else:
+            value = state.memory.read_word(address & ~3)
+        state.write_reg(instr.rt, value)
+    else:
+        value = state.read_reg(instr.rt)
+        if byte:
+            state.memory.write_byte(address, value & 0xFF)
+        elif half:
+            state.memory.write_half(address & ~1, value & 0xFFFF)
+        else:
+            state.memory.write_word(address & ~3, value)
+
+
+def _execute_xalu(state, instr: PpcInstruction, info: ExecInfo) -> None:
+    mnemonic = instr.mnemonic
+    if mnemonic == "neg":
+        result = u32(-s32(state.read_reg(instr.ra)))
+        state.write_reg(instr.rt, result)
+        if instr.rc:
+            _set_cr0(state, result)
+        return
+    if mnemonic in ("and", "or", "xor", "slw", "srw", "sraw"):
+        source = state.read_reg(instr.rt)  # rS
+        operand = state.read_reg(instr.rb)
+        if mnemonic == "and":
+            result = source & operand
+        elif mnemonic == "or":
+            result = source | operand
+        elif mnemonic == "xor":
+            result = source ^ operand
+        elif mnemonic == "slw":
+            amount = operand & 0x3F
+            result = 0 if amount > 31 else u32(source << amount)
+        elif mnemonic == "srw":
+            amount = operand & 0x3F
+            result = 0 if amount > 31 else u32(source) >> amount
+        else:  # sraw
+            amount = operand & 0x3F
+            result = u32(s32(source) >> min(amount, 31))
+        result = u32(result)
+        state.write_reg(instr.ra, result)
+        if instr.rc:
+            _set_cr0(state, result)
+        return
+    a = state.read_reg(instr.ra)
+    b = state.read_reg(instr.rb)
+    if mnemonic == "add":
+        result = a + b
+    elif mnemonic in ("subf", "subfc"):
+        result = b - a
+    elif mnemonic == "mullw":
+        result = s32(a) * s32(b)
+        info.mul_operand = b
+    elif mnemonic == "mulhw":
+        result = (s32(a) * s32(b)) >> 32
+        info.mul_operand = b
+    elif mnemonic == "divw":
+        divisor = s32(b)
+        result = 0 if divisor == 0 else _div_trunc(s32(a), divisor)
+        info.mul_operand = b
+    else:  # divwu
+        divisor = u32(b)
+        result = 0 if divisor == 0 else u32(a) // divisor
+        info.mul_operand = b
+    result = u32(result)
+    state.write_reg(instr.rt, result)
+    if instr.rc:
+        _set_cr0(state, result)
+
+
+def _div_trunc(a: int, b: int) -> int:
+    """Signed division truncating toward zero (PowerPC divw rounding)."""
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+def _rotl32(value: int, amount: int) -> int:
+    amount &= 31
+    value = u32(value)
+    if amount == 0:
+        return value
+    return u32((value << amount) | (value >> (32 - amount)))
+
+
+def _mask(mb: int, me: int) -> int:
+    """PowerPC MB..ME mask (big-endian bit numbering).
+
+    A wrapped mask (MB > ME) selects both ends; MB == ME + 1 selects all
+    32 bits (the full-mask wrap case of the architecture).
+    """
+    if mb <= me:
+        width = me - mb + 1
+        return ((1 << width) - 1) << (31 - me)
+    if mb == me + 1:
+        return 0xFFFFFFFF
+    return u32(~_mask(me + 1, mb - 1))
+
+
+def _execute_rlwinm(state, instr: PpcInstruction) -> None:
+    rotated = _rotl32(state.read_reg(instr.rt), instr.sh)
+    result = rotated & _mask(instr.mb, instr.me)
+    state.write_reg(instr.ra, result)
+    if instr.rc:
+        _set_cr0(state, result)
+
+
+def _execute_xunary(state, instr: PpcInstruction) -> None:
+    source = state.read_reg(instr.rt)
+    if instr.mnemonic == "extsb":
+        result = (source & 0xFF) | (0xFFFFFF00 if source & 0x80 else 0)
+    elif instr.mnemonic == "extsh":
+        result = (source & 0xFFFF) | (0xFFFF0000 if source & 0x8000 else 0)
+    else:  # cntlzw
+        value = u32(source)
+        result = 32 - value.bit_length() if value else 32
+    state.write_reg(instr.ra, u32(result))
+    if instr.rc:
+        _set_cr0(state, result)
+
+
+def _execute_srawi(state, instr: PpcInstruction) -> None:
+    result = u32(s32(state.read_reg(instr.rt)) >> instr.sh)
+    state.write_reg(instr.ra, result)
+    if instr.rc:
+        _set_cr0(state, result)

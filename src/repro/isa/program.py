@@ -1,0 +1,88 @@
+"""Program images: the ELF-lite container produced by the assembler.
+
+The paper's case studies run "user-level ELF binaries" through existing
+instruction-set simulators.  Our substitute is :class:`Program`, a minimal
+relocatable image with ``.text``/``.data`` sections, a symbol table and an
+entry point — everything the ISS and the micro-architecture models need,
+without the ELF container format.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+
+class Section:
+    """A contiguous byte region at a fixed load address."""
+
+    __slots__ = ("name", "base", "data")
+
+    def __init__(self, name: str, base: int, data: bytes = b""):
+        self.name = name
+        self.base = base
+        self.data = bytearray(data)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+    def words(self) -> List[int]:
+        """The section contents as little-endian 32-bit words (zero-padded)."""
+        padded = bytes(self.data) + b"\x00" * (-len(self.data) % 4)
+        return list(struct.unpack(f"<{len(padded) // 4}I", padded))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Section({self.name!r}, base={self.base:#x}, size={self.size})"
+
+
+class Program:
+    """An assembled program: sections + symbols + entry point."""
+
+    def __init__(self, entry: int = 0):
+        self.entry = entry
+        self.sections: Dict[str, Section] = {}
+        self.symbols: Dict[str, int] = {}
+
+    def add_section(self, name: str, base: int, data: bytes) -> Section:
+        if name in self.sections:
+            raise ValueError(f"duplicate section {name!r}")
+        section = Section(name, base, data)
+        self.sections[name] = section
+        return section
+
+    @property
+    def text(self) -> Optional[Section]:
+        return self.sections.get(".text")
+
+    @property
+    def data(self) -> Optional[Section]:
+        return self.sections.get(".data")
+
+    def load_into(self, memory) -> None:
+        """Copy every section into *memory* (anything with write_block)."""
+        for section in self.sections.values():
+            memory.write_block(section.base, bytes(section.data))
+
+    def text_words(self) -> List[Tuple[int, int]]:
+        """(address, instruction word) pairs for the text section."""
+        text = self.text
+        if text is None:
+            return []
+        return [(text.base + 4 * i, w) for i, w in enumerate(text.words())]
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise KeyError(f"undefined symbol {name!r}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Program(entry={self.entry:#x}, sections="
+            f"{sorted(self.sections)}, {len(self.symbols)} symbols)"
+        )

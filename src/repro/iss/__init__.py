@@ -1,0 +1,22 @@
+"""Instruction-set simulators (interpreted and dynamically compiled) and
+the functional oracle."""
+
+from .compiled import CompiledArmInterpreter
+from .interpreter import ArmInterpreter, BaseInterpreter, IssError, PpcInterpreter
+from .oracle import ExecRecord, Oracle
+from .state import ArchState, RegisterFile
+from .syscalls import SyscallError, SyscallHandler
+
+__all__ = [
+    "ArchState",
+    "ArmInterpreter",
+    "CompiledArmInterpreter",
+    "BaseInterpreter",
+    "ExecRecord",
+    "IssError",
+    "Oracle",
+    "PpcInterpreter",
+    "RegisterFile",
+    "SyscallError",
+    "SyscallHandler",
+]

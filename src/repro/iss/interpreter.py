@@ -1,0 +1,129 @@
+"""Interpreted instruction-set simulators.
+
+One interpreter class per target ISA, sharing the decode-cache + step()
+organisation.  These are the "existing ISSs" of Section 5 that the
+micro-architecture models are based on: they own architectural state and
+functional execution, while the OSM models own the timing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..isa.program import Program
+from ..memory.mainmem import MainMemory
+from .state import ArchState
+from .syscalls import SyscallHandler
+
+
+class IssError(Exception):
+    """Raised when functional execution cannot continue."""
+
+
+class BaseInterpreter:
+    """Shared machinery: decode cache, run loop, instruction budget."""
+
+    #: subclasses set: ISA hooks
+    n_regs = 16
+
+    def __init__(self, program: Program, stdin: bytes = b"", stack_top: int = 0x80000):
+        self.program = program
+        memory = MainMemory()
+        program.load_into(memory)
+        self.syscalls = self._make_syscalls(stdin)
+        self.state = ArchState(self.n_regs, memory, self.syscalls)
+        self.state.pc = program.entry
+        self._init_state(stack_top)
+        self._decode_cache: Dict[int, object] = {}
+        self.steps = 0
+
+    # -- ISA hooks ------------------------------------------------------------
+
+    def _make_syscalls(self, stdin: bytes) -> SyscallHandler:
+        raise NotImplementedError
+
+    def _init_state(self, stack_top: int) -> None:
+        """Set up the ABI environment (stack pointer etc.)."""
+
+    def _decode(self, addr: int, word: int):
+        raise NotImplementedError
+
+    def _execute(self, instr):
+        raise NotImplementedError
+
+    # -- execution --------------------------------------------------------------
+
+    def fetch_decode(self, addr: int):
+        """Decode (with caching) the instruction at *addr*."""
+        instr = self._decode_cache.get(addr)
+        if instr is None:
+            word = self.state.memory.read_word(addr)
+            instr = self._decode(addr, word)
+            self._decode_cache[addr] = instr
+        return instr
+
+    def step(self):
+        """Execute one instruction; returns (instr, exec_info)."""
+        if self.state.halted:
+            raise IssError("stepping a halted machine")
+        pc = self.state.pc
+        instr = self.fetch_decode(pc)
+        info = self._execute(instr)
+        self.state.instret += 1
+        self.steps += 1
+        return instr, info
+
+    def run(self, max_steps: int = 50_000_000) -> int:
+        """Run to the exit syscall; returns the exit code."""
+        state = self.state
+        while not state.halted:
+            if self.steps >= max_steps:
+                raise IssError(f"program exceeded {max_steps} instructions")
+            self.step()
+        return state.exit_code
+
+
+class ArmInterpreter(BaseInterpreter):
+    """ISS for the ARM-like target."""
+
+    n_regs = 16
+
+    def _make_syscalls(self, stdin: bytes) -> SyscallHandler:
+        return SyscallHandler(arg_regs=(0, 1, 2), ret_reg=0, stdin=stdin)
+
+    def _init_state(self, stack_top: int) -> None:
+        from ..isa.arm.isa import SP
+
+        self.state.write_reg(SP, stack_top)
+
+    def _decode(self, addr: int, word: int):
+        from ..isa.arm.decode import decode
+
+        return decode(addr, word)
+
+    def _execute(self, instr):
+        from ..isa.arm.semantics import execute
+
+        return execute(self.state, instr)
+
+
+class PpcInterpreter(BaseInterpreter):
+    """ISS for the PowerPC-like target."""
+
+    n_regs = 32
+
+    def _make_syscalls(self, stdin: bytes) -> SyscallHandler:
+        return SyscallHandler(arg_regs=(3, 4, 5), ret_reg=3, stdin=stdin)
+
+    def _init_state(self, stack_top: int) -> None:
+        self.state.write_reg(1, stack_top)  # r1 is the PPC stack pointer
+
+    def _decode(self, addr: int, word: int):
+        from ..isa.ppc.decode import decode
+
+        return decode(addr, word)
+
+    def _execute(self, instr):
+        from ..isa.ppc.semantics import execute
+
+        return execute(self.state, instr)

@@ -1,0 +1,90 @@
+"""The functional oracle: in-order execution records for timing models.
+
+The micro-architecture models are *functional-first*: the ISS executes the
+program in architectural order and the timing model consumes the resulting
+:class:`ExecRecord` stream — the classic organisation for cycle simulators
+built "on top of ISSs" (paper Section 1).  Control speculation is still
+modelled faithfully: the fetch machinery compares its (possibly predicted)
+fetch PC against the oracle's next correct-path record, creates *wrong
+path* operations for mismatches by decoding straight from program memory,
+and kills them through the reset manager when the branch resolves, exactly
+as Section 4 describes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .interpreter import BaseInterpreter
+
+
+class ExecRecord:
+    """One architecturally-executed instruction."""
+
+    __slots__ = ("index", "instr", "pc", "next_pc", "executed", "taken", "mem_addr",
+                 "mem_is_store", "mul_operand")
+
+    def __init__(self, index: int, instr, info):
+        self.index = index
+        self.instr = instr
+        self.pc = instr.addr
+        self.next_pc = info.next_pc
+        #: False when a conditional instruction's condition failed
+        self.executed = info.executed
+        self.taken = getattr(info, "taken", False)
+        self.mem_addr = getattr(info, "mem_addr", None)
+        self.mem_is_store = getattr(info, "mem_is_store", False)
+        self.mul_operand = getattr(info, "mul_operand", None)
+
+    @property
+    def is_control_transfer(self) -> bool:
+        return self.next_pc != ((self.pc + 4) & 0xFFFFFFFF)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ExecRecord({self.index}: {self.instr.text} -> {self.next_pc:#x})"
+
+
+class Oracle:
+    """Lazily-extended trace of correct-path execution.
+
+    ``record(i)`` runs the ISS forward as needed and returns the i-th
+    record; ``length`` is the total number of instructions once the
+    program has exited (None while unknown).  The oracle also exposes the
+    underlying interpreter for syscall output and final state checks.
+    """
+
+    def __init__(self, interpreter: BaseInterpreter, max_steps: int = 50_000_000):
+        self.interpreter = interpreter
+        self.max_steps = max_steps
+        self._records: List[ExecRecord] = []
+        self.length: Optional[int] = None
+
+    @property
+    def exit_code(self) -> int:
+        return self.interpreter.state.exit_code
+
+    def record(self, index: int) -> Optional[ExecRecord]:
+        """The *index*-th correct-path record, or None past program exit."""
+        while len(self._records) <= index:
+            if self.interpreter.state.halted:
+                self.length = len(self._records)
+                return None
+            if self.interpreter.steps >= self.max_steps:
+                raise RuntimeError(f"oracle exceeded {self.max_steps} instructions")
+            instr, info = self.interpreter.step()
+            self._records.append(ExecRecord(len(self._records), instr, info))
+            if self.interpreter.state.halted:
+                self.length = len(self._records)
+        return self._records[index]
+
+    def run_to_completion(self) -> int:
+        """Force full execution; returns the instruction count."""
+        index = 0
+        while self.record(index) is not None:
+            index += 1
+        assert self.length is not None
+        return self.length
+
+    def decode_at(self, addr: int):
+        """Decode the static instruction at *addr* (for wrong-path fetch)."""
+        return self.interpreter.fetch_decode(addr)

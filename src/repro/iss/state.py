@@ -1,0 +1,69 @@
+"""Architectural state shared by the instruction-set simulators."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..memory.mainmem import MainMemory
+
+
+class RegisterFile:
+    """A flat integer register file (32-bit values)."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, n_regs: int):
+        self.values: List[int] = [0] * n_regs
+
+    def read(self, reg: int) -> int:
+        return self.values[reg]
+
+    def write(self, reg: int, value: int) -> None:
+        self.values[reg] = value & 0xFFFFFFFF
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class ArchState:
+    """Architectural state for a single-context processor.
+
+    Holds the general register file, program counter, condition flags
+    (used as NZCV by the ARM-like target and as CR0 LT/GT/EQ by the
+    PowerPC-like target), special registers (LR/CTR for PPC), memory and
+    the syscall handler.  The halt latch is set by the exit syscall.
+    """
+
+    def __init__(self, n_regs: int, memory: Optional[MainMemory] = None, syscalls=None):
+        self.regs = RegisterFile(n_regs)
+        self.pc = 0
+        self.flag_n = 0
+        self.flag_z = 0
+        self.flag_c = 0
+        self.flag_v = 0
+        #: PPC special registers (unused by the ARM target)
+        self.lr = 0
+        self.ctr = 0
+        self.memory = memory if memory is not None else MainMemory()
+        self.syscalls = syscalls
+        self.halted = False
+        self.exit_code = 0
+        self.instret = 0
+
+    def read_reg(self, reg: int) -> int:
+        return self.regs.read(reg)
+
+    def write_reg(self, reg: int, value: int) -> None:
+        self.regs.write(reg, value)
+
+    @property
+    def flags_word(self) -> int:
+        """NZCV packed into bits 31..28 (CPSR-style view, for tests)."""
+        return (self.flag_n << 31) | (self.flag_z << 30) | (self.flag_c << 29) | (self.flag_v << 28)
+
+    def halt(self, code: int = 0) -> None:
+        self.halted = True
+        self.exit_code = code & 0xFF
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ArchState(pc={self.pc:#x}, halted={self.halted})"

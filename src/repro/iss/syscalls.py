@@ -1,0 +1,80 @@
+"""Minimal syscall emulation.
+
+The paper bases its models on ISSs "capable of simulating user-level ELF
+binaries"; the interesting system-call surface for kernels and benchmarks
+is tiny, so we implement exactly what the workloads need:
+
+====  ==========  ========================================================
+ #    name        behaviour
+====  ==========  ========================================================
+ 0    exit        halt with exit code in arg0
+ 1    putc        append chr(arg0) to the output buffer
+ 2    write       append memory[arg0 .. arg0+arg1) to the output buffer
+ 3    getc        return next byte of the input buffer, or -1
+ 4    cycles      return the retired-instruction count (a fast clock)
+====  ==========  ========================================================
+
+Both targets share the handler; the ISA adapter supplies the argument /
+return register mapping (ARM: r0..r2 / r0; PPC: r3..r5 / r3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+SYS_EXIT = 0
+SYS_PUTC = 1
+SYS_WRITE = 2
+SYS_GETC = 3
+SYS_CYCLES = 4
+
+
+class SyscallError(Exception):
+    """Raised for unknown syscall numbers."""
+
+
+class SyscallHandler:
+    """Syscall implementation over an :class:`~repro.iss.state.ArchState`.
+
+    Parameters
+    ----------
+    arg_regs:
+        Register numbers carrying arguments (e.g. ``(0, 1, 2)`` for ARM).
+    ret_reg:
+        Register receiving the return value.
+    stdin:
+        Optional input bytes served by ``getc``.
+    """
+
+    def __init__(self, arg_regs: Sequence[int] = (0, 1, 2), ret_reg: int = 0, stdin: bytes = b""):
+        self.arg_regs = tuple(arg_regs)
+        self.ret_reg = ret_reg
+        self.output = bytearray()
+        self._stdin = bytes(stdin)
+        self._stdin_pos = 0
+        self.calls = 0
+
+    @property
+    def output_text(self) -> str:
+        return self.output.decode("latin-1")
+
+    def handle(self, state, number: int) -> None:
+        self.calls += 1
+        args = [state.read_reg(r) for r in self.arg_regs]
+        if number == SYS_EXIT:
+            state.halt(args[0])
+        elif number == SYS_PUTC:
+            self.output.append(args[0] & 0xFF)
+        elif number == SYS_WRITE:
+            self.output.extend(state.memory.read_block(args[0], args[1]))
+        elif number == SYS_GETC:
+            if self._stdin_pos < len(self._stdin):
+                value = self._stdin[self._stdin_pos]
+                self._stdin_pos += 1
+            else:
+                value = 0xFFFFFFFF  # -1
+            state.write_reg(self.ret_reg, value)
+        elif number == SYS_CYCLES:
+            state.write_reg(self.ret_reg, state.instret & 0xFFFFFFFF)
+        else:
+            raise SyscallError(f"unknown syscall number {number}")

@@ -1,0 +1,8 @@
+"""Memory subsystem: main memory, caches, TLBs and the bus."""
+
+from .bus import MemoryBus
+from .cache import Cache, CacheStats
+from .mainmem import MainMemory
+from .tlb import Tlb, TlbStats
+
+__all__ = ["Cache", "CacheStats", "MainMemory", "MemoryBus", "Tlb", "TlbStats"]

@@ -1,0 +1,139 @@
+"""Set-associative cache timing model.
+
+Lives purely in the hardware layer (the paper: "The caches, the TLBs and
+the bus interface unit do not interact directly with operations and do not
+need any TMI").  The cache is a *timing* model: it tracks tags and
+replacement state and answers "how many cycles does this access take", but
+data travel through the backing :class:`~repro.memory.mainmem.MainMemory`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class CacheStats:
+    __slots__ = ("accesses", "hits", "misses", "writebacks")
+
+    def __init__(self):
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class Cache:
+    """A set-associative cache with true-LRU replacement.
+
+    Parameters mirror the SA-1100 and MPC750 structures used by the case
+    studies: the StrongARM model uses a 16 KB/32-way I-cache and a
+    8 KB/32-way D-cache with 32-byte lines; the PPC-750 model uses
+    32 KB/8-way unified parameters per side.
+
+    ``access`` returns the access latency in cycles (``hit_latency`` or
+    ``hit_latency + miss_penalty``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size: int = 16 * 1024,
+        line_size: int = 32,
+        assoc: int = 32,
+        hit_latency: int = 1,
+        miss_penalty: int = 22,
+        write_back: bool = True,
+        next_level: Optional["Cache"] = None,
+    ):
+        if size % (line_size * assoc) != 0:
+            raise ValueError(f"{name}: size {size} not divisible by way size")
+        if line_size & (line_size - 1) or line_size <= 0:
+            raise ValueError(f"{name}: line size {line_size} must be a power of two")
+        n_sets = size // (line_size * assoc)
+        if n_sets & (n_sets - 1):
+            raise ValueError(
+                f"{name}: set count {n_sets} must be a power of two "
+                "(index extraction uses bit masking)"
+            )
+        self.name = name
+        self.line_size = line_size
+        self.assoc = assoc
+        self.n_sets = size // (line_size * assoc)
+        self.hit_latency = hit_latency
+        self.miss_penalty = miss_penalty
+        self.write_back = write_back
+        self.next_level = next_level
+        self.stats = CacheStats()
+        # sets[i] is an LRU-ordered list of (tag, dirty); index 0 = MRU
+        self._sets: List[List[Tuple[int, bool]]] = [[] for _ in range(self.n_sets)]
+        self._offset_bits = line_size.bit_length() - 1
+        self._index_mask = self.n_sets - 1
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address >> self._offset_bits
+        return line & self._index_mask, line >> (self.n_sets.bit_length() - 1)
+
+    def probe(self, address: int) -> bool:
+        """Non-mutating hit check (no replacement, no statistics).
+
+        Used by delta-cycle hardware models whose combinational phase may
+        re-evaluate: the probe answers "would this access hit" without
+        perturbing LRU state; the committed :meth:`access` happens once,
+        at the clock edge.
+        """
+        index, tag = self._locate(address)
+        return any(way_tag == tag for way_tag, _ in self._sets[index])
+
+    def access(self, address: int, is_write: bool = False) -> int:
+        """Simulate one access; returns its latency in cycles."""
+        self.stats.accesses += 1
+        index, tag = self._locate(address)
+        ways = self._sets[index]
+        for position, (way_tag, dirty) in enumerate(ways):
+            if way_tag == tag:
+                self.stats.hits += 1
+                ways.pop(position)
+                ways.insert(0, (tag, dirty or (is_write and self.write_back)))
+                latency = self.hit_latency
+                if is_write and not self.write_back:
+                    latency += self._write_through_latency(address)
+                return latency
+        # miss
+        self.stats.misses += 1
+        latency = self.hit_latency + self.miss_penalty
+        if self.next_level is not None:
+            latency = self.hit_latency + self.next_level.access(address, False)
+        if len(ways) >= self.assoc:
+            _, victim_dirty = ways.pop()
+            if victim_dirty:
+                self.stats.writebacks += 1
+                latency += self._writeback_latency()
+        ways.insert(0, (tag, is_write and self.write_back))
+        if is_write and not self.write_back:
+            latency += self._write_through_latency(address)
+        return latency
+
+    def _write_through_latency(self, address: int) -> int:
+        if self.next_level is not None:
+            return self.next_level.access(address, True)
+        return self.miss_penalty // 2
+
+    def _writeback_latency(self) -> int:
+        # Victim writebacks drain through a write buffer; charge a partial
+        # penalty representing buffer pressure rather than a full round trip.
+        return max(1, self.miss_penalty // 4)
+
+    def flush(self) -> None:
+        self._sets = [[] for _ in range(self.n_sets)]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Cache({self.name!r}, sets={self.n_sets}, assoc={self.assoc}, "
+            f"line={self.line_size})"
+        )

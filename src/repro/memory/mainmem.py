@@ -1,0 +1,88 @@
+"""Sparse flat main memory.
+
+Backing store for both the ISS architectural state and the hardware-layer
+memory modules.  Pages are allocated lazily so programs can scatter text,
+data and stack across a 32-bit space without cost.  All accesses are
+little-endian.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+PAGE_BITS = 12
+PAGE_SIZE = 1 << PAGE_BITS
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class MainMemory:
+    """Lazily-paged 32-bit byte-addressable memory."""
+
+    def __init__(self):
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page(self, address: int) -> bytearray:
+        number = address >> PAGE_BITS
+        page = self._pages.get(number)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[number] = page
+        return page
+
+    # -- byte / word accessors ------------------------------------------------
+
+    def read_byte(self, address: int) -> int:
+        address &= 0xFFFFFFFF
+        page = self._pages.get(address >> PAGE_BITS)
+        if page is None:
+            return 0
+        return page[address & PAGE_MASK]
+
+    def write_byte(self, address: int, value: int) -> None:
+        address &= 0xFFFFFFFF
+        self._page(address)[address & PAGE_MASK] = value & 0xFF
+
+    def read_word(self, address: int) -> int:
+        address &= 0xFFFFFFFF
+        offset = address & PAGE_MASK
+        if offset <= PAGE_SIZE - 4:
+            page = self._pages.get(address >> PAGE_BITS)
+            if page is None:
+                return 0
+            return struct.unpack_from("<I", page, offset)[0]
+        return (
+            self.read_byte(address)
+            | (self.read_byte(address + 1) << 8)
+            | (self.read_byte(address + 2) << 16)
+            | (self.read_byte(address + 3) << 24)
+        )
+
+    def write_word(self, address: int, value: int) -> None:
+        address &= 0xFFFFFFFF
+        offset = address & PAGE_MASK
+        if offset <= PAGE_SIZE - 4:
+            struct.pack_into("<I", self._page(address), offset, value & 0xFFFFFFFF)
+            return
+        for i in range(4):
+            self.write_byte(address + i, (value >> (8 * i)) & 0xFF)
+
+    def read_half(self, address: int) -> int:
+        return self.read_byte(address) | (self.read_byte(address + 1) << 8)
+
+    def write_half(self, address: int, value: int) -> None:
+        self.write_byte(address, value & 0xFF)
+        self.write_byte(address + 1, (value >> 8) & 0xFF)
+
+    # -- block accessors --------------------------------------------------------
+
+    def write_block(self, address: int, data: bytes) -> None:
+        for i, byte in enumerate(data):
+            self.write_byte(address + i, byte)
+
+    def read_block(self, address: int, length: int) -> bytes:
+        return bytes(self.read_byte(address + i) for i in range(length))
+
+    @property
+    def pages_allocated(self) -> int:
+        return len(self._pages)

@@ -1,0 +1,65 @@
+"""Translation lookaside buffer timing model.
+
+The workloads run in a flat (identity-mapped) address space, so the TLB —
+like the hardware TLBs behind the SA-1100's caches — only contributes
+*timing*: a miss costs a table-walk penalty.  Fully-associative with
+true-LRU replacement, matching the 32-entry SA-1100 I/D TLBs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class TlbStats:
+    __slots__ = ("accesses", "hits", "misses")
+
+    def __init__(self):
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class Tlb:
+    """A fully-associative TLB with LRU replacement."""
+
+    def __init__(self, name: str, entries: int = 32, page_bits: int = 12, walk_penalty: int = 20):
+        if entries <= 0:
+            raise ValueError(f"{name}: TLB needs at least one entry")
+        self.name = name
+        self.entries = entries
+        self.page_bits = page_bits
+        self.walk_penalty = walk_penalty
+        self.stats = TlbStats()
+        self._lru: List[int] = []  # page numbers, index 0 = MRU
+
+    def access(self, address: int) -> int:
+        """Translate (identity map); returns the latency in cycles (0 on
+        hit — translation overlaps the cache access — else the walk
+        penalty)."""
+        self.stats.accesses += 1
+        page = address >> self.page_bits
+        lru = self._lru
+        try:
+            position = lru.index(page)
+        except ValueError:
+            self.stats.misses += 1
+            if len(lru) >= self.entries:
+                lru.pop()
+            lru.insert(0, page)
+            return self.walk_penalty
+        self.stats.hits += 1
+        if position:
+            lru.pop(position)
+            lru.insert(0, page)
+        return 0
+
+    def flush(self) -> None:
+        self._lru.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Tlb({self.name!r}, entries={self.entries})"

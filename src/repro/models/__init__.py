@@ -1,0 +1,8 @@
+"""OSM micro-architecture models.
+
+* :mod:`repro.models.pipeline5` — the Section-4 tutorial 5-stage pipeline.
+* :mod:`repro.models.strongarm` — the StrongARM (SA-1100) case study.
+* :mod:`repro.models.ppc750` — the PowerPC-750 out-of-order case study.
+* :mod:`repro.models.vliw` — VLIW extension (Section 6).
+* :mod:`repro.models.multithread` — multithreaded extension (Section 6).
+"""

@@ -1,0 +1,5 @@
+"""Multithreaded extension model (paper Section 6)."""
+
+from .model import MultithreadModel, ThreadContext, ThreadedFetchUnit
+
+__all__ = ["MultithreadModel", "ThreadContext", "ThreadedFetchUnit"]

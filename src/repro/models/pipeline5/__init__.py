@@ -1,0 +1,5 @@
+"""Tutorial 5-stage pipelined RISC model (paper Section 4, Figures 5/6)."""
+
+from .model import DEFAULT_N_OSMS, Pipeline5Model
+
+__all__ = ["DEFAULT_N_OSMS", "Pipeline5Model"]

@@ -1,0 +1,147 @@
+"""PPC-750 branch prediction hardware: BHT and BTIC.
+
+Section 5.2: "The memory subsystem, the branch history table and the
+branch target instruction cache of PowerPC 750 are implemented purely in
+the hardware layer."  These classes have no TMI; the fetch unit consults
+them directly.
+
+* The BHT is a table of 2-bit saturating counters (the MPC750 has a
+  512-entry BHT) predicting conditional-branch direction.
+* The BTIC caches branch targets (the real BTIC caches target
+  *instructions*; for a timing model, caching the target address captures
+  the same zero-bubble taken-branch behaviour).  Indirect branches
+  (``blr``/``bctr``) predict through the BTIC as well, which doubles as a
+  crude link/count-register target predictor.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from ...isa.ppc.decode import PpcInstruction
+
+TAKEN_THRESHOLD = 2  # counter values 2,3 predict taken
+
+
+class BranchHistoryTable:
+    """2-bit saturating-counter direction predictor."""
+
+    def __init__(self, entries: int = 512):
+        if entries & (entries - 1):
+            raise ValueError(f"BHT entries must be a power of two, got {entries}")
+        self.entries = entries
+        self._counters = [1] * entries  # weakly not-taken
+        self.lookups = 0
+        self.updates = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & (self.entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        self.lookups += 1
+        return self.would_predict(pc)
+
+    def would_predict(self, pc: int) -> bool:
+        """Pure direction lookup (no statistics) for delta-cycle models."""
+        return self._counters[self._index(pc)] >= TAKEN_THRESHOLD
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.updates += 1
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(3, counter + 1)
+        else:
+            self._counters[index] = max(0, counter - 1)
+
+
+class BranchTargetCache:
+    """A small fully-associative target cache (BTIC role), LRU replaced."""
+
+    def __init__(self, entries: int = 64):
+        self.entries = entries
+        self._table: "OrderedDict[int, int]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, pc: int) -> Optional[int]:
+        target = self._table.get(pc)
+        if target is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._table.move_to_end(pc)
+        return target
+
+    def peek(self, pc: int) -> Optional[int]:
+        """Pure target lookup (no statistics, no LRU touch)."""
+        return self._table.get(pc)
+
+    def update(self, pc: int, target: int) -> None:
+        self._table[pc] = target
+        self._table.move_to_end(pc)
+        while len(self._table) > self.entries:
+            self._table.popitem(last=False)
+
+
+class BranchPredictor:
+    """Combined fetch-time predictor: direction (BHT) + target (BTIC)."""
+
+    def __init__(self, bht_entries: int = 512, btic_entries: int = 64):
+        self.bht = BranchHistoryTable(bht_entries)
+        self.btic = BranchTargetCache(btic_entries)
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict(self, instr: PpcInstruction) -> Tuple[bool, Optional[int]]:
+        """Predict (taken?, target) for a decoded branch at fetch time."""
+        self.predictions += 1
+        pc = instr.addr
+        if instr.kind == "b":
+            target = instr.imm if instr.aa else pc + instr.imm
+            return True, target & 0xFFFFFFFF
+        if instr.kind == "bc":
+            static_target = (instr.imm if instr.aa else pc + instr.imm) & 0xFFFFFFFF
+            if instr.bo & 0b10000 and instr.bo & 0b00100:
+                return True, static_target  # branch-always encoding
+            return self.bht.predict(pc), static_target
+        # blr / bctr: indirect — predict last seen target if any
+        target = self.btic.lookup(pc)
+        if target is None:
+            return False, None
+        return True, target
+
+    def predict_pure(self, instr: PpcInstruction) -> Tuple[bool, Optional[int]]:
+        """Side-effect-free prediction for delta-cycle (re-evaluating)
+        hardware models; identical policy to :meth:`predict`."""
+        pc = instr.addr
+        if instr.kind == "b":
+            target = instr.imm if instr.aa else pc + instr.imm
+            return True, target & 0xFFFFFFFF
+        if instr.kind == "bc":
+            static_target = (instr.imm if instr.aa else pc + instr.imm) & 0xFFFFFFFF
+            if instr.bo & 0b10000 and instr.bo & 0b00100:
+                return True, static_target
+            return self.bht.would_predict(pc), static_target
+        target = self.btic.peek(pc)
+        if target is None:
+            return False, None
+        return True, target
+
+    def resolve(self, instr: PpcInstruction, taken: bool, target: int) -> None:
+        """Train the predictor with the architected outcome."""
+        pc = instr.addr
+        if instr.kind == "bc":
+            self.bht.update(pc, taken)
+        if taken:
+            self.btic.update(pc, target)
+
+    def note_mispredict(self) -> None:
+        self.mispredictions += 1
+
+    @property
+    def accuracy(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return 1.0 - self.mispredictions / self.predictions

@@ -1,0 +1,233 @@
+"""PPC-750-specific token managers.
+
+Section 5.2: "a 6-entry fetch queue, 6 function units with 6 independent
+reservation stations, 5 register files with renaming buffers, and a
+6-entry completion queue".  The TMI-enabled modules of this model:
+
+* 1 fetch-queue manager (6 entries, in-order dual dispatch),
+* 1 completion-queue manager (6 entries, in-order retirement, 2/cycle),
+* 6 function-unit managers (IU1, IU2, SRU, LSU, FPU, BPU),
+* 6 reservation-station managers (one per unit),
+* 1 register-rename manager containing the 5 register files with their
+  renaming buffers (GPR x6, FPR x6, CR, LR, CTR — FPR present but
+  untouched by the integer subset),
+* 1 reset manager.
+
+The branch history table, the branch target instruction cache and the
+memory subsystem are implemented purely in the hardware layer, per the
+paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ...core.errors import TokenError
+from ...core.manager import PoolManager, TokenManager
+from ...core.token import Token
+from ...core.transaction import Transaction
+from ...isa.ppc.isa import CR0_REG, CTR_REG, LR_REG
+
+
+class FetchQueueManager(PoolManager):
+    """The 6-entry fetch (instruction) queue.
+
+    Tokens are granted in fetch order; releases — i.e. dispatches — are
+    accepted only in that same order, so operations leave the queue in
+    program order.  The per-cycle dual-dispatch budget is enforced here
+    too; the owning hardware module resets it each cycle.
+    """
+
+    def __init__(self, name: str = "m_fq", size: int = 6, dispatch_width: int = 2):
+        super().__init__(name, size)
+        self.dispatch_width = dispatch_width
+        self._order: List[Any] = []  # OSMs in allocation (fetch) order
+        self._dispatched_this_cycle = 0
+
+    def new_cycle(self) -> None:
+        self._dispatched_this_cycle = 0
+
+    def budget_was_used(self) -> bool:
+        return self._dispatched_this_cycle > 0
+
+    def holders_of(self, ident) -> List[Any]:
+        """Wait-for precision for deadlock analysis: a refused dispatch is
+        only ever waiting on the queue head (in-order release) — never on
+        its fellow queued operations."""
+        return [self._order[0]] if self._order else []
+
+    def release(self, osm, token: Token, txn: Transaction) -> bool:
+        if not super().release(osm, token, txn):
+            return False
+        if self._dispatched_this_cycle >= self.dispatch_width:
+            return False
+        # In-order dispatch: only the oldest queued operation may leave.
+        return bool(self._order) and self._order[0] is osm
+
+    def on_allocate_commit(self, osm, token: Token) -> None:
+        super().on_allocate_commit(osm, token)
+        self._order.append(osm)
+
+    def on_release_commit(self, osm, token: Token, value: Any) -> None:
+        super().on_release_commit(osm, token, value)
+        self._order.remove(osm)
+        self._dispatched_this_cycle += 1
+
+    def on_discard(self, osm, token: Token) -> None:
+        super().on_discard(osm, token)
+        if osm in self._order:
+            self._order.remove(osm)
+
+
+class CompletionQueueManager(PoolManager):
+    """The 6-entry completion queue: in-order retirement, 2 per cycle.
+
+    Entries are allocated at dispatch (program order, because dispatch is
+    in-order) and released at retirement; a release is accepted only for
+    the oldest outstanding entry — the reorder-buffer discipline expressed
+    as a token-release policy.
+    """
+
+    def __init__(self, name: str = "m_cq", size: int = 6, retire_width: int = 2):
+        super().__init__(name, size)
+        self.retire_width = retire_width
+        self._order: List[Any] = []
+        self._retired_this_cycle = 0
+
+    def new_cycle(self) -> None:
+        self._retired_this_cycle = 0
+
+    def budget_was_used(self) -> bool:
+        return self._retired_this_cycle > 0
+
+    def head(self):
+        return self._order[0] if self._order else None
+
+    def holders_of(self, ident) -> List[Any]:
+        """A refused retirement waits only on the completion-queue head."""
+        return [self._order[0]] if self._order else []
+
+    def release(self, osm, token: Token, txn: Transaction) -> bool:
+        if not super().release(osm, token, txn):
+            return False
+        if self._retired_this_cycle >= self.retire_width:
+            return False
+        return bool(self._order) and self._order[0] is osm
+
+    def on_allocate_commit(self, osm, token: Token) -> None:
+        super().on_allocate_commit(osm, token)
+        self._order.append(osm)
+
+    def on_release_commit(self, osm, token: Token, value: Any) -> None:
+        super().on_release_commit(osm, token, value)
+        self._order.remove(osm)
+        self._retired_this_cycle += 1
+
+    def on_discard(self, osm, token: Token) -> None:
+        super().on_discard(osm, token)
+        if osm in self._order:
+            self._order.remove(osm)
+
+
+class RegisterRenameManager(TokenManager):
+    """The five register files and their renaming buffers, as one TMI.
+
+    Architectural name space: GPR 0..31, CR0 (32), LR (33), CTR (34);
+    the FPR file exists for structural fidelity but the integer subset
+    never allocates from it.  Rename-buffer sizes follow the MPC750: six
+    GPR buffers, six FPR buffers, one each for CR/LR/CTR.
+
+    Identifier protocol:
+
+    * ``allocate`` with a register number grabs a rename buffer from the
+      register's file (dispatch stalls when the file is exhausted — a
+      real MPC750 structural hazard);
+    * ``inquire`` with a register number asks "is the latest value of
+      this register available now" (direct-dispatch operand check);
+    * ``inquire`` with a captured producer :class:`Operation` asks "has
+      this specific producer finished" (reservation-station wakeup).
+
+    Producer bookkeeping is driven entirely by token traffic: allocation
+    appends the producer to the register's in-flight chain, release
+    (retirement) and discard (squash) remove it.
+    """
+
+    DEFAULT_FILES: Tuple[Tuple[str, int], ...] = (
+        ("gpr", 6),
+        ("fpr", 6),
+        ("cr", 1),
+        ("lr", 1),
+        ("ctr", 1),
+    )
+
+    def __init__(self, name: str = "m_rename", gpr_buffers: int = 6):
+        super().__init__(name)
+        self.files: Tuple[Tuple[str, int], ...] = tuple(
+            (file_name, gpr_buffers if file_name in ("gpr", "fpr") else size)
+            for file_name, size in self.DEFAULT_FILES
+        )
+        self.pools: Dict[str, List[Token]] = {}
+        for file_name, size in self.files:
+            self.pools[file_name] = [
+                Token(self, f"{name}.{file_name}[{i}]", i) for i in range(size)
+            ]
+        self.producers: Dict[int, List[Any]] = {reg: [] for reg in range(35)}
+
+    @staticmethod
+    def file_of(reg: int) -> str:
+        if reg < 32:
+            return "gpr"
+        if reg == CR0_REG:
+            return "cr"
+        if reg == LR_REG:
+            return "lr"
+        if reg == CTR_REG:
+            return "ctr"
+        raise TokenError(f"unknown architectural register {reg}")
+
+    def free_buffers(self, file_name: str) -> int:
+        return sum(1 for t in self.pools[file_name] if t.holder is None)
+
+    def last_producer(self, reg: int):
+        chain = self.producers[reg]
+        return chain[-1] if chain else None
+
+    # -- TMI ---------------------------------------------------------------
+
+    def allocate(self, osm, ident, txn: Transaction) -> Optional[Token]:
+        if not isinstance(ident, int):
+            raise TokenError(f"{self.name}: bad rename identifier {ident!r}")
+        for token in self.pools[self.file_of(ident)]:
+            if token.holder is None and not txn.is_tentatively_granted(token):
+                token.value = ident  # which register this buffer renames
+                return token
+        return None
+
+    def inquire(self, osm, ident, txn: Transaction) -> bool:
+        if isinstance(ident, int):
+            producer = self.last_producer(ident)
+            return producer is None or producer.done
+        # captured producer operation (reservation-station wakeup)
+        return bool(ident.done)
+
+    def release(self, osm, token: Token, txn: Transaction) -> bool:
+        if token.manager is not self or token.holder is not osm:
+            raise TokenError(f"{self.name}: invalid release of {token!r}")
+        return True
+
+    def _drop_producer(self, token: Token, osm) -> None:
+        chain = self.producers.get(token.value)
+        if chain is not None and osm.operation in chain:
+            chain.remove(osm.operation)
+
+    def on_allocate_commit(self, osm, token: Token) -> None:
+        super().on_allocate_commit(osm, token)
+        self.producers[token.value].append(osm.operation)
+
+    def on_release_commit(self, osm, token: Token, value: Any) -> None:
+        super().on_release_commit(osm, token, value)
+        self._drop_producer(token, osm)
+
+    def on_discard(self, osm, token: Token) -> None:
+        super().on_discard(osm, token)
+        self._drop_producer(token, osm)

@@ -1,0 +1,21 @@
+"""StrongARM (SA-1100) case-study model — paper Section 5.1."""
+
+from .managers import ForwardingRegisterFileManager
+from .model import (
+    CLOCK_HZ,
+    StrongArmModel,
+    default_dcache,
+    default_dtlb,
+    default_icache,
+    default_itlb,
+)
+
+__all__ = [
+    "CLOCK_HZ",
+    "ForwardingRegisterFileManager",
+    "StrongArmModel",
+    "default_dcache",
+    "default_dtlb",
+    "default_icache",
+    "default_itlb",
+]

@@ -1,0 +1,71 @@
+"""StrongARM-specific token managers.
+
+Section 5.1: "We implemented TMIs for the pipeline stage modules, the
+combined register file and forwarding paths module, and the multiplier
+module."  The forwarding register file is the interesting one: the paper's
+Section 4 notes that with bypassing, "OSMs can inquire either m_r or the
+bypassing manager for source operand availability" — we combine both
+policies in one TMI, as the real SA-110 combines the register file with
+its forwarding network.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ...core.manager import RegisterFileManager
+from ...core.token import Token
+from ...core.transaction import Transaction
+
+
+class ForwardingRegisterFileManager(RegisterFileManager):
+    """Register file + forwarding paths in one TMI.
+
+    A value inquiry succeeds when either no update is outstanding for the
+    register, or the outstanding producer has computed its result and the
+    forwarding network can supply it (``mark_ready``).  The producing
+    operation marks readiness when its result exists: ALU results at
+    E->B, load results at B->W, multiplier results when the multiply
+    completes — giving the SA-110's 0-cycle ALU-to-ALU and 1-cycle
+    load-use forwarding distances.
+    """
+
+    def __init__(self, name: str, n_regs: int, backing):
+        super().__init__(name, n_regs, backing)
+        self._ready = [True] * n_regs
+
+    def inquire(self, osm, ident, txn: Transaction) -> bool:
+        reg = ident
+        if reg is None:
+            return True
+        if not self._writers[reg]:
+            return True
+        # The youngest outstanding writer defines availability: a newer
+        # in-flight write clears readiness until its result exists.
+        return self._ready[reg]
+
+    def mark_ready(self, reg: int) -> None:
+        """The in-flight producer of *reg* now has a forwardable result.
+
+        Only the *youngest* writer's publication counts — an older
+        writer's late publication must not expose a stale value — but in
+        an in-order pipeline results publish in program order, so setting
+        the flag is correct whenever any writer publishes while it is the
+        youngest; models call this from the publishing operation's edge
+        action, which the in-order guarantee makes safe.
+        """
+        self._ready[reg] = True
+
+    def on_allocate_commit(self, osm, token: Token) -> None:
+        super().on_allocate_commit(osm, token)
+        self._ready[token.index] = False
+
+    def on_release_commit(self, osm, token: Token, value: Any) -> None:
+        super().on_release_commit(osm, token, value)
+        if not self._writers[token.index]:
+            self._ready[token.index] = True
+
+    def on_discard(self, osm, token: Token) -> None:
+        super().on_discard(osm, token)
+        if not self._writers[token.index]:
+            self._ready[token.index] = True

@@ -1,0 +1,211 @@
+"""The StrongARM (SA-1100) micro-architecture model — paper Section 5.1.
+
+A five-stage pipelined implementation of the ARM-like ISA "similar to the
+pipeline in Figure 5, but it includes forwarding paths and a multiplier":
+
+* forwarding paths via the combined register-file/forwarding TMI
+  (:class:`~repro.models.strongarm.managers.ForwardingRegisterFileManager`),
+* an early-terminating multiplier module with its own TMI (the SA-110
+  multiplier retires 12 bits per cycle; we model 1 + significant-byte
+  latency),
+* 16 KB I-cache and 8 KB D-cache (32-way, 32-byte lines) plus 32-entry
+  TLBs — purely in the hardware layer, no TMI, per the paper.
+
+The clock frequency attribute converts cycle counts into the seconds
+reported by Table 1 (the SA-1100 in the iPAQ-3650 runs at 206 MHz).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...core import (
+    Allocate,
+    AllocateMany,
+    Condition,
+    Discard,
+    Inquire,
+    MachineSpec,
+    Release,
+    ReleaseMany,
+)
+from ...isa.bits import popcount_significant_bytes
+from ...isa.program import Program
+from ...memory.cache import Cache
+from ...memory.tlb import Tlb
+from ..common import Operation, StageUnit
+from ..pipeline5.model import Pipeline5Model, _TimingRegisterBacking, _dest_regs, _source_regs
+from .managers import ForwardingRegisterFileManager
+
+CLOCK_HZ = 206_000_000  # SA-1100 in the iPAQ-3650
+
+
+def default_icache() -> Cache:
+    return Cache("icache", size=16 * 1024, line_size=32, assoc=32, miss_penalty=26)
+
+
+def default_dcache() -> Cache:
+    return Cache("dcache", size=8 * 1024, line_size=32, assoc=32, miss_penalty=26)
+
+
+def default_itlb() -> Tlb:
+    return Tlb("itlb", entries=32, walk_penalty=18)
+
+
+def default_dtlb() -> Tlb:
+    return Tlb("dtlb", entries=32, walk_penalty=18)
+
+
+def _mul_ident(osm):
+    """Multiplier-token identifier: None (vacuous) for non-multiply ops."""
+    return True if osm.operation.instr.unit == "mul" else None
+
+
+class StrongArmModel(Pipeline5Model):
+    """OSM model of the StrongARM core."""
+
+    def __init__(
+        self,
+        program: Program,
+        icache: Optional[Cache] = None,
+        dcache: Optional[Cache] = None,
+        itlb: Optional[Tlb] = None,
+        dtlb: Optional[Tlb] = None,
+        perfect_memory: bool = False,
+        n_osms: int = 7,
+        restart: bool = False,
+        stdin: bytes = b"",
+    ):
+        if not perfect_memory:
+            icache = icache if icache is not None else default_icache()
+            dcache = dcache if dcache is not None else default_dcache()
+            itlb = itlb if itlb is not None else default_itlb()
+            dtlb = dtlb if dtlb is not None else default_dtlb()
+        # Created before _build_spec (called by the base constructor).
+        self.multiplier = StageUnit("m_mul")
+        super().__init__(
+            program,
+            icache=icache,
+            dcache=dcache,
+            itlb=itlb,
+            dtlb=dtlb,
+            n_osms=n_osms,
+            restart=restart,
+            stdin=stdin,
+        )
+        self.kernel.add_module(self.multiplier)
+        self.clock_hz = CLOCK_HZ
+
+    # -- spec -----------------------------------------------------------------
+
+    def _build_spec(self) -> MachineSpec:
+        # The base class builds self.regfile before calling _build_spec;
+        # replace it with the forwarding variant first.
+        self.regfile = ForwardingRegisterFileManager(
+            "m_r", n_regs=17, backing=_TimingRegisterBacking(17)
+        )
+        spec = MachineSpec("strongarm")
+        for name in "IFDEBW":
+            spec.state(name, initial=(name == "I"))
+
+        m_f = self.fetch.manager
+        m_d = self.decode_stage.manager
+        m_e = self.execute_stage.manager
+        m_b = self.buffer_stage.manager
+        m_w = self.writeback_stage.manager
+        m_r = self.regfile
+        m_mul = self.multiplier.manager
+        m_reset = self.reset_unit.manager
+
+        spec.edge("I", "F", Condition([Allocate(m_f)]),
+                  action=self.fetch.fetch_into, label="fetch")
+        spec.edge("F", "D", Condition([Allocate(m_d), Release("m_f")]),
+                  label="decode")
+        spec.edge(
+            "D", "E",
+            Condition([
+                Allocate(m_e),
+                Allocate(m_mul, ident=_mul_ident, slot="m_mul"),
+                Inquire(m_r, _source_regs),
+                AllocateMany(m_r, _dest_regs, slot="rupd"),
+                Release("m_d"),
+            ]),
+            action=self._execute_op,
+            label="issue",
+        )
+        spec.edge(
+            "E", "B",
+            Condition([Allocate(m_b), Release("m_e"), Release("m_mul")]),
+            action=self._enter_buffer,
+            label="mem",
+        )
+        spec.edge(
+            "B", "W",
+            Condition([Allocate(m_w), Release("m_b")]),
+            action=self._enter_writeback,
+            label="writeback",
+        )
+        spec.edge(
+            "W", "I",
+            Condition([Release("m_w"), ReleaseMany("rupd")]),
+            action=self._complete,
+            label="retire",
+        )
+        for state in ("F", "D"):
+            spec.edge(
+                state, "I",
+                Condition([Inquire(m_reset), Discard()]),
+                priority=10,
+                action=self._killed,
+                label=f"reset-{state}",
+            )
+        spec.validate()
+        return spec
+
+    # -- timing hooks ------------------------------------------------------------
+
+    def execute_latency(self, op: Operation) -> int:
+        """SA-110 early-terminating multiplier: 1 + significant bytes of
+        the Rs operand; long multiplies take one extra cycle."""
+        instr = op.instr
+        if instr.unit == "mul" and op.info is not None and op.info.executed:
+            operand = op.info.mul_operand or 0
+            latency = 1 + popcount_significant_bytes(operand)
+            if instr.kind == "mull":
+                latency += 1
+            return latency
+        return 1
+
+    def _execute_op(self, osm) -> None:
+        super()._execute_op(osm)
+        op: Operation = osm.operation
+        # Multiplier structural occupancy mirrors the E-stage hold.
+        extra = self.execute_latency(op) - 1
+        if extra > 0 and op.instr.unit == "mul":
+            self.multiplier.hold(extra)
+
+    def _enter_buffer(self, osm) -> None:
+        """E->B: charge memory latency and publish forwardable results.
+
+        ALU and multiplier results exist once E completes, so their
+        destination registers become forwardable here — making dependent
+        operations issue back-to-back (0-cycle ALU-to-ALU distance).
+        Loads publish at B->W instead (1-cycle load-use penalty).
+        """
+        self._memory_access(osm)
+        op: Operation = osm.operation
+        if not op.instr.is_load:
+            for reg in op.instr.dst_regs:
+                self.regfile.mark_ready(reg)
+
+    def _enter_writeback(self, osm) -> None:
+        op: Operation = osm.operation
+        if op.instr.is_load:
+            for reg in op.instr.dst_regs:
+                self.regfile.mark_ready(reg)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def seconds(self) -> float:
+        """Simulated wall-clock seconds at the SA-1100 frequency."""
+        return self.cycles / self.clock_hz

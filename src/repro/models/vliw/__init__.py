@@ -1,0 +1,5 @@
+"""VLIW extension model (paper Section 6)."""
+
+from .model import VliwModel, WideFetchUnit, WideStageUnit
+
+__all__ = ["VliwModel", "WideFetchUnit", "WideStageUnit"]

@@ -1,0 +1,14 @@
+"""Reporting helpers: paper-style tables and Table-2 line counting."""
+
+from .loc import baseline_counts, count_code_lines, table2_counts
+from .pipeview import PipelineTracer
+from .tables import format_table, percent
+
+__all__ = [
+    "PipelineTracer",
+    "baseline_counts",
+    "count_code_lines",
+    "format_table",
+    "percent",
+    "table2_counts",
+]

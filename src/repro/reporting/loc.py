@@ -1,0 +1,126 @@
+"""Source-line counting for Table 2.
+
+The paper reports source line counts of the two simulators, split into
+modules with TMI / modules without TMI / decoding and OSM initialisation /
+miscellaneous, excluding "the instruction semantics simulation portion,
+comments and blank lines".  We apply the same rules to this repository's
+sources: docstrings, comments and blank lines are excluded, and the
+per-category file map below mirrors the paper's split.
+"""
+
+from __future__ import annotations
+
+import io
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+
+def count_code_lines(path: Path) -> int:
+    """Count code lines: excludes blanks, comments and docstrings."""
+    source = path.read_text()
+    code_lines = set()
+    previous_type = tokenize.INDENT
+    for token in tokenize.generate_tokens(io.StringIO(source).readline):
+        kind = token.type
+        if kind in (tokenize.COMMENT, tokenize.NL, tokenize.NEWLINE,
+                    tokenize.INDENT, tokenize.DEDENT, tokenize.ENCODING,
+                    tokenize.ENDMARKER):
+            previous_type = kind if kind != tokenize.NL else previous_type
+            continue
+        if kind == tokenize.STRING and previous_type in (
+            tokenize.INDENT, tokenize.DEDENT, tokenize.NEWLINE
+        ):
+            previous_type = kind
+            continue  # docstring
+        for line in range(token.start[0], token.end[0] + 1):
+            code_lines.add(line)
+        previous_type = kind
+    return len(code_lines)
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parents[3]
+
+
+def count_files(paths: Iterable[str]) -> int:
+    root = repo_root()
+    return sum(count_code_lines(root / p) for p in paths)
+
+
+#: Table-2 category map for the two OSM case-study simulators.  The paper
+#: excludes instruction-semantics simulation, so the ISA ``semantics`` and
+#: interpreter files are omitted; ``decode`` counts toward "decoding and
+#: OSM init." exactly as in the paper (where ~60% of lines were decoding
+#: and OSM initialisation).
+CATEGORY_FILES: Dict[str, Dict[str, List[str]]] = {
+    "SA-1100": {
+        "Modules with TMI": [
+            "src/repro/models/strongarm/managers.py",
+            "src/repro/models/common.py",
+        ],
+        "Modules without TMI": [
+            "src/repro/memory/cache.py",
+            "src/repro/memory/tlb.py",
+        ],
+        "Decoding and OSM init.": [
+            "src/repro/isa/arm/decode.py",
+            "src/repro/models/strongarm/model.py",
+        ],
+        "Miscellaneous": [
+            "src/repro/models/strongarm/__init__.py",
+            "src/repro/models/pipeline5/__init__.py",
+        ],
+    },
+    "PPC-750": {
+        "Modules with TMI": [
+            "src/repro/models/ppc750/managers.py",
+            "src/repro/models/common.py",
+        ],
+        "Modules without TMI": [
+            "src/repro/models/ppc750/branch.py",
+            "src/repro/memory/cache.py",
+        ],
+        "Decoding and OSM init.": [
+            "src/repro/isa/ppc/decode.py",
+            "src/repro/models/ppc750/model.py",
+        ],
+        "Miscellaneous": [
+            "src/repro/models/ppc750/__init__.py",
+        ],
+    },
+}
+
+#: comparison simulators (the paper quotes SimpleScalar-ARM at 4,633 lines
+#: of C and the SystemC PPC model at ~16,000 lines of C++)
+BASELINE_FILES: Dict[str, List[str]] = {
+    "SimpleScalar-style ARM": [
+        "src/repro/baselines/simplescalar/sim.py",
+        "src/repro/memory/cache.py",
+        "src/repro/memory/tlb.py",
+        "src/repro/isa/arm/decode.py",
+    ],
+    "SystemC-style PPC": [
+        "src/repro/baselines/systemc_style/modules.py",
+        "src/repro/baselines/systemc_style/sim.py",
+        "src/repro/de/module.py",
+        "src/repro/de/scheduler.py",
+        "src/repro/models/ppc750/branch.py",
+        "src/repro/memory/cache.py",
+        "src/repro/isa/ppc/decode.py",
+    ],
+}
+
+
+def table2_counts() -> Dict[str, Dict[str, int]]:
+    """Line counts per category per target (the paper's Table 2)."""
+    result: Dict[str, Dict[str, int]] = {}
+    for target, categories in CATEGORY_FILES.items():
+        counts = {name: count_files(files) for name, files in categories.items()}
+        counts["Total"] = sum(counts.values())
+        result[target] = counts
+    return result
+
+
+def baseline_counts() -> Dict[str, int]:
+    return {name: count_files(files) for name, files in BASELINE_FILES.items()}

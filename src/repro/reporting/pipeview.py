@@ -1,0 +1,125 @@
+"""Pipeline-trace visualisation.
+
+Attach a :class:`PipelineTracer` to any OSM model and get the classic
+per-operation timeline — one row per operation, one column per cycle,
+letters for the state occupied that cycle:
+
+    seq  pc      instruction          |0         10
+      0  0x8000  mov r1, #1           |FDEBW
+      1  0x8004  add r2, r1, #1       |.FDEBW
+      2  0x8008  beq 0x8014           |..FDDDEBW
+      3  0x800c  add r3, r3, #1       |...FDx        (killed)
+
+The tracer hooks the director's trace callback (chaining with any
+existing one), so it works with every model in this repository, including
+the out-of-order PPC-750 where the rows make dispatch reordering visible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+KILL_MARK = "x"
+IDLE_MARK = "."
+
+
+class _OpTimeline:
+    __slots__ = ("seq", "pc", "text", "events", "killed", "done_cycle")
+
+    def __init__(self, seq: int, pc: int, text: str):
+        self.seq = seq
+        self.pc = pc
+        self.text = text
+        #: (cycle, state letter) transition points
+        self.events: List[Tuple[int, str]] = []
+        self.killed = False
+        self.done_cycle: Optional[int] = None
+
+
+class PipelineTracer:
+    """Records OSM transitions and renders a timeline chart."""
+
+    def __init__(self, model, max_ops: int = 2000):
+        self.model = model
+        self.max_ops = max_ops
+        self._ops: Dict[int, _OpTimeline] = {}
+        #: the seq of the operation each OSM last carried (transitions that
+        #: land in I clear osm.operation before the trace callback fires)
+        self._osm_last_seq: Dict[int, int] = {}
+        self._chained = model.director.trace
+        model.director.trace = self._on_transition
+
+    # -- collection -----------------------------------------------------------
+
+    def _on_transition(self, clock: int, osm, edge) -> None:
+        if self._chained is not None:
+            self._chained(clock, osm, edge)
+        operation = osm.operation
+        if operation is None:
+            # landing in I (retire or reset): attribute to the OSM's last op
+            seq = self._osm_last_seq.get(id(osm))
+            timeline = self._ops.get(seq) if seq is not None else None
+            if timeline is not None:
+                timeline.done_cycle = clock
+                timeline.killed = edge.label.startswith("reset")
+            return
+        if operation.seq not in self._ops:
+            if len(self._ops) >= self.max_ops:
+                return
+            instr = operation.instr
+            self._ops[operation.seq] = _OpTimeline(
+                operation.seq, operation.pc, instr.text
+            )
+        self._osm_last_seq[id(osm)] = operation.seq
+        self._ops[operation.seq].events.append((clock, edge.dst.name))
+
+    # -- rendering ----------------------------------------------------------------
+
+    def render(self, first: int = 0, count: int = 40, width: int = 100) -> str:
+        """Render operations [first, first+count) as a timeline chart."""
+        rows = []
+        ops = [self._ops[k] for k in sorted(self._ops)][first : first + count]
+        if not ops:
+            return "(no operations traced)"
+        start_cycle = min(op.events[0][0] for op in ops if op.events)
+        header = f"{'seq':>5}  {'pc':>10}  {'instruction':<28} |cycle {start_cycle}"
+        rows.append(header)
+        for op in ops:
+            lane = self._lane(op, start_cycle, width)
+            rows.append(f"{op.seq:>5}  {op.pc:>#10x}  {op.text[:28]:<28} |{lane}")
+        return "\n".join(rows)
+
+    def _lane(self, op: _OpTimeline, start_cycle: int, width: int) -> str:
+        if not op.events:
+            return ""
+        chars: List[str] = []
+        first_cycle = op.events[0][0]
+        chars.extend(IDLE_MARK * max(0, first_cycle - start_cycle))
+        end = op.done_cycle if op.done_cycle is not None else op.events[-1][0] + 1
+        for index, (cycle, state) in enumerate(op.events):
+            next_cycle = op.events[index + 1][0] if index + 1 < len(op.events) else end
+            span = max(1, next_cycle - cycle)
+            chars.extend(state[0] * span)
+        if op.killed:
+            chars.append(KILL_MARK)
+        return "".join(chars)[:width]
+
+    # -- summaries -------------------------------------------------------------------
+
+    def occupancy(self) -> Dict[str, int]:
+        """Total op-cycles spent per state (from the recorded spans)."""
+        totals: Dict[str, int] = {}
+        for op in self._ops.values():
+            end = op.done_cycle if op.done_cycle is not None else None
+            for index, (cycle, state) in enumerate(op.events):
+                if index + 1 < len(op.events):
+                    next_cycle = op.events[index + 1][0]
+                elif end is not None:
+                    next_cycle = end
+                else:
+                    continue
+                totals[state] = totals.get(state, 0) + max(1, next_cycle - cycle)
+        return totals
+
+    def killed_count(self) -> int:
+        return sum(1 for op in self._ops.values() if op.killed)

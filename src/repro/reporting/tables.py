@@ -1,0 +1,49 @@
+"""Aligned text tables in the paper's reporting style."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+    align: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table.
+
+    ``align`` is one character per column: ``l`` or ``r`` (default: first
+    column left, the rest right — the layout of the paper's tables).
+    """
+    if align is None:
+        align = "l" + "r" * (len(headers) - 1)
+    if len(align) != len(headers):
+        raise ValueError(f"align {align!r} does not match {len(headers)} columns")
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    rule = "-+-".join("-" * w for w in widths)
+    for row_index, row in enumerate(cells):
+        parts = []
+        for i, cell in enumerate(row):
+            parts.append(cell.ljust(widths[i]) if align[i] == "l" else cell.rjust(widths[i]))
+        lines.append(" | ".join(parts))
+        if row_index == 0:
+            lines.append(rule)
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def percent(delta: float) -> str:
+    """Signed percentage in the paper's Table-1 style."""
+    return f"{delta:+.1f}%"

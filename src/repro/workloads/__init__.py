@@ -1,0 +1,5 @@
+"""Workload generators: MediaBench-like, SPEC-like, diagnostic loops."""
+
+from . import generator, kernels, mediabench, rng, speclike
+
+__all__ = ["generator", "kernels", "mediabench", "rng", "speclike"]

@@ -1,0 +1,171 @@
+"""Parameterised synthetic workload generation.
+
+Produces seeded, terminating assembly programs with a configurable
+instruction mix — the knob a design-space exploration sweeps when no
+recorded benchmark has the desired characteristics (e.g. "60% ALU / 30%
+memory / 10% multiply at 1 branch per 8 instructions").
+
+Programs are generated for either target ISA from one abstract recipe, so
+a mix can be compared across the StrongARM and PPC-750 models directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .rng import lcg_stream
+
+
+@dataclass
+class Mix:
+    """Instruction-mix recipe (weights need not sum to anything)."""
+
+    alu: float = 6.0
+    mem: float = 2.0
+    mul: float = 1.0
+    #: instructions per loop body between the loop branches
+    block_length: int = 16
+    #: loop trip count
+    iterations: int = 32
+    #: working-set size in words (memory footprint of the loop)
+    footprint_words: int = 64
+    seed: int = 0xC0FFEE
+
+    def validate(self) -> None:
+        if min(self.alu, self.mem, self.mul) < 0:
+            raise ValueError("mix weights must be non-negative")
+        if self.alu + self.mem + self.mul <= 0:
+            raise ValueError("mix needs at least one positive weight")
+        if self.block_length < 1 or self.iterations < 1:
+            raise ValueError("block length and iterations must be positive")
+        if self.footprint_words < 1:
+            raise ValueError("footprint must be at least one word")
+
+
+def _choices(mix: Mix, count: int) -> List[str]:
+    total = mix.alu + mix.mem + mix.mul
+    stream = lcg_stream(mix.seed)
+    picks = []
+    for _ in range(count):
+        point = (next(stream) / (1 << 31)) * total
+        if point < mix.alu:
+            picks.append("alu")
+        elif point < mix.alu + mix.mem:
+            picks.append("mem")
+        else:
+            picks.append("mul")
+    return picks
+
+
+def arm_source(mix: Mix) -> str:
+    """ARM-like program for the recipe.
+
+    Register convention: r6 = loop counter, r7 = checksum, r8 = buffer
+    base, r1..r5 = rotating scratch registers.
+    """
+    mix.validate()
+    stream = lcg_stream(mix.seed ^ 0x5A5A)
+    body: List[str] = []
+    scratch = 1
+    for kind in _choices(mix, mix.block_length):
+        dest = 1 + (scratch % 5)
+        src = 1 + ((scratch + 2) % 5)
+        scratch += 1
+        if kind == "alu":
+            op = ("add", "sub", "orr", "eor")[next(stream) % 4]
+            body.append(f"    {op}  r{dest}, r{src}, #{next(stream) % 64}")
+        elif kind == "mem":
+            offset = (next(stream) % mix.footprint_words) * 4
+            if next(stream) % 2:
+                body.append(f"    ldr  r{dest}, [r8, #{offset}]")
+            else:
+                body.append(f"    str  r{src}, [r8, #{offset}]")
+        else:
+            # r9 holds a wide constant so the SA-110 early-terminating
+            # multiplier pays its full latency
+            body.append(f"    mul  r{dest}, r{src}, r9")
+        body.append(f"    add  r7, r7, r{dest}")
+    lines = "\n".join(body)
+    return f"""
+    ; generated workload: mix(alu={mix.alu}, mem={mix.mem}, mul={mix.mul})
+    .text
+_start:
+    li   r8, wbuf
+    li   r9, 0x12345678
+    mov  r7, #0
+    mov  r6, #0
+    mov  r1, #1
+    mov  r2, #2
+    mov  r3, #3
+    mov  r4, #4
+    mov  r5, #5
+genloop:
+{lines}
+    add  r6, r6, #1
+    cmp  r6, #{mix.iterations}
+    blt  genloop
+    and  r0, r7, #255
+    swi  #0
+    .data
+wbuf: .space {4 * mix.footprint_words}
+"""
+
+
+def ppc_source(mix: Mix) -> str:
+    """PowerPC-like program for the same recipe.
+
+    Register convention: r6 = loop counter, r7 = checksum, r8 = buffer
+    base, r10..r14 = rotating scratch registers.
+    """
+    mix.validate()
+    stream = lcg_stream(mix.seed ^ 0x5A5A)
+    body: List[str] = []
+    scratch = 0
+    for kind in _choices(mix, mix.block_length):
+        dest = 10 + (scratch % 5)
+        src = 10 + ((scratch + 2) % 5)
+        scratch += 1
+        if kind == "alu":
+            op = next(stream) % 4
+            if op == 0:
+                body.append(f"    addi r{dest}, r{src}, {next(stream) % 64}")
+            elif op == 1:
+                body.append(f"    sub  r{dest}, r{src}, r6")
+            elif op == 2:
+                body.append(f"    or   r{dest}, r{src}, r7")
+            else:
+                body.append(f"    xor  r{dest}, r{src}, r7")
+        elif kind == "mem":
+            offset = (next(stream) % mix.footprint_words) * 4
+            if next(stream) % 2:
+                body.append(f"    lwz  r{dest}, {offset}(r8)")
+            else:
+                body.append(f"    stw  r{src}, {offset}(r8)")
+        else:
+            body.append(f"    mullw r{dest}, r{src}, r6")
+        body.append(f"    add  r7, r7, r{dest}")
+    lines = "\n".join(body)
+    return f"""
+    ; generated workload: mix(alu={mix.alu}, mem={mix.mem}, mul={mix.mul})
+    .text
+_start:
+    li32 r8, wbuf
+    li   r7, 0
+    li   r6, 0
+    li   r10, 1
+    li   r11, 2
+    li   r12, 3
+    li   r13, 4
+    li   r14, 5
+genloop:
+{lines}
+    addi r6, r6, 1
+    cmpwi r6, {mix.iterations}
+    blt  genloop
+    andi. r3, r7, 255
+    li   r0, 0
+    sc
+    .data
+wbuf: .space {4 * mix.footprint_words}
+"""

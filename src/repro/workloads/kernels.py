@@ -1,0 +1,230 @@
+"""The 40 diagnostic kernel loops (paper Section 5.1).
+
+"We used 40 small kernel loops to diagnose timing mismatches between the
+model and the real processor."  Each loop isolates one timing behaviour —
+dependence distances, forwarding paths, multiplier early termination,
+branch penalties, memory patterns — so a cycle-count mismatch between two
+simulators points directly at the divergent mechanism.
+
+Loops are generated programmatically for the ARM target; `KERNEL_NAMES`
+lists all 40.  Every kernel exits with a checksum for functional
+cross-checking.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+_ITER = 64  # default trip count for every loop
+
+
+def _wrap(name: str, body: str, data: str = "") -> str:
+    data_section = f"    .data\n{data}" if data else ""
+    return f"""
+    ; kernel loop: {name}
+    .text
+_start:
+    mov  r7, #0          ; checksum
+    mov  r6, #0          ; loop counter
+kloop:
+{body}
+    add  r6, r6, #1
+    cmp  r6, #{_ITER}
+    blt  kloop
+    and  r0, r7, #255
+    swi  #0
+{data_section}
+"""
+
+
+def _alu_chain(dep: bool, length: int) -> str:
+    """A chain of ALU ops, dependent (RAW each step) or independent."""
+    lines = ["    mov  r0, r6"]
+    for i in range(length):
+        if dep:
+            lines.append("    add  r0, r0, #1")
+        else:
+            lines.append(f"    add  r{1 + (i % 4)}, r6, #{i + 1}")
+    if not dep:
+        lines.append("    add  r0, r1, r2")
+    lines.append("    add  r7, r7, r0")
+    return "\n".join(lines)
+
+
+def _mul_loop(operand: int, long: bool) -> str:
+    load_op = f"    li   r1, {operand}"
+    if long:
+        return f"""{load_op}
+    mov  r2, r6
+    umull r3, r4, r2, r1
+    add  r7, r7, r3
+    add  r7, r7, r4"""
+    return f"""{load_op}
+    mov  r2, r6
+    mul  r3, r2, r1
+    add  r7, r7, r3"""
+
+
+def _branch_loop(pattern: str) -> str:
+    if pattern == "taken":
+        return """    tst  r6, #0          ; always Z=1
+    beq  ktgt
+    add  r7, r7, #99     ; skipped
+ktgt:
+    add  r7, r7, #1"""
+    if pattern == "nottaken":
+        return """    tst  r6, #0
+    bne  kskip           ; never taken
+    add  r7, r7, #1
+kskip:
+    add  r7, r7, #2"""
+    # alternate: taken on odd iterations
+    return """    tst  r6, #1
+    beq  keven
+    add  r7, r7, #3
+    b    kjoin
+keven:
+    add  r7, r7, #5
+kjoin:
+    add  r7, r7, #1"""
+
+
+def _load_use(distance: int) -> str:
+    fillers = "\n".join(f"    add  r{2 + i}, r6, #{i}" for i in range(distance))
+    return f"""    li   r1, karr
+    and  r0, r6, #15
+    ldr  r3, [r1, r0, lsl #2]
+{fillers}
+    add  r7, r7, r3"""
+
+
+def _store_load(same_addr: bool) -> str:
+    offset = "r0" if same_addr else "r5"
+    return f"""    li   r1, karr
+    and  r0, r6, #15
+    add  r5, r0, #16
+    str  r6, [r1, r0, lsl #2]
+    ldr  r3, [r1, {offset}, lsl #2]
+    add  r7, r7, r3"""
+
+
+def _flag_dep(distance: int) -> str:
+    fillers = "\n".join(f"    add  r{2 + i}, r6, #{i}" for i in range(distance))
+    return f"""    cmp  r6, #32
+{fillers}
+    addlt r7, r7, #1
+    addge r7, r7, #2"""
+
+
+def _cond_exec(density: int) -> str:
+    body = ["    cmp  r6, #32"]
+    for i in range(density):
+        body.append(f"    addlt r7, r7, #{i + 1}")
+        body.append(f"    subge r7, r7, #{i + 1}")
+    return "\n".join(body)
+
+
+def _mem_stride(stride_words: int) -> str:
+    return f"""    li   r1, kbuf
+    li   r2, {stride_words * 4}
+    mul  r0, r6, r2
+    and  r0, r0, #1020
+    ldr  r3, [r1, r0]
+    add  r7, r7, r3"""
+
+
+def _mixed(weights: str) -> str:
+    if weights == "alu_mem":
+        return """    li   r1, karr
+    and  r0, r6, #15
+    ldr  r2, [r1, r0, lsl #2]
+    add  r3, r2, r6
+    str  r3, [r1, r0, lsl #2]
+    add  r7, r7, r3"""
+    if weights == "mul_mem":
+        return """    li   r1, karr
+    and  r0, r6, #15
+    ldr  r2, [r1, r0, lsl #2]
+    mul  r3, r2, r6
+    add  r7, r7, r3"""
+    return """    mov  r0, r6, lsl #3
+    orr  r0, r0, r6, lsr #2
+    eor  r7, r7, r0
+    and  r7, r7, #255"""
+
+
+_KARR = "karr:\n    .word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3\n    .space 64\n"
+_KBUF = "kbuf:\n    .space 2112\n"
+
+
+def _build_kernels() -> Dict[str, str]:
+    kernels: Dict[str, str] = {}
+
+    def add(name: str, body: str, data: str = "") -> None:
+        kernels[name] = _wrap(name, body, data)
+
+    # 1-8: ALU dependence chains of increasing length, dep vs indep
+    for length in (1, 2, 4, 8):
+        add(f"alu_dep{length}", _alu_chain(True, length))
+        add(f"alu_ind{length}", _alu_chain(False, length))
+    # 9-14: multiplier early termination (operand magnitudes) + long mul
+    for operand, tag in ((5, "byte1"), (0x1234, "byte2"), (0x123456, "byte3"), (0x12345678, "byte4")):
+        add(f"mul_{tag}", _mul_loop(operand, False))
+    add("mull_small", _mul_loop(7, True))
+    add("mull_large", _mul_loop(0x7FFFFFF1, True))
+    # 15-17: branch patterns
+    add("br_taken", _branch_loop("taken"))
+    add("br_nottaken", _branch_loop("nottaken"))
+    add("br_alternate", _branch_loop("alt"))
+    # 18-22: load-use distances 0..4
+    for distance in range(5):
+        add(f"loaduse{distance}", _load_use(distance), _KARR)
+    # 23-24: store-to-load
+    add("stld_same", _store_load(True), _KARR)
+    add("stld_diff", _store_load(False), _KARR)
+    # 25-28: flag dependence distances
+    for distance in range(4):
+        add(f"flagdep{distance}", _flag_dep(distance))
+    # 29-31: conditional execution density
+    for density in (1, 3, 6):
+        add(f"condexec{density}", _cond_exec(density))
+    # 32-35: memory strides (cache behaviour)
+    for stride in (1, 2, 8, 32):
+        add(f"stride{stride}", _mem_stride(stride), _KBUF)
+    # 36-38: mixed instruction classes
+    add("mix_alu_mem", _mixed("alu_mem"), _KARR)
+    add("mix_mul_mem", _mixed("mul_mem"), _KARR)
+    add("mix_shift", _mixed("shift"))
+    # 39-40: long dependent chain and pointer-ish chase
+    add("alu_dep16", _alu_chain(True, 16))
+    add(
+        "chase",
+        """    li   r1, karr
+    and  r0, r6, #7
+    ldr  r2, [r1, r0, lsl #2]
+    and  r2, r2, #7
+    ldr  r3, [r1, r2, lsl #2]
+    and  r3, r3, #7
+    ldr  r4, [r1, r3, lsl #2]
+    add  r7, r7, r4""",
+        _KARR,
+    )
+    return kernels
+
+
+_KERNELS = _build_kernels()
+KERNEL_NAMES: List[str] = sorted(_KERNELS)
+
+assert len(KERNEL_NAMES) == 40, f"expected 40 kernel loops, built {len(KERNEL_NAMES)}"
+
+
+def arm_source(name: str) -> str:
+    """Assembly text of the named diagnostic loop (ARM target)."""
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise KeyError(f"unknown kernel loop {name!r}") from None
+
+
+def all_arm_sources() -> Dict[str, str]:
+    return dict(_KERNELS)

@@ -1,0 +1,697 @@
+"""MediaBench-like synthetic kernels.
+
+Table 1 runs "the largest applications from the MediaBench benchmarks":
+gsm, g721 and mpeg2, decode and encode.  The proprietary inputs and full
+applications are substituted (see DESIGN.md) by kernels that reproduce the
+characteristic inner loops — and therefore the instruction mix and hazard
+structure — of each codec:
+
+* ``gsm_dec`` — long-term-prediction synthesis filter (8-tap MAC loop).
+* ``gsm_enc`` — LTP lag search (cross-correlation + running maximum).
+* ``g721_dec`` — ADPCM reconstruction (table lookups, conditional
+  add/sub, clamping).
+* ``g721_enc`` — ADPCM quantisation (abs, segment search loop,
+  predictor update).
+* ``mpeg2_dec`` — 8-point butterfly IDCT rows + saturation to bytes.
+* ``mpeg2_enc`` — DCT dot products against a coefficient table.
+
+Each generator returns complete assembly for the requested ISA; the
+program exits with a data-dependent checksum so functional equivalence
+between ISS, OSM model and baselines can be asserted.  ``scale``
+multiplies the outer iteration count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .rng import lcg_words
+
+MEDIABENCH_NAMES = ("gsm_dec", "gsm_enc", "g721_dec", "g721_enc", "mpeg2_dec", "mpeg2_enc")
+
+
+def _words_directive(values: List[int], per_line: int = 8) -> str:
+    lines = []
+    for i in range(0, len(values), per_line):
+        chunk = ", ".join(str(v) for v in values[i : i + per_line])
+        lines.append(f"    .word {chunk}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# ARM variants
+# ---------------------------------------------------------------------------
+
+
+def gsm_dec_arm(scale: int = 1) -> str:
+    n_out = 40 * scale
+    samples = lcg_words(seed=0x1234, count=n_out + 8, lo=-4000, hi=4000)
+    taps = lcg_words(seed=0x77, count=8, lo=-64, hi=64)
+    return f"""
+    ; gsm decode kernel: 8-tap LTP synthesis filter
+    .text
+_start:
+    li   r8, x          ; excitation
+    li   r9, h          ; filter taps
+    li   r10, y         ; output
+    mov  r7, #0         ; checksum
+    mov  r4, #0         ; i
+outer:
+    mov  r0, #0         ; acc
+    mov  r5, #0         ; k
+inner:
+    add  r1, r4, r5
+    ldr  r2, [r8, r1, lsl #2]
+    ldr  r3, [r9, r5, lsl #2]
+    mla  r0, r2, r3, r0
+    add  r5, r5, #1
+    cmp  r5, #8
+    blt  inner
+    mov  r0, r0, asr #6
+    str  r0, [r10, r4, lsl #2]
+    add  r7, r7, r0
+    add  r4, r4, #1
+    cmp  r4, #{n_out}
+    blt  outer
+    and  r0, r7, #255
+    swi  #0
+    .data
+x:
+{_words_directive([v & 0xFFFFFFFF for v in samples])}
+h:
+{_words_directive([v & 0xFFFFFFFF for v in taps])}
+y:
+    .space {4 * n_out}
+"""
+
+
+def gsm_enc_arm(scale: int = 1) -> str:
+    n_lags = 40 * scale
+    window = lcg_words(seed=0xBEEF, count=16, lo=-2000, hi=2000)
+    history = lcg_words(seed=0xCAFE, count=n_lags + 16, lo=-2000, hi=2000)
+    return f"""
+    ; gsm encode kernel: LTP lag search (cross-correlation maximum)
+    .text
+_start:
+    li   r8, w          ; window
+    li   r9, d          ; history
+    mov  r10, #0        ; best score
+    mov  r11, #0        ; best lag
+    mov  r4, #0         ; lag
+lag_loop:
+    mov  r0, #0         ; acc
+    mov  r5, #0         ; k
+corr:
+    ldr  r2, [r8, r5, lsl #2]
+    add  r1, r4, r5
+    ldr  r3, [r9, r1, lsl #2]
+    mla  r0, r2, r3, r0
+    add  r5, r5, #1
+    cmp  r5, #16
+    blt  corr
+    cmp  r0, r10
+    movgt r10, r0
+    movgt r11, r4
+    add  r4, r4, #1
+    cmp  r4, #{n_lags}
+    blt  lag_loop
+    add  r0, r10, r11
+    and  r0, r0, #255
+    swi  #0
+    .data
+w:
+{_words_directive([v & 0xFFFFFFFF for v in window])}
+d:
+{_words_directive([v & 0xFFFFFFFF for v in history])}
+"""
+
+
+def g721_dec_arm(scale: int = 1) -> str:
+    n = 96 * scale
+    codes = lcg_words(seed=0x5150, count=n, lo=0, hi=15)
+    steps = [7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31]
+    return f"""
+    ; g721 decode kernel: ADPCM reconstruction with clamping
+    .text
+_start:
+    li   r8, codes
+    li   r9, steptab
+    mov  r10, #0        ; predicted sample
+    mov  r11, #4        ; step index
+    mov  r7, #0         ; checksum
+    mov  r4, #0         ; i
+dec_loop:
+    ldr  r0, [r8, r4, lsl #2]   ; code (0..15)
+    ldr  r1, [r9, r11, lsl #2]  ; step
+    ; delta = step * (code & 7) / 4 + step/8
+    and  r2, r0, #7
+    mul  r3, r1, r2
+    mov  r3, r3, asr #2
+    add  r3, r3, r1, lsr #3
+    tst  r0, #8                 ; sign bit
+    subne r10, r10, r3
+    addeq r10, r10, r3
+    ; clamp predicted sample to [-8192, 8191]
+    li   r5, 8191
+    cmp  r10, r5
+    movgt r10, r5
+    li   r5, 0 - 8192
+    cmp  r10, r5
+    movlt r10, r5
+    ; step index update: +2 if code&7 >= 4 else -1, clamp [0, 15]
+    and  r2, r0, #7
+    cmp  r2, #4
+    addge r11, r11, #2
+    sublt r11, r11, #1
+    cmp  r11, #0
+    movlt r11, #0
+    cmp  r11, #15
+    movgt r11, #15
+    add  r7, r7, r10
+    add  r4, r4, #1
+    cmp  r4, #{n}
+    blt  dec_loop
+    and  r0, r7, #255
+    swi  #0
+    .data
+codes:
+{_words_directive([v & 0xFFFFFFFF for v in codes])}
+steptab:
+{_words_directive(steps)}
+"""
+
+
+def g721_enc_arm(scale: int = 1) -> str:
+    n = 96 * scale
+    samples = lcg_words(seed=0xACE, count=n, lo=-8000, hi=8000)
+    return f"""
+    ; g721 encode kernel: ADPCM quantisation (abs + segment search)
+    .text
+_start:
+    li   r8, pcm
+    mov  r10, #0        ; predictor
+    mov  r7, #0         ; checksum
+    mov  r4, #0         ; i
+enc_loop:
+    ldr  r0, [r8, r4, lsl #2]
+    sub  r1, r0, r10    ; diff
+    ; absolute value + sign in r6
+    mov  r6, #0
+    cmp  r1, #0
+    rsblt r1, r1, #0
+    movlt r6, #8
+    ; segment search: count shifts until diff < 16
+    mov  r2, #0
+seg:
+    cmp  r1, #16
+    movge r1, r1, lsr #1
+    addge r2, r2, #1
+    bge  seg
+    orr  r3, r6, r2     ; code = sign | segment
+    ; predictor update: pred += (diff>>3) with sign applied
+    mov  r5, r1, lsl #1
+    tst  r6, #8
+    subne r10, r10, r5
+    addeq r10, r10, r5
+    add  r7, r7, r3
+    add  r4, r4, #1
+    cmp  r4, #{n}
+    blt  enc_loop
+    and  r0, r7, #255
+    swi  #0
+    .data
+pcm:
+{_words_directive([v & 0xFFFFFFFF for v in samples])}
+"""
+
+
+def mpeg2_dec_arm(scale: int = 1) -> str:
+    n_blocks = 12 * scale
+    coeffs = lcg_words(seed=0xD1CE, count=64, lo=-256, hi=256)
+    return f"""
+    ; mpeg2 decode kernel: butterfly IDCT rows + saturate to 0..255
+    .text
+_start:
+    li   r8, blk
+    li   r10, out
+    mov  r7, #0         ; checksum
+    mov  r6, #0         ; block counter
+block_loop:
+    mov  r4, #0         ; row
+row_loop:
+    mov  r5, r4, lsl #3 ; row * 8
+    ; butterfly pass over 4 pairs
+    mov  r3, #0         ; pair index
+pair:
+    add  r0, r5, r3
+    ldr  r1, [r8, r0, lsl #2]       ; a = blk[row*8 + j]
+    add  r0, r0, #4
+    ldr  r2, [r8, r0, lsl #2]       ; b = blk[row*8 + j + 4]
+    add  r0, r1, r2                 ; s = a + b
+    sub  r1, r1, r2                 ; d = a - b
+    ; saturate s to 0..255
+    cmp  r0, #0
+    movlt r0, #0
+    cmp  r0, #255
+    movgt r0, #255
+    ; fold difference into checksum
+    add  r7, r7, r0
+    add  r7, r7, r1, asr #4
+    add  r2, r5, r3
+    str  r0, [r10, r2, lsl #2]
+    add  r3, r3, #1
+    cmp  r3, #4
+    blt  pair
+    add  r4, r4, #1
+    cmp  r4, #8
+    blt  row_loop
+    add  r6, r6, #1
+    cmp  r6, #{n_blocks}
+    blt  block_loop
+    and  r0, r7, #255
+    swi  #0
+    .data
+blk:
+{_words_directive([v & 0xFFFFFFFF for v in coeffs])}
+out:
+    .space 256
+"""
+
+
+def mpeg2_enc_arm(scale: int = 1) -> str:
+    n_blocks = 6 * scale
+    pixels = lcg_words(seed=0xFACE, count=64, lo=0, hi=255)
+    basis = lcg_words(seed=0xB0B, count=64, lo=-181, hi=181)
+    return f"""
+    ; mpeg2 encode kernel: DCT dot products + quantise (mul heavy)
+    .text
+_start:
+    li   r8, pix
+    li   r9, basis
+    mov  r7, #0         ; checksum
+    mov  r6, #0         ; block counter
+eblock:
+    mov  r4, #0         ; coefficient index
+coef:
+    mov  r0, #0         ; acc
+    mov  r5, #0         ; k
+edot:
+    ldr  r1, [r8, r5, lsl #2]
+    add  r2, r5, r4
+    and  r2, r2, #63
+    ldr  r3, [r9, r2, lsl #2]
+    mla  r0, r1, r3, r0
+    add  r5, r5, #8
+    cmp  r5, #64
+    blt  edot
+    mov  r0, r0, asr #7  ; quantise
+    add  r7, r7, r0
+    add  r4, r4, #1
+    cmp  r4, #8
+    blt  coef
+    add  r6, r6, #1
+    cmp  r6, #{n_blocks}
+    blt  eblock
+    and  r0, r7, #255
+    swi  #0
+    .data
+pix:
+{_words_directive([v & 0xFFFFFFFF for v in pixels])}
+basis:
+{_words_directive([v & 0xFFFFFFFF for v in basis])}
+"""
+
+
+_ARM_GENERATORS: Dict[str, Callable[[int], str]] = {
+    "gsm_dec": gsm_dec_arm,
+    "gsm_enc": gsm_enc_arm,
+    "g721_dec": g721_dec_arm,
+    "g721_enc": g721_enc_arm,
+    "mpeg2_dec": mpeg2_dec_arm,
+    "mpeg2_enc": mpeg2_enc_arm,
+}
+
+
+def arm_source(name: str, scale: int = 1) -> str:
+    """Assembly text of the named MediaBench-like kernel (ARM target)."""
+    try:
+        generator = _ARM_GENERATORS[name]
+    except KeyError:
+        raise KeyError(f"unknown mediabench kernel {name!r}; have {MEDIABENCH_NAMES}") from None
+    return generator(scale)
+
+
+def all_arm_sources(scale: int = 1) -> Dict[str, str]:
+    return {name: arm_source(name, scale) for name in MEDIABENCH_NAMES}
+
+
+# ---------------------------------------------------------------------------
+# PowerPC variants (same kernels, same data, PPC-750 target)
+# ---------------------------------------------------------------------------
+
+
+def gsm_dec_ppc(scale: int = 1) -> str:
+    n_out = 40 * scale
+    samples = lcg_words(seed=0x1234, count=n_out + 8, lo=-4000, hi=4000)
+    taps = lcg_words(seed=0x77, count=8, lo=-64, hi=64)
+    return f"""
+    ; gsm decode kernel: 8-tap LTP synthesis filter (PPC)
+    .text
+_start:
+    li32  r8, x
+    li32  r9, h
+    li32  r10, y
+    li    r7, 0          ; checksum
+    li    r4, 0          ; i
+outer:
+    li    r3, 0          ; acc
+    li    r5, 0          ; k
+inner:
+    add   r0, r4, r5
+    slwi  r0, r0, 2
+    lwzx  r11, r8, r0
+    slwi  r12, r5, 2
+    lwzx  r13, r9, r12
+    mullw r14, r11, r13
+    add   r3, r3, r14
+    addi  r5, r5, 1
+    cmpwi r5, 8
+    blt   inner
+    srawi r3, r3, 6
+    slwi  r0, r4, 2
+    stwx  r3, r10, r0
+    add   r7, r7, r3
+    addi  r4, r4, 1
+    cmpwi r4, {n_out}
+    blt   outer
+    andi. r3, r7, 255
+    li    r0, 0
+    sc
+    .data
+x:
+{_words_directive([v & 0xFFFFFFFF for v in samples])}
+h:
+{_words_directive([v & 0xFFFFFFFF for v in taps])}
+y:
+    .space {4 * n_out}
+"""
+
+
+def gsm_enc_ppc(scale: int = 1) -> str:
+    n_lags = 40 * scale
+    window = lcg_words(seed=0xBEEF, count=16, lo=-2000, hi=2000)
+    history = lcg_words(seed=0xCAFE, count=n_lags + 16, lo=-2000, hi=2000)
+    return f"""
+    ; gsm encode kernel: LTP lag search (PPC)
+    .text
+_start:
+    li32  r8, w
+    li32  r9, d
+    li    r10, 0         ; best score
+    li    r11, 0         ; best lag
+    li    r4, 0          ; lag
+lag_loop:
+    li    r3, 0          ; acc
+    li    r5, 0          ; k
+corr:
+    slwi  r0, r5, 2
+    lwzx  r12, r8, r0
+    add   r1, r4, r5
+    slwi  r1, r1, 2
+    lwzx  r13, r9, r1
+    mullw r14, r12, r13
+    add   r3, r3, r14
+    addi  r5, r5, 1
+    cmpwi r5, 16
+    blt   corr
+    cmpw  r3, r10
+    ble   no_best
+    mr    r10, r3
+    mr    r11, r4
+no_best:
+    addi  r4, r4, 1
+    cmpwi r4, {n_lags}
+    blt   lag_loop
+    add   r3, r10, r11
+    andi. r3, r3, 255
+    li    r0, 0
+    sc
+    .data
+w:
+{_words_directive([v & 0xFFFFFFFF for v in window])}
+d:
+{_words_directive([v & 0xFFFFFFFF for v in history])}
+"""
+
+
+def g721_dec_ppc(scale: int = 1) -> str:
+    n = 96 * scale
+    codes = lcg_words(seed=0x5150, count=n, lo=0, hi=15)
+    steps = [7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31]
+    return f"""
+    ; g721 decode kernel: ADPCM reconstruction (PPC)
+    .text
+_start:
+    li32  r8, codes
+    li32  r9, steptab
+    li    r10, 0         ; predicted sample
+    li    r11, 4         ; step index
+    li    r7, 0          ; checksum
+    li    r4, 0          ; i
+dec_loop:
+    slwi  r0, r4, 2
+    lwzx  r3, r8, r0     ; code
+    slwi  r0, r11, 2
+    lwzx  r5, r9, r0     ; step
+    andi. r6, r3, 7
+    mullw r12, r5, r6
+    srawi r12, r12, 2
+    srwi  r13, r5, 3
+    add   r12, r12, r13  ; delta
+    andi. r14, r3, 8     ; sign
+    beq   pos
+    sub   r10, r10, r12
+    b     sgn_done
+pos:
+    add   r10, r10, r12
+sgn_done:
+    ; clamp to [-8192, 8191]
+    li32  r15, 8191
+    cmpw  r10, r15
+    ble   not_hi
+    mr    r10, r15
+not_hi:
+    li32  r15, 0 - 8192
+    cmpw  r10, r15
+    bge   not_lo
+    mr    r10, r15
+not_lo:
+    ; step index update
+    cmpwi r6, 4
+    blt   dec_idx
+    addi  r11, r11, 2
+    b     idx_done
+dec_idx:
+    addi  r11, r11, -1
+idx_done:
+    cmpwi r11, 0
+    bge   idx_ok_lo
+    li    r11, 0
+idx_ok_lo:
+    cmpwi r11, 15
+    ble   idx_ok_hi
+    li    r11, 15
+idx_ok_hi:
+    add   r7, r7, r10
+    addi  r4, r4, 1
+    cmpwi r4, {n}
+    blt   dec_loop
+    andi. r3, r7, 255
+    li    r0, 0
+    sc
+    .data
+codes:
+{_words_directive([v & 0xFFFFFFFF for v in codes])}
+steptab:
+{_words_directive(steps)}
+"""
+
+
+def g721_enc_ppc(scale: int = 1) -> str:
+    n = 96 * scale
+    samples = lcg_words(seed=0xACE, count=n, lo=-8000, hi=8000)
+    return f"""
+    ; g721 encode kernel: ADPCM quantisation (PPC)
+    .text
+_start:
+    li32  r8, pcm
+    li    r10, 0         ; predictor
+    li    r7, 0          ; checksum
+    li    r4, 0          ; i
+enc_loop:
+    slwi  r0, r4, 2
+    lwzx  r3, r8, r0
+    sub   r5, r3, r10    ; diff
+    li    r6, 0
+    cmpwi r5, 0
+    bge   abs_done
+    neg   r5, r5
+    li    r6, 8
+abs_done:
+    li    r12, 0
+seg:
+    cmpwi r5, 16
+    blt   seg_done
+    srwi  r5, r5, 1
+    addi  r12, r12, 1
+    b     seg
+seg_done:
+    or    r13, r6, r12   ; code
+    slwi  r14, r5, 1
+    cmpwi r6, 8
+    bne   enc_pos
+    sub   r10, r10, r14
+    b     enc_done
+enc_pos:
+    add   r10, r10, r14
+enc_done:
+    add   r7, r7, r13
+    addi  r4, r4, 1
+    cmpwi r4, {n}
+    blt   enc_loop
+    andi. r3, r7, 255
+    li    r0, 0
+    sc
+    .data
+pcm:
+{_words_directive([v & 0xFFFFFFFF for v in samples])}
+"""
+
+
+def mpeg2_dec_ppc(scale: int = 1) -> str:
+    n_blocks = 12 * scale
+    coeffs = lcg_words(seed=0xD1CE, count=64, lo=-256, hi=256)
+    return f"""
+    ; mpeg2 decode kernel: butterfly IDCT rows + saturation (PPC)
+    .text
+_start:
+    li32  r8, blk
+    li32  r10, out
+    li    r7, 0          ; checksum
+    li    r6, 0          ; block
+block_loop:
+    li    r4, 0          ; row
+row_loop:
+    slwi  r5, r4, 3
+    li    r3, 0          ; pair
+pair:
+    add   r0, r5, r3
+    slwi  r0, r0, 2
+    lwzx  r11, r8, r0
+    addi  r0, r0, 16
+    lwzx  r12, r8, r0
+    add   r13, r11, r12  ; s
+    sub   r14, r11, r12  ; d
+    cmpwi r13, 0
+    bge   sat_lo
+    li    r13, 0
+sat_lo:
+    cmpwi r13, 255
+    ble   sat_hi
+    li    r13, 255
+sat_hi:
+    add   r7, r7, r13
+    srawi r14, r14, 4
+    add   r7, r7, r14
+    add   r0, r5, r3
+    slwi  r0, r0, 2
+    stwx  r13, r10, r0
+    addi  r3, r3, 1
+    cmpwi r3, 4
+    blt   pair
+    addi  r4, r4, 1
+    cmpwi r4, 8
+    blt   row_loop
+    addi  r6, r6, 1
+    cmpwi r6, {n_blocks}
+    blt   block_loop
+    andi. r3, r7, 255
+    li    r0, 0
+    sc
+    .data
+blk:
+{_words_directive([v & 0xFFFFFFFF for v in coeffs])}
+out:
+    .space 256
+"""
+
+
+def mpeg2_enc_ppc(scale: int = 1) -> str:
+    n_blocks = 6 * scale
+    pixels = lcg_words(seed=0xFACE, count=64, lo=0, hi=255)
+    basis = lcg_words(seed=0xB0B, count=64, lo=-181, hi=181)
+    return f"""
+    ; mpeg2 encode kernel: DCT dot products (PPC, mul heavy)
+    .text
+_start:
+    li32  r8, pix
+    li32  r9, basis
+    li    r7, 0          ; checksum
+    li    r6, 0          ; block
+eblock:
+    li    r4, 0          ; coefficient
+coef:
+    li    r3, 0          ; acc
+    li    r5, 0          ; k
+edot:
+    slwi  r0, r5, 2
+    lwzx  r11, r8, r0
+    add   r12, r5, r4
+    andi. r12, r12, 63
+    slwi  r12, r12, 2
+    lwzx  r13, r9, r12
+    mullw r14, r11, r13
+    add   r3, r3, r14
+    addi  r5, r5, 8
+    cmpwi r5, 64
+    blt   edot
+    srawi r3, r3, 7
+    add   r7, r7, r3
+    addi  r4, r4, 1
+    cmpwi r4, 8
+    blt   coef
+    addi  r6, r6, 1
+    cmpwi r6, {n_blocks}
+    blt   eblock
+    andi. r3, r7, 255
+    li    r0, 0
+    sc
+    .data
+pix:
+{_words_directive([v & 0xFFFFFFFF for v in pixels])}
+basis:
+{_words_directive([v & 0xFFFFFFFF for v in basis])}
+"""
+
+
+_PPC_GENERATORS: Dict[str, Callable[[int], str]] = {
+    "gsm_dec": gsm_dec_ppc,
+    "gsm_enc": gsm_enc_ppc,
+    "g721_dec": g721_dec_ppc,
+    "g721_enc": g721_enc_ppc,
+    "mpeg2_dec": mpeg2_dec_ppc,
+    "mpeg2_enc": mpeg2_enc_ppc,
+}
+
+
+def ppc_source(name: str, scale: int = 1) -> str:
+    """Assembly text of the named MediaBench-like kernel (PPC target)."""
+    try:
+        generator = _PPC_GENERATORS[name]
+    except KeyError:
+        raise KeyError(f"unknown mediabench kernel {name!r}; have {MEDIABENCH_NAMES}") from None
+    return generator(scale)
+
+
+def all_ppc_sources(scale: int = 1) -> Dict[str, str]:
+    return {name: ppc_source(name, scale) for name in MEDIABENCH_NAMES}

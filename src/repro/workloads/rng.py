@@ -1,0 +1,30 @@
+"""Deterministic pseudo-random data for workload generation.
+
+A small LCG so workload data is reproducible across runs and platforms
+without depending on Python's ``random`` module state.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_A = 1103515245
+_C = 12345
+_M = 1 << 31
+
+
+def lcg_stream(seed: int):
+    """Infinite generator of raw 31-bit LCG values."""
+    state = seed & (_M - 1)
+    while True:
+        state = (_A * state + _C) % _M
+        yield state
+
+
+def lcg_words(seed: int, count: int, lo: int = 0, hi: int = 0xFFFFFFFF) -> List[int]:
+    """*count* reproducible integers uniform in [lo, hi]."""
+    if hi < lo:
+        raise ValueError(f"bad range [{lo}, {hi}]")
+    span = hi - lo + 1
+    stream = lcg_stream(seed)
+    return [lo + (next(stream) % span) for _ in range(count)]

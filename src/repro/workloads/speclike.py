@@ -1,0 +1,220 @@
+"""SPECint-like synthetic kernels (PPC target).
+
+Section 5.2 validates the PPC-750 model on "a benchmark mix from
+MediaBench and SPECint 2000".  These kernels play the SPECint role:
+branchier, less MAC-structured code than the media kernels.
+
+* ``lz_compress`` — gzip-like: hash-chain match search over a byte
+  buffer (byte loads, shifts, unpredictable branches).
+* ``pointer_chase`` — mcf-like: linked-list traversal with data-dependent
+  next pointers (load-to-load dependence chains).
+* ``parser_loop`` — parser-like: character-class dispatch over a text
+  buffer (dense compare/branch ladders).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .rng import lcg_words
+
+SPECLIKE_NAMES = ("lz_compress", "pointer_chase", "parser_loop")
+
+
+def _byte_directive(values: List[int], per_line: int = 16) -> str:
+    lines = []
+    for i in range(0, len(values), per_line):
+        chunk = ", ".join(str(v & 0xFF) for v in values[i : i + per_line])
+        lines.append(f"    .byte {chunk}")
+    return "\n".join(lines)
+
+
+def _word_directive(values: List[int], per_line: int = 8) -> str:
+    lines = []
+    for i in range(0, len(values), per_line):
+        chunk = ", ".join(str(v) for v in values[i : i + per_line])
+        lines.append(f"    .word {chunk}")
+    return "\n".join(lines)
+
+
+def lz_compress_ppc(scale: int = 1) -> str:
+    n = 256 * scale
+    # Compressible-ish data: small alphabet with runs.
+    data = []
+    stream = lcg_words(seed=0x6464, count=n, lo=0, hi=255)
+    for value in stream:
+        data.append(value % 7 if value % 3 else value % 29)
+    return f"""
+    ; lz-like kernel: match-length search over a byte buffer
+    .text
+_start:
+    li32  r8, buf
+    li    r7, 0          ; emitted-token checksum
+    li    r4, 4          ; position
+scan:
+    lbzx  r3, r8, r4     ; current byte
+    ; look back 1..4 for a match start
+    li    r5, 1
+back:
+    sub   r9, r4, r5
+    lbzx  r10, r8, r9
+    cmpw  r10, r3
+    beq   match
+    addi  r5, r5, 1
+    cmpwi r5, 5
+    blt   back
+    ; literal
+    add   r7, r7, r3
+    addi  r4, r4, 1
+    b     next
+match:
+    ; extend the match
+    li    r11, 0
+extend:
+    add   r9, r4, r11
+    cmpwi r9, {n}
+    bge   ext_done
+    sub   r12, r9, r5
+    lbzx  r10, r8, r12
+    lbzx  r13, r8, r9
+    cmpw  r10, r13
+    bne   ext_done
+    addi  r11, r11, 1
+    cmpwi r11, 16
+    blt   extend
+ext_done:
+    ; emit (offset, length) token
+    slwi  r12, r5, 4
+    or    r12, r12, r11
+    add   r7, r7, r12
+    addi  r4, r4, 1
+    add   r4, r4, r11
+next:
+    cmpwi r4, {n}
+    blt   scan
+    andi. r3, r7, 255
+    li    r0, 0
+    sc
+    .data
+buf:
+{_byte_directive(data)}
+"""
+
+
+def pointer_chase_ppc(scale: int = 1) -> str:
+    n_nodes = 64
+    steps = 256 * scale
+    # A permutation cycle: node i -> (i * 13 + 7) mod n
+    nexts = [((i * 13 + 7) % n_nodes) * 8 for i in range(n_nodes)]
+    payloads = lcg_words(seed=0x3C3C, count=n_nodes, lo=1, hi=1000)
+    words: List[int] = []
+    for nxt, payload in zip(nexts, payloads):
+        words.extend((nxt, payload))
+    return f"""
+    ; mcf-like kernel: pointer chase through a linked structure
+    .text
+_start:
+    li32  r8, nodes
+    li    r7, 0          ; checksum
+    li    r4, 0          ; current node offset
+    li    r5, 0          ; step
+chase:
+    lwzx  r3, r8, r4     ; next offset
+    addi  r6, r4, 4
+    lwzx  r9, r8, r6     ; payload
+    add   r7, r7, r9
+    mr    r4, r3
+    addi  r5, r5, 1
+    cmpwi r5, {steps}
+    blt   chase
+    andi. r3, r7, 255
+    li    r0, 0
+    sc
+    .data
+nodes:
+{_word_directive(words)}
+"""
+
+
+def parser_loop_ppc(scale: int = 1) -> str:
+    n = 256 * scale
+    text = []
+    stream = lcg_words(seed=0x7A7A, count=n, lo=0, hi=99)
+    for value in stream:
+        if value < 55:
+            text.append(ord("a") + value % 26)   # letters
+        elif value < 75:
+            text.append(ord("0") + value % 10)   # digits
+        elif value < 90:
+            text.append(ord(" "))                # whitespace
+        else:
+            text.append(ord("+") if value % 2 else ord("("))
+    return f"""
+    ; parser-like kernel: character-class dispatch ladder
+    .text
+_start:
+    li32  r8, text
+    li    r7, 0          ; class histogram checksum
+    li    r20, 0         ; identifiers
+    li    r21, 0         ; numbers
+    li    r22, 0         ; spaces
+    li    r23, 0         ; operators
+    li    r4, 0
+ploop:
+    lbzx  r3, r8, r4
+    cmpwi r3, 97         ; 'a'
+    blt   not_letter
+    cmpwi r3, 122        ; 'z'
+    bgt   not_letter
+    addi  r20, r20, 1
+    b     classified
+not_letter:
+    cmpwi r3, 48         ; '0'
+    blt   not_digit
+    cmpwi r3, 57         ; '9'
+    bgt   not_digit
+    addi  r21, r21, 1
+    b     classified
+not_digit:
+    cmpwi r3, 32         ; space
+    bne   operator
+    addi  r22, r22, 1
+    b     classified
+operator:
+    addi  r23, r23, 1
+classified:
+    addi  r4, r4, 1
+    cmpwi r4, {n}
+    blt   ploop
+    slwi  r7, r20, 3
+    add   r7, r7, r21
+    slwi  r22, r22, 1
+    add   r7, r7, r22
+    add   r7, r7, r23
+    andi. r3, r7, 255
+    li    r0, 0
+    sc
+    .data
+text:
+{_byte_directive(text)}
+"""
+
+
+_PPC_GENERATORS: Dict[str, Callable[[int], str]] = {
+    "lz_compress": lz_compress_ppc,
+    "pointer_chase": pointer_chase_ppc,
+    "parser_loop": parser_loop_ppc,
+}
+
+
+def ppc_source(name: str, scale: int = 1) -> str:
+    """Assembly text of the named SPEC-like kernel (PPC target)."""
+    try:
+        generator = _PPC_GENERATORS[name]
+    except KeyError:
+        raise KeyError(f"unknown spec-like kernel {name!r}; have {SPECLIKE_NAMES}") from None
+    return generator(scale)
+
+
+def all_ppc_sources(scale: int = 1) -> Dict[str, str]:
+    return {name: ppc_source(name, scale) for name in SPECLIKE_NAMES}

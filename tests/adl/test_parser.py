@@ -1,0 +1,143 @@
+"""Tests for the ADL parser."""
+
+import pytest
+
+from repro.adl import AdlError, PIPELINE5_ADL, STRONGARM_ADL, parse
+
+MINIMAL = """
+processor tiny {
+    manager m_f kind fetch
+    manager m_reset kind reset
+    machine op {
+        state I initial
+        state F
+        edge I -> F { allocate m_f } action fetch
+        edge F -> I { release m_f }
+    }
+}
+"""
+
+
+class TestParsing:
+    def test_minimal_description(self):
+        processor = parse(MINIMAL)
+        assert processor.name == "tiny"
+        assert [m.name for m in processor.managers] == ["m_f", "m_reset"]
+        machine = processor.machine
+        assert machine.initial_state == "I"
+        assert len(machine.edges) == 2
+        assert machine.edges[0].actions == ["fetch"]
+
+    def test_builtin_descriptions_parse(self):
+        for text in (PIPELINE5_ADL, STRONGARM_ADL):
+            processor = parse(text)
+            assert len(processor.machine.states) == 6
+            assert processor.params["osms"] == 7
+
+    def test_priorities_and_slots(self):
+        processor = parse("""
+processor p {
+    manager pool kind pool size 4
+    manager m_reset kind reset
+    machine op {
+        state I initial
+        state S
+        edge I -> S priority 7 { allocate pool as entry }
+        edge S -> I { release entry }
+    }
+}
+""")
+        edge = processor.machine.edges[0]
+        assert edge.priority == 7
+        assert edge.primitives[0].slot == "entry"
+        assert processor.manager("pool").params["size"] == 4
+
+    def test_forwarding_flag(self):
+        processor = parse("""
+processor p {
+    manager r kind regfile regs 17 forwarding
+    machine op { state I initial }
+}
+""")
+        assert processor.manager("r").forwarding is True
+
+    def test_multiple_actions(self):
+        processor = parse("""
+processor p {
+    manager m kind stage
+    machine op {
+        state I initial
+        state S
+        edge I -> S { allocate m } action memory action publish
+    }
+}
+""")
+        assert processor.machine.edges[0].actions == ["memory", "publish"]
+
+    def test_comments_ignored(self):
+        parse("""
+# full line comment
+processor p {        # trailing comment
+    machine op { state I initial }
+}
+""")
+
+
+class TestErrors:
+    def test_unknown_manager_kind(self):
+        with pytest.raises(AdlError, match="unknown manager kind"):
+            parse("processor p { manager m kind banana }")
+
+    def test_unknown_primitive(self):
+        with pytest.raises(AdlError, match="unknown primitive"):
+            parse("""
+processor p {
+    manager m kind stage
+    machine op {
+        state I initial
+        state S
+        edge I -> S { grab m }
+    }
+}
+""")
+
+    def test_missing_initial_state(self):
+        with pytest.raises(AdlError, match="no initial state"):
+            parse("processor p { machine op { state A } }")
+
+    def test_unknown_state_in_edge(self):
+        with pytest.raises(AdlError, match="unknown state"):
+            parse("""
+processor p {
+    machine op {
+        state I initial
+        edge I -> Ghost { }
+    }
+}
+""")
+
+    def test_unknown_manager_in_primitive(self):
+        with pytest.raises(AdlError, match="unknown manager"):
+            parse("""
+processor p {
+    machine op {
+        state I initial
+        state S
+        edge I -> S { allocate ghost }
+    }
+}
+""")
+
+    def test_duplicate_manager(self):
+        with pytest.raises(AdlError, match="duplicate manager"):
+            parse("""
+processor p {
+    manager m kind stage
+    manager m kind stage
+    machine op { state I initial }
+}
+""")
+
+    def test_syntax_error_reports_line(self):
+        with pytest.raises(AdlError, match="line"):
+            parse("processor p {\n    manager\n}")

@@ -1,0 +1,133 @@
+"""Tests for the Section-6 analysis passes."""
+
+import pytest
+
+from repro.analysis import export_asm, render_asm, reservation_table
+from repro.analysis.deadlock import analyze as analyze_deadlock
+from repro.analysis.reachability import analyze as analyze_reachability
+from repro.core import (
+    ALWAYS,
+    Allocate,
+    Condition,
+    MachineSpec,
+    Release,
+    SlotManager,
+)
+from repro.isa.arm import assemble
+from repro.models.pipeline5 import Pipeline5Model
+from repro.models.strongarm import StrongArmModel
+
+from ..conftest import arm_program
+
+
+@pytest.fixture()
+def pipeline5_spec():
+    model = Pipeline5Model(assemble(arm_program("    nop")))
+    return model.spec
+
+
+class TestAsmExport:
+    def test_one_rule_per_edge(self, pipeline5_spec):
+        rules = export_asm(pipeline5_spec)
+        assert len(rules) == len(pipeline5_spec.edges)
+
+    def test_rules_carry_guards_and_updates(self, pipeline5_spec):
+        rules = {rule.name: rule for rule in export_asm(pipeline5_spec)}
+        issue = rules["issue"]
+        assert any("m_e" in guard for guard in issue.guards)
+        assert any("m_r" in guard for guard in issue.guards)
+        assert any("m_d" in update for update in issue.updates)
+
+    def test_reset_rules_have_discard_updates(self, pipeline5_spec):
+        rules = [rule for rule in export_asm(pipeline5_spec) if rule.name.startswith("reset")]
+        assert rules
+        for rule in rules:
+            assert any("free" in update for update in rule.updates)
+
+    def test_render_contains_all_states(self, pipeline5_spec):
+        text = render_asm(pipeline5_spec)
+        for state in "IFDEBW":
+            assert state in text
+        assert "rule fetch" in text
+
+
+class TestReachability:
+    def test_clean_model(self, pipeline5_spec):
+        report = analyze_reachability(pipeline5_spec)
+        assert report.clean
+        assert report.reachable == set("IFDEBW")
+
+    def test_detects_trap_state(self):
+        spec = MachineSpec("trap")
+        spec.state("I", initial=True)
+        spec.state("Trap")
+        spec.edge("I", "Trap", ALWAYS)
+        report = analyze_reachability(spec)
+        assert "Trap" in report.trapping
+        assert "Trap" in report.non_returning
+        assert not report.clean
+
+    def test_detects_unreachable(self):
+        spec = MachineSpec("u")
+        spec.state("I", initial=True)
+        spec.state("A")
+        spec.state("Island")
+        spec.edge("I", "A", ALWAYS)
+        spec.edge("A", "I", ALWAYS)
+        spec.edge("Island", "I", ALWAYS)
+        report = analyze_reachability(spec)
+        assert report.unreachable == {"Island"}
+        assert report.dead_edges == ["Island->I"]
+
+
+class TestDeadlockAnalysis:
+    def test_linear_pipeline_is_deadlock_free(self, pipeline5_spec):
+        report = analyze_deadlock(pipeline5_spec)
+        assert report.deadlock_free
+        assert ("m_f", "m_d") in report.dependencies
+
+    def test_strongarm_is_deadlock_free(self):
+        model = StrongArmModel(assemble(arm_program("    nop")), perfect_memory=True)
+        assert analyze_deadlock(model.spec).deadlock_free
+
+    def test_cyclic_pipeline_detected(self):
+        a, b = SlotManager("A"), SlotManager("B")
+        spec = MachineSpec("cyclic")
+        spec.state("I", initial=True)
+        spec.state("P")
+        spec.state("Q")
+        spec.edge("I", "P", Condition([Allocate(a)]))
+        spec.edge("P", "Q", Condition([Allocate(b)]))
+        spec.edge("Q", "P", Condition([Allocate(a, slot="A2"), Release("A")]))
+        spec.edge("Q", "I", Condition([Release("A"), Release("B")]))
+        report = analyze_deadlock(spec)
+        assert not report.deadlock_free
+        assert any(set(cycle) >= {"A", "B"} for cycle in report.cycles)
+
+
+class TestReservationTable:
+    def test_pipeline5_resources_per_stage(self, pipeline5_spec):
+        table = dict(reservation_table(pipeline5_spec))
+        assert table["F"] == ("m_f",)
+        assert table["D"] == ("m_d",)
+        assert "m_r" in table["E"] and "m_e" in table["E"]
+        assert "m_r" in table["W"]  # update token held to write-back
+
+    def test_follows_canonical_path_order(self, pipeline5_spec):
+        states = [state for state, _ in reservation_table(pipeline5_spec)]
+        assert states == ["F", "D", "E", "B", "W"]
+
+
+class TestOperandLatencies:
+    def test_forwarding_shortens_latencies(self):
+        from repro.analysis import operand_latencies
+
+        with_fw = operand_latencies(
+            lambda p: StrongArmModel(p, perfect_memory=True), classes=("alu", "load")
+        )
+        without_fw = operand_latencies(
+            lambda p: Pipeline5Model(p), classes=("alu",)
+        )
+        assert with_fw["alu"] == 0  # back-to-back
+        assert with_fw["load"] >= 1  # load-use bubble
+        assert without_fw["alu"] > with_fw["alu"]

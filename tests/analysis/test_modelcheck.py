@@ -1,0 +1,116 @@
+"""Tests for the bounded model checker."""
+
+import pytest
+
+from repro.analysis.modelcheck import check
+from repro.core import (
+    ALWAYS,
+    Allocate,
+    Condition,
+    MachineSpec,
+    PoolManager,
+    Release,
+    SlotManager,
+)
+
+
+def linear_pipeline():
+    """The Section-4 skeleton: I -> A -> B -> I over slot managers."""
+    a, b = SlotManager("a"), SlotManager("b")
+    spec = MachineSpec("linear")
+    spec.state("I", initial=True)
+    spec.state("A")
+    spec.state("B")
+    spec.edge("I", "A", Condition([Allocate(a)]))
+    spec.edge("A", "B", Condition([Allocate(b), Release("a")]))
+    spec.edge("B", "I", Condition([Release("b")]))
+    spec.validate()
+    return spec, [a, b]
+
+
+def leaky_machine():
+    """Deliberate bug: returns to I while still holding a token."""
+    pool = PoolManager("p", 2)
+    spec = MachineSpec("leaky")
+    spec.state("I", initial=True)
+    spec.state("S")
+    spec.edge("I", "S", Condition([Allocate(pool)]))
+    spec.edge("S", "I", ALWAYS)  # forgot the release
+    spec.validate()
+    return spec, [pool]
+
+
+def trap_machine():
+    """Deliberate bug: a state with no way back to I."""
+    slot = SlotManager("s")
+    spec = MachineSpec("trap")
+    spec.state("I", initial=True)
+    spec.state("Stuck")
+    spec.edge("I", "Stuck", Condition([Allocate(slot)]))
+    # no edge out of Stuck
+    return spec, [slot]
+
+
+def crossing_machine():
+    """Two resources acquired in opposite orders by the two machine
+    roles — the classic hold-and-wait deadlock."""
+    a, b = SlotManager("a"), SlotManager("b")
+    spec = MachineSpec("crossing")
+    spec.state("I", initial=True)
+    spec.state("HoldA")
+    spec.state("HoldB")
+    spec.state("Both")
+    spec.edge("I", "HoldA", Condition([Allocate(a)]))
+    spec.edge("I", "HoldB", Condition([Allocate(b)]))
+    spec.edge("HoldA", "Both", Condition([Allocate(b, slot="b2")]))
+    spec.edge("HoldB", "Both", Condition([Allocate(a, slot="a2")]))
+    spec.edge("Both", "I", Condition([Release("a"), Release("b"),
+                                      Release("a2"), Release("b2")]))
+    spec.validate()
+    return spec, [a, b]
+
+
+class TestModelCheck:
+    def test_linear_pipeline_is_safe(self):
+        report = check(linear_pipeline, n_osms=3, all_orders=True)
+        assert report.safe
+        assert report.n_states > 3
+
+    def test_all_orders_explores_more_than_one_schedule(self):
+        single = check(linear_pipeline, n_osms=3, all_orders=False)
+        every = check(linear_pipeline, n_osms=3, all_orders=True)
+        assert every.n_transitions >= single.n_transitions
+
+    def test_leak_detected_as_violation(self):
+        import pytest as _pytest
+
+        from repro.core import TokenError
+
+        # the OSM layer itself refuses buffer-carrying returns to I, which
+        # IS the invariant — the checker surfaces it as the raised error
+        with _pytest.raises(TokenError, match="still holding"):
+            check(leaky_machine, n_osms=1)
+
+    def test_trap_state_reported(self):
+        report = check(trap_machine, n_osms=1)
+        assert not report.safe
+        assert report.trapped_states
+
+    def test_crossing_deadlock_found_by_exhaustive_search(self):
+        """With 2 OSMs, one order reaches (HoldA, HoldB): both stuck."""
+        report = check(crossing_machine, n_osms=2, all_orders=True)
+        assert report.trapped_states  # the deadlocked configuration
+        # and the static analysis agrees there is a cycle
+        from repro.analysis.deadlock import analyze
+
+        spec, _ = crossing_machine()
+        assert not analyze(spec).deadlock_free
+
+    def test_single_osm_cannot_deadlock_the_crossing(self):
+        report = check(crossing_machine, n_osms=1)
+        assert not report.trapped_states
+
+    def test_truncation_reported(self):
+        report = check(linear_pipeline, n_osms=4, max_states=5)
+        assert report.truncated
+        assert not report.safe

@@ -1,0 +1,125 @@
+"""Tests for the SimpleScalar-style baseline and the iPAQ reference."""
+
+import pytest
+
+from repro.baselines.reference import IpaqReference
+from repro.baselines.simplescalar import SimpleScalarArm
+from repro.isa.arm import assemble
+from repro.iss import ArmInterpreter
+from repro.models.strongarm import (
+    StrongArmModel,
+    default_dcache,
+    default_dtlb,
+    default_icache,
+    default_itlb,
+)
+
+from ..conftest import arm_program
+
+
+def _pair(body: str, data: str = ""):
+    source = arm_program(body, data)
+    osm = StrongArmModel(assemble(source), perfect_memory=True)
+    osm.run()
+    base = SimpleScalarArm(assemble(source))
+    base.run()
+    return osm, base
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("body", [
+        "    mov r1, #1\n    add r2, r1, #2",
+        "    mov r1, #5\n    mul r2, r1, r1\n    add r3, r2, #1",
+        """    mov r1, #0
+lp:
+    add r1, r1, #1
+    cmp r1, #6
+    bne lp""",
+    ])
+    def test_cycle_exact_on_fragments(self, body):
+        osm, base = _pair(body)
+        assert osm.cycles == base.cycles
+        assert osm.exit_code == base.exit_code
+
+    def test_cycle_exact_with_caches(self):
+        from repro.workloads import mediabench
+
+        source = mediabench.arm_source("g721_dec")
+        osm = StrongArmModel(assemble(source))
+        osm.run()
+        base = SimpleScalarArm(
+            assemble(source),
+            icache=default_icache(), dcache=default_dcache(),
+            itlb=default_itlb(), dtlb=default_dtlb(),
+        )
+        base.run()
+        assert osm.cycles == base.cycles
+
+    def test_functional_equivalence_with_iss(self):
+        source = arm_program("""
+    li  r1, buf
+    mov r2, #0
+    mov r3, #0
+lp:
+    str r3, [r1, r3, lsl #2]
+    add r2, r2, r3
+    add r3, r3, #1
+    cmp r3, #8
+    blt lp
+    mov r0, r2
+""", data="buf: .space 64")
+        iss = ArmInterpreter(assemble(source))
+        iss.run()
+        sim = SimpleScalarArm(assemble(source))
+        sim.run()
+        assert sim.exit_code == iss.state.exit_code
+        assert sim.retired == iss.steps
+
+    def test_budget_guard(self):
+        source = """
+    .text
+_start:
+    b _start
+"""
+        sim = SimpleScalarArm(assemble(source))
+        with pytest.raises(RuntimeError):
+            sim.run(100)
+
+
+class TestIpaqReference:
+    def test_reference_is_slower_than_idealised_model(self):
+        from repro.workloads import mediabench
+
+        source = mediabench.arm_source("gsm_dec")
+        model = StrongArmModel(assemble(source))
+        model.run()
+        reference = IpaqReference(assemble(source))
+        reference.run()
+        assert reference.cycles > model.cycles  # bus/DRAM/syscall overheads
+        diff = abs(model.cycles - reference.cycles) / reference.cycles
+        assert diff < 0.08  # but the difference is Table-1 small
+
+    def test_functional_equivalence(self):
+        from repro.workloads import mediabench
+
+        source = mediabench.arm_source("mpeg2_enc")
+        iss = ArmInterpreter(assemble(source))
+        iss.run()
+        reference = IpaqReference(assemble(source))
+        reference.run()
+        assert reference.exit_code == iss.state.exit_code
+
+    def test_time_utility_quantises(self):
+        source = arm_program("    mov r0, #0")
+        reference = IpaqReference(assemble(source))
+        reference.run()
+        measured = reference.measured_seconds()
+        assert measured >= 0.01  # one tick minimum
+        assert measured % 0.01 == pytest.approx(0, abs=1e-9)
+
+    def test_bus_contention_recorded(self):
+        from repro.workloads import kernels
+
+        reference = IpaqReference(assemble(kernels.arm_source("stride32")))
+        reference.run()
+        assert reference.bus.stats.transactions > 0

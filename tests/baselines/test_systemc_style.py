@@ -1,0 +1,100 @@
+"""Tests for the SystemC-style hardware-centric PPC-750 baseline."""
+
+import pytest
+
+from repro.baselines.systemc_style import Ppc750SystemC
+from repro.isa.ppc import assemble
+from repro.iss import PpcInterpreter
+from repro.models.ppc750 import Ppc750Model
+
+from ..conftest import ppc_program
+
+
+def run_pair(body: str, data: str = "", **kwargs):
+    kwargs.setdefault("perfect_memory", True)
+    source = ppc_program(body, data)
+    osm = Ppc750Model(assemble(source), **kwargs)
+    osm.run()
+    systemc = Ppc750SystemC(assemble(source), **kwargs)
+    systemc.run()
+    return osm, systemc
+
+
+class TestStructure:
+    def test_twenty_modules_like_the_paper(self):
+        systemc = Ppc750SystemC(assemble(ppc_program("    li r3, 0")))
+        assert len(systemc.sim.modules) == 20
+
+    def test_port_based_communication_only(self):
+        systemc = Ppc750SystemC(assemble(ppc_program("    li r3, 0")))
+        summary = systemc.wiring_summary()
+        assert "modules" in summary and "wires" in summary
+
+    def test_delta_cycles_iterate_per_clock(self):
+        _, systemc = run_pair("    li r3, 1\n    add r4, r3, r3")
+        assert systemc.sim.delta_cycles_run / systemc.cycles >= 2
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("body", [
+        "    li r3, 1\n    add r4, r3, r3\n    add r3, r4, r4",
+        """    li   r4, 0
+lp:
+    addi r4, r4, 1
+    cmpwi r4, 9
+    blt  lp
+    mr   r3, r4""",
+        """    li    r4, 60
+    li    r5, 5
+    divw  r6, r4, r5
+    mullw r7, r6, r5
+    mr    r3, r7""",
+    ])
+    def test_functional_agreement(self, body):
+        osm, systemc = run_pair(body)
+        assert osm.exit_code == systemc.exit_code
+        assert osm.kernel.stats.instructions == systemc.instructions
+
+    def test_timing_within_three_percent(self):
+        from repro.workloads import mediabench
+
+        source = mediabench.ppc_source("gsm_dec")
+        osm = Ppc750Model(assemble(source))
+        osm.run()
+        systemc = Ppc750SystemC(assemble(source))
+        systemc.run()
+        delta = abs(osm.cycles - systemc.cycles) / systemc.cycles
+        assert delta <= 0.03  # the paper's validation bound
+
+    def test_iss_equivalence(self):
+        source = ppc_program("""
+    li    r4, 0
+    li    r6, 0
+lp:
+    addi  r4, r4, 1
+    andi. r5, r4, 1
+    beq   even
+    addi  r6, r6, 2
+    b     nxt
+even:
+    addi  r6, r6, 5
+nxt:
+    cmpwi r4, 10
+    blt   lp
+    mr    r3, r6
+""")
+        iss = PpcInterpreter(assemble(source))
+        iss.run()
+        systemc = Ppc750SystemC(assemble(source), perfect_memory=True)
+        systemc.run()
+        assert systemc.exit_code == iss.state.exit_code
+        assert systemc.instructions == iss.steps
+
+    def test_budget_guard(self):
+        systemc = Ppc750SystemC(assemble("""
+    .text
+_start:
+    b _start
+"""))
+        with pytest.raises(RuntimeError):
+            systemc.run(200)

@@ -1,0 +1,43 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def arm_assemble():
+    from repro.isa.arm import assemble
+
+    return assemble
+
+
+@pytest.fixture()
+def ppc_assemble():
+    from repro.isa.ppc import assemble
+
+    return assemble
+
+
+def arm_program(body: str, data: str = "") -> str:
+    """Wrap an instruction body into a runnable ARM program skeleton."""
+    data_section = f"    .data\n{data}" if data else ""
+    return f"""
+    .text
+_start:
+{body}
+    swi #0
+{data_section}
+"""
+
+
+def ppc_program(body: str, data: str = "") -> str:
+    data_section = f"    .data\n{data}" if data else ""
+    return f"""
+    .text
+_start:
+{body}
+    li r0, 0
+    sc
+{data_section}
+"""

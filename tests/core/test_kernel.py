@@ -1,0 +1,138 @@
+"""Tests for the two simulation kernels."""
+
+import pytest
+
+from repro.core import (
+    ALWAYS,
+    Allocate,
+    Condition,
+    CycleDrivenKernel,
+    Director,
+    MachineSpec,
+    OperationStateMachine,
+    Release,
+    SimulationError,
+    SimulationKernel,
+    SlotManager,
+)
+from repro.de.module import HardwareModule
+
+
+class _Recorder(HardwareModule):
+    def __init__(self, name, log):
+        super().__init__(name)
+        self.log = log
+
+    def begin_cycle(self, cycle):
+        self.log.append((self.name, "begin", cycle))
+
+    def end_cycle(self, cycle):
+        self.log.append((self.name, "end", cycle))
+
+
+def _one_shot_model():
+    """An OSM that makes exactly 3 transitions then stays in I."""
+    spec = MachineSpec("m")
+    spec.state("I", initial=True)
+    spec.state("A")
+    spec.state("B")
+    manager = SlotManager("s")
+    done = {"count": 0}
+
+    def fetch_gate(osm):
+        return done["count"] == 0
+
+    from repro.core import Guard
+
+    spec.edge("I", "A", Condition([Guard(fetch_gate, "once"), Allocate(manager)]))
+    spec.edge("A", "B", ALWAYS)
+    spec.edge("B", "I", Condition([Release("s")]),
+              action=lambda o: done.__setitem__("count", 1))
+    osm = OperationStateMachine(spec)
+    director = Director()
+    director.add(osm)
+    return director, done
+
+
+class TestCycleDrivenKernel:
+    def test_hook_ordering(self):
+        log = []
+        director, done = _one_shot_model()
+        kernel = CycleDrivenKernel(director, [_Recorder("m1", log), _Recorder("m2", log)])
+        kernel.step()
+        assert log == [
+            ("m1", "begin", 0), ("m2", "begin", 0),
+            ("m1", "end", 0), ("m2", "end", 0),
+        ]
+
+    def test_stop_condition(self):
+        director, done = _one_shot_model()
+        kernel = CycleDrivenKernel(director)
+        kernel.stop_condition = lambda: done["count"] == 1
+        stats = kernel.run(100)
+        assert done["count"] == 1
+        assert stats.cycles == 3
+
+    def test_max_cycles_exceeded_raises(self):
+        director, done = _one_shot_model()
+        kernel = CycleDrivenKernel(director)
+        kernel.stop_condition = lambda: False
+        with pytest.raises(SimulationError, match="did not terminate"):
+            kernel.run(5)
+
+    def test_stats_count_cycles_and_transitions(self):
+        director, done = _one_shot_model()
+        kernel = CycleDrivenKernel(director)
+        kernel.stop_condition = lambda: done["count"] == 1
+        stats = kernel.run(100)
+        assert stats.transitions == 3
+
+    def test_modules_get_notify_bound(self):
+        director, _ = _one_shot_model()
+        module = _Recorder("m", [])
+        kernel = CycleDrivenKernel(director, [module])
+        assert module.notify == director.notify
+        late = _Recorder("late", [])
+        kernel.add_module(late)
+        assert late.notify == director.notify
+
+
+class TestSimulationKernel:
+    def test_matches_cycle_driven_timing(self):
+        director1, done1 = _one_shot_model()
+        cd = CycleDrivenKernel(director1)
+        cd.stop_condition = lambda: done1["count"] == 1
+        cd_stats = cd.run(100)
+
+        director2, done2 = _one_shot_model()
+        de = SimulationKernel(director2)
+        de.stop_condition = lambda: done2["count"] == 1
+        de_stats = de.run(100)
+        assert de_stats.cycles == cd_stats.cycles
+
+    def test_hardware_events_run_between_edges(self):
+        director, done = _one_shot_model()
+        kernel = SimulationKernel(director)
+        kernel.stop_condition = lambda: done["count"] == 1
+        fired = []
+        kernel.scheduler.schedule(0, lambda: fired.append(kernel.scheduler.now))
+        kernel.run(100)
+        assert fired == [0]
+
+    def test_control_step_must_not_schedule_events(self):
+        """Paper Fig. 4: the control step finishes in zero DE time."""
+        spec = MachineSpec("m")
+        spec.state("I", initial=True)
+        spec.state("S")
+        director = Director()
+        kernel = SimulationKernel(director)
+
+        def bad_action(osm):
+            kernel.scheduler.schedule(1, lambda: None)
+
+        spec.edge("I", "S", ALWAYS, action=bad_action)
+        spec.edge("S", "I", ALWAYS)
+        director.add(OperationStateMachine(spec))
+        kernel.stop_condition = lambda: False
+        with pytest.raises(SimulationError, match="zero time"):
+            kernel.run(10)

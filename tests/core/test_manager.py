@@ -1,0 +1,252 @@
+"""Unit tests for the built-in token managers."""
+
+import pytest
+
+from repro.core import (
+    PoolManager,
+    RegisterFileManager,
+    ResetManager,
+    SlotManager,
+    TokenError,
+)
+from repro.core.transaction import Transaction
+
+
+class _FakeOsm:
+    """Just enough OSM surface for direct manager-level tests."""
+
+    def __init__(self, name="osm"):
+        self.name = name
+        self.token_buffer = {}
+        self.operation = None
+        self.blocked_on = None
+
+    def note_blocked_on(self, manager, ident):
+        self.blocked_on = (manager, ident)
+
+    def slot_of(self, token):
+        for slot, held in self.token_buffer.items():
+            if held is token:
+                return slot
+        return None
+
+
+def _txn(osm):
+    return Transaction(osm)
+
+
+class TestSlotManager:
+    def test_allocate_when_free(self):
+        manager = SlotManager("s")
+        osm = _FakeOsm()
+        token = manager.allocate(osm, None, _txn(osm))
+        assert token is manager.token
+
+    def test_allocate_refused_when_held(self):
+        manager = SlotManager("s")
+        holder, requester = _FakeOsm("a"), _FakeOsm("b")
+        manager.token.holder = holder
+        assert manager.allocate(requester, None, _txn(requester)) is None
+
+    def test_allocate_refused_when_tentatively_granted(self):
+        manager = SlotManager("s")
+        osm = _FakeOsm()
+        txn = _txn(osm)
+        txn.add_grant("s", manager.token)
+        assert manager.allocate(osm, None, txn) is None
+
+    def test_inquire_tracks_occupancy(self):
+        manager = SlotManager("s")
+        osm = _FakeOsm()
+        assert manager.inquire(osm, None, _txn(osm))
+        manager.token.holder = osm
+        assert not manager.inquire(osm, None, _txn(osm))
+
+    def test_release_requires_ownership(self):
+        manager = SlotManager("s")
+        osm = _FakeOsm()
+        with pytest.raises(TokenError):
+            manager.release(osm, manager.token, _txn(osm))
+
+    def test_release_of_foreign_token_rejected(self):
+        manager, other = SlotManager("s"), SlotManager("t")
+        osm = _FakeOsm()
+        other.token.holder = osm
+        with pytest.raises(TokenError):
+            manager.release(osm, other.token, _txn(osm))
+
+    def test_hold_release_refuses(self):
+        manager = SlotManager("s")
+        osm = _FakeOsm()
+        manager.token.holder = osm
+        manager.hold_release = True
+        assert manager.release(osm, manager.token, _txn(osm)) is False
+        manager.hold_release = False
+        assert manager.release(osm, manager.token, _txn(osm)) is True
+
+    def test_occupant_property(self):
+        manager = SlotManager("s")
+        osm = _FakeOsm()
+        assert manager.occupant is None
+        manager.token.holder = osm
+        assert manager.occupant is osm
+
+
+class TestPoolManager:
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PoolManager("p", 0)
+
+    def test_allocates_distinct_tokens(self):
+        manager = PoolManager("p", 3)
+        osm = _FakeOsm()
+        txn = _txn(osm)
+        granted = []
+        for _ in range(3):
+            token = manager.allocate(osm, None, txn)
+            assert token is not None
+            txn.add_grant(f"t{len(granted)}", token)
+            granted.append(token)
+        assert len({id(t) for t in granted}) == 3
+        assert manager.allocate(osm, None, txn) is None
+
+    def test_free_count(self):
+        manager = PoolManager("p", 2)
+        osm = _FakeOsm()
+        assert manager.n_free == 2
+        manager.tokens[0].holder = osm
+        assert manager.n_free == 1
+        assert manager.occupants == [osm]
+
+    def test_inquire_counts_tentative_grants(self):
+        manager = PoolManager("p", 1)
+        osm = _FakeOsm()
+        txn = _txn(osm)
+        assert manager.inquire(osm, None, txn)
+        txn.add_grant("t", manager.tokens[0])
+        assert not manager.inquire(osm, None, txn)
+
+
+class TestRegisterFileManager:
+    def _backing(self):
+        class Backing:
+            def __init__(self):
+                self.values = [0] * 8
+
+            def read(self, reg):
+                return self.values[reg]
+
+            def write(self, reg, value):
+                self.values[reg] = value
+
+        return Backing()
+
+    def test_update_token_pool_allows_waw_up_to_depth(self):
+        """The paper's plural "register-update tokens": each register has
+        a small pool, so WAW sequences overlap up to the pipeline depth."""
+        manager = RegisterFileManager("r", 8, self._backing(), updates_per_reg=2)
+        writers = [_FakeOsm(f"w{i}") for i in range(3)]
+        granted = []
+        for writer in writers[:2]:
+            token = manager.allocate(writer, 3, _txn(writer))
+            assert token is not None
+            token.holder = writer
+            manager.on_allocate_commit(writer, token)
+            granted.append(token)
+        # pool exhausted: the third writer must wait
+        assert manager.allocate(writers[2], 3, _txn(writers[2])) is None
+        assert manager.allocate(writers[2], 4, _txn(writers[2])) is not None
+        # youngest writer is the pending one readers care about
+        assert manager.pending_writer(3) is writers[1]
+        assert manager.outstanding(3) == 2
+
+    def test_inquire_fails_with_outstanding_update(self):
+        manager = RegisterFileManager("r", 8, self._backing())
+        writer, reader = _FakeOsm("w"), _FakeOsm("r")
+        token = manager.allocate(writer, 2, _txn(writer))
+        token.holder = writer
+        manager.on_allocate_commit(writer, token)
+        assert not manager.inquire(reader, 2, _txn(reader))
+        assert manager.inquire(reader, 5, _txn(reader))
+
+    def test_inquire_none_is_vacuous(self):
+        manager = RegisterFileManager("r", 8, self._backing())
+        assert manager.inquire(_FakeOsm(), None, _txn(_FakeOsm()))
+
+    def test_release_writes_value_to_backing(self):
+        backing = self._backing()
+        manager = RegisterFileManager("r", 8, backing)
+        writer = _FakeOsm("w")
+        token = manager.allocate(writer, 6, _txn(writer))
+        token.holder = writer
+        manager.on_allocate_commit(writer, token)
+        manager.on_release_commit(writer, token, 0xDEAD)
+        assert backing.read(6) == 0xDEAD
+
+    def test_release_with_none_value_skips_write(self):
+        backing = self._backing()
+        backing.write(1, 99)
+        manager = RegisterFileManager("r", 8, backing)
+        writer = _FakeOsm("w")
+        token = manager.allocate(writer, 1, _txn(writer))
+        token.holder = writer
+        manager.on_allocate_commit(writer, token)
+        manager.on_release_commit(writer, token, None)
+        assert backing.read(1) == 99
+
+    def test_max_outstanding_cap(self):
+        manager = RegisterFileManager("r", 8, self._backing(), n_update_tokens=1)
+        writer = _FakeOsm("w")
+        token = manager.allocate(writer, 0, _txn(writer))
+        token.holder = writer
+        manager.on_allocate_commit(writer, token)
+        assert manager.allocate(writer, 1, _txn(writer)) is None
+        manager.on_release_commit(writer, token, None)
+        assert manager.allocate(writer, 1, _txn(writer)) is not None
+
+    def test_pending_writer(self):
+        manager = RegisterFileManager("r", 8, self._backing())
+        writer = _FakeOsm("w")
+        assert manager.pending_writer(4) is None
+        token = manager.allocate(writer, 4, _txn(writer))
+        token.holder = writer
+        manager.on_allocate_commit(writer, token)
+        assert manager.pending_writer(4) is writer
+
+
+class TestResetManager:
+    def test_doom_is_latched_not_immediate(self):
+        manager = ResetManager()
+        osm = _FakeOsm()
+        manager.doom(osm)
+        assert not manager.inquire(osm, None, _txn(osm))
+        manager.latch()
+        assert manager.inquire(osm, None, _txn(osm))
+
+    def test_doom_now_is_immediate(self):
+        manager = ResetManager()
+        osm = _FakeOsm()
+        manager.doom_now(osm)
+        assert manager.inquire(osm, None, _txn(osm))
+
+    def test_normal_osm_inquiry_rejected(self):
+        manager = ResetManager()
+        assert not manager.inquire(_FakeOsm(), None, _txn(_FakeOsm()))
+
+    def test_pardon_and_acknowledge(self):
+        manager = ResetManager()
+        osm = _FakeOsm()
+        manager.doom(osm)
+        assert manager.is_doomed(osm)
+        manager.pardon(osm)
+        assert not manager.is_doomed(osm)
+        manager.doom_now(osm)
+        manager.acknowledge(osm)
+        assert not manager.inquire(osm, None, _txn(osm))
+
+    def test_reset_manager_owns_no_tokens(self):
+        manager = ResetManager()
+        osm = _FakeOsm()
+        assert manager.allocate(osm, None, _txn(osm)) is None
+        with pytest.raises(TokenError):
+            manager.release(osm, None, _txn(osm))

@@ -1,0 +1,146 @@
+"""Tests for MachineSpec and OperationStateMachine."""
+
+import pytest
+
+from repro.core import (
+    ALWAYS,
+    Allocate,
+    Condition,
+    MachineSpec,
+    OperationStateMachine,
+    SlotManager,
+    SpecError,
+    TokenError,
+)
+
+
+class TestMachineSpec:
+    def test_duplicate_initial_state_rejected(self):
+        spec = MachineSpec("m")
+        spec.state("I", initial=True)
+        with pytest.raises(SpecError, match="two initial states"):
+            spec.state("J", initial=True)
+
+    def test_edge_to_unknown_state_rejected(self):
+        spec = MachineSpec("m")
+        spec.state("I", initial=True)
+        with pytest.raises(SpecError, match="unknown state"):
+            spec.edge("I", "missing", ALWAYS)
+
+    def test_validate_requires_initial(self):
+        spec = MachineSpec("m")
+        spec.state("A")
+        with pytest.raises(SpecError, match="no initial state"):
+            spec.validate()
+
+    def test_validate_rejects_unreachable_states(self):
+        spec = MachineSpec("m")
+        spec.state("I", initial=True)
+        spec.state("A")
+        spec.state("Island")
+        spec.edge("I", "A", ALWAYS)
+        with pytest.raises(SpecError, match="unreachable"):
+            spec.validate()
+
+    def test_state_is_idempotent(self):
+        spec = MachineSpec("m")
+        first = spec.state("I", initial=True)
+        again = spec.state("I")
+        assert first is again
+
+    def test_out_edges_sorted_by_priority(self):
+        spec = MachineSpec("m")
+        spec.state("I", initial=True)
+        spec.state("A")
+        low = spec.edge("I", "A", ALWAYS, priority=1)
+        high = spec.edge("I", "A", ALWAYS, priority=9)
+        mid = spec.edge("I", "A", ALWAYS, priority=5)
+        assert spec.states["I"].out_edges == [high, mid, low]
+
+    def test_equal_priority_keeps_declaration_order(self):
+        spec = MachineSpec("m")
+        spec.state("I", initial=True)
+        spec.state("A")
+        first = spec.edge("I", "A", ALWAYS, label="first")
+        second = spec.edge("I", "A", ALWAYS, label="second")
+        assert spec.states["I"].out_edges == [first, second]
+
+    def test_instantiation_requires_initial(self):
+        spec = MachineSpec("m")
+        spec.state("A")
+        with pytest.raises(SpecError):
+            OperationStateMachine(spec)
+
+
+class TestOperationStateMachine:
+    def _simple(self):
+        spec = MachineSpec("m")
+        spec.state("I", initial=True)
+        spec.state("S")
+        manager = SlotManager("m_s")
+        spec.edge("I", "S", Condition([Allocate(manager)]))
+        from repro.core import Release
+
+        spec.edge("S", "I", Condition([Release("m_s")]))
+        return spec, manager
+
+    def test_age_stamped_on_leaving_initial(self):
+        spec, _ = self._simple()
+        osm = OperationStateMachine(spec)
+        assert osm.age == -1
+        osm.try_transition(17)
+        assert osm.age == 17
+
+    def test_age_and_operation_cleared_on_return_to_initial(self):
+        spec, _ = self._simple()
+        osm = OperationStateMachine(spec)
+        osm.try_transition(1)
+        osm.operation = object()
+        osm.try_transition(2)
+        assert osm.in_initial
+        assert osm.operation is None
+        assert osm.age == -1
+
+    def test_return_to_initial_with_tokens_is_a_model_bug(self):
+        spec = MachineSpec("m")
+        spec.state("I", initial=True)
+        spec.state("S")
+        manager = SlotManager("m_s")
+        spec.edge("I", "S", Condition([Allocate(manager)]))
+        spec.edge("S", "I", ALWAYS)  # forgets to release!
+        osm = OperationStateMachine(spec)
+        osm.try_transition(0)
+        with pytest.raises(TokenError, match="still holding"):
+            osm.try_transition(1)
+
+    def test_action_and_on_enter_hooks_fire_in_order(self):
+        calls = []
+        spec = MachineSpec("m")
+        spec.state("I", initial=True)
+        spec.state("S", on_enter=lambda o: calls.append("enter"))
+        spec.edge("I", "S", ALWAYS, action=lambda o: calls.append("action"))
+        osm = OperationStateMachine(spec)
+        osm.try_transition(0)
+        assert calls == ["action", "enter"]
+
+    def test_token_accessor(self):
+        spec, manager = self._simple()
+        osm = OperationStateMachine(spec)
+        with pytest.raises(TokenError):
+            osm.token("m_s")
+        osm.try_transition(0)
+        assert osm.token("m_s") is manager.token
+        assert osm.holds("m_s")
+        assert osm.slot_of(manager.token) == "m_s"
+
+    def test_at_most_one_transition_per_call(self):
+        spec, manager = self._simple()
+        osm = OperationStateMachine(spec)
+        edge = osm.try_transition(0)
+        assert edge.dst.name == "S"  # did not continue S -> I in one call
+
+    def test_unique_names(self):
+        spec, _ = self._simple()
+        a, b = OperationStateMachine(spec), OperationStateMachine(spec)
+        assert a.name != b.name
+        assert a.serial != b.serial

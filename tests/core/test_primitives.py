@@ -1,0 +1,177 @@
+"""Tests for the four transaction primitives and condition conjunction."""
+
+import pytest
+
+from repro.core import (
+    ALWAYS,
+    Allocate,
+    AllocateMany,
+    Condition,
+    Discard,
+    Guard,
+    Inquire,
+    MachineSpec,
+    OperationStateMachine,
+    PoolManager,
+    RegisterFileManager,
+    Release,
+    ResetManager,
+    SlotManager,
+)
+
+
+def _osm_in(spec_builder):
+    spec = MachineSpec("t")
+    spec.state("I", initial=True)
+    spec.state("S")
+    spec_builder(spec)
+    return OperationStateMachine(spec)
+
+
+class _Payload:
+    def __init__(self, srcs=(), dsts=()):
+        class Instr:
+            src_regs = tuple(srcs)
+            dst_regs = tuple(dsts)
+
+        self.instr = Instr()
+        self.seq = 0
+
+
+class TestAllocate:
+    def test_static_none_identifier_reaches_manager(self):
+        """A static None must NOT be vacuous (the reset-edge inquiry bug)."""
+        reset = ResetManager()
+        osm = _osm_in(lambda s: s.edge("I", "S", Condition([Inquire(reset, None)])))
+        assert osm.try_transition(0) is None  # reset manager rejects normal OSMs
+
+    def test_callable_returning_none_is_vacuous(self):
+        manager = SlotManager("m")
+        manager.token.holder = object()  # would fail if actually requested
+        osm = _osm_in(
+            lambda s: s.edge("I", "S", Condition([Allocate(manager, ident=lambda o: None)]))
+        )
+        assert osm.try_transition(0) is not None
+        assert "m" not in osm.token_buffer
+
+    def test_custom_slot_name(self):
+        manager = SlotManager("m")
+        osm = _osm_in(lambda s: s.edge("I", "S", Condition([Allocate(manager, slot="unit")])))
+        osm.try_transition(0)
+        assert "unit" in osm.token_buffer
+
+
+class TestAllocateMany:
+    def test_grants_one_token_per_identifier(self):
+        class Backing:
+            def read(self, r):
+                return 0
+
+            def write(self, r, v):
+                pass
+
+        regfile = RegisterFileManager("r", 8, Backing())
+        osm = _osm_in(
+            lambda s: s.edge(
+                "I", "S",
+                Condition([AllocateMany(regfile, lambda o: o.operation.instr.dst_regs, "upd")]),
+            )
+        )
+        osm.operation = _Payload(dsts=(1, 5))
+        assert osm.try_transition(0) is not None
+        assert set(osm.token_buffer) == {"upd0", "upd1"}
+        assert regfile.pending_writer(1) is osm
+        assert regfile.pending_writer(5) is osm
+
+    def test_empty_identifier_list_is_vacuous(self):
+        pool = PoolManager("p", 1)
+        osm = _osm_in(
+            lambda s: s.edge("I", "S", Condition([AllocateMany(pool, lambda o: (), "x")]))
+        )
+        assert osm.try_transition(0) is not None
+        assert osm.token_buffer == {}
+
+
+class TestInquire:
+    def test_tuple_identifier_requires_all(self):
+        class Backing:
+            def read(self, r):
+                return 0
+
+            def write(self, r, v):
+                pass
+
+        regfile = RegisterFileManager("r", 8, Backing())
+        holder = object()
+        regfile._writers[2].append(holder)  # simulate an outstanding writer
+        osm = _osm_in(
+            lambda s: s.edge("I", "S", Condition([Inquire(regfile, lambda o: (1, 2))]))
+        )
+        assert osm.try_transition(0) is None
+        regfile._writers[2].clear()
+        assert osm.try_transition(1) is not None
+
+
+class TestReleaseVacuous:
+    def test_release_of_empty_slot_succeeds(self):
+        manager = SlotManager("m")
+        osm = _osm_in(lambda s: s.edge("I", "S", Condition([Release("not_held")])))
+        assert osm.try_transition(0) is not None
+
+
+class TestGuard:
+    def test_guard_is_pure_predicate(self):
+        flag = {"open": False}
+        osm = _osm_in(
+            lambda s: s.edge("I", "S", Condition([Guard(lambda o: flag["open"], "gate")]))
+        )
+        assert osm.try_transition(0) is None
+        flag["open"] = True
+        assert osm.try_transition(1) is not None
+
+
+class TestCondition:
+    def test_always_is_trivially_satisfied(self):
+        osm = _osm_in(lambda s: s.edge("I", "S", ALWAYS))
+        assert osm.try_transition(0) is not None
+
+    def test_conjunction_operator(self):
+        a, b = SlotManager("a"), SlotManager("b")
+        condition = Allocate(a) & Allocate(b)
+        assert isinstance(condition, Condition)
+        assert len(condition.primitives) == 2
+        condition3 = condition & Allocate(SlotManager("c"))
+        assert len(condition3.primitives) == 3
+
+    def test_priority_selects_among_satisfied_edges(self):
+        """Parallel edges realise disjunction; highest priority wins."""
+        spec = MachineSpec("m")
+        spec.state("I", initial=True)
+        spec.state("Hi")
+        spec.state("Lo")
+        spec.edge("I", "Lo", ALWAYS, priority=1)
+        spec.edge("I", "Hi", ALWAYS, priority=5)
+        osm = OperationStateMachine(spec)
+        edge = osm.try_transition(0)
+        assert edge.dst.name == "Hi"
+
+    def test_lower_priority_taken_when_higher_fails(self):
+        taken = SlotManager("taken")
+        taken.token.holder = object()
+        spec = MachineSpec("m")
+        spec.state("I", initial=True)
+        spec.state("Hi")
+        spec.state("Lo")
+        spec.edge("I", "Hi", Condition([Allocate(taken)]), priority=5)
+        spec.edge("I", "Lo", ALWAYS, priority=1)
+        osm = OperationStateMachine(spec)
+        assert osm.try_transition(0).dst.name == "Lo"
+
+    def test_inquiry_counter_increments(self):
+        reset = ResetManager()
+        reset.doom_now_target = None
+        manager = SlotManager("m")
+        osm = _osm_in(lambda s: s.edge("I", "S", Condition([Inquire(manager, "x")])))
+        before = manager.n_inquiries
+        osm.try_transition(0)
+        assert manager.n_inquiries == before + 1

@@ -1,0 +1,61 @@
+"""Tests for simulation statistics."""
+
+import time
+
+from repro.core import SimulationStats
+
+
+class TestSimulationStats:
+    def test_initial_values(self):
+        stats = SimulationStats()
+        assert stats.cycles == 0
+        assert stats.cycles_per_second == 0.0
+        assert stats.ipc == 0.0
+
+    def test_ipc(self):
+        stats = SimulationStats()
+        stats.cycles = 100
+        stats.instructions = 50
+        assert stats.ipc == 0.5
+
+    def test_timer_accumulates(self):
+        stats = SimulationStats()
+        stats.start_timer()
+        time.sleep(0.01)
+        stats.stop_timer()
+        first = stats.wall_seconds
+        assert first > 0
+        stats.start_timer()
+        time.sleep(0.01)
+        stats.stop_timer()
+        assert stats.wall_seconds > first
+
+    def test_stop_without_start_is_harmless(self):
+        stats = SimulationStats()
+        stats.stop_timer()
+        assert stats.wall_seconds == 0.0
+
+    def test_cycles_per_second(self):
+        stats = SimulationStats()
+        stats.cycles = 1000
+        stats.wall_seconds = 2.0
+        assert stats.cycles_per_second == 500.0
+
+    def test_occupancy_recording(self):
+        class FakeState:
+            name = "E"
+
+        class FakeOsm:
+            current = FakeState()
+
+        stats = SimulationStats()
+        stats.record_occupancy([FakeOsm(), FakeOsm()])
+        stats.record_occupancy([FakeOsm()])
+        assert stats.state_occupancy == {"E": 3}
+
+    def test_summary_mentions_key_figures(self):
+        stats = SimulationStats()
+        stats.cycles = 10
+        stats.instructions = 5
+        text = stats.summary()
+        assert "cycles" in text and "IPC" in text

@@ -1,0 +1,51 @@
+"""Unit tests for tokens and identifiers."""
+
+from repro.core import SlotManager, Token, TokenIdentifier
+from repro.core.token import resolve_identifier
+
+
+class TestToken:
+    def test_new_token_is_free(self):
+        manager = SlotManager("m")
+        token = Token(manager, "t")
+        assert token.is_free
+        assert token.holder is None
+
+    def test_token_carries_index_and_value(self):
+        manager = SlotManager("m")
+        token = Token(manager, "t", index=3, value=42)
+        assert token.index == 3
+        assert token.value == 42
+
+    def test_held_token_not_free(self):
+        manager = SlotManager("m")
+        manager.token.holder = object()
+        assert not manager.token.is_free
+
+
+class TestTokenIdentifier:
+    def test_equality_by_kind_and_key(self):
+        assert TokenIdentifier("reg", 3) == TokenIdentifier("reg", 3)
+        assert TokenIdentifier("reg", 3) != TokenIdentifier("reg", 4)
+        assert TokenIdentifier("reg", 3) != TokenIdentifier("slot", 3)
+
+    def test_hashable(self):
+        idents = {TokenIdentifier("reg", 1), TokenIdentifier("reg", 1)}
+        assert len(idents) == 1
+
+    def test_not_equal_to_plain_values(self):
+        assert TokenIdentifier("reg", 3) != ("reg", 3)
+
+
+class TestResolveIdentifier:
+    def test_plain_value_passes_through(self):
+        assert resolve_identifier(7, None) == 7
+        assert resolve_identifier("name", None) == "name"
+        assert resolve_identifier(None, None) is None
+
+    def test_callable_is_applied_to_osm(self):
+        marker = object()
+        assert resolve_identifier(lambda osm: osm, marker) is marker
+
+    def test_callable_may_return_none(self):
+        assert resolve_identifier(lambda osm: None, object()) is None

@@ -1,0 +1,126 @@
+"""Tests for atomic transaction semantics (Section 3.3)."""
+
+import pytest
+
+from repro.core import (
+    Allocate,
+    Condition,
+    Discard,
+    MachineSpec,
+    OperationStateMachine,
+    PoolManager,
+    Release,
+    SlotManager,
+    TokenError,
+)
+
+
+def _machine_with_edges(*edge_specs):
+    """Build a two-state machine: I -> S with the given condition."""
+    spec = MachineSpec("m")
+    spec.state("I", initial=True)
+    spec.state("S")
+    for condition, priority in edge_specs:
+        spec.edge("I", "S", condition, priority=priority)
+    spec.validate()
+    return OperationStateMachine(spec)
+
+
+class TestAtomicity:
+    def test_all_or_nothing_on_failure(self):
+        free = SlotManager("free")
+        taken = SlotManager("taken")
+        taken.token.holder = object()
+        osm = _machine_with_edges(
+            (Condition([Allocate(free), Allocate(taken)]), 0)
+        )
+        assert osm.try_transition(0) is None
+        # the first allocate must have been abandoned, not committed
+        assert free.token.holder is None
+        assert osm.token_buffer == {}
+        assert osm.in_initial
+
+    def test_commit_applies_everything(self):
+        a, b = SlotManager("a"), SlotManager("b")
+        osm = _machine_with_edges((Condition([Allocate(a), Allocate(b)]), 0))
+        edge = osm.try_transition(0)
+        assert edge is not None
+        assert a.token.holder is osm
+        assert b.token.holder is osm
+        assert set(osm.token_buffer) == {"a", "b"}
+
+    def test_simultaneous_release_and_allocate(self):
+        """The D->E idiom: release the old stage while claiming the new."""
+        spec = MachineSpec("m")
+        spec.state("I", initial=True)
+        spec.state("D")
+        spec.state("E")
+        m_d, m_e = SlotManager("m_d"), SlotManager("m_e")
+        spec.edge("I", "D", Condition([Allocate(m_d)]))
+        spec.edge("D", "E", Condition([Allocate(m_e), Release("m_d")]))
+        osm = OperationStateMachine(spec)
+        osm.try_transition(0)
+        assert m_d.token.holder is osm
+        osm.try_transition(1)
+        assert m_d.token.holder is None
+        assert m_e.token.holder is osm
+        assert list(osm.token_buffer) == ["m_e"]
+
+    def test_blocked_release_blocks_whole_condition(self):
+        spec = MachineSpec("m")
+        spec.state("I", initial=True)
+        spec.state("D")
+        spec.state("E")
+        m_d, m_e = SlotManager("m_d"), SlotManager("m_e")
+        spec.edge("I", "D", Condition([Allocate(m_d)]))
+        spec.edge("D", "E", Condition([Allocate(m_e), Release("m_d")]))
+        osm = OperationStateMachine(spec)
+        osm.try_transition(0)
+        m_d.hold_release = True  # variable latency: refuse the return
+        assert osm.try_transition(1) is None
+        assert m_e.token.holder is None  # allocate abandoned with it
+        m_d.hold_release = False
+        assert osm.try_transition(2) is not None
+
+
+class TestPoolConsistency:
+    def test_one_condition_cannot_get_same_token_twice(self):
+        pool = PoolManager("p", 1)
+        osm = _machine_with_edges(
+            (Condition([Allocate(pool, slot="x"), Allocate(pool, slot="y")]), 0)
+        )
+        assert osm.try_transition(0) is None
+        assert pool.n_free == 1
+
+    def test_two_tokens_from_bigger_pool(self):
+        pool = PoolManager("p", 2)
+        osm = _machine_with_edges(
+            (Condition([Allocate(pool, slot="x"), Allocate(pool, slot="y")]), 0)
+        )
+        assert osm.try_transition(0) is not None
+        assert pool.n_free == 0
+        assert osm.token_buffer["x"] is not osm.token_buffer["y"]
+
+
+class TestDiscard:
+    def test_discard_empties_buffer_without_permission(self):
+        a = SlotManager("a")
+        a.hold_release = True  # release would be refused...
+        spec = MachineSpec("m")
+        spec.state("I", initial=True)
+        spec.state("S")
+        spec.edge("I", "S", Condition([Allocate(a)]))
+        spec.edge("S", "I", Condition([Discard()]))
+        osm = OperationStateMachine(spec)
+        osm.try_transition(0)
+        assert osm.try_transition(1) is not None  # ...but discard succeeds
+        assert a.token.holder is None
+        assert osm.token_buffer == {}
+
+    def test_double_release_in_one_condition_is_an_error(self):
+        a = SlotManager("a")
+        osm = _machine_with_edges((Condition([Allocate(a)]), 0))
+        osm.try_transition(0)
+        osm.spec.edge("S", "I", Condition([Release("a"), Release("a")]))
+        with pytest.raises(TokenError, match="double release"):
+            osm.try_transition(1)

@@ -1,0 +1,61 @@
+"""Tests for events and the event queue."""
+
+from repro.de import Event, EventQueue
+
+
+class TestEventQueue:
+    def test_timestamp_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(5, lambda: order.append(5))
+        queue.schedule(1, lambda: order.append(1))
+        queue.schedule(3, lambda: order.append(3))
+        while not queue.empty:
+            queue.pop().run()
+        assert order == [1, 3, 5]
+
+    def test_ties_run_in_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        for tag in "abc":
+            queue.schedule(7, lambda t=tag: order.append(t))
+        while not queue.empty:
+            queue.pop().run()
+        assert order == ["a", "b", "c"]
+
+    def test_cancelled_events_are_dropped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule(1, lambda: fired.append("no"))
+        queue.schedule(2, lambda: fired.append("yes"))
+        event.cancel()
+        while not queue.empty:
+            popped = queue.pop()
+            if popped is not None:
+                popped.run()
+        assert fired == ["yes"]
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.schedule(1, lambda: None)
+        queue.schedule(9, lambda: None)
+        event.cancel()
+        assert queue.peek_time() == 9
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_len(self):
+        queue = EventQueue()
+        queue.schedule(1, lambda: None)
+        queue.schedule(2, lambda: None)
+        assert len(queue) == 2
+
+
+class TestEvent:
+    def test_cancelled_event_does_not_run(self):
+        fired = []
+        event = Event(0, lambda: fired.append(1))
+        event.cancel()
+        event.run()
+        assert fired == []

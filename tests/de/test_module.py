@@ -1,0 +1,78 @@
+"""Tests for wires, ports and module plumbing."""
+
+import pytest
+
+from repro.de import Clock, Port, PortModule, Wire
+
+
+class TestWire:
+    def test_write_invisible_until_update(self):
+        wire = Wire("w", 0)
+        wire.write(5)
+        assert wire.read() == 0
+        assert wire.update() is True
+        assert wire.read() == 5
+
+    def test_update_reports_no_change(self):
+        wire = Wire("w", 3)
+        wire.write(3)
+        assert wire.update() is False
+
+    def test_watchers_fire_on_change(self):
+        wire = Wire("w", 0)
+        seen = []
+        wire.watchers.append(seen.append)
+        wire.write(1)
+        wire.update()
+        wire.write(1)
+        wire.update()
+        assert seen == [1]
+
+
+class TestPort:
+    def test_directions(self):
+        wire = Wire("w", 0)
+        out_port = Port("o", "out")
+        out_port.bind(wire)
+        out_port.write(4)
+        wire.update()
+        assert out_port.read() == 4  # sc_out is readable
+        in_port = Port("i", "in")
+        in_port.bind(wire)
+        with pytest.raises(ValueError):
+            in_port.write(1)
+
+    def test_unbound_port_errors(self):
+        port = Port("p", "in")
+        with pytest.raises(ValueError, match="unbound"):
+            port.read()
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            Port("p", "sideways")
+
+
+class TestPortModule:
+    def test_port_registration(self):
+        module = PortModule("m")
+        port = module.port("data", "in")
+        assert module.ports["data"] is port
+        assert port.name == "m.data"
+
+
+class TestClock:
+    def test_edges(self):
+        clock = Clock(period=2, phases=2)
+        gen = clock.edges()
+        assert [next(gen) for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_single_phase(self):
+        clock = Clock(period=1)
+        gen = clock.edges(start=5)
+        assert [next(gen) for _ in range(3)] == [5, 6, 7]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Clock(period=0)
+        with pytest.raises(ValueError):
+            Clock(phases=3)

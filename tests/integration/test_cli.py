@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def arm_file(tmp_path):
+    source = tmp_path / "prog.s"
+    source.write_text("""
+    .text
+_start:
+    mov r1, #6
+    mul r0, r1, r1
+    swi #0
+""")
+    return str(source)
+
+
+@pytest.fixture()
+def ppc_file(tmp_path):
+    source = tmp_path / "prog.s"
+    source.write_text("""
+    .text
+_start:
+    li r4, 6
+    mullw r3, r4, r4
+    li r0, 0
+    sc
+""")
+    return str(source)
+
+
+class TestRun:
+    def test_run_strongarm(self, arm_file, capsys):
+        assert main(["run", "--model", "strongarm", arm_file]) == 0
+        out = capsys.readouterr().out
+        assert "exit=36" in out
+        assert "cycles=" in out
+
+    def test_run_iss(self, arm_file, capsys):
+        assert main(["run", "--model", "iss", arm_file]) == 0
+        assert "exit=36" in capsys.readouterr().out
+
+    def test_run_ppc750_with_trace(self, ppc_file, capsys):
+        assert main(["run", "--model", "ppc750", ppc_file, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "exit=36" in out
+        assert "mullw" in out  # trace rows present
+
+    def test_isa_mismatch_rejected(self, arm_file):
+        with pytest.raises(SystemExit):
+            main(["run", "--model", "ppc750", "--isa", "arm", arm_file])
+
+
+class TestAsm:
+    def test_listing(self, arm_file, capsys):
+        assert main(["asm", "--isa", "arm", arm_file]) == 0
+        out = capsys.readouterr().out
+        assert "mov r1, #6" in out
+        assert "entry: 0x8000" in out
+
+    def test_ppc_listing(self, ppc_file, capsys):
+        assert main(["asm", "--isa", "ppc", ppc_file]) == 0
+        assert "mullw" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    @pytest.mark.parametrize("model", ["pipeline5", "strongarm", "ppc750"])
+    def test_analyze_models(self, model, capsys):
+        assert main(["analyze", "--model", model]) == 0
+        out = capsys.readouterr().out
+        assert "reachability clean : True" in out
+        assert "deadlock free      : True" in out
+
+    def test_asm_dump(self, capsys):
+        assert main(["analyze", "--model", "pipeline5", "--asm"]) == 0
+        assert "rule fetch" in capsys.readouterr().out
+
+
+class TestWorkload:
+    def test_emits_source(self, capsys):
+        assert main(["workload", "gsm_dec", "--isa", "ppc"]) == 0
+        assert "_start:" in capsys.readouterr().out
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["workload", "doom3"])

@@ -1,0 +1,89 @@
+"""Integration: the headline cross-validation runs of the paper.
+
+These are the load-bearing reproduction checks:
+
+* the OSM StrongARM model agrees cycle-for-cycle with the independently
+  hand-coded simulator of the same micro-architecture, on all 40
+  diagnostic loops and the MediaBench kernels;
+* the OSM PPC-750 model agrees with the SystemC-style hardware-centric
+  model within the paper's 3% on the full benchmark mix;
+* every simulator agrees with the ISS functionally.
+"""
+
+import pytest
+
+from repro.baselines.simplescalar import SimpleScalarArm
+from repro.baselines.systemc_style import Ppc750SystemC
+from repro.isa.arm import assemble as asm_arm
+from repro.isa.ppc import assemble as asm_ppc
+from repro.iss import ArmInterpreter, PpcInterpreter
+from repro.models.ppc750 import Ppc750Model
+from repro.models.strongarm import (
+    StrongArmModel,
+    default_dcache,
+    default_dtlb,
+    default_icache,
+    default_itlb,
+)
+from repro.workloads import kernels, mediabench, speclike
+
+
+#: a stratified sample of the 40 loops — the full sweep is the V2 bench
+#: (benchmarks/bench_kernel_loops.py); tests keep one loop per family
+KERNEL_SAMPLE = [
+    "alu_dep4", "alu_ind4", "mul_byte4", "mull_large", "br_alternate",
+    "loaduse0", "loaduse3", "stld_same", "flagdep0", "condexec3",
+    "stride32", "mix_mul_mem", "chase",
+]
+
+
+@pytest.mark.parametrize("name", KERNEL_SAMPLE)
+def test_kernel_loop_cycle_exact(name):
+    source = kernels.arm_source(name)
+    iss = ArmInterpreter(asm_arm(source))
+    iss.run()
+    osm = StrongArmModel(asm_arm(source), perfect_memory=True)
+    osm.run()
+    baseline = SimpleScalarArm(asm_arm(source))
+    baseline.run()
+    assert osm.exit_code == baseline.exit_code == iss.state.exit_code
+    assert osm.retired == baseline.retired == iss.steps
+    assert osm.cycles == baseline.cycles
+
+
+@pytest.mark.parametrize("name", mediabench.MEDIABENCH_NAMES)
+def test_mediabench_arm_cycle_exact_with_caches(name):
+    source = mediabench.arm_source(name)
+    osm = StrongArmModel(asm_arm(source))
+    osm.run()
+    baseline = SimpleScalarArm(
+        asm_arm(source),
+        icache=default_icache(), dcache=default_dcache(),
+        itlb=default_itlb(), dtlb=default_dtlb(),
+    )
+    baseline.run()
+    assert osm.cycles == baseline.cycles
+    assert osm.exit_code == baseline.exit_code
+
+
+#: one media kernel, one mul-heavy, one branchy, one load-chained — the
+#: full mix is the V1 bench (benchmarks/bench_ppc750_validation.py)
+PPC_SAMPLE = ["gsm_dec", "mpeg2_enc", "parser_loop", "pointer_chase"]
+
+
+@pytest.mark.parametrize("name", PPC_SAMPLE)
+def test_ppc750_within_three_percent(name):
+    if name in mediabench.MEDIABENCH_NAMES:
+        source = mediabench.ppc_source(name)
+    else:
+        source = speclike.ppc_source(name)
+    iss = PpcInterpreter(asm_ppc(source))
+    iss.run()
+    osm = Ppc750Model(asm_ppc(source))
+    osm.run()
+    systemc = Ppc750SystemC(asm_ppc(source))
+    systemc.run()
+    assert osm.exit_code == systemc.exit_code == iss.state.exit_code
+    assert osm.kernel.stats.instructions == systemc.instructions == iss.steps
+    delta = abs(osm.cycles - systemc.cycles) / systemc.cycles
+    assert delta <= 0.03, f"{name}: {osm.cycles} vs {systemc.cycles}"

@@ -1,0 +1,121 @@
+"""Integration: whole-stack flows through the public API."""
+
+import pytest
+
+from repro.adl import STRONGARM_ADL, synthesize
+from repro.core import SimulationKernel
+from repro.isa.arm import assemble as asm_arm
+from repro.isa.ppc import assemble as asm_ppc
+from repro.iss import ArmInterpreter
+from repro.models.ppc750 import Ppc750Model
+from repro.models.strongarm import StrongArmModel
+
+FIB_ARM = """
+    ; recursive-free fibonacci with memory traffic and IO
+    .text
+_start:
+    li   r8, table
+    mov  r1, #0
+    mov  r2, #1
+    str  r1, [r8]
+    str  r2, [r8, #4]
+    mov  r3, #2
+fib:
+    sub  r4, r3, #1
+    ldr  r5, [r8, r4, lsl #2]
+    sub  r4, r3, #2
+    ldr  r6, [r8, r4, lsl #2]
+    add  r7, r5, r6
+    str  r7, [r8, r3, lsl #2]
+    add  r3, r3, #1
+    cmp  r3, #13
+    blt  fib
+    ldr  r0, [r8, #48]      ; fib(12) = 144
+    mov  r5, r0
+    mov  r0, #70            ; 'F'
+    swi  #1
+    mov  r0, r5
+    swi  #0
+    .data
+table: .space 64
+"""
+
+FIB_PPC = """
+    .text
+_start:
+    li32  r8, table
+    li    r4, 0
+    li    r5, 1
+    stw   r4, 0(r8)
+    stw   r5, 4(r8)
+    li    r6, 2
+fib:
+    addi  r7, r6, -1
+    slwi  r7, r7, 2
+    lwzx  r9, r8, r7
+    addi  r7, r6, -2
+    slwi  r7, r7, 2
+    lwzx  r10, r8, r7
+    add   r11, r9, r10
+    slwi  r7, r6, 2
+    stwx  r11, r8, r7
+    addi  r6, r6, 1
+    cmpwi r6, 13
+    blt   fib
+    lwz   r3, 48(r8)
+    li    r0, 0
+    sc
+    .data
+table: .space 64
+"""
+
+
+class TestWholeStack:
+    def test_arm_program_through_every_simulator(self):
+        iss = ArmInterpreter(asm_arm(FIB_ARM))
+        iss.run()
+        assert iss.state.exit_code == 144
+        assert iss.syscalls.output_text == "F"
+
+        model = StrongArmModel(asm_arm(FIB_ARM))
+        model.run()
+        assert model.exit_code == 144
+        assert model.output_text == "F"
+
+        synthesised = synthesize(STRONGARM_ADL, asm_arm(FIB_ARM))
+        synthesised.run()
+        assert synthesised.exit_code == 144
+
+    def test_ppc_program_through_the_ooo_model(self):
+        model = Ppc750Model(asm_ppc(FIB_PPC))
+        stats = model.run()
+        assert model.exit_code == 144
+        assert stats.ipc > 0.5  # superscalar on a dependence-heavy loop
+
+    def test_strongarm_under_the_de_kernel(self):
+        """The same model runs identically under the Fig.-4 DE kernel."""
+        cycle_driven = StrongArmModel(asm_arm(FIB_ARM), perfect_memory=True)
+        cycle_driven.run()
+
+        de_model = StrongArmModel(asm_arm(FIB_ARM), perfect_memory=True)
+        kernel = SimulationKernel(de_model.director, de_model.kernel.modules)
+        kernel.stop_condition = de_model.kernel.stop_condition
+        de_model.kernel = kernel
+        de_model.run()
+        assert de_model.cycles == cycle_driven.cycles
+        assert de_model.exit_code == 144
+
+    def test_stdin_flows_through(self):
+        echo = """
+    .text
+_start:
+    swi  #3          ; getc
+    mov  r5, r0
+    swi  #1          ; putc
+    mov  r0, r5
+    swi  #0
+"""
+        model = StrongArmModel(asm_arm(echo), perfect_memory=True, stdin=b"Q")
+        model.run()
+        assert model.exit_code == ord("Q")
+        assert model.output_text == "Q"

@@ -1,0 +1,265 @@
+"""Tests for ARM-like instruction semantics via assembled fragments."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.arm import assemble
+from repro.iss import ArmInterpreter
+
+from ..conftest import arm_program
+
+
+def run(body: str, data: str = "", max_steps: int = 200_000) -> ArmInterpreter:
+    interpreter = ArmInterpreter(assemble(arm_program(body, data)))
+    interpreter.run(max_steps)
+    return interpreter
+
+
+def regs_after(body: str, data: str = "") -> list:
+    return run(body, data).state.regs.values
+
+
+class TestDataProcessing:
+    def test_basic_alu(self):
+        regs = regs_after("""
+    mov r1, #10
+    mov r2, #3
+    add r3, r1, r2
+    sub r4, r1, r2
+    rsb r5, r2, r1
+    orr r6, r1, r2
+    and r7, r1, r2
+    eor r8, r1, r2
+    bic r9, r1, r2
+    mvn r10, r1
+""")
+        assert regs[3] == 13
+        assert regs[4] == 7
+        assert regs[5] == 7
+        assert regs[6] == 11
+        assert regs[7] == 2
+        assert regs[8] == 9
+        assert regs[9] == 8
+        assert regs[10] == 0xFFFFFFF5
+
+    def test_barrel_shifter(self):
+        regs = regs_after("""
+    mov r1, #1
+    mov r2, r1, lsl #4
+    mov r3, #0x80
+    mov r4, r3, lsr #3
+    li  r5, 0x80000000
+    mov r6, r5, asr #4
+    mov r7, r5, ror #8
+""")
+        assert regs[2] == 16
+        assert regs[4] == 16
+        assert regs[6] == 0xF8000000
+        assert regs[7] == 0x00800000
+
+    def test_flags_and_conditions(self):
+        regs = regs_after("""
+    mov r1, #5
+    cmp r1, #5
+    moveq r2, #1
+    movne r3, #1
+    cmp r1, #9
+    movlt r4, #1
+    movge r5, #1
+    cmp r1, #2
+    movgt r6, #1
+""")
+        assert regs[2] == 1
+        assert regs[3] == 0
+        assert regs[4] == 1
+        assert regs[5] == 0
+        assert regs[6] == 1
+
+    def test_carry_chain_adc(self):
+        regs = regs_after("""
+    li   r1, 0xFFFFFFFF
+    mov  r2, #1
+    adds r3, r1, r2      ; carry out
+    adc  r4, r2, #0      ; r4 = 1 + 0 + carry = 2
+""")
+        assert regs[3] == 0
+        assert regs[4] == 2
+
+    def test_unsigned_conditions(self):
+        regs = regs_after("""
+    li   r1, 0xFFFFFFFF
+    cmp  r1, #1
+    movhi r2, #1          ; unsigned: 0xffffffff > 1
+    movlt r3, #1          ; signed:   -1 < 1
+""")
+        assert regs[2] == 1
+        assert regs[3] == 1
+
+    def test_tst_and_teq(self):
+        regs = regs_after("""
+    mov r1, #6
+    tst r1, #1
+    moveq r2, #1          ; 6 & 1 == 0
+    teq r1, #6
+    moveq r3, #1          ; 6 ^ 6 == 0
+""")
+        assert regs[2] == 1
+        assert regs[3] == 1
+
+
+class TestMultiply:
+    def test_mul_and_mla(self):
+        regs = regs_after("""
+    mov r1, #7
+    mov r2, #6
+    mul r3, r1, r2
+    mov r4, #100
+    mla r5, r1, r2, r4
+""")
+        assert regs[3] == 42
+        assert regs[5] == 142
+
+    def test_umull_smull(self):
+        regs = regs_after("""
+    li    r1, 0xFFFFFFFF
+    mov   r2, #2
+    umull r3, r4, r1, r2     ; 0x1FFFFFFFE
+    smull r5, r6, r1, r2     ; -1 * 2 = -2
+""")
+        assert regs[3] == 0xFFFFFFFE
+        assert regs[4] == 1
+        assert regs[5] == 0xFFFFFFFE
+        assert regs[6] == 0xFFFFFFFF
+
+
+class TestLoadStore:
+    def test_word_and_byte(self):
+        regs = regs_after("""
+    li   r1, buf
+    li   r2, 0x11223344
+    str  r2, [r1]
+    ldr  r3, [r1]
+    ldrb r4, [r1]          ; little endian: lowest byte
+    ldrb r5, [r1, #1]
+    strb r2, [r1, #8]
+    ldr  r6, [r1, #8]
+""", data="buf: .space 16")
+        assert regs[3] == 0x11223344
+        assert regs[4] == 0x44
+        assert regs[5] == 0x33
+        assert regs[6] == 0x44
+
+    def test_register_offset_with_shift(self):
+        regs = regs_after("""
+    li  r1, table
+    mov r2, #2
+    ldr r3, [r1, r2, lsl #2]
+""", data="table: .word 10, 11, 12, 13")
+        assert regs[3] == 12
+
+    def test_negative_offset(self):
+        regs = regs_after("""
+    li  r1, table + 8
+    ldr r2, [r1, #-4]
+""", data="table: .word 5, 6, 7")
+        assert regs[2] == 6
+
+
+class TestControlFlow:
+    def test_bl_and_bx_return(self):
+        interpreter = run("""
+    mov r0, #1
+    bl  sub
+    add r0, r0, #10      ; executed after return
+    b   end
+sub:
+    add r0, r0, #100
+    bx  lr
+end:
+    nop
+""")
+        assert interpreter.state.regs.values[0] == 111
+
+    def test_conditional_branch_not_taken_falls_through(self):
+        regs = regs_after("""
+    mov r1, #1
+    cmp r1, #2
+    beq skip
+    mov r2, #42
+skip:
+    nop
+""")
+        assert regs[2] == 42
+
+    def test_failed_condition_has_no_side_effects(self):
+        regs = regs_after("""
+    mov  r1, #1
+    mov  r2, #0
+    cmp  r1, #9
+    addeq r2, r2, #5     ; must not execute
+    ldreq r2, [r9]       ; must not even access memory
+""")
+        assert regs[2] == 0
+
+
+class TestSyscalls:
+    def test_exit_code(self):
+        interpreter = run("mov r0, #42")
+        assert interpreter.state.exit_code == 42
+
+    def test_putc_and_write(self):
+        interpreter = run("""
+    mov r0, #72           ; 'H'
+    swi #1
+    li  r0, msg
+    mov r1, #2
+    swi #2
+    mov r0, #0
+""", data='msg: .ascii "i!"')
+        assert interpreter.syscalls.output_text == "Hi!"
+
+
+@st.composite
+def alu_fragment(draw):
+    """A random short, straight-line ALU computation."""
+    lines = []
+    for reg in range(1, 5):
+        lines.append(f"    li  r{reg}, {draw(st.integers(0, 0xFFFFFFFF))}")
+    ops = st.sampled_from(["add", "sub", "and", "orr", "eor", "bic"])
+    for _ in range(draw(st.integers(1, 6))):
+        op = draw(ops)
+        rd = draw(st.integers(1, 6))
+        rn = draw(st.integers(1, 6))
+        rm = draw(st.integers(1, 6))
+        lines.append(f"    {op} r{rd}, r{rn}, r{rm}")
+    return "\n".join(lines)
+
+
+PY_OPS = {
+    "add": lambda a, b: (a + b) & 0xFFFFFFFF,
+    "sub": lambda a, b: (a - b) & 0xFFFFFFFF,
+    "and": lambda a, b: a & b,
+    "orr": lambda a, b: a | b,
+    "eor": lambda a, b: a ^ b,
+    "bic": lambda a, b: a & ~b & 0xFFFFFFFF,
+}
+
+
+class TestPropertySemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(alu_fragment())
+    def test_alu_matches_python_golden_model(self, fragment):
+        """Differential test: ISS vs a direct Python evaluation."""
+        golden = [0] * 16
+        for line in fragment.splitlines():
+            parts = line.split()
+            if parts[0] == "li":
+                golden[int(parts[1][1:-1])] = int(parts[2])
+            else:
+                op = PY_OPS[parts[0]]
+                rd = int(parts[1][1:-1])
+                rn = int(parts[2][1:-1])
+                rm = int(parts[3][1:])
+                golden[rd] = op(golden[rn], golden[rm])
+        interpreter = run(fragment + "\n    mov r0, #0")
+        assert interpreter.state.regs.values[1:7] == golden[1:7]

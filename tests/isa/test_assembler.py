@@ -1,0 +1,195 @@
+"""Tests for the generic two-pass assembler (directives, labels,
+expressions, error reporting)."""
+
+import pytest
+
+from repro.isa.arm import assemble
+from repro.isa.assembler import AssemblyError, ExpressionEvaluator, split_operands
+
+
+class TestDirectives:
+    def test_word_half_byte(self):
+        program = assemble("""
+    .data
+values: .word 0x11223344, 2
+halves: .half 0x5566, 3
+bytes:  .byte 1, 2, 3
+""")
+        data = program.sections[".data"]
+        base = data.base
+        assert program.symbols["values"] == base
+        assert data.data[0:4] == bytes([0x44, 0x33, 0x22, 0x11])  # little endian
+        assert data.data[8:10] == bytes([0x66, 0x55])
+        assert data.data[12:15] == bytes([1, 2, 3])
+
+    def test_ascii_and_asciz(self):
+        program = assemble("""
+    .data
+a: .ascii "hi"
+z: .asciz "hi"
+""")
+        data = program.sections[".data"].data
+        assert bytes(data[0:2]) == b"hi"
+        assert bytes(data[2:5]) == b"hi\x00"
+
+    def test_string_escapes(self):
+        program = assemble(r"""
+    .data
+s: .asciz "a\n\t\\\"b"
+""")
+        assert bytes(program.sections[".data"].data[:7]) == b'a\n\t\\"b\x00'
+
+    def test_space_with_fill(self):
+        program = assemble("""
+    .data
+gap: .space 4, 0xAB
+""")
+        assert bytes(program.sections[".data"].data[:4]) == b"\xab\xab\xab\xab"
+
+    def test_align(self):
+        program = assemble("""
+    .data
+    .byte 1
+    .align 2
+w:  .word 2
+""")
+        assert program.symbols["w"] % 4 == 0
+
+    def test_equ(self):
+        program = assemble("""
+    .equ SIZE, 12
+    .data
+buf: .space SIZE
+end:
+""")
+        assert program.symbols["end"] - program.symbols["buf"] == 12
+
+    def test_org(self):
+        program = assemble("""
+    .text
+    .org 0x9000
+_start:
+    nop
+""")
+        assert program.symbols["_start"] == 0x9000
+
+    def test_globl_accepted(self):
+        assemble("""
+    .globl _start
+    .text
+_start:
+    nop
+""")
+
+
+class TestLabels:
+    def test_forward_reference(self):
+        program = assemble("""
+    .text
+_start:
+    b done
+    nop
+done:
+    nop
+""")
+        assert program.symbols["done"] == program.symbols["_start"] + 8
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("""
+    .text
+x:  nop
+x:  nop
+""")
+
+    def test_undefined_symbol_reports_line(self):
+        with pytest.raises(AssemblyError, match="line 4.*undefined symbol"):
+            assemble("""
+    .text
+_start:
+    b nowhere
+""")
+
+    def test_label_on_same_line_as_instruction(self):
+        program = assemble("""
+    .text
+_start: nop
+""")
+        assert program.entry == program.symbols["_start"]
+
+    def test_entry_defaults_to_text_base_without_start(self):
+        program = assemble("""
+    .text
+    nop
+""")
+        assert program.entry == program.sections[".text"].base
+
+
+class TestExpressions:
+    def _eval(self, text, symbols=None):
+        return ExpressionEvaluator(symbols or {}).eval(text)
+
+    @pytest.mark.parametrize("expr,value", [
+        ("1 + 2 * 3", 7),
+        ("(1 + 2) * 3", 9),
+        ("0x10 | 0x01", 0x11),
+        ("0b101 << 2", 20),
+        ("~0 & 0xF", 15),
+        ("-4 + 10", 6),
+        ("100 / 7", 14),
+        ("100 % 7", 2),
+        ("1 << 4 >> 2", 4),
+        ("5 ^ 3", 6),
+        ("'A'", 65),
+        (r"'\n'", 10),
+    ])
+    def test_operators(self, expr, value):
+        assert self._eval(expr) == value
+
+    def test_symbols_and_here(self):
+        evaluator = ExpressionEvaluator({"base": 0x100}, here=0x40)
+        assert evaluator.eval("base + 4") == 0x104
+        assert evaluator.eval(". + 8") == 0x48
+
+    def test_bad_expression(self):
+        with pytest.raises(AssemblyError):
+            self._eval("1 +")
+        with pytest.raises(AssemblyError):
+            self._eval("(1")
+        with pytest.raises(AssemblyError):
+            self._eval("")
+
+
+class TestSplitOperands:
+    def test_brackets_protect_commas(self):
+        assert split_operands("r0, [r1, #4], r2") == ["r0", "[r1, #4]", "r2"]
+
+    def test_strings_protect_commas(self):
+        assert split_operands('"a,b", c') == ['"a,b"', "c"]
+
+    def test_empty(self):
+        assert split_operands("") == []
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("""
+    .text
+    frobnicate r0
+""")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblyError, match="unknown directive"):
+            assemble("""
+    .text
+    .bogus 4
+""")
+
+    def test_comment_styles(self):
+        program = assemble("""
+    .text            ; semicolon comment
+_start:              @ at comment
+    nop              // slash comment
+""")
+        assert program.text.size == 4

@@ -1,0 +1,101 @@
+"""Tests for the bit-field utilities, including property-based checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import bits
+
+u32s = st.integers(min_value=0, max_value=0xFFFFFFFF)
+s32s = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+
+
+class TestViews:
+    @given(u32s)
+    def test_u32_s32_roundtrip(self, value):
+        assert bits.u32(bits.s32(value)) == value
+
+    @given(s32s)
+    def test_s32_range(self, value):
+        assert -(1 << 31) <= bits.s32(value) < (1 << 31)
+
+    def test_sign_extend(self):
+        assert bits.sign_extend(0xFF, 8) == -1
+        assert bits.sign_extend(0x7F, 8) == 127
+        assert bits.sign_extend(0x800000, 24) == -(1 << 23)
+
+
+class TestFields:
+    def test_bits_extract(self):
+        assert bits.bits(0xABCD1234, 31, 28) == 0xA
+        assert bits.bits(0xABCD1234, 15, 0) == 0x1234
+        assert bits.bit(0b1000, 3) == 1
+        assert bits.bit(0b1000, 2) == 0
+
+    def test_bits_bad_range(self):
+        with pytest.raises(ValueError):
+            bits.bits(0, 3, 7)
+
+    def test_insert(self):
+        assert bits.insert(0, 7, 4, 0xA) == 0xA0
+        assert bits.insert(0xFF, 3, 0, 0) == 0xF0
+
+    def test_insert_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            bits.insert(0, 3, 0, 16)
+
+
+class TestShifts:
+    @given(u32s, st.integers(min_value=0, max_value=31))
+    def test_ror_is_rotation(self, value, amount):
+        rotated = bits.ror32(value, amount)
+        # rotating back restores the value
+        assert bits.ror32(rotated, 32 - amount if amount else 0) == value
+
+    @given(u32s, st.integers(min_value=0, max_value=63))
+    def test_lsl_matches_python(self, value, amount):
+        expected = (value << amount) & 0xFFFFFFFF if amount < 32 else 0
+        assert bits.lsl32(value, amount) == expected
+
+    @given(u32s, st.integers(min_value=0, max_value=63))
+    def test_lsr_matches_python(self, value, amount):
+        expected = value >> amount if amount < 32 else 0
+        assert bits.lsr32(value, amount) == expected
+
+    @given(u32s, st.integers(min_value=0, max_value=31))
+    def test_asr_matches_python(self, value, amount):
+        assert bits.asr32(value, amount) == (bits.s32(value) >> amount) & 0xFFFFFFFF
+
+    def test_asr_saturates_at_32(self):
+        assert bits.asr32(0x80000000, 40) == 0xFFFFFFFF
+        assert bits.asr32(0x7FFFFFFF, 40) == 0
+
+
+class TestArithmetic:
+    @given(u32s, u32s)
+    def test_add_carries(self, a, b):
+        result, carry, overflow = bits.add_carries(a, b)
+        assert result == (a + b) & 0xFFFFFFFF
+        assert carry == (1 if a + b > 0xFFFFFFFF else 0)
+        signed = bits.s32(a) + bits.s32(b)
+        assert overflow == (0 if -(1 << 31) <= signed < (1 << 31) else 1)
+
+    @given(u32s, u32s)
+    def test_sub_borrows(self, a, b):
+        result, carry, overflow = bits.sub_borrows(a, b)
+        assert result == (a - b) & 0xFFFFFFFF
+        # ARM convention: carry set means no borrow
+        assert carry == (1 if a >= b else 0)
+
+    @given(u32s, u32s, st.integers(min_value=0, max_value=1))
+    def test_adc_chains(self, a, b, carry_in):
+        result, _, _ = bits.add_carries(a, b, carry_in)
+        assert result == (a + b + carry_in) & 0xFFFFFFFF
+
+
+class TestSignificantBytes:
+    @pytest.mark.parametrize("value,expected", [
+        (0, 1), (0xFF, 1), (0x100, 2), (0xFFFF, 2),
+        (0x10000, 3), (0xFFFFFF, 3), (0x1000000, 4), (0xFFFFFFFF, 4),
+    ])
+    def test_boundaries(self, value, expected):
+        assert bits.popcount_significant_bytes(value) == expected

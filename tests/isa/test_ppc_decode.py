@@ -1,0 +1,141 @@
+"""Tests for PPC encode/decode round-trips and hazard metadata."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.ppc import CR0_REG, CTR_REG, LR_REG, decode
+from repro.isa.ppc import isa as ppc_isa
+from repro.isa.ppc import encode
+
+regs = st.integers(min_value=0, max_value=31)
+
+
+class TestRoundTrip:
+    @given(regs, regs, st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1))
+    def test_addi(self, rt, ra, imm):
+        instr = decode(0, encode.d_form(ppc_isa.OP_ADDI, rt, ra, imm))
+        assert instr.mnemonic == "addi"
+        assert (instr.rt, instr.ra, instr.imm) == (rt, ra, imm)
+
+    @given(regs, regs, regs)
+    def test_add(self, rt, ra, rb):
+        instr = decode(0, encode.x_form(ppc_isa.XO_ADD, rt, ra, rb))
+        assert instr.mnemonic == "add"
+        assert (instr.rt, instr.ra, instr.rb) == (rt, ra, rb)
+        assert instr.src_regs == (ra, rb)
+        assert instr.dst_regs == (rt,)
+
+    @given(regs, regs, regs)
+    def test_logical_rs_ra_swap(self, ra, rs, rb):
+        """X-form logicals write rA and read rS (the rt field)."""
+        instr = decode(0, encode.x_form(ppc_isa.XO_OR, rs, ra, rb))
+        assert instr.dst_regs == (ra,)
+        assert set(instr.src_regs) == {rs, rb}
+
+    @given(regs, regs, st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1))
+    def test_lwz(self, rt, ra, disp):
+        instr = decode(0, encode.d_form(ppc_isa.OP_LWZ, rt, ra, disp))
+        assert instr.is_load and not instr.is_store
+        assert instr.unit == ppc_isa.UNIT_LSU
+        assert instr.imm == disp
+
+    @given(regs, regs, regs)
+    def test_stwx(self, rs, ra, rb):
+        instr = decode(0, encode.x_form(ppc_isa.XO_STWX, rs, ra, rb))
+        assert instr.is_store
+        assert rs in instr.src_regs
+
+    @given(st.integers(min_value=-(1 << 23), max_value=(1 << 23) - 1))
+    def test_branch(self, offset_words):
+        instr = decode(0x8000, encode.i_form(offset_words * 4))
+        assert instr.kind == "b"
+        assert instr.imm == offset_words * 4
+
+    @given(st.integers(min_value=0, max_value=31),
+           st.integers(min_value=0, max_value=31),
+           st.integers(min_value=0, max_value=31))
+    def test_rlwinm(self, sh, mb, me):
+        instr = decode(0, encode.rlwinm(3, 4, sh, mb, me))
+        assert (instr.sh, instr.mb, instr.me) == (sh, mb, me)
+        assert instr.dst_regs == (4,)
+
+    def test_spr_moves(self):
+        mtlr = decode(0, encode.spr_move(ppc_isa.XO_MTSPR, 5, ppc_isa.SPR_LR))
+        assert mtlr.mnemonic == "mtlr"
+        assert mtlr.dst_regs == (LR_REG,)
+        mfctr = decode(0, encode.spr_move(ppc_isa.XO_MFSPR, 6, ppc_isa.SPR_CTR))
+        assert mfctr.mnemonic == "mfctr"
+        assert mfctr.src_regs == (CTR_REG,)
+
+    def test_mtctr_has_single_ctr_destination(self):
+        """Regression: a duplicated CTR destination demands two rename
+        buffers from a one-entry pool and deadlocks dispatch."""
+        instr = decode(0, encode.spr_move(ppc_isa.XO_MTSPR, 5, ppc_isa.SPR_CTR))
+        assert instr.dst_regs.count(CTR_REG) == 1
+
+
+class TestHazardMetadata:
+    def test_cmp_writes_cr0(self):
+        instr = decode(0, encode.cmpi_form(ppc_isa.OP_CMPWI, 3, 7))
+        assert CR0_REG in instr.dst_regs
+
+    def test_conditional_branch_reads_cr0(self):
+        word = encode.b_form(ppc_isa.BO_TRUE, ppc_isa.CR_EQ, 8)
+        instr = decode(0, word)
+        assert CR0_REG in instr.src_regs
+        assert instr.is_branch
+
+    def test_bdnz_reads_and_writes_ctr(self):
+        word = encode.b_form(ppc_isa.BO_DNZ, 0, -8)
+        instr = decode(0x100, word)
+        assert CTR_REG in instr.src_regs
+        assert CTR_REG in instr.dst_regs
+        assert CR0_REG not in instr.src_regs  # direction ignores CR
+
+    def test_blr_reads_lr(self):
+        instr = decode(0, encode.xl_form(ppc_isa.XL_BCLR, ppc_isa.BO_ALWAYS, 0))
+        assert instr.mnemonic == "blr"
+        assert LR_REG in instr.src_regs
+
+    def test_bl_writes_lr(self):
+        instr = decode(0, encode.i_form(8, lk=1))
+        assert LR_REG in instr.dst_regs
+
+    def test_record_form_writes_cr0(self):
+        instr = decode(0, encode.x_form(ppc_isa.XO_ADD, 1, 2, 3, rc=1))
+        assert CR0_REG in instr.dst_regs
+
+    def test_muldiv_route_to_iu1(self):
+        mul = decode(0, encode.x_form(ppc_isa.XO_MULLW, 1, 2, 3))
+        div = decode(0, encode.x_form(ppc_isa.XO_DIVW, 1, 2, 3))
+        add = decode(0, encode.x_form(ppc_isa.XO_ADD, 1, 2, 3))
+        assert mul.unit == ppc_isa.UNIT_IU1
+        assert div.unit == ppc_isa.UNIT_IU1
+        assert add.unit == ppc_isa.UNIT_IU2
+
+    def test_addi_r0_means_literal_zero(self):
+        instr = decode(0, encode.d_form(ppc_isa.OP_ADDI, 3, 0, 5))
+        assert instr.src_regs == ()  # li form: no source register
+
+    def test_illegal_word(self):
+        assert decode(0, 0x00000000).mnemonic == "illegal"
+
+
+class TestEncodeValidation:
+    def test_register_range(self):
+        with pytest.raises(ValueError):
+            encode.d_form(ppc_isa.OP_ADDI, 32, 0, 0)
+
+    def test_immediate_range(self):
+        with pytest.raises(ValueError):
+            encode.d_form(ppc_isa.OP_ADDI, 0, 0, 40000)
+        with pytest.raises(ValueError):
+            encode.d_form(ppc_isa.OP_ORI, 0, 0, -1, signed=False)
+
+    def test_branch_alignment(self):
+        with pytest.raises(ValueError):
+            encode.i_form(6)
+
+    def test_conditional_branch_range(self):
+        with pytest.raises(ValueError):
+            encode.b_form(ppc_isa.BO_TRUE, 0, 1 << 20)

@@ -1,0 +1,124 @@
+"""Tests for the extended PPC instructions (halfwords, sign extension,
+count-leading-zeros, subtract-from-immediate)."""
+
+import pytest
+
+from repro.isa.ppc import assemble, decode
+from repro.isa.ppc import encode, isa as ppc_isa
+from repro.iss import PpcInterpreter
+from repro.models.ppc750 import Ppc750Model
+
+from ..conftest import ppc_program
+
+
+def regs_after(body: str, data: str = "") -> list:
+    interpreter = PpcInterpreter(assemble(ppc_program(body, data)))
+    interpreter.run(200_000)
+    return interpreter.state.regs.values
+
+
+class TestHalfwords:
+    def test_store_load_halfword(self):
+        regs = regs_after("""
+    li32 r6, buf
+    li32 r4, 0x12345678
+    sth  r4, 0(r6)
+    lhz  r5, 0(r6)
+""", data="buf: .space 8")
+        assert regs[5] == 0x5678  # only the low half was stored
+
+    def test_lha_sign_extends(self):
+        regs = regs_after("""
+    li32 r6, buf
+    li32 r4, 0x8000
+    sth  r4, 0(r6)
+    lha  r5, 0(r6)
+    lhz  r7, 0(r6)
+""", data="buf: .space 8")
+        assert regs[5] == 0xFFFF8000
+        assert regs[7] == 0x8000
+
+    def test_decode_units(self):
+        instr = decode(0, encode.d_form(ppc_isa.OP_LHA, 3, 4, 2))
+        assert instr.mnemonic == "lha"
+        assert instr.is_load
+        assert instr.unit == ppc_isa.UNIT_LSU
+
+
+class TestSignExtension:
+    @pytest.mark.parametrize("value,extsb,extsh", [
+        (0x41, 0x41, 0x41),
+        (0x80, 0xFFFFFF80, 0x80),
+        (0xFF7F, 0x7F, 0xFFFFFF7F),
+        (0x8000, 0x00, 0xFFFF8000),
+    ])
+    def test_extsb_extsh(self, value, extsb, extsh):
+        regs = regs_after(f"""
+    li32  r4, {value}
+    extsb r5, r4
+    extsh r6, r4
+""")
+        assert regs[5] == extsb
+        assert regs[6] == extsh
+
+    def test_record_form(self):
+        regs = regs_after("""
+    li32   r4, 0x80
+    extsb. r5, r4        ; result negative -> LT set
+    blt    was_negative
+    li     r7, 99
+was_negative:
+    li     r8, 1
+""")
+        assert regs[7] == 0
+        assert regs[8] == 1
+
+
+class TestCntlzw:
+    @pytest.mark.parametrize("value,expected", [
+        (0, 32), (1, 31), (0x80000000, 0), (0x00010000, 15), (0xFFFFFFFF, 0),
+    ])
+    def test_counts(self, value, expected):
+        regs = regs_after(f"""
+    li32   r4, {value}
+    cntlzw r5, r4
+""")
+        assert regs[5] == expected
+
+
+class TestSubfic:
+    def test_subtract_from_immediate(self):
+        regs = regs_after("""
+    li     r4, 30
+    subfic r5, r4, 100   ; 100 - 30
+    li     r6, 0 - 5
+    subfic r7, r6, 10    ; 10 - (-5)
+""")
+        assert regs[5] == 70
+        assert regs[7] == 15
+
+
+class TestThroughTheModel:
+    def test_ooo_model_runs_extended_ops(self):
+        source = ppc_program("""
+    li32   r6, buf
+    li     r4, 0
+    li     r7, 0
+lp:
+    sth    r4, 0(r6)
+    lha    r5, 0(r6)
+    extsb  r8, r4
+    cntlzw r9, r4
+    add    r7, r7, r5
+    add    r7, r7, r9
+    addi   r4, r4, 37
+    cmpwi  r4, 370
+    blt    lp
+    andi.  r3, r7, 255
+""", data="buf: .space 8")
+        iss = PpcInterpreter(assemble(source))
+        iss.run()
+        model = Ppc750Model(assemble(source), perfect_memory=True)
+        model.run()
+        assert model.exit_code == iss.state.exit_code
+        assert model.kernel.stats.instructions == iss.steps

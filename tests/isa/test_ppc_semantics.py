@@ -1,0 +1,267 @@
+"""Tests for PowerPC-like instruction semantics via assembled fragments."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.ppc import assemble
+from repro.iss import PpcInterpreter
+
+from ..conftest import ppc_program
+
+
+def run(body: str, data: str = "") -> PpcInterpreter:
+    interpreter = PpcInterpreter(assemble(ppc_program(body, data)))
+    interpreter.run(200_000)
+    return interpreter
+
+
+def regs_after(body: str, data: str = "") -> list:
+    return run(body, data).state.regs.values
+
+
+class TestArithmetic:
+    def test_basic(self):
+        regs = regs_after("""
+    li    r4, 10
+    li    r5, 3
+    add   r6, r4, r5
+    sub   r7, r4, r5
+    subf  r8, r5, r4
+    neg   r9, r5
+    mulli r10, r4, 7
+    mullw r11, r4, r5
+    divw  r12, r4, r5
+    divwu r13, r4, r5
+""")
+        assert regs[6] == 13
+        assert regs[7] == 7
+        assert regs[8] == 7
+        assert regs[9] == 0xFFFFFFFD
+        assert regs[10] == 70
+        assert regs[11] == 30
+        assert regs[12] == 3
+        assert regs[13] == 3
+
+    def test_divw_truncates_toward_zero(self):
+        regs = regs_after("""
+    li    r4, 0 - 7
+    li    r5, 2
+    divw  r6, r4, r5
+""")
+        assert regs[6] == 0xFFFFFFFD  # -3, not -4
+
+    def test_divide_by_zero_yields_zero(self):
+        regs = regs_after("""
+    li    r4, 5
+    li    r5, 0
+    divw  r6, r4, r5
+""")
+        assert regs[6] == 0
+
+    def test_mulhw(self):
+        regs = regs_after("""
+    li32  r4, 0x10000
+    li32  r5, 0x10000
+    mulhw r6, r4, r5
+""")
+        assert regs[6] == 1  # 2^32 >> 32
+
+    def test_addis_and_li32(self):
+        regs = regs_after("""
+    lis   r4, 2
+    li32  r5, 0xDEADBEEF
+""")
+        assert regs[4] == 0x20000
+        assert regs[5] == 0xDEADBEEF
+
+
+class TestLogicalAndShifts:
+    def test_logicals(self):
+        regs = regs_after("""
+    li   r4, 0xF0
+    li   r5, 0x3C
+    and  r6, r4, r5
+    or   r7, r4, r5
+    xor  r8, r4, r5
+    ori  r9, r4, 0x0F
+    andi. r10, r4, 0x30
+    xori r11, r4, 0xFF
+""")
+        assert regs[6] == 0x30
+        assert regs[7] == 0xFC
+        assert regs[8] == 0xCC
+        assert regs[9] == 0xFF
+        assert regs[10] == 0x30
+        assert regs[11] == 0x0F
+
+    def test_shifts(self):
+        regs = regs_after("""
+    li    r4, 1
+    li    r5, 5
+    slw   r6, r4, r5
+    li    r7, 64
+    srw   r8, r7, r5
+    li32  r9, 0x80000000
+    li    r10, 4
+    sraw  r11, r9, r10
+    srawi r12, r9, 8
+    slwi  r13, r4, 10
+    srwi  r14, r7, 2
+""")
+        assert regs[6] == 32
+        assert regs[8] == 2
+        assert regs[11] == 0xF8000000
+        assert regs[12] == 0xFF800000
+        assert regs[13] == 1024
+        assert regs[14] == 16
+
+    @pytest.mark.parametrize("sh,mb,me,source,expected", [
+        (0, 24, 31, 0x12345678, 0x78),          # low byte mask
+        (8, 0, 31, 0x12345678, 0x34567812),     # pure rotate
+        (2, 0, 29, 0x12345678, 0x48D159E0),     # slwi 2
+    ])
+    def test_rlwinm(self, sh, mb, me, source, expected):
+        regs = regs_after(f"""
+    li32   r4, {source}
+    rlwinm r5, r4, {sh}, {mb}, {me}
+""")
+        assert regs[5] == expected
+
+
+class TestCompareAndBranch:
+    def test_signed_vs_unsigned_compare(self):
+        regs = regs_after("""
+    li    r4, 0 - 1        ; 0xffffffff
+    li    r5, 1
+    cmpw  r4, r5
+    blt   signed_lt
+    li    r6, 99
+signed_lt:
+    cmplw r4, r5
+    bgt   unsigned_gt
+    li    r7, 99
+unsigned_gt:
+    li    r8, 1
+""")
+        assert regs[6] == 0   # signed: -1 < 1, so skip not taken... branch taken
+        assert regs[7] == 0
+        assert regs[8] == 1
+
+    def test_ctr_loop(self):
+        regs = regs_after("""
+    li    r4, 5
+    mtctr r4
+    li    r5, 0
+loop:
+    addi  r5, r5, 3
+    bdnz  loop
+""")
+        assert regs[5] == 15
+
+    def test_call_return(self):
+        regs = regs_after("""
+    li   r3, 1
+    bl   fn
+    addi r3, r3, 10
+    b    done
+fn:
+    addi r3, r3, 100
+    blr
+done:
+    mr   r4, r3
+""")
+        assert regs[4] == 111
+
+    def test_bctr(self):
+        regs = regs_after("""
+    li32  r4, target
+    mtctr r4
+    bctr
+    li    r5, 99         ; skipped
+target:
+    li    r6, 7
+""")
+        assert regs[5] == 0
+        assert regs[6] == 7
+
+
+class TestMemory:
+    def test_word_byte_indexed(self):
+        regs = regs_after("""
+    li32  r4, buf
+    li32  r5, 0xCAFEBABE
+    stw   r5, 0(r4)
+    lwz   r6, 0(r4)
+    lbz   r7, 0(r4)
+    li    r8, 4
+    stwx  r5, r4, r8
+    lwzx  r9, r4, r8
+    stb   r5, 8(r4)
+    lbzx  r10, r4, r8
+""", data="buf: .space 16")
+        assert regs[6] == 0xCAFEBABE
+        assert regs[7] == 0xBE
+        assert regs[9] == 0xCAFEBABE
+        assert regs[10] == 0xBE
+
+    def test_negative_displacement(self):
+        regs = regs_after("""
+    li32 r4, buf + 8
+    lwz  r5, -4(r4)
+""", data="buf: .word 1, 2, 3")
+        assert regs[5] == 2
+
+
+class TestSyscalls:
+    def test_exit(self):
+        interpreter = run("    li r3, 9")
+        assert interpreter.state.exit_code == 9
+
+    def test_write(self):
+        interpreter = run("""
+    li32 r3, msg
+    li   r4, 5
+    li   r0, 2
+    sc
+    li   r3, 0
+""", data='msg: .asciz "hello"')
+        assert interpreter.syscalls.output_text == "hello"
+
+
+class TestPropertySemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(-(1 << 31), (1 << 31) - 1), st.integers(-(1 << 31), (1 << 31) - 1))
+    def test_add_sub_match_python(self, a, b):
+        regs = regs_after(f"""
+    li32 r4, {a & 0xFFFFFFFF}
+    li32 r5, {b & 0xFFFFFFFF}
+    add  r6, r4, r5
+    sub  r7, r4, r5
+""")
+        assert regs[6] == (a + b) & 0xFFFFFFFF
+        assert regs[7] == (a - b) & 0xFFFFFFFF
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 0xFFFFFFFF), st.integers(0, 31),
+           st.integers(0, 31), st.integers(0, 31))
+    def test_rlwinm_matches_reference(self, value, sh, mb, me):
+        def rotl(v, n):
+            n &= 31
+            return ((v << n) | (v >> (32 - n))) & 0xFFFFFFFF if n else v
+
+        def mask(mb, me):
+            # independent reference: enumerate the selected big-endian bits
+            if mb <= me:
+                selected = range(mb, me + 1)
+            else:
+                selected = [b for b in range(32) if b >= mb or b <= me]
+            out = 0
+            for bit_index in selected:
+                out |= 1 << (31 - bit_index)
+            return out
+
+        regs = regs_after(f"""
+    li32   r4, {value}
+    rlwinm r5, r4, {sh}, {mb}, {me}
+""")
+        assert regs[5] == rotl(value, sh) & mask(mb, me)

@@ -1,0 +1,51 @@
+"""Tests for Program images and the loader."""
+
+import pytest
+
+from repro.isa.program import Program, Section
+from repro.memory import MainMemory
+
+
+class TestSection:
+    def test_words_pads_to_word_boundary(self):
+        section = Section(".data", 0x100, b"\x01\x02\x03\x04\x05")
+        assert section.words() == [0x04030201, 0x00000005]
+
+    def test_end(self):
+        section = Section(".text", 0x8000, b"\x00" * 12)
+        assert section.end == 0x800C
+
+
+class TestProgram:
+    def test_duplicate_section_rejected(self):
+        program = Program()
+        program.add_section(".text", 0, b"")
+        with pytest.raises(ValueError):
+            program.add_section(".text", 0, b"")
+
+    def test_load_into_memory(self):
+        program = Program(entry=0x8000)
+        program.add_section(".text", 0x8000, bytes([0xEF, 0xBE, 0xAD, 0xDE]))
+        program.add_section(".data", 0x40000, b"hi")
+        memory = MainMemory()
+        program.load_into(memory)
+        assert memory.read_word(0x8000) == 0xDEADBEEF
+        assert memory.read_block(0x40000, 2) == b"hi"
+
+    def test_text_words(self):
+        program = Program()
+        program.add_section(".text", 0x8000, bytes(8))
+        assert program.text_words() == [(0x8000, 0), (0x8004, 0)]
+
+    def test_symbol_lookup(self):
+        program = Program()
+        program.symbols["main"] = 0x8010
+        assert program.symbol("main") == 0x8010
+        with pytest.raises(KeyError, match="undefined symbol"):
+            program.symbol("missing")
+
+    def test_text_and_data_properties(self):
+        program = Program()
+        assert program.text is None and program.data is None
+        program.add_section(".text", 0, b"\0\0\0\0")
+        assert program.text is not None

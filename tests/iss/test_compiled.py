@@ -1,0 +1,172 @@
+"""Tests for the dynamically-compiled ISS."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.arm import assemble
+from repro.iss import ArmInterpreter, CompiledArmInterpreter, IssError
+
+from ..conftest import arm_program
+
+
+def differential(body: str, data: str = "", stdin: bytes = b""):
+    source = arm_program(body, data)
+    interpreted = ArmInterpreter(assemble(source), stdin=stdin)
+    interpreted.run(500_000)
+    compiled = CompiledArmInterpreter(assemble(source), stdin=stdin)
+    compiled.run()
+    assert compiled.state.exit_code == interpreted.state.exit_code
+    assert compiled.state.regs.values == interpreted.state.regs.values
+    assert compiled.state.instret == interpreted.state.instret
+    assert compiled.syscalls.output == interpreted.syscalls.output
+    return compiled
+
+
+class TestCompiledIss:
+    def test_arithmetic_block(self):
+        differential("""
+    mov r1, #10
+    add r2, r1, #5
+    sub r3, r2, r1
+    mul r4, r3, r2
+    orr r5, r4, #1
+""")
+
+    def test_flags_and_conditionals(self):
+        differential("""
+    mov r1, #5
+    cmp r1, #5
+    moveq r2, #1
+    movne r3, #1
+    adds r4, r1, r1
+    adc  r5, r4, #0
+    li   r6, 0xFFFFFFFF
+    adds r7, r6, r6
+    adc  r9, r1, #0
+""")
+
+    def test_shifts_and_rotates(self):
+        differential("""
+    li  r1, 0x80000001
+    mov r2, r1, lsl #3
+    mov r3, r1, lsr #3
+    mov r4, r1, asr #3
+    mov r5, r1, ror #8
+""")
+
+    def test_memory_and_byte_ops(self):
+        differential("""
+    li   r1, buf
+    li   r2, 0xDEADBEEF
+    str  r2, [r1]
+    ldr  r3, [r1]
+    ldrb r4, [r1, #2]
+    strb r3, [r1, #8]
+    ldr  r5, [r1, #8]
+""", data="buf: .space 16")
+
+    def test_loops_reuse_compiled_blocks(self):
+        compiled = differential("""
+    mov r1, #0
+lp:
+    add r1, r1, #1
+    cmp r1, #50
+    blt lp
+    mov r0, r1
+""")
+        assert compiled.block_runs > compiled.blocks_compiled
+
+    def test_calls_and_long_multiply(self):
+        differential("""
+    li    r1, 0x12345678
+    mov   r2, #100
+    umull r3, r4, r1, r2
+    smull r5, r6, r1, r2
+    bl    fn
+    b     end
+fn:
+    add   r7, r7, #1
+    bx    lr
+end:
+    mov   r0, r7
+""")
+
+    def test_syscall_io(self):
+        compiled = differential("""
+    swi #3          ; getc -> 'A'
+    swi #1          ; putc
+    mov r0, #0
+""", stdin=b"A")
+        assert compiled.syscalls.output_text == "A"
+
+    def test_undefined_instruction_raises(self):
+        source = """
+    .text
+_start:
+    .word 0xFFFFFFFF
+"""
+        compiled = CompiledArmInterpreter(assemble(source))
+        with pytest.raises(IssError):
+            compiled.run()
+
+    def test_block_budget(self):
+        compiled = CompiledArmInterpreter(assemble("""
+    .text
+_start:
+    b _start
+"""))
+        with pytest.raises(IssError, match="exceeded"):
+            compiled.run(max_blocks=50)
+
+    @pytest.mark.parametrize("name", ["gsm_dec", "g721_enc", "mpeg2_enc"])
+    def test_mediabench_differential(self, name):
+        from repro.workloads import mediabench
+
+        source = mediabench.arm_source(name)
+        interpreted = ArmInterpreter(assemble(source))
+        interpreted.run()
+        compiled = CompiledArmInterpreter(assemble(source))
+        compiled.run()
+        assert compiled.state.exit_code == interpreted.state.exit_code
+        assert compiled.state.instret == interpreted.state.instret
+
+    def test_compiled_is_faster_on_hot_loops(self):
+        import time
+
+        from repro.workloads import mediabench
+
+        source = mediabench.arm_source("gsm_enc", scale=8)
+        interpreted = ArmInterpreter(assemble(source))
+        start = time.perf_counter()
+        interpreted.run()
+        interpreted_time = time.perf_counter() - start
+        compiled = CompiledArmInterpreter(assemble(source))
+        start = time.perf_counter()
+        compiled.run()
+        compiled_time = time.perf_counter() - start
+        assert compiled_time < interpreted_time
+
+
+@st.composite
+def straightline(draw):
+    lines = []
+    for reg in range(1, 5):
+        lines.append(f"    li r{reg}, {draw(st.integers(0, 0xFFFFFFFF))}")
+    ops = st.sampled_from([
+        "add", "adds", "sub", "subs", "and", "ands", "orr", "eor", "bic",
+    ])
+    for _ in range(draw(st.integers(2, 10))):
+        op = draw(ops)
+        lines.append(
+            f"    {op} r{draw(st.integers(1, 6))}, "
+            f"r{draw(st.integers(1, 6))}, r{draw(st.integers(1, 6))}"
+        )
+    lines.append("    adc r7, r1, #0")  # consume the final carry
+    return "\n".join(lines)
+
+
+class TestCompiledProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(straightline())
+    def test_random_alu_blocks_match_interpreter(self, body):
+        differential(body + "\n    mov r0, #0")

@@ -1,0 +1,124 @@
+"""Tests for the instruction-set simulators and syscall handling."""
+
+import pytest
+
+from repro.isa.arm import assemble as asm_arm
+from repro.isa.ppc import assemble as asm_ppc
+from repro.iss import ArmInterpreter, IssError, PpcInterpreter, SyscallHandler
+from repro.iss.syscalls import SyscallError
+
+from ..conftest import arm_program
+
+
+class TestArmInterpreter:
+    def test_run_returns_exit_code(self):
+        interpreter = ArmInterpreter(asm_arm(arm_program("    mov r0, #7")))
+        assert interpreter.run() == 7
+        assert interpreter.state.halted
+
+    def test_stack_pointer_initialised(self):
+        interpreter = ArmInterpreter(asm_arm(arm_program("    mov r0, #0")),
+                                     stack_top=0x12345)
+        from repro.isa.arm.isa import SP
+
+        assert interpreter.state.read_reg(SP) == 0x12345
+
+    def test_step_after_halt_raises(self):
+        interpreter = ArmInterpreter(asm_arm(arm_program("    mov r0, #0")))
+        interpreter.run()
+        with pytest.raises(IssError):
+            interpreter.step()
+
+    def test_instruction_budget(self):
+        source = """
+    .text
+_start:
+    b _start
+"""
+        interpreter = ArmInterpreter(asm_arm(source))
+        with pytest.raises(IssError, match="exceeded"):
+            interpreter.run(max_steps=100)
+
+    def test_decode_cache_reused(self):
+        source = arm_program("""
+    mov r1, #3
+loop:
+    subs r1, r1, #1
+    bne loop
+""")
+        interpreter = ArmInterpreter(asm_arm(source))
+        interpreter.run()
+        first = interpreter.fetch_decode(interpreter.program.entry)
+        second = interpreter.fetch_decode(interpreter.program.entry)
+        assert first is second
+
+    def test_instret_counts_all_instructions(self):
+        interpreter = ArmInterpreter(asm_arm(arm_program("""
+    mov r1, #0
+    moveq r2, #1
+    movne r3, #1
+    mov r0, #0
+""")))
+        interpreter.run()
+        assert interpreter.state.instret == interpreter.steps
+
+
+class TestPpcInterpreter:
+    def test_r1_is_stack(self):
+        interpreter = PpcInterpreter(asm_ppc("""
+    .text
+_start:
+    li r0, 0
+    li r3, 0
+    sc
+"""), stack_top=0x9999)
+        assert interpreter.state.read_reg(1) == 0x9999
+
+    def test_exit(self):
+        interpreter = PpcInterpreter(asm_ppc("""
+    .text
+_start:
+    li r3, 13
+    li r0, 0
+    sc
+"""))
+        assert interpreter.run() == 13
+
+
+class TestSyscallHandler:
+    def _state(self):
+        from repro.iss.state import ArchState
+
+        state = ArchState(16)
+        return state
+
+    def test_getc_serves_stdin_then_eof(self):
+        handler = SyscallHandler(stdin=b"ab")
+        state = self._state()
+        state.syscalls = handler
+        handler.handle(state, 3)
+        assert state.read_reg(0) == ord("a")
+        handler.handle(state, 3)
+        assert state.read_reg(0) == ord("b")
+        handler.handle(state, 3)
+        assert state.read_reg(0) == 0xFFFFFFFF
+
+    def test_cycles_returns_instret(self):
+        handler = SyscallHandler()
+        state = self._state()
+        state.instret = 1234
+        handler.handle(state, 4)
+        assert state.read_reg(0) == 1234
+
+    def test_unknown_number_raises(self):
+        handler = SyscallHandler()
+        with pytest.raises(SyscallError):
+            handler.handle(self._state(), 999)
+
+    def test_exit_masks_to_byte(self):
+        handler = SyscallHandler()
+        state = self._state()
+        state.write_reg(0, 0x1FF)
+        handler.handle(state, 0)
+        assert state.exit_code == 0xFF
+        assert state.halted

@@ -1,0 +1,90 @@
+"""Tests for the functional oracle."""
+
+import pytest
+
+from repro.isa.arm import assemble
+from repro.iss import ArmInterpreter, Oracle
+
+from ..conftest import arm_program
+
+
+def _oracle(body: str, data: str = "") -> Oracle:
+    return Oracle(ArmInterpreter(assemble(arm_program(body, data))))
+
+
+class TestOracle:
+    def test_records_in_program_order(self):
+        oracle = _oracle("""
+    mov r1, #1
+    mov r2, #2
+    mov r0, #0
+""")
+        first = oracle.record(0)
+        second = oracle.record(1)
+        assert first.pc + 4 == second.pc
+        assert first.next_pc == second.pc
+
+    def test_lazy_extension(self):
+        oracle = _oracle("""
+    mov r1, #1
+    mov r0, #0
+""")
+        assert oracle.length is None
+        oracle.record(0)
+        assert oracle.length is None  # not yet finished
+        assert oracle.record(99) is None  # past the end
+        assert oracle.length == 3  # mov, mov, swi
+
+    def test_run_to_completion(self):
+        oracle = _oracle("    mov r0, #5")
+        assert oracle.run_to_completion() == 2
+        assert oracle.exit_code == 5
+
+    def test_branch_records_control_transfer(self):
+        oracle = _oracle("""
+    b target
+    nop
+target:
+    mov r0, #0
+""")
+        record = oracle.record(0)
+        assert record.taken
+        assert record.is_control_transfer
+        assert oracle.record(1).pc == record.next_pc
+
+    def test_memory_records(self):
+        oracle = _oracle("""
+    li  r1, buf
+    str r1, [r1]
+    ldr r2, [r1]
+    mov r0, #0
+""", data="buf: .space 8")
+        # li expands to 4 ops; the store is record 4
+        store = oracle.record(4)
+        load = oracle.record(5)
+        assert store.mem_is_store and store.mem_addr == load.mem_addr
+
+    def test_failed_condition_recorded_as_not_executed(self):
+        oracle = _oracle("""
+    mov  r1, #1
+    cmp  r1, #5
+    addeq r2, r2, #1
+    mov  r0, #0
+""")
+        assert oracle.record(2).executed is False
+
+    def test_decode_at_serves_static_instructions(self):
+        oracle = _oracle("    mov r0, #0")
+        entry = oracle.interpreter.program.entry
+        instr = oracle.decode_at(entry)
+        assert instr.mnemonic == "mov"
+
+    def test_budget_guard(self):
+        source = """
+    .text
+_start:
+    b _start
+"""
+        oracle = Oracle(ArmInterpreter(assemble(source)), max_steps=50)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            oracle.record(100)

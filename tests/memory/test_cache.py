@@ -1,0 +1,113 @@
+"""Tests for the set-associative cache timing model."""
+
+import pytest
+
+from repro.memory import Cache
+
+
+def small_cache(**kwargs):
+    defaults = dict(size=256, line_size=16, assoc=2, hit_latency=1, miss_penalty=10)
+    defaults.update(kwargs)
+    return Cache("c", **defaults)
+
+
+class TestBasics:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Cache("bad", size=100, line_size=16, assoc=3)
+
+    def test_first_access_misses_second_hits(self):
+        cache = small_cache()
+        assert cache.access(0x1000) == 11
+        assert cache.access(0x1000) == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_same_line_hits(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        assert cache.access(0x100F) == 1  # same 16-byte line
+
+    def test_adjacent_line_misses(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        assert cache.access(0x1010) == 11
+
+    def test_hit_rate(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_flush(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.flush()
+        assert cache.access(0) == 11
+
+
+class TestReplacement:
+    def test_lru_within_set(self):
+        # 2-way: three conflicting lines evict the least recently used
+        cache = small_cache()
+        n_sets = cache.n_sets
+        stride = n_sets * 16  # same set index
+        cache.access(0)           # miss
+        cache.access(stride)      # miss
+        cache.access(0)           # hit, 0 becomes MRU
+        cache.access(2 * stride)  # miss, evicts `stride`
+        assert cache.access(0) == 1
+        assert cache.access(stride) == 11
+
+    def test_assoc_never_exceeded(self):
+        cache = small_cache()
+        stride = cache.n_sets * 16
+        for i in range(10):
+            cache.access(i * stride)
+        assert all(len(ways) <= cache.assoc for ways in cache._sets)
+
+
+class TestWritePolicies:
+    def test_writeback_dirty_eviction_costs(self):
+        cache = small_cache(write_back=True)
+        stride = cache.n_sets * 16
+        cache.access(0, is_write=True)       # dirty
+        cache.access(stride)                  # fills the other way
+        latency = cache.access(2 * stride)    # evicts dirty line 0
+        assert latency > 11
+        assert cache.stats.writebacks == 1
+
+    def test_write_through_charges_next_level(self):
+        cache = small_cache(write_back=False)
+        cache.access(0)  # fill
+        assert cache.access(0, is_write=True) > 1
+        assert cache.stats.writebacks == 0
+
+    def test_next_level_hierarchy(self):
+        l2 = small_cache(size=512, miss_penalty=50)
+        l1 = small_cache(next_level=l2)
+        first = l1.access(0)
+        assert first == 1 + 1 + 50  # L1 miss -> L2 miss -> memory
+        l1.flush()
+        assert l1.access(0) == 1 + 1  # L1 miss, L2 hit
+
+
+class TestProbe:
+    def test_probe_is_pure(self):
+        cache = small_cache()
+        assert cache.probe(0x40) is False
+        stats_before = (cache.stats.accesses, cache.stats.misses)
+        cache.probe(0x40)
+        assert (cache.stats.accesses, cache.stats.misses) == stats_before
+        cache.access(0x40)
+        assert cache.probe(0x40) is True
+
+    def test_probe_does_not_touch_lru(self):
+        cache = small_cache()
+        stride = cache.n_sets * 16
+        cache.access(0)
+        cache.access(stride)
+        cache.probe(0)          # must NOT promote line 0
+        cache.access(2 * stride)  # evicts true-LRU line 0
+        assert cache.probe(0) is False

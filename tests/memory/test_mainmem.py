@@ -1,0 +1,69 @@
+"""Tests for sparse main memory, including page-boundary behaviour."""
+
+from hypothesis import given, strategies as st
+
+from repro.memory import MainMemory
+from repro.memory.mainmem import PAGE_SIZE
+
+addresses = st.integers(min_value=0, max_value=0xFFFFFFFF)
+words = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestBasics:
+    def test_uninitialised_reads_zero(self):
+        memory = MainMemory()
+        assert memory.read_word(0x1234) == 0
+        assert memory.read_byte(0xFFFFFFFF) == 0
+        assert memory.pages_allocated == 0
+
+    def test_word_is_little_endian(self):
+        memory = MainMemory()
+        memory.write_word(0x100, 0xAABBCCDD)
+        assert memory.read_byte(0x100) == 0xDD
+        assert memory.read_byte(0x103) == 0xAA
+
+    def test_half_access(self):
+        memory = MainMemory()
+        memory.write_half(0x10, 0xBEEF)
+        assert memory.read_half(0x10) == 0xBEEF
+        assert memory.read_byte(0x10) == 0xEF
+
+    def test_block_roundtrip(self):
+        memory = MainMemory()
+        blob = bytes(range(64))
+        memory.write_block(PAGE_SIZE - 32, blob)  # straddles a page boundary
+        assert memory.read_block(PAGE_SIZE - 32, 64) == blob
+        assert memory.pages_allocated == 2
+
+    def test_word_across_page_boundary(self):
+        memory = MainMemory()
+        memory.write_word(PAGE_SIZE - 2, 0x11223344)
+        assert memory.read_word(PAGE_SIZE - 2) == 0x11223344
+
+
+class TestProperties:
+    @given(addresses, words)
+    def test_word_roundtrip(self, address, value):
+        memory = MainMemory()
+        memory.write_word(address, value)
+        assert memory.read_word(address) == value
+
+    @given(addresses, st.integers(min_value=0, max_value=0xFF))
+    def test_byte_roundtrip(self, address, value):
+        memory = MainMemory()
+        memory.write_byte(address, value)
+        assert memory.read_byte(address) == value
+
+    @given(addresses, words, words)
+    def test_last_write_wins(self, address, first, second):
+        memory = MainMemory()
+        memory.write_word(address, first)
+        memory.write_word(address, second)
+        assert memory.read_word(address) == second
+
+    @given(st.integers(min_value=0, max_value=0xFFFF), words)
+    def test_disjoint_writes_do_not_interfere(self, address, value):
+        memory = MainMemory()
+        memory.write_word(address * 4, value)
+        memory.write_word(address * 4 + 0x100000, ~value & 0xFFFFFFFF)
+        assert memory.read_word(address * 4) == value

@@ -1,0 +1,73 @@
+"""Tests for the TLB and the memory-bus contention model."""
+
+import pytest
+
+from repro.memory import MemoryBus, Tlb
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb("t", entries=4, walk_penalty=20)
+        assert tlb.access(0x1000) == 20
+        assert tlb.access(0x1FFF) == 0  # same page
+        assert tlb.access(0x2000) == 20
+
+    def test_lru_replacement(self):
+        tlb = Tlb("t", entries=2, walk_penalty=5)
+        tlb.access(0x1000)
+        tlb.access(0x2000)
+        tlb.access(0x1000)  # page 1 becomes MRU
+        tlb.access(0x3000)  # evicts page 2
+        assert tlb.access(0x1000) == 0
+        assert tlb.access(0x2000) == 5
+
+    def test_capacity_respected(self):
+        tlb = Tlb("t", entries=3)
+        for page in range(8):
+            tlb.access(page << 12)
+        assert len(tlb._lru) == 3
+
+    def test_flush(self):
+        tlb = Tlb("t")
+        tlb.access(0)
+        tlb.flush()
+        assert tlb.access(0) == tlb.walk_penalty
+
+    def test_hit_rate(self):
+        tlb = Tlb("t")
+        tlb.access(0)
+        tlb.access(0)
+        assert tlb.stats.hit_rate == pytest.approx(0.5)
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            Tlb("t", entries=0)
+
+
+class TestMemoryBus:
+    def test_uncontended_request_has_no_delay(self):
+        bus = MemoryBus(beat_cycles=2, width_bytes=4)
+        assert bus.request(cycle=0, n_bytes=32) == 0
+        assert bus.busy_until == 16  # 8 beats * 2 cycles
+
+    def test_back_to_back_requests_queue(self):
+        bus = MemoryBus(beat_cycles=2, width_bytes=4)
+        bus.request(0, 32)
+        delay = bus.request(4, 32)
+        assert delay == 12  # waits until cycle 16
+        assert bus.stats.contention_cycles == 12
+
+    def test_request_after_idle_gap(self):
+        bus = MemoryBus()
+        bus.request(0, 8)
+        assert bus.request(1000, 8) == 0
+
+    def test_transfer_cycles_rounds_up(self):
+        bus = MemoryBus(beat_cycles=3, width_bytes=4)
+        assert bus.transfer_cycles(5) == 6  # 2 beats
+
+    def test_reset(self):
+        bus = MemoryBus()
+        bus.request(0, 64)
+        bus.reset()
+        assert bus.request(0, 4) == 0

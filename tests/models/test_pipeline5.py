@@ -1,0 +1,227 @@
+"""Tests for the tutorial 5-stage pipeline model (paper Section 4)."""
+
+import pytest
+
+from repro.isa.arm import assemble
+from repro.iss import ArmInterpreter
+from repro.memory import Cache
+from repro.models.pipeline5 import Pipeline5Model
+
+from ..conftest import arm_program
+
+
+def cycles_of(body: str, data: str = "", **kwargs) -> int:
+    model = Pipeline5Model(assemble(arm_program(body, data)), **kwargs)
+    model.run()
+    return model.cycles
+
+
+def model_for(body: str, data: str = "", **kwargs) -> Pipeline5Model:
+    model = Pipeline5Model(assemble(arm_program(body, data)), **kwargs)
+    model.run()
+    return model
+
+
+NOP8 = "\n".join("    nop" for _ in range(8))
+#: truly independent single-cycle ops (nop = mov r0, r0 carries a RAW
+#: dependence on itself, which stalls a no-forwarding pipeline!)
+IND8 = "\n".join(f"    mov r{1 + (i % 8)}, #{i}" for i in range(8))
+
+
+class TestBasicTiming:
+    def test_straightline_throughput_is_one_per_cycle(self):
+        # n independent ops: fill (4) + n + drain-ish; measure the delta
+        base = cycles_of(IND8)
+        longer = cycles_of(IND8 + "\n" + IND8)
+        assert longer - base == 8
+
+    def test_nop_is_not_independent_without_forwarding(self):
+        """nop = mov r0, r0: it reads its own previous write, so a
+        no-forwarding pipeline serialises nops — a deliberately surprising
+        consequence of the paper's Section-4 hazard scheme."""
+        nops = cycles_of(NOP8)
+        independent = cycles_of(IND8)
+        assert nops > independent
+
+    def test_pipeline_depth_visible_in_fill(self):
+        one = cycles_of("    nop")
+        # a single instruction still traverses F D E B W + swi behind it
+        assert one >= 6
+
+    def test_functional_equivalence_with_iss(self):
+        source = arm_program("""
+    mov r0, #0
+    mov r1, #1
+loop:
+    add r0, r0, r1
+    add r1, r1, #1
+    cmp r1, #20
+    blt loop
+""")
+        iss = ArmInterpreter(assemble(source))
+        iss.run()
+        model = Pipeline5Model(assemble(source))
+        model.run()
+        assert model.exit_code == iss.state.exit_code
+        assert model.retired == iss.steps
+        assert model.state.regs.values == iss.state.regs.values
+
+
+class TestDataHazards:
+    def test_raw_dependence_stalls_at_decode(self):
+        """Without forwarding, a dependant waits for the producer's W."""
+        independent = cycles_of("""
+    mov r1, #1
+    mov r4, #2
+    mov r5, #3
+    add r6, r4, r5
+""")
+        dependent = cycles_of("""
+    mov r1, #1
+    add r2, r1, r1
+    add r3, r2, r2
+    add r4, r3, r3
+""")
+        assert dependent > independent
+
+    def test_stall_length_matches_paper_scheme(self):
+        # producer at E(t) holds the update token until W->I; three
+        # independent fillers exactly cover the dependant's stall.
+        fillers = "    mov r3, #1\n    mov r4, #1\n    mov r5, #1"
+        covered = cycles_of(f"    mov r1, #1\n{fillers}\n    add r2, r1, r1")
+        stalled = cycles_of(f"    mov r1, #1\n    add r2, r1, r1\n{fillers}")
+        assert covered == stalled  # fillers hide the hazard completely
+
+    def test_waw_ordered_by_update_tokens(self):
+        model = model_for("""
+    mov r1, #1
+    mov r1, #2
+    mov r0, r1
+""")
+        assert model.exit_code == 2
+
+    def test_flag_hazard_stalls_conditional(self):
+        flag_dep = cycles_of("""
+    cmp r1, #0
+    addeq r2, r2, #1
+""")
+        no_dep = cycles_of("""
+    cmp r1, #0
+    add r2, r2, #1
+""")
+        # the conditional reads flags: same producer distance as registers
+        assert flag_dep >= no_dep
+
+
+class TestControlHazards:
+    def test_taken_branch_costs_two_bubbles(self):
+        body = """
+    mov r1, #{cond}
+    cmp r1, #2
+    beq skip
+    mov r2, #1
+    mov r3, #1
+skip:
+    mov r4, #1
+"""
+        not_taken = cycles_of(body.format(cond=1))  # retires 2 extra movs
+        taken = cycles_of(body.format(cond=2))      # skips them, pays squash
+        # taken = not_taken - 2 (skipped work) + 2 (squash bubbles)
+        assert taken - not_taken == 0
+        # and the kill machinery really fired for the taken variant
+        model = model_for(body.format(cond=2))
+        assert model.reset_unit.kills == 2
+
+    def test_speculative_ops_are_killed_not_executed(self):
+        model = model_for("""
+    mov r2, #0
+    b over
+    add r2, r2, #90     ; wrong path: must never execute
+    add r2, r2, #90
+over:
+    mov r0, r2
+""")
+        assert model.exit_code == 0
+        assert model.reset_unit.kills >= 1
+
+    def test_kills_do_not_retire(self):
+        source = arm_program("""
+    b over
+    nop
+    nop
+over:
+    nop
+""")
+        iss = ArmInterpreter(assemble(source))
+        iss.run()
+        model = Pipeline5Model(assemble(source))
+        model.run()
+        assert model.retired == iss.steps  # wrong-path ops excluded
+
+
+class TestVariableLatency:
+    def test_icache_miss_stalls_fetch(self):
+        icache = Cache("i", size=256, line_size=16, assoc=2, miss_penalty=10)
+        with_cache = cycles_of(NOP8, icache=icache)
+        perfect = cycles_of(NOP8)
+        assert with_cache > perfect
+
+    def test_dcache_miss_holds_buffer_stage(self):
+        dcache = Cache("d", size=256, line_size=16, assoc=2, miss_penalty=12)
+        miss = cycles_of("""
+    li  r1, buf
+    ldr r2, [r1]
+""", data="buf: .word 1", dcache=dcache)
+        hit_only = cycles_of("""
+    li  r1, buf
+    ldr r2, [r1]
+""", data="buf: .word 1")
+        assert miss - hit_only >= 11
+
+    def test_multiplier_early_termination(self):
+        small = cycles_of("""
+    mov r1, #3
+    mov r2, #5
+    mul r3, r2, r1
+""" + NOP8)
+        large = cycles_of("""
+    li  r1, 0x7FFFFFF1
+    mov r2, #5
+    mul r3, r2, r1
+""" + NOP8)
+        assert large > small  # wide operand takes extra cycles
+
+
+class TestStructureHazards:
+    def test_single_stage_occupancy(self):
+        """At most one operation per stage at any cycle."""
+        model = Pipeline5Model(assemble(arm_program(NOP8)))
+        seen_double = []
+
+        def check(clock, osm, edge):
+            stages = [o.current.name for o in model.osms if not o.in_initial]
+            for name in set(stages):
+                if name != "I" and stages.count(name) > 1:
+                    seen_double.append((clock, name))
+
+        model.director.trace = check
+        model.run()
+        assert seen_double == []
+
+
+class TestEdgeBehaviour:
+    def test_empty_program_halts(self):
+        model = model_for("    mov r0, #0")
+        assert model.exit_code == 0
+
+    def test_max_cycles_guard(self):
+        from repro.core import SimulationError
+
+        source = """
+    .text
+_start:
+    b _start
+"""
+        model = Pipeline5Model(assemble(source))
+        with pytest.raises(SimulationError):
+            model.run(200)

@@ -1,0 +1,145 @@
+"""Tests for the StrongARM case-study model (paper Section 5.1)."""
+
+import pytest
+
+from repro.isa.arm import assemble
+from repro.iss import ArmInterpreter
+from repro.models.pipeline5 import Pipeline5Model
+from repro.models.strongarm import StrongArmModel
+
+from ..conftest import arm_program
+
+
+def cycles_of(body: str, data: str = "", **kwargs) -> int:
+    kwargs.setdefault("perfect_memory", True)
+    model = StrongArmModel(assemble(arm_program(body, data)), **kwargs)
+    model.run()
+    return model.cycles
+
+
+class TestForwarding:
+    def test_alu_results_forward_back_to_back(self):
+        chain = cycles_of("""
+    mov r1, #1
+    add r2, r1, #1
+    add r3, r2, #1
+    add r4, r3, #1
+""")
+        independent = cycles_of("""
+    mov r1, #1
+    mov r2, #1
+    mov r3, #1
+    mov r4, #1
+""")
+        assert chain == independent  # zero-bubble ALU-to-ALU
+
+    def test_load_use_costs_one_bubble(self):
+        load_use = cycles_of("""
+    li  r1, buf
+    ldr r2, [r1]
+    add r3, r2, #1
+""", data="buf: .word 9")
+        load_filler = cycles_of("""
+    li  r1, buf
+    ldr r2, [r1]
+    mov r4, #7
+    add r3, r2, #1
+""", data="buf: .word 9")
+        # one independent filler hides the load-use bubble exactly
+        assert load_use == load_filler
+
+    def test_forwarding_beats_pipeline5(self):
+        body = """
+    mov r1, #1
+    add r2, r1, #1
+    add r3, r2, #1
+    add r4, r3, #1
+    add r5, r4, #1
+"""
+        sa = StrongArmModel(assemble(arm_program(body)), perfect_memory=True)
+        sa.run()
+        p5 = Pipeline5Model(assemble(arm_program(body)))
+        p5.run()
+        assert sa.cycles < p5.cycles
+
+    def test_flag_forwarding(self):
+        """cmp's flags forward to a dependent conditional next cycle."""
+        paired = cycles_of("""
+    mov r1, #1
+    cmp r1, #1
+    addeq r2, r2, #1
+    cmp r1, #0
+    addne r3, r3, #1
+""")
+        independent = cycles_of("""
+    mov r1, #1
+    cmp r1, #1
+    add r2, r2, #1
+    cmp r1, #0
+    add r3, r3, #1
+""")
+        assert paired == independent
+
+
+class TestMultiplier:
+    def test_early_termination_latency_scales_with_operand(self):
+        def mul_with(value):
+            return cycles_of(f"""
+    li  r1, {value}
+    mov r2, #3
+    mul r3, r2, r1      ; rs = r1 drives early termination
+    add r4, r3, #1      ; dependent: sees the full latency
+""")
+
+        assert mul_with(5) < mul_with(0x12345) < mul_with(0x71234567)
+
+    def test_multiplier_module_is_structural(self):
+        model = StrongArmModel(
+            assemble(arm_program("""
+    li  r1, 0x7FFFFFFF
+    mov r2, #3
+    mul r3, r2, r1
+    mul r4, r2, r2
+""")),
+            perfect_memory=True,
+        )
+        model.run()
+        assert model.multiplier.manager.n_allocates == 2
+
+    def test_non_mul_ops_skip_the_multiplier(self):
+        model = StrongArmModel(
+            assemble(arm_program("    add r1, r2, r3")), perfect_memory=True
+        )
+        model.run()
+        assert model.multiplier.manager.n_allocates == 0
+
+
+class TestCaches:
+    def test_default_config_uses_sa1100_caches(self):
+        model = StrongArmModel(assemble(arm_program("    mov r0, #0")))
+        assert model.fetch.icache.n_sets * model.fetch.icache.assoc * 32 == 16 * 1024
+        assert model.dcache.n_sets * model.dcache.assoc * 32 == 8 * 1024
+
+    def test_cold_icache_slower_than_perfect(self):
+        body = "\n".join(f"    mov r{1 + (i % 8)}, #1" for i in range(32))
+        cold = StrongArmModel(assemble(arm_program(body)))
+        cold.run()
+        perfect = StrongArmModel(assemble(arm_program(body)), perfect_memory=True)
+        perfect.run()
+        assert cold.cycles > perfect.cycles
+        assert cold.fetch.icache.stats.misses > 0
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("kernel", ["gsm_dec", "g721_enc", "mpeg2_dec"])
+    def test_mediabench_equivalence(self, kernel):
+        from repro.workloads import mediabench
+
+        source = mediabench.arm_source(kernel)
+        iss = ArmInterpreter(assemble(source))
+        iss.run()
+        model = StrongArmModel(assemble(source))
+        model.run()
+        assert model.exit_code == iss.state.exit_code
+        assert model.retired == iss.steps
+        assert model.output_text == iss.syscalls.output_text

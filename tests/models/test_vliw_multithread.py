@@ -1,0 +1,163 @@
+"""Tests for the Section-6 extension models: VLIW and multithreaded."""
+
+import pytest
+
+from repro.isa.arm import assemble
+from repro.iss import ArmInterpreter
+from repro.models.multithread import MultithreadModel
+from repro.models.strongarm import default_dcache
+from repro.models.vliw import VliwModel
+
+from ..conftest import arm_program
+
+
+class TestVliw:
+    def test_width_scales_throughput(self):
+        body = "\n".join(f"    mov r{1 + (i % 10)}, #{i}" for i in range(40))
+        cycles = {}
+        for width in (1, 2, 4):
+            model = VliwModel(assemble(arm_program(body)), width=width)
+            model.run()
+            cycles[width] = model.cycles
+        assert cycles[1] > cycles[2] > cycles[4]
+
+    def test_no_interlocks_but_functionally_exact(self):
+        """VLIW trusts the compiler for hazards yet execution stays in
+        program order, so results are architecturally correct."""
+        source = arm_program("""
+    mov r1, #1
+    add r2, r1, r1      ; back-to-back dependence: no stall charged
+    add r3, r2, r2
+    add r0, r3, #0
+""")
+        iss = ArmInterpreter(assemble(source))
+        iss.run()
+        model = VliwModel(assemble(source), width=2)
+        model.run()
+        assert model.exit_code == iss.state.exit_code == 4
+
+    def test_taken_branch_kills_wide_slots(self):
+        source = arm_program("""
+    mov r2, #0
+    b over
+    add r2, r2, #50     ; two wrong-path slots fetched together
+    add r2, r2, #50
+over:
+    mov r0, r2
+""")
+        model = VliwModel(assemble(source), width=2)
+        model.run()
+        assert model.exit_code == 0
+
+    def test_lockstep_memory_stall(self):
+        from repro.memory import Cache
+
+        body = """
+    li  r1, buf
+    ldr r2, [r1]
+    mov r3, #1
+    mov r4, #1
+"""
+        dcache = Cache("d", size=256, line_size=16, assoc=2, miss_penalty=20)
+        slow = VliwModel(assemble(arm_program(body, "buf: .word 7")),
+                         width=2, dcache=dcache)
+        slow.run()
+        fast = VliwModel(assemble(arm_program(body, "buf: .word 7")), width=2)
+        fast.run()
+        assert slow.cycles > fast.cycles
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            VliwModel(assemble(arm_program("    nop")), width=0)
+
+
+class TestMultithread:
+    def _programs(self):
+        a = arm_program("""
+    mov r1, #0
+    mov r2, #0
+lp:
+    add r2, r2, r1
+    add r1, r1, #1
+    cmp r1, #12
+    blt lp
+    mov r0, r2
+""")
+        b = arm_program("""
+    mov r1, #3
+    mov r2, #4
+    mul r3, r1, r2
+    mov r0, r3
+""")
+        return assemble(a), assemble(b)
+
+    def test_threads_complete_with_correct_results(self):
+        prog_a, prog_b = self._programs()
+        model = MultithreadModel([prog_a, prog_b])
+        model.run()
+        assert model.exit_codes() == [66, 12]
+
+    def test_thread_register_files_are_isolated(self):
+        same = arm_program("""
+    mov r1, #1
+    add r1, r1, #1
+    add r1, r1, #1
+    mov r0, r1
+""")
+        model = MultithreadModel([assemble(same), assemble(same)])
+        model.run()
+        assert model.exit_codes() == [3, 3]
+
+    def test_round_robin_fetch_fairness(self):
+        prog = arm_program("\n".join(f"    mov r{1 + (i % 9)}, #1" for i in range(30)))
+        model = MultithreadModel([assemble(prog), assemble(prog)])
+        model.run()
+        a, b = model.fetch.fetched_per_thread
+        assert abs(a - b) <= 2
+
+    def test_memory_latency_hiding(self):
+        from repro.workloads import kernels
+
+        sources = [kernels.arm_source("stride32"), kernels.arm_source("stride8")]
+        together = MultithreadModel(
+            [assemble(s) for s in sources], dcache=default_dcache()
+        )
+        together.run()
+        solo_cycles = 0
+        for source in sources:
+            solo = MultithreadModel([assemble(source)], dcache=default_dcache())
+            solo.run()
+            solo_cycles += solo.cycles
+        assert together.cycles < solo_cycles  # MT throughput win
+
+    def test_single_thread_degenerates_gracefully(self):
+        prog_a, _ = self._programs()
+        model = MultithreadModel([prog_a])
+        model.run()
+        assert model.exit_codes() == [66]
+
+    def test_no_programs_rejected(self):
+        with pytest.raises(ValueError):
+            MultithreadModel([])
+
+    def test_branch_kill_is_thread_local(self):
+        """A mispredicted branch in thread 0 must not kill thread 1 ops."""
+        branchy = arm_program("""
+    mov r1, #0
+lp:
+    add r1, r1, #1
+    cmp r1, #8
+    blt lp
+    mov r0, r1
+""")
+        straight = arm_program("""
+    mov r1, #1
+    mov r2, #2
+    mov r3, #3
+    mov r4, #4
+    mov r5, #5
+    mov r0, #9
+""")
+        model = MultithreadModel([assemble(branchy), assemble(straight)])
+        model.run()
+        assert model.exit_codes() == [8, 9]

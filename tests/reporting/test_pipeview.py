@@ -1,0 +1,77 @@
+"""Tests for the pipeline-trace visualiser."""
+
+from repro.isa.arm import assemble
+from repro.models.strongarm import StrongArmModel
+from repro.reporting.pipeview import PipelineTracer
+
+from ..conftest import arm_program
+
+
+def traced(body: str, data: str = ""):
+    model = StrongArmModel(assemble(arm_program(body, data)), perfect_memory=True)
+    tracer = PipelineTracer(model)
+    model.run()
+    return model, tracer
+
+
+class TestPipelineTracer:
+    def test_renders_one_row_per_operation(self):
+        _, tracer = traced("""
+    mov r1, #1
+    add r2, r1, #1
+""")
+        text = tracer.render()
+        assert "mov r1, #1" in text
+        assert "add r2, r1, #1" in text
+        # straight-line ops walk F D E B W
+        lane = text.splitlines()[1].split("|")[1]
+        assert "FDEBW" in lane
+
+    def test_dependent_op_starts_one_cycle_later(self):
+        _, tracer = traced("""
+    mov r1, #1
+    add r2, r1, #1
+""")
+        lines = tracer.render().splitlines()
+        assert lines[2].split("|")[1].startswith(".FDEBW")
+
+    def test_killed_ops_marked(self):
+        _, tracer = traced("""
+    b over
+    mov r3, #9
+over:
+    mov r0, #0
+""")
+        assert tracer.killed_count() >= 1
+        text = tracer.render()
+        assert "x" in text
+
+    def test_occupancy_counts_all_states(self):
+        _, tracer = traced("    mov r1, #1\n    mov r2, #2")
+        occupancy = tracer.occupancy()
+        for state in "FDEBW":
+            assert occupancy.get(state, 0) >= 2
+
+    def test_chains_existing_trace_callback(self):
+        model = StrongArmModel(
+            assemble(arm_program("    mov r1, #1")), perfect_memory=True
+        )
+        seen = []
+        model.director.trace = lambda c, o, e: seen.append(e.label)
+        tracer = PipelineTracer(model)
+        model.run()
+        assert seen  # the original callback still fires
+        assert tracer.render()
+
+    def test_window_selection(self):
+        _, tracer = traced("\n".join(f"    mov r{1 + (i % 8)}, #1" for i in range(20)))
+        window = tracer.render(first=5, count=3)
+        rows = window.splitlines()
+        assert len(rows) == 4  # header + 3 ops
+
+    def test_empty_render(self):
+        model = StrongArmModel(
+            assemble(arm_program("    mov r0, #0")), perfect_memory=True
+        )
+        tracer = PipelineTracer(model)
+        assert "no operations" in tracer.render()

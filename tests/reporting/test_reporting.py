@@ -1,0 +1,62 @@
+"""Tests for table formatting and line counting."""
+
+import pytest
+
+from repro.reporting import baseline_counts, count_code_lines, format_table, percent, table2_counts
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(["name", "count"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", "+"}
+        assert lines[2].split("|")[1].strip() == "1"
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table 9")
+        assert text.splitlines()[0] == "Table 9"
+
+    def test_thousands_separator(self):
+        text = format_table(["n"], [[12345]])
+        assert "12,345" in text
+
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [], align="l")
+
+    def test_percent(self):
+        assert percent(3.14) == "+3.1%"
+        assert percent(-0.5) == "-0.5%"
+
+
+class TestLineCounting:
+    def test_counts_exclude_comments_docstrings_blanks(self, tmp_path):
+        source = tmp_path / "sample.py"
+        source.write_text('''"""Module docstring
+spanning lines."""
+
+# a comment
+def f():
+    """Function docstring."""
+    x = 1  # trailing comment
+
+    return x
+''')
+        assert count_code_lines(source) == 3  # def, assign, return
+
+    def test_table2_shape(self):
+        counts = table2_counts()
+        for target in ("SA-1100", "PPC-750"):
+            categories = counts[target]
+            assert categories["Total"] == sum(
+                v for k, v in categories.items() if k != "Total"
+            )
+            assert categories["Total"] > 0
+        # the paper's headline: PPC model is larger, decode+init dominates
+        assert counts["PPC-750"]["Total"] > counts["SA-1100"]["Total"]
+
+    def test_baseline_counts_nonzero(self):
+        counts = baseline_counts()
+        assert counts["SystemC-style PPC"] > 0
+        assert counts["SimpleScalar-style ARM"] > 0

@@ -1,0 +1,75 @@
+"""Tests for the parameterised workload generator."""
+
+import pytest
+
+from repro.isa.arm import assemble as asm_arm
+from repro.isa.ppc import assemble as asm_ppc
+from repro.iss import ArmInterpreter, PpcInterpreter
+from repro.workloads.generator import Mix, arm_source, ppc_source
+
+
+class TestMixValidation:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Mix(alu=-1).validate()
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Mix(alu=0, mem=0, mul=0).validate()
+
+    def test_bad_block_length_rejected(self):
+        with pytest.raises(ValueError):
+            Mix(block_length=0).validate()
+
+
+class TestGeneration:
+    def test_both_targets_assemble_and_terminate(self):
+        mix = Mix(alu=5, mem=3, mul=1, iterations=8)
+        arm = ArmInterpreter(asm_arm(arm_source(mix)))
+        arm.run(500_000)
+        ppc = PpcInterpreter(asm_ppc(ppc_source(mix)))
+        ppc.run(500_000)
+        assert arm.state.halted and ppc.state.halted
+
+    def test_deterministic_per_seed(self):
+        mix = Mix(seed=77)
+        assert arm_source(mix) == arm_source(Mix(seed=77))
+        assert arm_source(mix) != arm_source(Mix(seed=78))
+
+    def test_mix_weights_shape_the_program(self):
+        memory_heavy = arm_source(Mix(alu=0.5, mem=8, mul=0, block_length=40))
+        alu_heavy = arm_source(Mix(alu=8, mem=0.5, mul=0, block_length=40))
+        assert memory_heavy.count("ldr") + memory_heavy.count("str") > \
+            alu_heavy.count("ldr") + alu_heavy.count("str")
+
+    def test_mul_heavy_mix_runs_slower_on_the_model(self):
+        from repro.models.strongarm import StrongArmModel
+
+        alu = StrongArmModel(
+            asm_arm(arm_source(Mix(alu=10, mem=0, mul=0.0001, iterations=16))),
+            perfect_memory=True,
+        )
+        alu.run()
+        mul = StrongArmModel(
+            asm_arm(arm_source(Mix(alu=0.0001, mem=0, mul=10, iterations=16,
+                                   seed=Mix().seed))),
+            perfect_memory=True,
+        )
+        mul.run()
+        assert mul.cycles > alu.cycles
+
+    def test_footprint_controls_cache_pressure(self):
+        from repro.memory import Cache
+        from repro.models.strongarm import StrongArmModel
+
+        def miss_rate(footprint):
+            mix = Mix(alu=1, mem=8, mul=0, footprint_words=footprint,
+                      iterations=12, block_length=24)
+            dcache = Cache("d", size=512, line_size=32, assoc=2, miss_penalty=20)
+            model = StrongArmModel(asm_arm(arm_source(mix)), dcache=dcache,
+                                   icache=None, itlb=None, dtlb=None,
+                                   perfect_memory=False)
+            model.run()
+            return 1.0 - dcache.stats.hit_rate
+
+        assert miss_rate(1024) > miss_rate(16)

@@ -1,0 +1,90 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.isa.arm import assemble as asm_arm
+from repro.isa.ppc import assemble as asm_ppc
+from repro.iss import ArmInterpreter, PpcInterpreter
+from repro.workloads import kernels, mediabench, rng, speclike
+
+
+class TestRng:
+    def test_deterministic(self):
+        assert rng.lcg_words(seed=7, count=10) == rng.lcg_words(seed=7, count=10)
+
+    def test_range_respected(self):
+        values = rng.lcg_words(seed=3, count=200, lo=-5, hi=5)
+        assert all(-5 <= v <= 5 for v in values)
+        assert len(set(values)) > 3  # actually varies
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            rng.lcg_words(seed=1, count=1, lo=5, hi=2)
+
+
+class TestKernelLoops:
+    def test_exactly_forty(self):
+        assert len(kernels.KERNEL_NAMES) == 40
+        assert len(set(kernels.KERNEL_NAMES)) == 40
+
+    @pytest.mark.parametrize("name", kernels.KERNEL_NAMES)
+    def test_each_loop_assembles_and_terminates(self, name):
+        interpreter = ArmInterpreter(asm_arm(kernels.arm_source(name)))
+        interpreter.run(500_000)
+        assert interpreter.state.halted
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            kernels.arm_source("nonexistent")
+
+    def test_all_sources_distinct(self):
+        sources = kernels.all_arm_sources()
+        assert len(set(sources.values())) == 40
+
+
+class TestMediabench:
+    @pytest.mark.parametrize("name", mediabench.MEDIABENCH_NAMES)
+    def test_arm_and_ppc_variants_run(self, name):
+        arm = ArmInterpreter(asm_arm(mediabench.arm_source(name)))
+        arm.run(2_000_000)
+        ppc = PpcInterpreter(asm_ppc(mediabench.ppc_source(name)))
+        ppc.run(2_000_000)
+        assert arm.state.halted and ppc.state.halted
+
+    def test_scale_grows_work(self):
+        small = ArmInterpreter(asm_arm(mediabench.arm_source("gsm_dec", scale=1)))
+        small.run(5_000_000)
+        large = ArmInterpreter(asm_arm(mediabench.arm_source("gsm_dec", scale=2)))
+        large.run(5_000_000)
+        assert large.steps > small.steps * 1.5
+
+    def test_checksums_are_deterministic(self):
+        first = ArmInterpreter(asm_arm(mediabench.arm_source("mpeg2_enc")))
+        second = ArmInterpreter(asm_arm(mediabench.arm_source("mpeg2_enc")))
+        assert first.run() == second.run()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            mediabench.arm_source("quake")
+        with pytest.raises(KeyError):
+            mediabench.ppc_source("quake")
+
+
+class TestSpeclike:
+    @pytest.mark.parametrize("name", speclike.SPECLIKE_NAMES)
+    def test_runs_to_completion(self, name):
+        interpreter = PpcInterpreter(asm_ppc(speclike.ppc_source(name)))
+        interpreter.run(2_000_000)
+        assert interpreter.state.halted
+
+    def test_branchier_than_mediabench(self):
+        """The SPEC-like mix plays the 'harder control flow' role."""
+        from repro.models.ppc750 import Ppc750Model
+
+        parser = Ppc750Model(asm_ppc(speclike.ppc_source("parser_loop")))
+        parser.run()
+        gsm = Ppc750Model(asm_ppc(mediabench.ppc_source("gsm_dec")))
+        gsm.run()
+        parser_rate = parser.predictor.mispredictions / parser.kernel.stats.instructions
+        gsm_rate = gsm.predictor.mispredictions / gsm.kernel.stats.instructions
+        assert parser_rate > gsm_rate
