@@ -58,6 +58,22 @@ def main() -> None:
     print(f"deliberately cyclic spec: deadlock free: {bad.deadlock_free}, "
           f"cycles found: {bad.cycles}\n")
 
+    # --- static lint (osmlint) ---------------------------------------------------
+    from repro.analysis.lint import lint_spec
+
+    print("=== osmlint: static analysis of the specifications ===")
+    report = lint_spec(spec)
+    print(report.render_text())
+    print(lint_spec(cyclic).render_text())  # flags the OSM008 resource cycle
+    # break the StrongARM spec on purpose: forget a Release on an edge
+    # back to I and the token-leak rule catches it without running anything
+    broken = StrongArmModel(assemble(kernels.arm_source("alu_dep1"))).spec
+    retire = next(e for e in broken.edges if e.dst.is_initial and e.condition.primitives)
+    retire.condition = Condition(list(retire.condition.primitives)[1:])
+    for diagnostic in lint_spec(broken).errors[:3]:
+        print(diagnostic.render())
+    print()
+
     # --- bounded model checking --------------------------------------------------
     from repro.analysis import model_check
     from repro.core import Condition as Cond, Release as Rel

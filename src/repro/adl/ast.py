@@ -12,7 +12,7 @@ synthesised (:mod:`repro.adl.synth`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 
 @dataclass

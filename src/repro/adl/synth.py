@@ -30,7 +30,7 @@ hand-written models in ``tests/adl``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 from ..core import (
     Allocate,

@@ -1,21 +1,27 @@
 """Formal analysis and compiler-information extraction (Section 6)."""
 
-from . import asm_export, compiler_info, deadlock, modelcheck, reachability
+from . import asm_export, compiler_info, deadlock, lint, modelcheck, reachability
 from .asm_export import AsmRule, export_asm, render_asm
 from .compiler_info import canonical_path, operand_latencies, reservation_table
 from .deadlock import DeadlockReport
+from .lint import Diagnostic, LintReport, Severity, lint_spec
 from .modelcheck import ModelCheckReport, check as model_check
 from .reachability import ReachabilityReport
 
 __all__ = [
     "AsmRule",
     "DeadlockReport",
+    "Diagnostic",
+    "LintReport",
     "ModelCheckReport",
     "ReachabilityReport",
+    "Severity",
     "asm_export",
     "canonical_path",
     "compiler_info",
     "deadlock",
+    "lint",
+    "lint_spec",
     "model_check",
     "modelcheck",
     "export_asm",

@@ -34,13 +34,11 @@ def canonical_path(spec: MachineSpec, max_steps: int = 32) -> List[Edge]:
     path: List[Edge] = []
     state = spec.initial
     for _ in range(max_steps):
-        candidates = [e for e in state.out_edges if not e.dst.is_initial or e is state.out_edges[-1]]
         # Prefer the forward edge: the lowest-priority edges are the
         # normal flow (reset edges carry high priority).
         forward = [e for e in state.out_edges if not (e.dst.is_initial and e.priority > 0)]
         if not forward:
             break
-        edge = forward[-1] if state.out_edges else None
         # pick the lowest-priority (normal) edge deterministically
         edge = min(forward, key=lambda e: e.priority)
         path.append(edge)

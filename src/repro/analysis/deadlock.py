@@ -16,7 +16,7 @@ of the declarative model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..core.osm import MachineSpec
 from ..core.primitives import Allocate, AllocateMany, Discard, Release, ReleaseMany

@@ -1,0 +1,43 @@
+"""``osmlint`` — multi-pass static analysis of OSM machine specifications.
+
+Section 6 of the paper claims the OSM model is *analyzable*: every edge
+is a guarded conjunction of token transactions, so model properties can
+be extracted and checked without running the simulator.  This package is
+that claim turned into a lint gate: a shared diagnostics engine
+(:mod:`.diagnostics`), an abstract interpretation of the token buffer
+along all state-graph paths (:mod:`.buffer`), and a set of rules
+(:mod:`.passes`, codes ``OSM001``–``OSM008``) that catch model-author
+mistakes — leaked tokens, double allocations, shadowed or ambiguous
+edges, statically infeasible allocations, unreachable states and cyclic
+resource dependencies — at model-build time rather than at cycle 10M of
+a MediaBench run.
+
+Entry points:
+
+>>> from repro.analysis.lint import lint_spec
+>>> report = lint_spec(model.spec)
+>>> report.ok          # no unsuppressed error-severity findings
+>>> print(report.render_text())
+
+or from the command line: ``python -m repro lint <model> [--json]``.
+"""
+
+from .buffer import BufferAnalysis, analyze_buffers
+from .diagnostics import Diagnostic, LintReport, Severity
+from .engine import DEFAULT_PASSES, LintContext, LintPass, lint_spec
+from .registry import available_specs, build_spec, register_spec
+
+__all__ = [
+    "BufferAnalysis",
+    "DEFAULT_PASSES",
+    "Diagnostic",
+    "LintContext",
+    "LintPass",
+    "LintReport",
+    "Severity",
+    "analyze_buffers",
+    "available_specs",
+    "build_spec",
+    "lint_spec",
+    "register_spec",
+]

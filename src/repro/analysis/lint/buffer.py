@@ -1,0 +1,225 @@
+"""Abstract interpretation of the OSM token buffer along all paths.
+
+The lint passes that reason about token lifecycle (leaks, double
+allocations, vacuous releases, static capacity) all need the same fact:
+*which slots can the token buffer hold when an edge is probed?*  This
+module computes it once per lint run by exploring the state graph over
+an abstract buffer domain and recording the events the passes consume.
+
+Abstract domain
+---------------
+The buffer is a mapping ``slot -> (manager name, definite)``:
+
+* ``definite=True`` (*must* hold): the slot was filled by an
+  :class:`~repro.core.primitives.Allocate` with a static identifier —
+  every concrete execution reaching this configuration holds the token.
+* ``definite=False`` (*may* hold): the slot was filled by an ``Allocate``
+  with a callable identifier (which may resolve to ``None`` and skip the
+  grant — the "operation does not need this resource" idiom) or by an
+  :class:`~repro.core.primitives.AllocateMany` (dynamic count, possibly
+  zero).  ``AllocateMany`` families are summarised by a single
+  ``"<prefix>*"`` entry.
+
+The walk mirrors :func:`repro.analysis.deadlock.analyze`'s exploration
+of ``(state, buffer)`` configurations but tracks definiteness and emits
+lifecycle events instead of a dependency graph.  Guards and inquiries
+never change the buffer, and every edge is explored from every
+configuration of its source state (guards are treated as opaque), so
+the result over-approximates the reachable concrete buffers — sound for
+"may" facts; the passes only report "must" facts when they hold in
+*every* configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ...core.osm import Edge, MachineSpec
+from ...core.primitives import Allocate, AllocateMany, Discard, Release, ReleaseMany
+
+#: one abstract buffer entry: slot -> (manager name, definite)
+BufferConfig = FrozenSet[Tuple[str, Tuple[str, bool]]]
+
+
+@dataclass
+class DoubleAllocate:
+    """An ``Allocate`` into a slot some path already holds."""
+
+    edge: Edge
+    slot: str
+    holder_manager: str     #: manager of the token already in the slot
+    definite: bool          #: both the hold and the new grant are definite
+
+
+@dataclass
+class ReleaseTarget:
+    """Aggregate view of one release/discard target on one edge."""
+
+    edge: Edge
+    kind: str               #: "release" | "release-many" | "discard"
+    target: str             #: slot (or prefix for release-many)
+    held_somewhere: bool = False   #: held in at least one configuration
+
+
+@dataclass
+class Leak:
+    """Slots still held when an edge returns to the initial state."""
+
+    edge: Edge
+    must_slots: Set[str] = field(default_factory=set)
+    may_slots: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class OverCapacity:
+    """An ``Allocate`` whose definite demand exceeds the manager's
+    static capacity — the edge can never fire."""
+
+    edge: Edge
+    manager: str
+    demand: int
+    capacity: int
+
+
+@dataclass
+class BufferAnalysis:
+    """Everything the token-lifecycle passes need, from one walk."""
+
+    #: edge.index -> abstract buffers observed when the edge is probed
+    edge_buffers: Dict[int, List[Dict[str, Tuple[str, bool]]]] = field(default_factory=dict)
+    double_allocates: List[DoubleAllocate] = field(default_factory=list)
+    release_targets: Dict[Tuple[int, str, str], ReleaseTarget] = field(default_factory=dict)
+    leaks: Dict[int, Leak] = field(default_factory=dict)
+    over_capacity: List[OverCapacity] = field(default_factory=list)
+    n_configs: int = 0
+    truncated: bool = False
+
+
+def _family_key(slot: str) -> str:
+    """The summary key of an ``AllocateMany`` family."""
+    return slot + "*"
+
+
+def _slot_held(buffer: Dict[str, Tuple[str, bool]], slot: str) -> bool:
+    """Whether *slot* may be occupied: exact entry, or it falls inside an
+    ``AllocateMany`` family whose prefix it starts with."""
+    if slot in buffer:
+        return True
+    return any(key.endswith("*") and slot.startswith(key[:-1]) for key in buffer)
+
+
+def analyze_buffers(spec: MachineSpec, max_configs: int = 20_000) -> BufferAnalysis:
+    """Explore every ``(state, abstract buffer)`` configuration of *spec*."""
+    if spec.initial is None:
+        raise ValueError(f"{spec.name}: no initial state")
+    analysis = BufferAnalysis()
+    start: Tuple[str, BufferConfig] = (spec.initial.name, frozenset())
+    seen: Set[Tuple[str, BufferConfig]] = {start}
+    frontier: List[Tuple[str, BufferConfig]] = [start]
+
+    # A DoubleAllocate/OverCapacity event is recorded once per
+    # (edge, slot/manager) — the first configuration exhibiting it wins.
+    seen_double: Set[Tuple[int, str]] = set()
+    seen_over: Set[Tuple[int, str]] = set()
+
+    while frontier:
+        if len(seen) > max_configs:
+            analysis.truncated = True
+            break
+        state_name, config = frontier.pop()
+        state = spec.states[state_name]
+        for edge in state.out_edges:
+            buffer: Dict[str, Tuple[str, bool]] = dict(config)
+            analysis.edge_buffers.setdefault(edge.index, []).append(dict(buffer))
+            _apply_edge(edge, buffer, analysis, seen_double, seen_over)
+            if edge.dst.is_initial and buffer:
+                leak = analysis.leaks.setdefault(edge.index, Leak(edge))
+                for slot, (_, definite) in buffer.items():
+                    (leak.must_slots if definite else leak.may_slots).add(slot)
+                # The dynamic semantics make a non-empty buffer at I a hard
+                # error (the OSM raises); clamp to empty so one leak does
+                # not cascade into bogus downstream findings.
+                buffer.clear()
+            successor = (edge.dst.name, frozenset(buffer.items()))
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+
+    analysis.n_configs = len(seen)
+    return analysis
+
+
+def _apply_edge(
+    edge: Edge,
+    buffer: Dict[str, Tuple[str, bool]],
+    analysis: BufferAnalysis,
+    seen_double: Set[Tuple[int, str]],
+    seen_over: Set[Tuple[int, str]],
+) -> None:
+    """Apply *edge*'s primitives (in declaration order) to *buffer*,
+    recording lifecycle events as they surface."""
+    for primitive in edge.condition.primitives:
+        if isinstance(primitive, Allocate):
+            slot = primitive.slot
+            definite = not callable(primitive.ident)
+            if slot in buffer and (edge.index, slot) not in seen_double:
+                seen_double.add((edge.index, slot))
+                held_manager, held_definite = buffer[slot]
+                analysis.double_allocates.append(
+                    DoubleAllocate(edge, slot, held_manager,
+                                   definite=definite and held_definite)
+                )
+            buffer[slot] = (primitive.manager.name, definite)
+            _check_capacity(edge, primitive, buffer, analysis, seen_over)
+        elif isinstance(primitive, AllocateMany):
+            buffer[_family_key(primitive.slot)] = (primitive.manager.name, False)
+        elif isinstance(primitive, Release):
+            target = _release_target(analysis, edge, "release", primitive.slot)
+            target.held_somewhere |= _slot_held(buffer, primitive.slot)
+            buffer.pop(primitive.slot, None)
+        elif isinstance(primitive, ReleaseMany):
+            matching = [s for s in buffer if s.startswith(primitive.prefix)]
+            target = _release_target(analysis, edge, "release-many", primitive.prefix)
+            target.held_somewhere |= bool(matching)
+            for slot in matching:
+                buffer.pop(slot)
+        elif isinstance(primitive, Discard):
+            if primitive.slot is None:
+                buffer.clear()
+            else:
+                target = _release_target(analysis, edge, "discard", primitive.slot)
+                target.held_somewhere |= _slot_held(buffer, primitive.slot)
+                buffer.pop(primitive.slot, None)
+        # Inquire / Guard / model-specific predicates: no buffer effect.
+
+
+def _release_target(
+    analysis: BufferAnalysis, edge: Edge, kind: str, target: str
+) -> ReleaseTarget:
+    key = (edge.index, kind, target)
+    if key not in analysis.release_targets:
+        analysis.release_targets[key] = ReleaseTarget(edge, kind, target)
+    return analysis.release_targets[key]
+
+
+def _check_capacity(
+    edge: Edge,
+    primitive: Allocate,
+    buffer: Dict[str, Tuple[str, bool]],
+    analysis: BufferAnalysis,
+    seen_over: Set[Tuple[int, str]],
+) -> None:
+    capacity: Optional[int] = getattr(primitive.manager, "capacity", None)
+    if capacity is None:
+        return
+    manager = primitive.manager.name
+    demand = sum(
+        1 for held_manager, definite in buffer.values()
+        if held_manager == manager and definite
+    )
+    # A non-definite grant adds no guaranteed demand; only definite holds
+    # make the edge statically infeasible.
+    if demand > capacity and (edge.index, manager) not in seen_over:
+        seen_over.add((edge.index, manager))
+        analysis.over_capacity.append(OverCapacity(edge, manager, demand, capacity))

@@ -1,0 +1,164 @@
+"""Lint engine: pass protocol, shared context, suppression, driver.
+
+A lint pass is a small object with a stable ``code`` (``OSM001``…), a
+``rule`` slug and a :meth:`LintPass.run` generator over one
+:class:`~repro.core.MachineSpec`.  Passes share a :class:`LintContext`
+that lazily computes (once) the facts several passes need: the abstract
+token-buffer exploration (:func:`.buffer.analyze_buffers`), the
+reachability report and the hold-allocate dependency graph.
+
+Suppression is resolved here: a diagnostic anchored to an edge whose
+``lint_allow`` names the rule code — or whose spec carries the code in
+``spec.lint_allow`` — is kept in the report but marked ``suppressed``
+and excluded from the pass/fail verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from ...core.osm import Edge, MachineSpec
+from .diagnostics import Diagnostic, LintReport, Severity
+
+
+class LintContext:
+    """Per-run shared facts, computed lazily and at most once."""
+
+    def __init__(self, spec: MachineSpec):
+        self.spec = spec
+        self._buffers = None
+        self._reachability = None
+        self._deadlock = None
+
+    @property
+    def buffers(self):
+        if self._buffers is None:
+            from .buffer import analyze_buffers
+
+            self._buffers = analyze_buffers(self.spec)
+        return self._buffers
+
+    @property
+    def reachability(self):
+        if self._reachability is None:
+            from ..reachability import analyze
+
+            self._reachability = analyze(self.spec)
+        return self._reachability
+
+    @property
+    def deadlock(self):
+        if self._deadlock is None:
+            from ..deadlock import analyze
+
+            self._deadlock = analyze(self.spec)
+        return self._deadlock
+
+
+class LintPass:
+    """Base class of all lint rules."""
+
+    #: stable rule code, e.g. "OSM001"
+    code: str = "OSM000"
+    #: short rule slug, e.g. "token-leak"
+    rule: str = "abstract"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    # -- diagnostic constructors ------------------------------------------
+
+    def diag(
+        self,
+        ctx: LintContext,
+        message: str,
+        severity: Severity = Severity.ERROR,
+        state: Optional[str] = None,
+        edge: Optional[Edge] = None,
+    ) -> Diagnostic:
+        """Build a diagnostic located in *ctx*'s spec; an edge location
+        implies its source-state location unless overridden."""
+        if edge is not None and state is None:
+            state = edge.src.name
+        return Diagnostic(
+            code=self.code,
+            rule=self.rule,
+            severity=severity,
+            spec=ctx.spec.name,
+            message=message,
+            state=state,
+            edge=edge.qualname if edge is not None else None,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.code})"
+
+
+def default_passes() -> List[LintPass]:
+    """Fresh instances of the bundled rules, in code order."""
+    from .passes import (
+        AmbiguousSiblingsPass,
+        CapacityPass,
+        DoubleAllocatePass,
+        ReachabilityPass,
+        ResourceCyclePass,
+        ShadowedEdgePass,
+        TokenLeakPass,
+        VacuousReleasePass,
+    )
+
+    return [
+        TokenLeakPass(),
+        VacuousReleasePass(),
+        DoubleAllocatePass(),
+        AmbiguousSiblingsPass(),
+        ShadowedEdgePass(),
+        ReachabilityPass(),
+        CapacityPass(),
+        ResourceCyclePass(),
+    ]
+
+
+#: code -> pass class mapping of the bundled rules (for --rules filters)
+DEFAULT_PASSES = {p.code: type(p) for p in default_passes()}
+
+
+def lint_spec(
+    spec: MachineSpec,
+    passes: Optional[Sequence[LintPass]] = None,
+    codes: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Run the lint passes over *spec* and return the report.
+
+    Parameters
+    ----------
+    passes:
+        Pass instances to run; defaults to the bundled OSM001–OSM008 set.
+    codes:
+        When given, restrict the default set to these rule codes.
+    """
+    if passes is None:
+        passes = default_passes()
+    if codes is not None:
+        wanted = set(codes)
+        unknown = wanted - {p.code for p in passes}
+        if unknown:
+            raise ValueError(f"unknown lint rule code(s): {sorted(unknown)}")
+        passes = [p for p in passes if p.code in wanted]
+
+    ctx = LintContext(spec)
+    report = LintReport(spec=spec.name)
+    spec_allow = set(getattr(spec, "lint_allow", ()))
+    edge_allow = {edge.qualname: set(edge.lint_allow) for edge in spec.edges}
+    for lint_pass in passes:
+        report.passes_run.append(lint_pass.code)
+        for diagnostic in lint_pass.run(ctx):
+            if diagnostic.code in spec_allow:
+                diagnostic.suppressed = True
+            elif diagnostic.edge is not None and diagnostic.code in edge_allow.get(
+                diagnostic.edge, ()
+            ):
+                diagnostic.suppressed = True
+            report.diagnostics.append(diagnostic)
+    report.sort()
+    return report

@@ -15,7 +15,7 @@ closely on timing.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ...de.module import PortModule, Wire
 from ...de.scheduler import DeltaCycleSimulator

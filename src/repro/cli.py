@@ -6,6 +6,8 @@ Gives the framework a downstream-usable front end:
                  optionally with a pipeline trace
 * ``asm``      — assemble to a hex/word listing
 * ``analyze``  — reachability/deadlock/ASM-export of a model's OSM spec
+* ``lint``     — static analysis of model specs (rule codes OSM001…;
+                 nonzero exit on unsuppressed error findings)
 * ``bench``    — quick cycles-per-second measurement of a model
 * ``workload`` — emit a bundled workload's assembly source
 
@@ -15,6 +17,8 @@ Examples::
     python -m repro run --model ppc750 --isa ppc --trace prog.s
     python -m repro asm --isa arm prog.s
     python -m repro analyze --model pipeline5
+    python -m repro lint strongarm ppc750
+    python -m repro lint all --json
     python -m repro workload gsm_dec --isa ppc
 """
 
@@ -167,6 +171,44 @@ _start:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Lint one or more model specifications; exit 1 on any unsuppressed
+    error-severity finding."""
+    import json
+
+    from .analysis.lint import available_specs, build_spec, lint_spec
+
+    names = list(args.models)
+    if "all" in names:
+        names = available_specs()
+    codes = None
+    if args.rules:
+        codes = [code.strip() for code in args.rules.split(",") if code.strip()]
+    reports = []
+    for name in names:
+        try:
+            spec = build_spec(name)
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0]))
+        try:
+            report = lint_spec(spec, codes=codes)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        # key the report by its registry name (spec.name may differ)
+        report.spec = name
+        reports.append((name, report))
+    if args.json:
+        payload = {
+            "ok": all(report.ok for _, report in reports),
+            "models": {name: report.to_dict() for name, report in reports},
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for name, report in reports:
+            print(report.render_text(show_suppressed=args.show_suppressed))
+    return 0 if all(report.ok for _, report in reports) else 1
+
+
 def cmd_bench(args) -> int:
     from .workloads import mediabench
 
@@ -241,6 +283,23 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--asm", action="store_true", help="dump the ASM rules")
     analyze.set_defaults(func=cmd_analyze)
 
+    lint = sub.add_parser(
+        "lint", help="static analysis (osmlint) of model specifications"
+    )
+    lint.add_argument(
+        "models", nargs="+", metavar="MODEL",
+        help="registered spec name(s), or 'all'",
+    )
+    lint.add_argument("--json", action="store_true", help="machine-readable output")
+    lint.add_argument(
+        "--rules", help="comma-separated rule codes to run (default: all)"
+    )
+    lint.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include suppressed findings in text output",
+    )
+    lint.set_defaults(func=cmd_lint)
+
     bench = sub.add_parser("bench", help="measure simulation speed")
     bench.add_argument("--model", default="strongarm",
                        choices=sorted(set(MODEL_DEFAULT_ISA) - {"iss"}))
@@ -258,7 +317,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # downstream consumer (head, jq -e ...) closed the pipe; not an error
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

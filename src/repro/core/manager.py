@@ -23,7 +23,7 @@ reuse, shared across the pipeline5, StrongARM and PPC-750 models.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, List, Optional
 
 from .errors import TokenError
 from .token import Token
@@ -52,6 +52,13 @@ class TokenManager:
         self.n_inquiries = 0
         self.n_releases = 0
         self.n_discards = 0
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Static token capacity for one identifier class, or ``None``
+        when it is unbounded or per-identifier (read-only introspection
+        used by the static analyses; never consulted during simulation)."""
+        return None
 
     # -- probe phase (the four language primitives) -----------------------
 
@@ -121,6 +128,10 @@ class SlotManager(TokenManager):
         self.hold_release = False
 
     @property
+    def capacity(self) -> int:
+        return 1
+
+    @property
     def occupant(self):
         """The OSM occupying the slot, or ``None``."""
         return self.token.holder
@@ -161,6 +172,10 @@ class PoolManager(TokenManager):
             raise ValueError(f"pool {name!r} must have positive size, got {size}")
         self.tokens: List[Token] = [Token(self, f"{name}[{i}]", i) for i in range(size)]
         self.hold_release = False
+
+    @property
+    def capacity(self) -> int:
+        return len(self.tokens)
 
     @property
     def size(self) -> int:
@@ -317,6 +332,10 @@ class ResetManager(TokenManager):
         super().__init__(name)
         self._doomed: set = set()
         self._pending: set = set()
+
+    @property
+    def capacity(self) -> int:
+        return 0  # owns no allocatable tokens
 
     def doom(self, osm) -> None:
         """Mark *osm* for reset from the next control step onwards.

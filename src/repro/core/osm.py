@@ -59,9 +59,13 @@ class Edge:
         state updates (e.g. "compute the result" on entering E).
     label:
         Trace label.
+    allow:
+        Lint-rule codes (e.g. ``"OSM004"``) whose findings on this edge
+        are acknowledged false positives; see ``docs/static-analysis.md``.
     """
 
-    __slots__ = ("src", "dst", "condition", "priority", "action", "label")
+    __slots__ = ("src", "dst", "condition", "priority", "action", "label",
+                 "index", "lint_allow")
 
     def __init__(
         self,
@@ -71,6 +75,7 @@ class Edge:
         priority: int = 0,
         action: Optional[Action] = None,
         label: str = "",
+        allow: Iterable[str] = (),
     ):
         if isinstance(condition, Primitive):
             condition = Condition([condition])
@@ -80,6 +85,20 @@ class Edge:
         self.priority = priority
         self.action = action
         self.label = label or f"{src.name}->{dst.name}"
+        #: declaration index within the owning spec (stable identity even
+        #: when labels repeat); assigned by :meth:`MachineSpec.edge`
+        self.index: int = -1
+        self.lint_allow: Tuple[str, ...] = tuple(allow)
+
+    @property
+    def qualname(self) -> str:
+        """Stable, unique edge name: ``label@index`` within the spec."""
+        return f"{self.label}@{self.index}"
+
+    def allow_lint(self, *codes: str) -> "Edge":
+        """Suppress the given lint-rule codes on this edge (chainable)."""
+        self.lint_allow = self.lint_allow + tuple(codes)
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Edge({self.label}, prio={self.priority})"
@@ -93,6 +112,14 @@ class MachineSpec:
         self.states: Dict[str, State] = {}
         self.edges: List[Edge] = []
         self.initial: Optional[State] = None
+        #: spec-wide lint suppressions (rule codes); see Edge.lint_allow
+        #: for the per-edge variant
+        self.lint_allow: Tuple[str, ...] = ()
+
+    def allow_lint(self, *codes: str) -> "MachineSpec":
+        """Suppress the given lint-rule codes everywhere in this spec."""
+        self.lint_allow = self.lint_allow + tuple(codes)
+        return self
 
     def state(self, name: str, initial: bool = False, on_enter: Optional[Action] = None) -> State:
         """Declare (or fetch) a state.  Exactly one state must be initial."""
@@ -114,12 +141,15 @@ class MachineSpec:
         priority: int = 0,
         action: Optional[Action] = None,
         label: str = "",
+        allow: Iterable[str] = (),
     ) -> Edge:
         """Declare an edge between two already-declared states."""
         for endpoint in (src, dst):
             if endpoint not in self.states:
                 raise SpecError(f"{self.name}: edge references unknown state {endpoint!r}")
-        e = Edge(self.states[src], self.states[dst], condition, priority, action, label)
+        e = Edge(self.states[src], self.states[dst], condition, priority, action, label,
+                 allow=allow)
+        e.index = len(self.edges)
         self.edges.append(e)
         out = self.states[src].out_edges
         out.append(e)

@@ -18,7 +18,7 @@ the transaction, at which point ownership actually changes.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, List, Optional, Set
 
 from .token import Token
 

@@ -9,7 +9,7 @@ round-trip through :mod:`repro.isa.arm.encode`.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 from ..bits import bit, bits, sign_extend
 from ..instruction import Instruction

@@ -55,7 +55,6 @@ def parse_mnemonic(mnemonic: str) -> Optional[Tuple[str, int, int]]:
         if not mnemonic.startswith(base):
             continue
         rest = mnemonic[len(base) :]
-        s = 0
         if rest.endswith("s") and base in _S_ALLOWED:
             candidate = rest[:-1]
             if candidate == "" or candidate in CONDITIONS:

@@ -11,7 +11,6 @@ from .isa import (
     CR0_REG,
     CTR_REG,
     LR_REG,
-    SPR_CTR,
     SPR_LR,
     UNIT_BPU,
     UNIT_IU1,

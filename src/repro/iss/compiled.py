@@ -26,7 +26,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..isa.arm import decode as arm_decode
 from ..isa.arm.decode import ArmInstruction
-from ..isa.arm.isa import COND_AL, PC
+from ..isa.arm.isa import PC
 from ..isa.program import Program
 from .interpreter import ArmInterpreter, IssError
 
@@ -101,7 +101,6 @@ class BlockTranslator:
         if kind == 2:  # ASR (0 encodes 32)
             amount = amount or 32
             signed = f"({value} - 0x100000000 if {value} & 0x80000000 else {value})"
-            capped = min(amount, 31)
             return (f"(({signed} >> {min(amount, 31)}) & 0xFFFFFFFF)",
                     f"(({signed} >> {min(amount - 1, 31)}) & 1)")
         # ROR (0 encodes RRX)

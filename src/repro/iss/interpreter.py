@@ -8,7 +8,7 @@ functional execution, while the OSM models own the timing.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Dict
 
 from ..isa.program import Program
 from ..memory.mainmem import MainMemory

@@ -20,7 +20,7 @@ return register mapping (ARM: r0..r2 / r0; PPC: r3..r5 / r3).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 SYS_EXIT = 0
 SYS_PUTC = 1

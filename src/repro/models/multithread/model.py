@@ -23,7 +23,7 @@ throughput gain over running the same programs back-to-back.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ...core import (
     Allocate,
@@ -35,7 +35,6 @@ from ...core import (
     Inquire,
     MachineSpec,
     OperationStateMachine,
-    RegisterFileManager,
     Release,
     ReleaseMany,
     SimulationStats,

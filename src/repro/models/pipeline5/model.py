@@ -22,7 +22,7 @@ program order (in-order issue guarantees architectural order at E).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Optional
 
 from ...core.director import operation_seq_rank
 from ...core import (

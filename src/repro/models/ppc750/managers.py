@@ -20,7 +20,7 @@ paper.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ...core.errors import TokenError
 from ...core.manager import PoolManager, TokenManager

@@ -24,7 +24,7 @@ control-hazard scheme prescribes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ...core.director import operation_seq_rank
 from ...core import (
@@ -48,7 +48,6 @@ from ...isa.program import Program
 from ...iss.interpreter import PpcInterpreter
 from ...iss.oracle import ExecRecord, Oracle
 from ...memory.cache import Cache
-from ...memory.tlb import Tlb
 from ..common import ResetUnit, StageUnit
 from .branch import BranchPredictor
 from .managers import CompletionQueueManager, FetchQueueManager, RegisterRenameManager

@@ -11,7 +11,7 @@ its forwarding network.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from ...core.manager import RegisterFileManager
 from ...core.token import Token

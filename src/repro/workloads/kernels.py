@@ -13,7 +13,7 @@ cross-checking.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 _ITER = 64  # default trip count for every loop
 

@@ -105,6 +105,25 @@ class TestDeadlockAnalysis:
         assert any(set(cycle) >= {"A", "B"} for cycle in report.cycles)
 
 
+class TestCanonicalPath:
+    def test_pipeline5_canonical_path_is_the_forward_flow(self, pipeline5_spec):
+        from repro.analysis import canonical_path
+
+        path = canonical_path(pipeline5_spec)
+        # Regression pin: the lowest-priority (normal-flow) edge is taken
+        # at every step and the reset edges back to I are never chosen.
+        assert [edge.label for edge in path] == [
+            "fetch", "decode", "issue", "mem", "writeback", "retire",
+        ]
+        assert path[-1].dst.is_initial
+
+    def test_missing_initial_state_rejected(self):
+        from repro.analysis import canonical_path
+
+        with pytest.raises(ValueError, match="no initial state"):
+            canonical_path(MachineSpec("empty"))
+
+
 class TestReservationTable:
     def test_pipeline5_resources_per_stage(self, pipeline5_spec):
         table = dict(reservation_table(pipeline5_spec))

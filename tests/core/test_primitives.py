@@ -1,13 +1,11 @@
 """Tests for the four transaction primitives and condition conjunction."""
 
-import pytest
 
 from repro.core import (
     ALWAYS,
     Allocate,
     AllocateMany,
     Condition,
-    Discard,
     Guard,
     Inquire,
     MachineSpec,
@@ -114,7 +112,6 @@ class TestInquire:
 
 class TestReleaseVacuous:
     def test_release_of_empty_slot_succeeds(self):
-        manager = SlotManager("m")
         osm = _osm_in(lambda s: s.edge("I", "S", Condition([Release("not_held")])))
         assert osm.try_transition(0) is not None
 

@@ -1,6 +1,5 @@
 """Integration: whole-stack flows through the public API."""
 
-import pytest
 
 from repro.adl import STRONGARM_ADL, synthesize
 from repro.core import SimulationKernel

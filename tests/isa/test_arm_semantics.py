@@ -1,6 +1,5 @@
 """Tests for ARM-like instruction semantics via assembled fragments."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.isa.arm import assemble

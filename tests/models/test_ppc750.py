@@ -1,6 +1,5 @@
 """Tests for the PPC-750 out-of-order superscalar model (Section 5.2)."""
 
-import pytest
 
 from repro.isa.ppc import assemble
 from repro.iss import PpcInterpreter

@@ -10,7 +10,6 @@ from repro.core import (
     OperationStateMachine,
     PoolManager,
     Release,
-    SlotManager,
 )
 
 
