@@ -74,9 +74,11 @@ def main() -> None:
         print(diagnostic.render())
     print()
 
-    # --- bounded model checking --------------------------------------------------
-    from repro.analysis import model_check
-    from repro.core import Condition as Cond, Release as Rel
+    # --- explicit-state model checking (osmcheck) --------------------------------
+    from repro.analysis.check import check_model, check_system
+    from repro.core import ALWAYS, Condition as Cond, Release as Rel
+
+    print("=== osmcheck: explicit-state model checking ===")
 
     def linear_system():
         stage_a, stage_b = SlotManager("A"), SlotManager("B")
@@ -89,9 +91,23 @@ def main() -> None:
         linear.edge("Q", "I", Cond([Rel("B")]))
         return linear, [stage_a, stage_b]
 
-    verdict = model_check(linear_system, n_osms=3, all_orders=True)
-    print(f"model check (3 OSMs, all schedules): {verdict.n_states} states, "
-          f"safe={verdict.safe}")
+    verdict = check_system(*linear_system(), n_osms=3)
+    print(verdict.render_text())
+
+    # the whole StrongARM model, via the pure-token abstraction: every
+    # CHK property verified over 2 concurrent operations
+    print(check_model("strongarm", n_osms=2).render_text())
+
+    # seed a token leak and the checker answers with the *shortest*
+    # counterexample, naming the fired edges by their stable qualnames
+    stage = SlotManager("S")
+    leaky = MachineSpec("leaky")
+    leaky.state("I", initial=True)
+    leaky.state("P")
+    leaky.edge("I", "P", Cond([Allocate(stage)]), label="grab")
+    leaky.edge("P", "I", ALWAYS, label="retire")  # forgot the Release
+    print(check_system(leaky, [stage], n_osms=2).render_text())
+    print()
 
     # --- compiler information -------------------------------------------------------
     print("=== compiler-facing extraction ===")

@@ -1,32 +1,55 @@
 """Formal analysis and compiler-information extraction (Section 6)."""
 
-from . import asm_export, compiler_info, deadlock, lint, modelcheck, reachability
+from . import asm_export, check, compiler_info, deadlock, lint, modelcheck, reachability
 from .asm_export import AsmRule, export_asm, render_asm
+from .check import (
+    CheckReport,
+    Finding,
+    Trace,
+    check_model,
+    check_spec,
+    check_system,
+    default_properties,
+    purify,
+)
 from .compiler_info import canonical_path, operand_latencies, reservation_table
 from .deadlock import DeadlockReport
 from .lint import Diagnostic, LintReport, Severity, lint_spec
 from .modelcheck import ModelCheckReport, check as model_check
 from .reachability import ReachabilityReport
+from .registry import available_specs, build_spec, register_spec
 
 __all__ = [
     "AsmRule",
+    "CheckReport",
     "DeadlockReport",
     "Diagnostic",
+    "Finding",
     "LintReport",
     "ModelCheckReport",
     "ReachabilityReport",
     "Severity",
+    "Trace",
     "asm_export",
+    "available_specs",
+    "build_spec",
     "canonical_path",
+    "check",
+    "check_model",
+    "check_spec",
+    "check_system",
     "compiler_info",
     "deadlock",
+    "default_properties",
+    "export_asm",
     "lint",
     "lint_spec",
     "model_check",
     "modelcheck",
-    "export_asm",
     "operand_latencies",
-    "render_asm",
+    "purify",
     "reachability",
+    "register_spec",
+    "render_asm",
     "reservation_table",
 ]

@@ -1,0 +1,64 @@
+"""osmcheck: explicit-state model checking of OSM token systems.
+
+An explicit-state model checker over the product automaton of *n*
+operation state machines sharing one set of token managers.  Verifies a
+framework of safety and progress properties (stable ``CHK0xx`` codes)
+and renders each violation as a shortest counterexample trace naming the
+fired edges.  Symmetry canonicalization and partial-order reduction keep
+the state space tractable; a pure-token abstraction pass makes every
+registered model specification checkable.
+
+Public API:
+
+* :func:`check_model` / :func:`check_spec` / :func:`check_system` — the
+  three entry points, from highest to lowest level;
+* :func:`purify` — the abstraction pass on its own;
+* :func:`default_properties` and :class:`StateProperty` — the property
+  framework;
+* :class:`CheckReport` / :class:`Finding` / :class:`Trace` — results.
+"""
+
+from .abstraction import PureTokenSystem, purify
+from .explore import ExploreResult, SafetyHit, Step, Trace, explore, render_state
+from .properties import (
+    BufferHygiene,
+    Capacity,
+    Deadlock,
+    ExclusiveGrant,
+    HomeReturn,
+    LostGrant,
+    Property,
+    StateProperty,
+    default_properties,
+)
+from .report import CheckReport, Finding
+from .runner import check_model, check_spec, check_system
+from .system import FireOutcome, SystemState, TokenSystem
+
+__all__ = [
+    "BufferHygiene",
+    "Capacity",
+    "CheckReport",
+    "Deadlock",
+    "ExclusiveGrant",
+    "ExploreResult",
+    "Finding",
+    "FireOutcome",
+    "HomeReturn",
+    "LostGrant",
+    "Property",
+    "PureTokenSystem",
+    "SafetyHit",
+    "StateProperty",
+    "Step",
+    "SystemState",
+    "TokenSystem",
+    "Trace",
+    "check_model",
+    "check_spec",
+    "check_system",
+    "default_properties",
+    "explore",
+    "purify",
+    "render_state",
+]

@@ -1,0 +1,159 @@
+"""Pure-token abstraction: make any registered spec model-checkable.
+
+The bundled model specifications are *open* systems: their edges carry
+side-effecting actions (decode, execute, redirect), guards over
+simulator state, and transactions against stateful custom managers.
+The checker needs a *closed* pure token system.  This pass produces one
+from any :class:`~repro.core.MachineSpec`:
+
+* every **state** is copied (same names, same initial), with ``on_enter``
+  hooks dropped;
+* every **edge** keeps its source, destination, priority, label and —
+  crucially — its original declaration index, so counterexample traces
+  name the real edges by their stable ``Edge.qualname``;
+* edge **actions** are dropped;
+* each **primitive** is translated by manager class:
+
+  - :class:`~repro.core.manager.SlotManager` and
+    :class:`~repro.core.manager.PoolManager` (and their model-specific
+    subclasses) are *mirrored* as plain slot/pool managers of the same
+    name and capacity — custom grant/release policies (in-order
+    dispatch, budgets, fetch gating) are generalized away, which only
+    adds behaviours;
+  - :class:`~repro.core.manager.ResetManager` inquiries are statically
+    false for normal operation, so edges guarded by one (the
+    control-hazard reset edges) are dropped as infeasible;
+  - managers without a static token capacity (register files, rename
+    managers) and dynamic (callable-identifier) allocations are treated
+    as *vacuous*: the primitive is dropped.  ``Release``/``ReleaseMany``
+    of a never-filled slot already succeed vacuously, so the pairing
+    stays consistent;
+  - ``Release``/``ReleaseMany``/``Discard`` survive with their value
+    callbacks stripped; ``Guard`` and unknown predicate primitives are
+    dropped (treated as nondeterministically true — the abstraction
+    keeps the edge and lets static priority arbitrate).
+
+The result over-approximates the *token discipline* of the model (every
+concrete token behaviour of the mirrored managers is a behaviour of the
+abstraction) while under-approximating its *data* behaviour — see
+``docs/formalism.md`` for exactly what a clean verdict certifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ...core.manager import PoolManager, ResetManager, SlotManager, TokenManager
+from ...core.osm import Edge, MachineSpec
+from ...core.primitives import (
+    Allocate,
+    AllocateMany,
+    Condition,
+    Discard,
+    Inquire,
+    Primitive,
+    Release,
+    ReleaseMany,
+)
+
+
+@dataclass
+class PureTokenSystem:
+    """A closed, checkable abstraction of one machine specification."""
+
+    spec: MachineSpec            #: the pure spec (edges keep original qualnames)
+    managers: List[TokenManager]  #: the abstract manager mirrors
+    source: str                  #: name of the abstracted specification
+    n_edges_dropped: int = 0     #: infeasible edges removed (reset paths)
+    n_primitives_dropped: int = 0  #: vacuous/opaque primitives removed
+    #: original manager name -> mirror kind ("slot", "pool:<n>", "vacuous",
+    #: "infeasible") — the abstraction's audit trail for reports and docs
+    manager_map: Dict[str, str] = field(default_factory=dict)
+
+
+class _Infeasible(Exception):
+    """Internal marker: the edge's condition is statically unsatisfiable."""
+
+
+def purify(spec: MachineSpec) -> PureTokenSystem:
+    """Abstract *spec* into a closed pure token system."""
+    if spec.initial is None:
+        raise ValueError(f"{spec.name}: no initial state")
+    pure = MachineSpec(f"{spec.name}#pure")
+    for state in spec.states.values():
+        pure.state(state.name, initial=state.is_initial)
+
+    mirrors: Dict[int, Optional[TokenManager]] = {}
+    managers: List[TokenManager] = []
+    result = PureTokenSystem(spec=pure, managers=managers, source=spec.name)
+
+    def mirror_of(manager) -> Optional[TokenManager]:
+        """The abstract mirror, ``None`` for vacuous managers; raises
+        :class:`_Infeasible` for reset managers."""
+        if isinstance(manager, ResetManager):
+            result.manager_map.setdefault(manager.name, "infeasible")
+            raise _Infeasible
+        key = id(manager)
+        if key not in mirrors:
+            if isinstance(manager, SlotManager):
+                mirrors[key] = SlotManager(manager.name)
+                result.manager_map.setdefault(manager.name, "slot")
+            elif isinstance(manager, PoolManager):
+                size = len(manager.tokens)
+                mirrors[key] = PoolManager(manager.name, size)
+                result.manager_map.setdefault(manager.name, f"pool:{size}")
+            else:
+                mirrors[key] = None
+                result.manager_map.setdefault(manager.name, "vacuous")
+            if mirrors[key] is not None:
+                managers.append(mirrors[key])
+        return mirrors[key]
+
+    for edge in spec.edges:
+        try:
+            primitives = _translate(edge, mirror_of, result)
+        except _Infeasible:
+            result.n_edges_dropped += 1
+            continue
+        pure_edge = pure.edge(
+            edge.src.name,
+            edge.dst.name,
+            Condition(primitives),
+            priority=edge.priority,
+            label=edge.label,
+        )
+        # Preserve the original declaration index: trace steps must name
+        # the concrete spec's edges by their stable qualname.
+        pure_edge.index = edge.index
+    return result
+
+
+def _translate(edge: Edge, mirror_of, result: PureTokenSystem) -> List[Primitive]:
+    translated: List[Primitive] = []
+    for primitive in edge.condition.primitives:
+        if isinstance(primitive, AllocateMany):
+            # Dynamic count (possibly zero): vacuous in the abstraction.
+            result.n_primitives_dropped += 1
+        elif isinstance(primitive, Allocate):
+            mirror = mirror_of(primitive.manager)
+            if mirror is None or callable(primitive.ident):
+                result.n_primitives_dropped += 1
+            else:
+                translated.append(Allocate(mirror, slot=primitive.slot))
+        elif isinstance(primitive, Inquire):
+            mirror = mirror_of(primitive.manager)
+            if mirror is None:
+                result.n_primitives_dropped += 1
+            else:
+                translated.append(Inquire(mirror))
+        elif isinstance(primitive, Release):
+            translated.append(Release(primitive.slot))
+        elif isinstance(primitive, ReleaseMany):
+            translated.append(ReleaseMany(primitive.prefix))
+        elif isinstance(primitive, Discard):
+            translated.append(Discard(primitive.slot))
+        else:
+            # Guard and model-specific predicates: opaque, dropped.
+            result.n_primitives_dropped += 1
+    return translated

@@ -1,0 +1,272 @@
+"""Explicit-state exploration of the OSM × token-manager product automaton.
+
+Breadth-first search with parent pointers, so every violated property
+yields a **shortest** counterexample trace (shortest in the explored
+graph).  Two state-space reductions make exploration tractable:
+
+* **Symmetry canonicalization** — the *n* OSMs share one spec and are
+  interchangeable, so system states that differ only by a permutation of
+  the OSMs are bisimilar.  Every discovered state is replaced by its
+  canonical representative (per-OSM configurations sorted), collapsing
+  each orbit of up to ``n!`` states into one.
+
+* **Partial-order reduction** — from a state where some OSM's enabled
+  transition cannot contend with any other OSM (the managers its edge
+  transacts against are disjoint from every other OSM's probe footprint
+  — the managers reachable from its current local state plus those of
+  its held tokens), only that transition is explored: interleavings with
+  independent moves commute and reach the same states.  A cycle proviso
+  (fall back to full expansion when the single successor was already
+  visited) keeps reduced exploration from ignoring the other OSMs
+  forever.  Only interleavings that actually contend for a token are
+  branched on — this replaces the factorial schedule-permutation sweep
+  of the original prototype checker.
+
+Both reductions preserve the verdicts of the bundled properties (which
+are symmetric in the OSMs and insensitive to the order of independent
+commits); ``reduction=False`` runs the naive full interleaving for
+cross-checking, and the test suite verifies the verdicts agree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...core.osm import Edge
+from .system import SystemState, TokenSystem
+
+
+@dataclass
+class Step:
+    """One fired transition, as recorded in the exploration graph."""
+
+    osm_index: int
+    edge: Edge
+    source: SystemState
+    target: SystemState
+
+
+@dataclass
+class Trace:
+    """A counterexample: the shortest explored path to a bad state.
+
+    With symmetry reduction on, each recorded state is the canonical
+    representative of its orbit, so consecutive steps may silently
+    renumber OSMs; the trace is still a genuine execution up to the
+    (behaviour-preserving) renaming.
+    """
+
+    steps: List[Step] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def render(self, indent: str = "  ") -> str:
+        if not self.steps:
+            return f"{indent}(violated in the initial state)"
+        lines = []
+        for number, step in enumerate(self.steps, start=1):
+            edge = step.edge
+            lines.append(
+                f"{indent}step {number}: osm{step.osm_index} fires {edge.qualname} "
+                f"[{edge.src.name} -> {edge.dst.name}]  =>  {render_state(step.target)}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "length": len(self.steps),
+            "steps": [
+                {
+                    "osm": step.osm_index,
+                    "edge": step.edge.qualname,
+                    "src": step.edge.src.name,
+                    "dst": step.edge.dst.name,
+                    "state_after": render_state(step.target),
+                }
+                for step in self.steps
+            ],
+        }
+
+
+def render_state(state: SystemState) -> str:
+    """Compact one-line rendering: ``osm0@F(m_f) osm1@I``."""
+    parts = []
+    for index, (state_name, buffer) in enumerate(state):
+        held = ",".join(token for _, _, token in buffer)
+        parts.append(f"osm{index}@{state_name}" + (f"({held})" if held else ""))
+    return " ".join(parts)
+
+
+@dataclass
+class SafetyHit:
+    """A safety-property violation found during exploration."""
+
+    code: str
+    message: str
+    state: SystemState
+    depth: int
+
+
+@dataclass
+class ExploreResult:
+    """The explored (possibly reduced) state graph plus search metadata."""
+
+    initial: SystemState
+    #: state -> (parent state, osm index, edge) — BFS tree, shortest paths
+    parents: Dict[SystemState, Optional[Tuple[SystemState, int, Edge]]] = field(
+        default_factory=dict
+    )
+    depths: Dict[SystemState, int] = field(default_factory=dict)
+    #: state -> outgoing (osm index, edge, successor)
+    successors: Dict[SystemState, List[Tuple[int, Edge, SystemState]]] = field(
+        default_factory=dict
+    )
+    hits: List[SafetyHit] = field(default_factory=list)
+    n_states: int = 0
+    n_transitions: int = 0
+    #: transitions actually fired, including POR-pruned duplicates probes
+    n_fired: int = 0
+    #: states from which exploration was cut short by a safety violation
+    truncated: bool = False
+
+    def trace_to(self, state: SystemState) -> Trace:
+        """Reconstruct the shortest explored path from the initial state."""
+        steps: List[Step] = []
+        cursor = state
+        while True:
+            parent = self.parents[cursor]
+            if parent is None:
+                break
+            source, osm_index, edge = parent
+            steps.append(Step(osm_index, edge, source, cursor))
+            cursor = source
+        steps.reverse()
+        return Trace(steps)
+
+
+def explore(
+    system: TokenSystem,
+    properties,
+    reduction: bool = True,
+    max_states: int = 200_000,
+    symmetry: Optional[bool] = None,
+    por: Optional[bool] = None,
+) -> ExploreResult:
+    """BFS over the product automaton, checking safety properties on every
+    visited state.  *properties* is the list of
+    :class:`~.properties.StateProperty` instances to evaluate; graph
+    properties (deadlock, home-return) are judged by the caller on the
+    returned graph.
+
+    *reduction* switches both reductions together; *symmetry* / *por*
+    override it individually.  Symmetry alone is an exact bisimulation
+    quotient (preserves every property we check); POR additionally
+    preserves the safety invariants and deadlock but not home-return,
+    so the runner re-judges CHK005 suspects on a symmetry-only graph.
+    """
+    from .properties import lost_grant_violation
+
+    symmetry = reduction if symmetry is None else symmetry
+    por = reduction if por is None else por
+    canonical = system.canonical if symmetry else (lambda state: state)
+    initial = canonical(system.initial_state())
+    result = ExploreResult(initial=initial)
+    result.parents[initial] = None
+    result.depths[initial] = 0
+
+    for prop in properties:
+        message = prop.violation(system, initial)
+        if message is not None:
+            result.hits.append(SafetyHit(prop.code, message, initial, 0))
+
+    queue = deque([initial])
+    while queue:
+        state = queue.popleft()
+        if len(result.parents) > max_states:
+            result.truncated = True
+            break
+        depth = result.depths[state]
+
+        moves = []
+        for index in range(system.n_osms):
+            outcome = system.fire(state, index)
+            result.n_fired += 1
+            if outcome is not None:
+                # The ghost-grant check must run on the *live* managers
+                # right after this commit: capture/restore rebuilds token
+                # holders from the buffers and would erase the evidence.
+                ghost = None if outcome.error is not None else lost_grant_violation(system)
+                moves.append((index, outcome, ghost))
+
+        if por and len(moves) > 1:
+            moves = _ample(system, state, moves, result.parents, canonical)
+
+        outgoing: List[Tuple[int, Edge, SystemState]] = []
+        for index, outcome, ghost in moves:
+            successor = canonical(outcome.state)
+            outgoing.append((index, outcome.edge, successor))
+            result.n_transitions += 1
+            is_new = successor not in result.parents
+            if is_new:
+                result.parents[successor] = (state, index, outcome.edge)
+                result.depths[successor] = depth + 1
+
+            violated = False
+            if outcome.error is not None:
+                # The dynamic home invariant tripped mid-commit (CHK002).
+                result.hits.append(
+                    SafetyHit("CHK002", outcome.error, successor, depth + 1)
+                )
+                violated = True
+            elif ghost is not None:
+                result.hits.append(
+                    SafetyHit("CHK006", ghost, successor, depth + 1)
+                )
+                violated = True
+            if is_new and not violated:
+                for prop in properties:
+                    message = prop.violation(system, successor)
+                    if message is not None:
+                        result.hits.append(
+                            SafetyHit(prop.code, message, successor, depth + 1)
+                        )
+                        violated = True
+            if is_new and not violated:
+                queue.append(successor)
+            # Violating states are recorded (for the trace) but not
+            # expanded: execution past a broken invariant is meaningless.
+        result.successors[state] = outgoing
+
+    result.n_states = len(result.parents)
+    return result
+
+
+def _ample(system, state, moves, seen, canonical):
+    """Pick a singleton ample set when some enabled move is independent of
+    every other OSM; otherwise return all *moves* (full expansion)."""
+    for move in moves:
+        index, outcome, ghost = move
+        if outcome.error is not None or ghost is not None:
+            continue  # violations must stay visible under every schedule
+        touched = system.touched_managers(state, index, outcome.edge)
+        if touched is None:
+            continue
+        independent = True
+        for other in range(system.n_osms):
+            if other == index:
+                continue
+            footprint = system.probe_footprint(state, other)
+            if footprint is None or (touched & footprint):
+                independent = False
+                break
+        if independent:
+            # Cycle proviso: a reduced move that only leads back to an
+            # already-visited state could starve the pruned OSMs forever;
+            # expand fully in that case.
+            if canonical(outcome.state) in seen:
+                continue
+            return [move]
+    return moves

@@ -1,0 +1,184 @@
+"""The property framework: what osmcheck verifies, under stable codes.
+
+Each property has a stable ``CHK0xx`` code (mirroring osmlint's
+``OSM0xx`` rule codes), a short rule slug, and a kind:
+
+* **safety** properties are predicates over single system states,
+  checked on every state the explorer visits; a violation yields a
+  shortest counterexample trace to the offending state.
+
+  - ``CHK001 exclusive-grant`` — a token is held by two OSMs at once;
+  - ``CHK002 buffer-hygiene``  — an OSM sits in its initial state with a
+    non-empty token buffer (the dynamic home invariant, which the OSM
+    layer enforces with an exception at run time);
+  - ``CHK003 capacity``        — a manager has more distinct tokens
+    granted than its static capacity (catches buggy custom managers);
+  - ``CHK006 lost-grant``      — a granted token is marked held but
+    appears in no OSM's buffer (the signature of a double allocate into
+    one slot overwriting the first grant).  This is a *transition*
+    property: it is only observable right after a commit, before the
+    ghost hold is erased by state restoration, so the explorer checks it
+    at fire time rather than on stored states.
+
+* **progress/liveness** properties are judged on the explored state
+  graph after the fixpoint:
+
+  - ``CHK004 deadlock``    — a reachable non-home state in which no OSM
+    can fire any edge;
+  - ``CHK005 home-return`` — a reachable state from which no home state
+    (every OSM back in its initial state, all buffers empty) is
+    reachable: the system can livelock, circulating tokens forever
+    without ever draining.
+
+Custom properties subclass :class:`StateProperty` and are passed to the
+checker via its ``properties`` argument.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from .system import SystemState, TokenSystem, tokens_of
+
+
+class Property:
+    """Base class: identity and metadata of one checkable property."""
+
+    #: stable property code, e.g. "CHK001"
+    code: str = "CHK000"
+    #: short rule slug, e.g. "exclusive-grant"
+    rule: str = "abstract"
+    #: "safety" (per-state predicate) or "liveness" (state-graph judgement)
+    kind: str = "safety"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.code})"
+
+
+class StateProperty(Property):
+    """A safety invariant checked on every visited system state."""
+
+    def violation(self, system: TokenSystem, state: SystemState) -> Optional[str]:
+        """A message describing the violation in *state*, or ``None``."""
+        raise NotImplementedError
+
+
+class ExclusiveGrant(StateProperty):
+    """CHK001: no token is ever held by two OSMs simultaneously."""
+
+    code = "CHK001"
+    rule = "exclusive-grant"
+
+    def violation(self, system: TokenSystem, state: SystemState) -> Optional[str]:
+        holder: Dict[Tuple[int, str], int] = {}
+        for index, (_, buffer) in enumerate(state):
+            for _, manager_index, token_name in buffer:
+                key = (manager_index, token_name)
+                if key in holder:
+                    manager = system.managers[manager_index].name
+                    return (
+                        f"token {token_name} of {manager} held by "
+                        f"osm{holder[key]} and osm{index} simultaneously"
+                    )
+                holder[key] = index
+        return None
+
+
+class BufferHygiene(StateProperty):
+    """CHK002: an OSM in its initial state holds no tokens."""
+
+    code = "CHK002"
+    rule = "buffer-hygiene"
+
+    def violation(self, system: TokenSystem, state: SystemState) -> Optional[str]:
+        initial = system.spec.initial.name
+        for index, (state_name, buffer) in enumerate(state):
+            if state_name == initial and buffer:
+                names = sorted(token for _, _, token in buffer)
+                return (
+                    f"osm{index} is in initial state {initial} still holding "
+                    f"{names} (token leak)"
+                )
+        return None
+
+
+class Capacity(StateProperty):
+    """CHK003: a manager never has more tokens out than its capacity."""
+
+    code = "CHK003"
+    rule = "capacity"
+
+    def violation(self, system: TokenSystem, state: SystemState) -> Optional[str]:
+        granted: Counter = Counter()
+        for _, buffer in state:
+            for _, manager_index, token_name in buffer:
+                granted[manager_index] += 1
+        for manager_index, count in granted.items():
+            manager = system.managers[manager_index]
+            capacity = getattr(manager, "capacity", None)
+            if capacity is not None and count > capacity:
+                return (
+                    f"manager {manager.name} has {count} tokens granted, "
+                    f"capacity {capacity}"
+                )
+        return None
+
+
+class Deadlock(Property):
+    """CHK004: every reachable non-home state has an enabled move."""
+
+    code = "CHK004"
+    rule = "deadlock"
+    kind = "liveness"
+
+
+class HomeReturn(Property):
+    """CHK005: from every reachable state a home state is reachable —
+    every OSM that leaves its initial state can eventually return."""
+
+    code = "CHK005"
+    rule = "home-return"
+    kind = "liveness"
+
+
+class LostGrant(Property):
+    """CHK006: committed grants stay visible in some OSM buffer.
+
+    Checked at fire time by :func:`lost_grant_violation`; a stored-state
+    predicate cannot see the ghost hold (restoration rebuilds holders
+    from buffers, erasing it)."""
+
+    code = "CHK006"
+    rule = "lost-grant"
+    kind = "safety"
+
+
+def lost_grant_violation(system: TokenSystem) -> Optional[str]:
+    """Scan the *live* manager tokens right after a commit: any token
+    marked held must sit in its holder's buffer."""
+    for manager in system.managers:
+        for token in tokens_of(manager):
+            osm = token.holder
+            if osm is not None and osm.slot_of(token) is None:
+                return (
+                    f"token {token.name} of {manager.name} is marked held by "
+                    f"{osm.name} but is in no buffer slot (grant overwritten)"
+                )
+    return None
+
+
+def default_properties() -> List[Property]:
+    """Fresh instances of the bundled properties, in code order."""
+    return [
+        ExclusiveGrant(),
+        BufferHygiene(),
+        Capacity(),
+        Deadlock(),
+        HomeReturn(),
+        LostGrant(),
+    ]
+
+
+#: code -> property class of the bundled properties
+DEFAULT_PROPERTIES = {p.code: type(p) for p in default_properties()}

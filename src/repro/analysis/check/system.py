@@ -1,0 +1,248 @@
+"""Closed token systems: the product automaton the checker explores.
+
+A :class:`TokenSystem` is *n* identical OSM instances over one pure
+:class:`~repro.core.MachineSpec`, plus the token managers their edges
+transact against.  The checker treats the whole ensemble as one product
+automaton whose states are captured/restored as plain tuples:
+
+``SystemState = ((state_name, ((slot, manager_index, token_name), ...)),
+...)`` — one entry per OSM, buffer entries sorted, everything hashable
+and totally ordered so states can be canonicalized under OSM symmetry.
+
+Tokens are keyed by ``(manager index, token name)``, never by bare token
+name: two managers may own identically-named tokens (two pools both
+called ``p`` own a ``p[0]`` each), and a bare-name key would silently
+restore the wrong manager's token into an OSM buffer.  Duplicate names
+*within* one manager cannot be disambiguated and are rejected at
+construction time.
+
+The transition relation is the per-OSM scheduling rule of Section 5: at
+each step one OSM fires its highest-priority satisfied edge (the edge
+choice per OSM is deterministic — the director only chooses *which* OSM
+moves, never which edge).  Exploring one OSM move per step covers every
+director schedule: any control-step order is a sequence of such moves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ...core.errors import SpecError, TokenError
+from ...core.osm import Edge, MachineSpec, OperationStateMachine
+
+#: one OSM's local configuration: (state name, sorted buffer triples)
+OsmConfig = Tuple[str, Tuple[Tuple[str, int, str], ...]]
+#: the full product-automaton state
+SystemState = Tuple[OsmConfig, ...]
+
+
+class FireOutcome:
+    """Result of firing one OSM from one system state."""
+
+    __slots__ = ("edge", "state", "error")
+
+    def __init__(self, edge: Edge, state: SystemState, error: Optional[str] = None):
+        self.edge = edge          #: the edge that fired (Edge.qualname labels the trace)
+        self.state = state        #: system state after the commit
+        self.error = error        #: dynamic-invariant message (buffer at I), if any
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FireOutcome({self.edge.qualname}, error={self.error!r})"
+
+
+class TokenSystem:
+    """A closed system of *n* OSMs over a pure token specification."""
+
+    def __init__(self, spec: MachineSpec, managers: Sequence, n_osms: int):
+        if n_osms < 1:
+            raise ValueError("a token system needs at least one OSM")
+        self.spec = spec
+        self.managers = list(managers)
+        self.n_osms = n_osms
+        self.osms = [OperationStateMachine(spec) for _ in range(n_osms)]
+        self._manager_index: Dict[int, int] = {
+            id(manager): index for index, manager in enumerate(self.managers)
+        }
+        #: (manager index, token name) -> token; names are unique per manager
+        self._token_by_key: Dict[Tuple[int, str], object] = {}
+        for index, manager in enumerate(self.managers):
+            for token in tokens_of(manager):
+                key = (index, token.name)
+                if key in self._token_by_key:
+                    raise SpecError(
+                        f"{spec.name}: manager {manager.name!r} owns two tokens "
+                        f"named {token.name!r}; states cannot be restored faithfully"
+                    )
+                self._token_by_key[key] = token
+        self._footprints = _state_footprints(spec, self._manager_index)
+
+    # -- abstract state ------------------------------------------------------
+
+    def capture(self) -> SystemState:
+        state = []
+        for osm in self.osms:
+            entries = []
+            for slot, token in osm.token_buffer.items():
+                index = self._manager_index.get(id(token.manager))
+                if index is None:
+                    raise SpecError(
+                        f"{self.spec.name}: token {token.name!r} belongs to "
+                        f"unregistered manager {token.manager.name!r}"
+                    )
+                entries.append((slot, index, token.name))
+            state.append((osm.current.name, tuple(sorted(entries))))
+        return tuple(state)
+
+    def restore(self, state: SystemState) -> None:
+        for token in self._token_by_key.values():
+            token.holder = None
+        for osm, (state_name, buffer) in zip(self.osms, state):
+            osm.current = self.spec.states[state_name]
+            osm.token_buffer = {}
+            osm.blocked_on = None
+            osm._fail_version = -1
+            for slot, manager_index, token_name in buffer:
+                token = self._token_by_key[(manager_index, token_name)]
+                token.holder = osm
+                osm.token_buffer[slot] = token
+
+    def initial_state(self) -> SystemState:
+        initial = self.spec.initial.name
+        return tuple(((initial, ()),) * self.n_osms)
+
+    def is_home(self, state: SystemState) -> bool:
+        initial = self.spec.initial.name
+        return all(name == initial and not buffer for name, buffer in state)
+
+    @staticmethod
+    def canonical(state: SystemState) -> SystemState:
+        """The symmetry-reduced representative: OSMs of one spec are
+        interchangeable, so permuted states are bisimilar — sorting the
+        per-OSM configurations picks one member of each orbit."""
+        return tuple(sorted(state))
+
+    # -- transition relation -------------------------------------------------
+
+    def fire(self, state: SystemState, osm_index: int) -> Optional[FireOutcome]:
+        """Fire OSM *osm_index*'s enabled edge from *state*, if any.
+
+        Returns ``None`` when the OSM has no satisfied edge.  A committed
+        transition that trips the dynamic home invariant (returning to the
+        initial state still holding tokens) is reported as an outcome with
+        ``error`` set, not an exception — the checker turns it into a
+        counterexample instead of dying.
+        """
+        self.restore(state)
+        osm = self.osms[osm_index]
+        try:
+            edge = osm.try_transition(0)
+        except TokenError as exc:
+            return FireOutcome(osm.last_edge, self.capture(), error=str(exc))
+        if edge is None:
+            return None
+        return FireOutcome(edge, self.capture())
+
+    def enabled_moves(self, state: SystemState) -> List[Tuple[int, FireOutcome]]:
+        """Every (osm index, outcome) pair enabled in *state*."""
+        moves = []
+        for index in range(self.n_osms):
+            outcome = self.fire(state, index)
+            if outcome is not None:
+                moves.append((index, outcome))
+        return moves
+
+    # -- partial-order-reduction support -------------------------------------
+
+    def touched_managers(self, state: SystemState, osm_index: int,
+                         edge: Edge) -> Optional[FrozenSet[int]]:
+        """Manager indexes the firing of *edge* by *osm_index* transacts
+        against, or ``None`` when the edge carries a primitive the checker
+        cannot attribute (contends with everything)."""
+        held = {slot: manager_index for slot, manager_index, _ in state[osm_index][1]}
+        touched = set()
+        for primitive in edge.condition.primitives:
+            kind = getattr(primitive, "kind", None)
+            if kind in ("allocate", "inquire"):
+                manager = getattr(primitive, "manager", None)
+                index = self._manager_index.get(id(manager))
+                if index is None:
+                    return None
+                touched.add(index)
+            elif kind == "release":
+                slot = getattr(primitive, "slot", None)
+                if slot is not None:
+                    if slot in held:
+                        touched.add(held[slot])
+                else:  # ReleaseMany: every held slot matching the prefix
+                    prefix = getattr(primitive, "prefix", "")
+                    touched.update(
+                        index for slot, index in held.items() if slot.startswith(prefix)
+                    )
+            elif kind == "discard":
+                slot = getattr(primitive, "slot", None)
+                if slot is None:
+                    touched.update(held.values())
+                elif slot in held:
+                    touched.add(held[slot])
+            elif kind == "guard":
+                return None  # opaque predicate: may read anything
+            else:
+                return None  # unknown primitive: be conservative
+        return frozenset(touched)
+
+    def probe_footprint(self, state: SystemState, osm_index: int) -> Optional[FrozenSet[int]]:
+        """Manager indexes OSM *osm_index* could transact against from its
+        current local state: the static footprint of the state's outgoing
+        edges plus the managers of every token it holds (releases and
+        discards target held tokens).  ``None`` means unbounded."""
+        state_name, buffer = state[osm_index]
+        static = self._footprints[state_name]
+        if static is None:
+            return None
+        if not buffer:
+            return static
+        return static | frozenset(index for _, index, _ in buffer)
+
+
+def tokens_of(manager) -> List:
+    """All tokens a manager owns, across the known manager shapes."""
+    if hasattr(manager, "tokens"):
+        return list(manager.tokens)
+    if hasattr(manager, "token"):
+        return [manager.token]
+    collected: List = []
+    if hasattr(manager, "pools"):  # e.g. RegisterRenameManager
+        for pool in manager.pools.values():
+            collected.extend(pool)
+    if hasattr(manager, "update_tokens"):  # RegisterFileManager
+        for pool in manager.update_tokens.values():
+            collected.extend(pool)
+    return collected
+
+
+def _state_footprints(
+    spec: MachineSpec, manager_index: Dict[int, int]
+) -> Dict[str, Optional[FrozenSet[int]]]:
+    """Per state: manager indexes named by any primitive of any outgoing
+    edge (``None`` when a primitive cannot be attributed statically).
+    Release/Discard primitives carry no manager statically; their dynamic
+    targets are covered by the held-token part of the probe footprint."""
+    footprints: Dict[str, Optional[FrozenSet[int]]] = {}
+    for state in spec.states.values():
+        touched = set()
+        unbounded = False
+        for edge in state.out_edges:
+            for primitive in edge.condition.primitives:
+                kind = getattr(primitive, "kind", None)
+                if kind in ("allocate", "inquire"):
+                    index = manager_index.get(id(getattr(primitive, "manager", None)))
+                    if index is None:
+                        unbounded = True
+                    else:
+                        touched.add(index)
+                elif kind in ("release", "discard"):
+                    continue
+                else:
+                    unbounded = True
+        footprints[state.name] = None if unbounded else frozenset(touched)
+    return footprints

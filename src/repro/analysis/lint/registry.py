@@ -1,120 +1,14 @@
-"""Registry of lintable specifications.
-
-Maps stable names to zero-argument builders returning a fresh
-:class:`~repro.core.MachineSpec` — every bundled micro-architecture
-model plus the ADL-synthesized variants, so ``repro lint <name>`` (and
-CI) can check any of them without knowing how each model is
-constructed.  Builders instantiate the model over a minimal program:
-the specification's structure is program-independent, only identifier
-*values* vary at run time.
-
-Downstream models register their own specs with :func:`register_spec`.
+"""Compatibility shim — the spec registry moved to
+:mod:`repro.analysis.registry` so the lint passes and the model checker
+share one catalogue of analyzable specifications.
 """
 
-from __future__ import annotations
+from ..registry import (
+    _REGISTRY,
+    SpecBuilder,
+    available_specs,
+    build_spec,
+    register_spec,
+)
 
-from typing import Callable, Dict, List
-
-from ...core.osm import MachineSpec
-
-SpecBuilder = Callable[[], MachineSpec]
-
-_REGISTRY: Dict[str, SpecBuilder] = {}
-
-
-def register_spec(name: str, builder: SpecBuilder) -> None:
-    """Register (or replace) a named spec builder."""
-    _REGISTRY[name] = builder
-
-
-def available_specs() -> List[str]:
-    """Names of every registered lintable specification."""
-    return sorted(_REGISTRY)
-
-
-def build_spec(name: str) -> MachineSpec:
-    """Build a fresh spec by registry name; raises ``KeyError`` with the
-    known names when *name* is not registered."""
-    try:
-        builder = _REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown spec {name!r}; available: {', '.join(available_specs())}"
-        ) from None
-    return builder()
-
-
-# -- bundled models ---------------------------------------------------------
-
-def _arm_stub():
-    from ...isa.arm import assemble
-
-    return assemble("""
-    .text
-_start:
-    mov r0, #0
-    swi #0
-""")
-
-
-def _ppc_stub():
-    from ...isa.ppc import assemble
-
-    return assemble("""
-    .text
-_start:
-    li r0, 0
-    li r3, 0
-    sc
-""")
-
-
-def _pipeline5() -> MachineSpec:
-    from ...models.pipeline5 import Pipeline5Model
-
-    return Pipeline5Model(_arm_stub()).spec
-
-
-def _strongarm() -> MachineSpec:
-    from ...models.strongarm import StrongArmModel
-
-    return StrongArmModel(_arm_stub(), perfect_memory=True).spec
-
-
-def _vliw() -> MachineSpec:
-    from ...models.vliw import VliwModel
-
-    return VliwModel(_arm_stub()).spec
-
-
-def _multithread() -> MachineSpec:
-    from ...models.multithread import MultithreadModel
-
-    return MultithreadModel([_arm_stub(), _arm_stub()]).spec
-
-
-def _ppc750() -> MachineSpec:
-    from ...models.ppc750 import Ppc750Model
-
-    return Ppc750Model(_ppc_stub(), perfect_memory=True).spec
-
-
-def _adl_pipeline5() -> MachineSpec:
-    from ...adl.synth import PIPELINE5_ADL, synthesize
-
-    return synthesize(PIPELINE5_ADL, _arm_stub()).spec
-
-
-def _adl_strongarm() -> MachineSpec:
-    from ...adl.synth import STRONGARM_ADL, synthesize
-
-    return synthesize(STRONGARM_ADL, _arm_stub()).spec
-
-
-register_spec("pipeline5", _pipeline5)
-register_spec("strongarm", _strongarm)
-register_spec("vliw", _vliw)
-register_spec("multithread", _multithread)
-register_spec("ppc750", _ppc750)
-register_spec("adl-pipeline5", _adl_pipeline5)
-register_spec("adl-strongarm", _adl_strongarm)
+__all__ = ["SpecBuilder", "_REGISTRY", "available_specs", "build_spec", "register_spec"]

@@ -1,37 +1,34 @@
-"""Bounded explicit-state model checking of OSM token systems.
+"""Legacy model-checking entry point (compatibility shim).
 
-Section 6: the declarative model makes it "possible to extract model
-properties for formal verification purposes".  The static passes in this
-package approximate; this module verifies exactly, for small closed
-systems: it explores **every reachable system state under every OSM
-scheduling order**, checking the safety invariants the director normally
-guarantees only for its one deterministic order:
+The prototype checker that lived here — a control-step explorer sweeping
+every schedule *permutation* per step — has been replaced by the
+:mod:`repro.analysis.check` package: an interleaving-semantics
+explicit-state checker with a property framework, shortest
+counterexample traces, symmetry canonicalization and partial-order
+reduction.  This module keeps the old public surface
+(:class:`ModelCheckReport`, :func:`check`) working on top of it:
 
-* *exclusive grant* — a token is never held by two OSMs;
-* *buffer hygiene* — an OSM in its initial state holds no tokens;
-* *schedule independence* — (optional) the set of reachable abstract
-  states is order-insensitive, i.e. the director's ranking choice hides
-  no token-safety behaviours;
-* *global progress* — no reachable state is stuck: unless the system is
-  entirely at home (all OSMs in their initial states), some OSM can
-  always transition under some schedule (absence of deadlock).
+* ``all_orders=True`` (the old exhaustive mode) maps to the **naive**
+  full-interleaving exploration, which covers every director schedule;
+* ``all_orders=False`` (the old single-order mode) maps to the
+  **reduced** exploration (POR + symmetry), which explores a subset of
+  the interleavings while preserving the verdicts;
+* token-safety violations that the OSM layer used to raise out of the
+  checker as :class:`~repro.core.osm.TokenError` are now *reported* as
+  violations with counterexample traces instead.
 
-The checker targets *pure token systems*: specifications whose edges
-carry only token primitives (no side-effecting actions, no hardware
-modules).  Those are exactly the systems the structural analyses reason
-about, and small instances of them (2-4 OSMs) cover the concurrency
-interleavings that matter.
+New code should call :func:`repro.analysis.check.check_system` (or
+``check_spec`` / ``check_model``) directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from itertools import permutations
-from typing import Callable, Dict, FrozenSet, List, Set, Tuple
+from typing import Callable, List, Tuple
 
-from ..core.osm import MachineSpec, OperationStateMachine
-
-SystemState = Tuple[Tuple[str, FrozenSet[Tuple[str, str]]], ...]
+from ..core.osm import MachineSpec
+from .check import check_system
+from .check.system import SystemState
 
 
 @dataclass
@@ -48,77 +45,6 @@ class ModelCheckReport:
         return not self.violations and not self.trapped_states and not self.truncated
 
 
-class TokenSystem:
-    """A closed system of OSMs over pure token specifications."""
-
-    def __init__(self, build: Callable[[], Tuple[MachineSpec, list]], n_osms: int):
-        """*build* returns ``(spec, managers)`` freshly each call; the
-        checker re-instantiates the system to snapshot/restore cheaply."""
-        self.build = build
-        self.n_osms = n_osms
-        spec, managers = build()
-        self.spec = spec
-        self.managers = managers
-        self.osms = [OperationStateMachine(spec) for _ in range(n_osms)]
-
-    # -- abstract state ------------------------------------------------------
-
-    def capture(self) -> SystemState:
-        return tuple(
-            (
-                osm.current.name,
-                frozenset((slot, token.name) for slot, token in osm.token_buffer.items()),
-            )
-            for osm in self.osms
-        )
-
-    def restore(self, state: SystemState) -> None:
-        token_by_name = {}
-        for manager in self.managers:
-            for token in _tokens_of(manager):
-                token.holder = None
-                token_by_name[token.name] = token
-        for osm, (state_name, buffer) in zip(self.osms, state):
-            osm.current = self.spec.states[state_name]
-            osm.token_buffer = {}
-            osm._fail_version = -1
-            for slot, token_name in buffer:
-                token = token_by_name[token_name]
-                token.holder = osm
-                osm.token_buffer[slot] = token
-
-    def is_home(self, state: SystemState) -> bool:
-        return all(name == self.spec.initial.name for name, _ in state)
-
-    # -- transition relation -----------------------------------------------------
-
-    def successors(self, state: SystemState, all_orders: bool) -> Set[SystemState]:
-        """System states after one control step, for the chosen schedule
-        orders (one per permutation when *all_orders*)."""
-        orders = (
-            permutations(range(self.n_osms))
-            if all_orders
-            else [tuple(range(self.n_osms))]
-        )
-        result: Set[SystemState] = set()
-        for order in orders:
-            self.restore(state)
-            progressed = True
-            moved: Set[int] = set()
-            # Fig. 3 with restart, generalised to an arbitrary rank order.
-            while progressed:
-                progressed = False
-                for index in order:
-                    if index in moved:
-                        continue
-                    if self.osms[index].try_transition(0) is not None:
-                        moved.add(index)
-                        progressed = True
-                        break
-            result.add(self.capture())
-        return result
-
-
 def check(
     build: Callable[[], Tuple[MachineSpec, list]],
     n_osms: int = 2,
@@ -126,61 +52,23 @@ def check(
     max_states: int = 20_000,
 ) -> ModelCheckReport:
     """Explore the token system exhaustively and verify the invariants."""
-    system = TokenSystem(build, n_osms)
-    report = ModelCheckReport()
-    initial = system.capture()
-    seen: Set[SystemState] = {initial}
-    frontier: List[SystemState] = [initial]
-    edges: Dict[SystemState, Set[SystemState]] = {}
-
-    while frontier:
-        if len(seen) > max_states:
-            report.truncated = True
-            break
-        state = frontier.pop()
-        _check_invariants(system, state, report)
-        successors = system.successors(state, all_orders)
-        edges[state] = successors
-        report.n_transitions += len(successors)
-        for successor in successors:
-            if successor not in seen:
-                seen.add(successor)
-                frontier.append(successor)
-    report.n_states = len(seen)
-
-    # global progress: a non-home state whose only successor (under every
-    # schedule) is itself is a deadlocked configuration
-    report.trapped_states = [
-        state
-        for state, successors in edges.items()
-        if successors == {state} and not system.is_home(state)
-    ]
-    return report
-
-
-def _check_invariants(system: TokenSystem, state: SystemState, report: ModelCheckReport) -> None:
-    held: Dict[str, str] = {}
-    for index, (state_name, buffer) in enumerate(state):
-        if state_name == system.spec.initial.name and buffer:
-            report.violations.append(
-                f"osm{index} holds {sorted(t for _, t in buffer)} in the initial state"
-            )
-        for _, token_name in buffer:
-            if token_name in held:
-                report.violations.append(
-                    f"token {token_name} held by osm{index} and {held[token_name]}"
-                )
-            held[token_name] = f"osm{index}"
-
-
-def _tokens_of(manager):
-    if hasattr(manager, "tokens"):
-        return list(manager.tokens)
-    if hasattr(manager, "token"):
-        return [manager.token]
-    if hasattr(manager, "update_tokens"):
-        tokens = []
-        for pool in manager.update_tokens.values():
-            tokens.extend(pool)
-        return tokens
-    return []
+    spec, managers = build()
+    report = check_system(
+        spec,
+        managers,
+        n_osms=n_osms,
+        reduction=not all_orders,
+        max_states=max_states,
+    )
+    legacy = ModelCheckReport(
+        n_states=report.n_states,
+        n_transitions=report.n_transitions,
+        truncated=report.truncated,
+    )
+    for finding in report.findings:
+        if finding.diagnostic.code == "CHK004":
+            if finding.state is not None:
+                legacy.trapped_states.append(finding.state)
+        else:
+            legacy.violations.append(finding.diagnostic.message)
+    return legacy

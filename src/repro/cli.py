@@ -8,6 +8,10 @@ Gives the framework a downstream-usable front end:
 * ``analyze``  — reachability/deadlock/ASM-export of a model's OSM spec
 * ``lint``     — static analysis of model specs (rule codes OSM001…;
                  nonzero exit on unsuppressed error findings)
+* ``check``    — explicit-state model checking (osmcheck) of model
+                 specs via the pure-token abstraction (property codes
+                 CHK001…; counterexample traces; nonzero exit on any
+                 violated property)
 * ``bench``    — quick cycles-per-second measurement of a model
 * ``workload`` — emit a bundled workload's assembly source
 
@@ -19,6 +23,8 @@ Examples::
     python -m repro analyze --model pipeline5
     python -m repro lint strongarm ppc750
     python -m repro lint all --json
+    python -m repro check pipeline5 --n-osms 3
+    python -m repro check all --json
     python -m repro workload gsm_dec --isa ppc
 """
 
@@ -209,6 +215,47 @@ def cmd_lint(args) -> int:
     return 0 if all(report.ok for _, report in reports) else 1
 
 
+def cmd_check(args) -> int:
+    """Model-check one or more specifications (via the pure-token
+    abstraction); exit 1 on any violated property or truncated search."""
+    import json
+
+    from .analysis.check import check_model
+    from .analysis.registry import available_specs
+
+    names = list(args.models)
+    if "all" in names:
+        names = available_specs()
+    codes = None
+    if args.properties:
+        codes = [code.strip() for code in args.properties.split(",") if code.strip()]
+    reports = []
+    for name in names:
+        try:
+            report = check_model(
+                name,
+                n_osms=args.n_osms,
+                codes=codes,
+                reduction=not args.naive,
+                max_states=args.max_states,
+            )
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0]))
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        reports.append((name, report))
+    if args.json:
+        payload = {
+            "ok": all(report.ok for _, report in reports),
+            "models": {name: report.to_dict() for name, report in reports},
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for name, report in reports:
+            print(report.render_text())
+    return 0 if all(report.ok for _, report in reports) else 1
+
+
 def cmd_bench(args) -> int:
     from .workloads import mediabench
 
@@ -299,6 +346,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="include suppressed findings in text output",
     )
     lint.set_defaults(func=cmd_lint)
+
+    checker = sub.add_parser(
+        "check", help="explicit-state model checking (osmcheck) of model specifications"
+    )
+    checker.add_argument(
+        "models", nargs="+",
+        help="registered model names, or 'all' for every registered spec",
+    )
+    checker.add_argument("--json", action="store_true", help="machine-readable output")
+    checker.add_argument(
+        "--n-osms", type=int, default=2, metavar="N",
+        help="number of concurrent OSM instances to compose (default 2)",
+    )
+    checker.add_argument(
+        "--naive", action="store_true",
+        help="disable symmetry + partial-order reduction (full interleaving)",
+    )
+    checker.add_argument(
+        "--max-states", type=int, default=200_000, metavar="N",
+        help="state-count bound before the search is truncated",
+    )
+    checker.add_argument(
+        "--properties", metavar="CODES",
+        help="comma-separated property codes to check (e.g. CHK001,CHK004)",
+    )
+    checker.set_defaults(func=cmd_check)
 
     bench = sub.add_parser("bench", help="measure simulation speed")
     bench.add_argument("--model", default="strongarm",

@@ -225,6 +225,11 @@ class OperationStateMachine:
         self.blocked_on: Optional[Tuple[Any, Any]] = None
         #: transition count, for stats
         self.n_transitions = 0
+        #: the edge most recently committed by :meth:`try_transition`.
+        #: Unlike the return value, this is set *before* the home-invariant
+        #: check, so a caller catching the buffer-at-I :class:`TokenError`
+        #: can still report which edge fired (model-checker traces).
+        self.last_edge: Optional[Edge] = None
         #: director bookkeeping: observable-state version at the last
         #: failed probe (see Director.control_step)
         self._fail_version = -1
@@ -272,6 +277,7 @@ class OperationStateMachine:
             left_initial = self.in_initial
             txn.commit()
             self.current = edge.dst
+            self.last_edge = edge
             self.n_transitions += 1
             if left_initial:
                 self.age = clock

@@ -1,0 +1,333 @@
+"""Tests for the osmcheck model checker (repro.analysis.check)."""
+
+import pytest
+
+from repro.analysis.check import (
+    TokenSystem,
+    check_model,
+    check_spec,
+    check_system,
+    purify,
+)
+from repro.analysis.registry import available_specs, build_spec
+from repro.core import (
+    ALWAYS,
+    Allocate,
+    Condition,
+    MachineSpec,
+    PoolManager,
+    Release,
+    SlotManager,
+    SpecError,
+)
+
+
+def linear_pipeline():
+    """The Section-4 skeleton: I -> A -> B -> I over slot managers."""
+    a, b = SlotManager("a"), SlotManager("b")
+    spec = MachineSpec("linear")
+    spec.state("I", initial=True)
+    spec.state("A")
+    spec.state("B")
+    spec.edge("I", "A", Condition([Allocate(a)]), label="grab_a")
+    spec.edge("A", "B", Condition([Allocate(b), Release("a")]), label="swap")
+    spec.edge("B", "I", Condition([Release("b")]), label="retire")
+    spec.validate()
+    return spec, [a, b]
+
+
+def leaky_machine():
+    """Seeded bug: the S -> I edge forgot its Release."""
+    pool = PoolManager("p", 2)
+    spec = MachineSpec("leaky")
+    spec.state("I", initial=True)
+    spec.state("S")
+    spec.edge("I", "S", Condition([Allocate(pool)]), label="grab")
+    spec.edge("S", "I", ALWAYS, label="drop")  # forgot the release
+    spec.validate()
+    return spec, [pool]
+
+
+def double_allocate_machine():
+    """Seeded bug: a second Allocate into the same buffer slot silently
+    overwrites the first grant."""
+    pool = PoolManager("p", 2)
+    spec = MachineSpec("double")
+    spec.state("I", initial=True)
+    spec.state("A")
+    spec.state("B")
+    spec.edge("I", "A", Condition([Allocate(pool, slot="x")]), label="first")
+    spec.edge("A", "B", Condition([Allocate(pool, slot="x")]), label="second")
+    spec.edge("B", "I", Condition([Release("x")]), label="retire")
+    spec.validate()
+    return spec, [pool]
+
+
+def crossing_machine():
+    """Two resources acquired in opposite orders: hold-and-wait deadlock."""
+    a, b = SlotManager("a"), SlotManager("b")
+    spec = MachineSpec("crossing")
+    spec.state("I", initial=True)
+    spec.state("HoldA")
+    spec.state("HoldB")
+    spec.state("Both")
+    spec.edge("I", "HoldA", Condition([Allocate(a)]), label="take_a")
+    spec.edge("I", "HoldB", Condition([Allocate(b)]), label="take_b")
+    spec.edge("HoldA", "Both", Condition([Allocate(b, slot="b2")]), label="a_then_b")
+    spec.edge("HoldB", "Both", Condition([Allocate(a, slot="a2")]), label="b_then_a")
+    spec.edge("Both", "I", Condition([Release("a"), Release("b"),
+                                      Release("a2"), Release("b2")]), label="retire")
+    spec.validate()
+    return spec, [a, b]
+
+
+def livelock_machine():
+    """Seeded bug: once entered, the machine spins forever holding its
+    token — no path back to a home state."""
+    slot = SlotManager("m")
+    spec = MachineSpec("spin")
+    spec.state("I", initial=True)
+    spec.state("A")
+    spec.edge("I", "A", Condition([Allocate(slot, slot="x")]), label="enter")
+    spec.edge("A", "A", ALWAYS, label="spin")
+    spec.validate()
+    return spec, [slot]
+
+
+class OvercommittingPool(PoolManager):
+    """Buggy custom manager: reports a smaller capacity than it grants."""
+
+    @property
+    def capacity(self) -> int:
+        return 1
+
+
+class DoubleBookingSlot(SlotManager):
+    """Buggy custom manager: grants its token even while it is held."""
+
+    def allocate(self, osm, ident, txn):
+        if txn.is_tentatively_granted(self.token):
+            return None
+        return self.token  # ignores self.token.holder
+
+
+class TestSafetyProperties:
+    def test_clean_system_is_ok(self):
+        spec, managers = linear_pipeline()
+        report = check_system(spec, managers, n_osms=2)
+        assert report.ok
+        assert not report.findings
+        assert report.properties_checked == [
+            "CHK001", "CHK002", "CHK003", "CHK004", "CHK005", "CHK006",
+        ]
+
+    def test_token_leak_yields_shortest_trace(self):
+        spec, managers = leaky_machine()
+        report = check_system(spec, managers, n_osms=2)
+        assert not report.ok
+        leak = report.by_code("CHK002")
+        assert leak, report.render_text()
+        trace = leak[0].trace
+        # shortest possible counterexample: grab then drop, one OSM
+        assert len(trace) == 2
+        assert [step.edge.qualname for step in trace.steps] == ["grab@0", "drop@1"]
+        assert "grab@0" in trace.render() and "drop@1" in trace.render()
+
+    def test_double_allocate_yields_lost_grant(self):
+        spec, managers = double_allocate_machine()
+        report = check_system(spec, managers, n_osms=2)
+        ghost = report.by_code("CHK006")
+        assert ghost, report.render_text()
+        trace = ghost[0].trace
+        assert len(trace) == 2
+        assert [step.edge.qualname for step in trace.steps] == ["first@0", "second@1"]
+        assert "grant overwritten" in ghost[0].diagnostic.message
+
+    def test_capacity_violation_from_buggy_manager(self):
+        pool = OvercommittingPool("q", 2)
+        spec = MachineSpec("over")
+        spec.state("I", initial=True)
+        spec.state("A")
+        spec.edge("I", "A", Condition([Allocate(pool, slot="x")]), label="take")
+        spec.edge("A", "I", Condition([Release("x")]), label="give")
+        spec.validate()
+        report = check_system(spec, [pool], n_osms=2)
+        assert report.by_code("CHK003"), report.render_text()
+
+    def test_exclusive_grant_violation_from_buggy_manager(self):
+        slot = DoubleBookingSlot("s")
+        spec = MachineSpec("booked")
+        spec.state("I", initial=True)
+        spec.state("A")
+        spec.edge("I", "A", Condition([Allocate(slot, slot="x")]), label="take")
+        spec.edge("A", "I", Condition([Release("x")]), label="give")
+        spec.validate()
+        report = check_system(spec, [slot], n_osms=2)
+        assert report.by_code("CHK001"), report.render_text()
+
+
+class TestLivenessProperties:
+    def test_crossing_deadlock_found_with_trace(self):
+        spec, managers = crossing_machine()
+        report = check_system(spec, managers, n_osms=2)
+        deadlock = report.by_code("CHK004")
+        assert deadlock, report.render_text()
+        # shortest path into the hold-and-wait configuration: two takes
+        assert len(deadlock[0].trace) == 2
+
+    def test_single_osm_cannot_deadlock_the_crossing(self):
+        spec, managers = crossing_machine()
+        report = check_system(spec, managers, n_osms=1)
+        assert not report.by_code("CHK004")
+
+    def test_livelock_reported_under_both_modes(self):
+        for reduction in (True, False):
+            spec, managers = livelock_machine()
+            report = check_system(spec, managers, n_osms=2, reduction=reduction)
+            stuck = report.by_code("CHK005")
+            assert stuck, report.render_text()
+            assert len(stuck[0].trace) == 1
+            assert stuck[0].trace.steps[0].edge.qualname == "enter@0"
+
+    def test_reduction_does_not_fake_a_livelock(self):
+        # the POR ample choice prunes drain interleavings; the runner must
+        # re-judge home-return exactly instead of reporting a false alarm
+        pure = purify(build_spec("pipeline5"))
+        report = check_system(pure.spec, pure.managers, n_osms=2, reduction=True)
+        assert not report.by_code("CHK005"), report.render_text()
+
+
+class TestReductions:
+    SYSTEMS = [linear_pipeline, leaky_machine, double_allocate_machine,
+               crossing_machine, livelock_machine]
+
+    @pytest.mark.parametrize("build", SYSTEMS)
+    @pytest.mark.parametrize("n_osms", [1, 2, 3])
+    def test_reduced_verdicts_match_naive(self, build, n_osms):
+        spec, managers = build()
+        naive = check_system(spec, managers, n_osms=n_osms, reduction=False)
+        spec, managers = build()
+        reduced = check_system(spec, managers, n_osms=n_osms, reduction=True)
+        assert naive.ok == reduced.ok
+        assert {d.code for d in naive.diagnostics} == {
+            d.code for d in reduced.diagnostics
+        }
+
+    def test_reduction_explores_fewer_states(self):
+        spec, managers = linear_pipeline()
+        naive = check_system(spec, managers, n_osms=3, reduction=False)
+        spec, managers = linear_pipeline()
+        reduced = check_system(spec, managers, n_osms=3, reduction=True)
+        assert reduced.n_states < naive.n_states
+
+    def test_reduction_factor_at_four_osms(self):
+        pure = purify(build_spec("pipeline5"))
+        naive = check_system(pure.spec, pure.managers, n_osms=4, reduction=False)
+        reduced = check_system(pure.spec, pure.managers, n_osms=4, reduction=True)
+        assert naive.ok and reduced.ok
+        assert naive.n_states >= 5 * reduced.n_states
+
+    def test_truncation_reported(self):
+        spec, managers = linear_pipeline()
+        report = check_system(spec, managers, n_osms=3, reduction=False,
+                              max_states=4)
+        assert report.truncated
+        assert not report.ok
+
+
+class TestAbstraction:
+    def test_all_registered_specs_check_clean(self):
+        for name in available_specs():
+            report = check_model(name, n_osms=2)
+            assert report.ok, f"{name}:\n{report.render_text()}"
+            assert report.abstraction["managers"]
+
+    def test_pure_edges_keep_original_qualnames(self):
+        spec = build_spec("pipeline5")
+        pure = purify(spec)
+        original = {edge.qualname for edge in spec.edges}
+        assert {edge.qualname for edge in pure.spec.edges} <= original
+
+    def test_reset_guarded_edges_are_dropped(self):
+        spec = build_spec("pipeline5")
+        pure = purify(spec)
+        assert pure.n_edges_dropped > 0
+        assert pure.manager_map.get("m_reset") == "infeasible"
+        assert len(pure.spec.edges) == len(spec.edges) - pure.n_edges_dropped
+
+    def test_check_spec_reports_under_original_name(self):
+        spec = build_spec("strongarm")
+        report = check_spec(spec, n_osms=2)
+        assert report.spec == spec.name
+
+
+class TestTokenSystemState:
+    def test_restore_distinguishes_same_named_managers(self):
+        # regression: two managers may own identically-named tokens; the
+        # old bare-name keying silently restored the wrong manager's token
+        m1, m2 = SlotManager("m"), SlotManager("m")
+        spec = MachineSpec("twins")
+        spec.state("I", initial=True)
+        spec.state("A")
+        spec.state("B")
+        spec.edge("I", "A", Condition([Allocate(m1, slot="x")]), label="one")
+        spec.edge("A", "B", Condition([Allocate(m2, slot="y")]), label="two")
+        spec.edge("B", "I", Condition([Release("x"), Release("y")]), label="out")
+        spec.validate()
+
+        system = TokenSystem(spec, [m1, m2], 1)
+        state = system.initial_state()
+        state = system.fire(state, 0).state  # I -> A, holds m1's token
+        state = system.fire(state, 0).state  # A -> B, holds both tokens
+        (_, buffer), = state
+        assert {index for _, index, _ in buffer} == {0, 1}
+        system.restore(state)
+        assert m1.token.holder is system.osms[0]
+        assert m2.token.holder is system.osms[0]
+        assert system.capture() == state
+        # and the whole system still checks clean
+        report = check_system(spec, [m1, m2], n_osms=2)
+        assert report.ok, report.render_text()
+
+    def test_duplicate_token_names_within_one_manager_rejected(self):
+        pool = PoolManager("p", 2)
+        pool.tokens[1].name = pool.tokens[0].name
+        spec = MachineSpec("dup")
+        spec.state("I", initial=True)
+        spec.state("A")
+        spec.edge("I", "A", Condition([Allocate(pool)]), label="take")
+        spec.edge("A", "I", Condition([Release("p")]), label="give")
+        with pytest.raises(SpecError, match="two tokens named"):
+            TokenSystem(spec, [pool], 2)
+
+
+class TestReportRendering:
+    def test_text_report_names_fired_edges(self):
+        spec, managers = leaky_machine()
+        text = check_system(spec, managers, n_osms=2).render_text()
+        assert "CHK002" in text
+        assert "counterexample" in text
+        assert "grab@0" in text and "drop@1" in text
+
+    def test_json_report_round_trips(self):
+        import json
+
+        spec, managers = leaky_machine()
+        payload = json.loads(check_system(spec, managers, n_osms=2).render_json())
+        assert payload["ok"] is False
+        codes = [finding["code"] for finding in payload["findings"]]
+        assert "CHK002" in codes
+        finding = next(f for f in payload["findings"] if f["code"] == "CHK002")
+        assert finding["trace"]["length"] == 2
+        assert finding["trace"]["steps"][0]["edge"] == "grab@0"
+
+    def test_property_filter_rejects_unknown_codes(self):
+        spec, managers = linear_pipeline()
+        with pytest.raises(ValueError, match="unknown property code"):
+            check_system(spec, managers, codes=["CHK042"])
+
+    def test_property_filter_restricts_findings(self):
+        spec, managers = leaky_machine()
+        report = check_system(spec, managers, n_osms=2, codes=["CHK001"])
+        assert report.properties_checked == ["CHK001"]
+        assert report.ok  # the leak is a CHK002/CHK005 matter

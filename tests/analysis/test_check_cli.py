@@ -1,0 +1,86 @@
+"""Tests for the ``repro check`` CLI subcommand: exit codes, JSON schema,
+property filtering and error handling."""
+
+import json
+
+import pytest
+
+from repro.analysis.registry import _REGISTRY, register_spec
+from repro.cli import main
+from repro.core import ALWAYS, Allocate, Condition, MachineSpec, SlotManager
+
+
+@pytest.fixture()
+def leaky_spec_registered():
+    """Temporarily register a spec whose retire edge forgot its Release."""
+
+    def build():
+        a = SlotManager("A")
+        spec = MachineSpec("leaky")
+        spec.state("I", initial=True)
+        spec.state("P")
+        spec.edge("I", "P", Condition([Allocate(a)]), label="grab")
+        spec.edge("P", "I", ALWAYS, label="retire")
+        return spec
+
+    register_spec("leaky", build)
+    yield "leaky"
+    del _REGISTRY["leaky"]
+
+
+class TestCheckCli:
+    def test_clean_models_exit_zero(self, capsys):
+        assert main(["check", "strongarm", "ppc750"]) == 0
+        out = capsys.readouterr().out
+        assert "strongarm: ok" in out
+        assert "ppc750: ok" in out
+
+    def test_all_alias_checks_every_registered_spec(self, capsys):
+        assert main(["check", "all"]) == 0
+        out = capsys.readouterr().out
+        for name in ("pipeline5", "strongarm", "vliw", "multithread",
+                     "ppc750", "adl-pipeline5", "adl-strongarm"):
+            assert f"{name}: ok" in out
+
+    def test_violations_exit_nonzero_with_trace(self, leaky_spec_registered, capsys):
+        assert main(["check", leaky_spec_registered]) == 1
+        out = capsys.readouterr().out
+        assert "CHK002" in out
+        assert "counterexample" in out
+        assert "grab@0" in out and "retire@1" in out
+
+    def test_json_output_schema(self, leaky_spec_registered, capsys):
+        assert main(["check", "pipeline5", leaky_spec_registered, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert set(payload["models"]) == {"pipeline5", "leaky"}
+        assert payload["models"]["pipeline5"]["ok"] is True
+        leaky = payload["models"]["leaky"]
+        assert leaky["ok"] is False
+        codes = [finding["code"] for finding in leaky["findings"]]
+        assert "CHK002" in codes
+        finding = next(f for f in leaky["findings"] if f["code"] == "CHK002")
+        assert finding["spec"] == "leaky"
+        assert finding["trace"]["steps"][-1]["edge"] == "retire@1"
+        assert leaky["abstraction"]["managers"]["A"] == "slot"
+
+    def test_n_osms_flag(self, capsys):
+        assert main(["check", "pipeline5", "--n-osms", "3"]) == 0
+        assert "3 OSMs" in capsys.readouterr().out
+
+    def test_naive_flag(self, capsys):
+        assert main(["check", "pipeline5", "--naive"]) == 0
+        assert "(naive)" in capsys.readouterr().out
+
+    def test_properties_filter(self, leaky_spec_registered, capsys):
+        # the leak is a CHK002/CHK005 matter; filtering to CHK001 hides it
+        assert main(["check", leaky_spec_registered, "--properties", "CHK001"]) == 0
+        assert "1 properties" in capsys.readouterr().out
+
+    def test_unknown_property_code_is_a_usage_error(self):
+        with pytest.raises(SystemExit, match="CHK999"):
+            main(["check", "pipeline5", "--properties", "CHK999"])
+
+    def test_unknown_model_is_a_usage_error(self):
+        with pytest.raises(SystemExit, match="available"):
+            main(["check", "nonesuch"])
