@@ -109,6 +109,28 @@ def main() -> None:
     print(check_system(leaky, [stage], n_osms=2).render_text())
     print()
 
+    # --- cross-layer ISA audit (isaaudit) ----------------------------------------
+    from repro.analysis.audit import audit_target, build_target
+
+    print("=== isaaudit: ISA/model cross-layer consistency ===")
+    print(audit_target(build_target("arm"), codes=["ISA003"]).render_text())
+    # break the hazard contract on purpose: hide every instruction's
+    # first declared source register and the taint-shadow audit catches
+    # the undeclared-but-architecturally-observable reads
+    lobotomized = build_target("arm")
+    real_decode = lobotomized.decode
+
+    def hide_first_source(addr, word):
+        instr = real_decode(addr, word)
+        if instr.src_regs:
+            instr.src_regs = instr.src_regs[1:]
+        return instr
+
+    lobotomized.decode = hide_first_source
+    for diagnostic in audit_target(lobotomized, codes=["ISA004"]).errors[:3]:
+        print(diagnostic.render())
+    print()
+
     # --- compiler information -------------------------------------------------------
     print("=== compiler-facing extraction ===")
     print("reservation table (state, resources held):")

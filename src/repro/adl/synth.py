@@ -282,7 +282,7 @@ class SynthesizedModel:
         for regfile in self.regfiles.values():
             if hasattr(regfile, "mark_ready"):
                 for reg in op.instr.dst_regs:
-                    regfile.mark_ready(reg)
+                    regfile.mark_ready(reg, osm)
 
     def _publish_loads(self, osm) -> None:
         op: Operation = osm.operation
@@ -291,7 +291,7 @@ class SynthesizedModel:
         for regfile in self.regfiles.values():
             if hasattr(regfile, "mark_ready"):
                 for reg in op.instr.dst_regs:
-                    regfile.mark_ready(reg)
+                    regfile.mark_ready(reg, osm)
 
     def _retire(self, osm) -> None:
         self.retired += 1

@@ -1,0 +1,90 @@
+"""Cube algebra over (mask, value) encoding patterns.
+
+A decoder arm is modeled as a *cube*: the set of instruction words ``w``
+with ``w & mask == value``.  Bits set in ``mask`` are fixed to the
+corresponding bit of ``value``; clear bits are free.  The encoding-space
+passes (ISA001/ISA002) need three operations on cubes:
+
+* :func:`overlaps` — do two cubes share any word?
+* :func:`subtract` — the set difference ``cube \\ other`` as a list of
+  disjoint cubes (the classic recursive cube-splitting algorithm);
+* :func:`sample` — deterministic pseudo-random member words of a cube
+  list, for decode-fidelity spot checks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence, Tuple
+
+#: a cube is (mask, value); value must satisfy value & ~mask == 0
+Cube = Tuple[int, int]
+
+WORD_MASK = 0xFFFFFFFF
+
+
+def make_cube(mask: int, value: int) -> Cube:
+    """Normalize (mask, value), dropping value bits outside the mask."""
+    return mask & WORD_MASK, value & mask & WORD_MASK
+
+
+def overlaps(a: Cube, b: Cube) -> bool:
+    """True when some word matches both cubes: the fixed bits common to
+    both masks must agree."""
+    common = a[0] & b[0]
+    return (a[1] ^ b[1]) & common == 0
+
+
+def subtract(cube: Cube, other: Cube) -> List[Cube]:
+    """``cube \\ other`` as disjoint cubes.
+
+    If the cubes are disjoint the difference is *cube* itself.  Otherwise
+    split *cube* on each bit fixed by *other* but free in *cube*: fixing
+    that bit to the complement of *other*'s value peels off a sub-cube
+    guaranteed outside *other*; continuing with the bit fixed to *other*'s
+    value narrows toward the intersection.  When no free bits remain,
+    *cube*'s fixed bits all agree with *other* and the remainder is empty.
+    """
+    if not overlaps(cube, other):
+        return [cube]
+    pieces: List[Cube] = []
+    mask, value = cube
+    for bit_index in range(32):
+        bit = 1 << bit_index
+        if other[0] & bit and not mask & bit:
+            # peel: this bit fixed opposite to other's value
+            pieces.append((mask | bit, value | (bit & ~other[1])))
+            # continue inside: fixed to other's value
+            mask |= bit
+            value |= bit & other[1]
+    # (mask, value) is now contained in other: dropped.
+    return pieces
+
+
+def subtract_all(cube: Cube, others: Iterable[Cube]) -> List[Cube]:
+    """``cube`` minus every cube in *others* (disjoint cube list)."""
+    remainder = [cube]
+    for other in others:
+        remainder = [piece for r in remainder for piece in subtract(r, other)]
+    return remainder
+
+
+def cube_size(cube: Cube) -> int:
+    """Number of words in the cube (2 ** free bits)."""
+    return 1 << (32 - bin(cube[0] & WORD_MASK).count("1"))
+
+
+def sample(cubes: Sequence[Cube], k: int, seed: int = 0xC0FFEE) -> List[int]:
+    """Up to *k* deterministic pseudo-random words from the cube list,
+    spread round-robin across the cubes."""
+    if not cubes:
+        return []
+    rng = random.Random(seed)
+    words: List[int] = []
+    for i in range(k):
+        mask, value = cubes[i % len(cubes)]
+        word = value
+        free = ~mask & WORD_MASK
+        word |= rng.getrandbits(32) & free
+        words.append(word)
+    return words

@@ -1,0 +1,513 @@
+"""Audit targets: the per-ISA ground truth the audit passes check against.
+
+An :class:`AuditTarget` bundles everything ``isaaudit`` needs to know
+about one instruction set:
+
+* the **arm table** — the decoder's dispatch arms as (mask, value) cube
+  patterns in priority order, for the encoding-space passes;
+* the **encoding classes** — assembler-reachable instruction families,
+  each with a small *field lattice* (the cartesian product of a few
+  representative values per encoder field), an encoder, a re-encoder
+  (decoded instruction back to a word) and an optional state-setup hook;
+* the **overflow cases** — encoder calls with one field out of range
+  that must raise ``ValueError``;
+* the functional hooks (decode / execute / shadow-state factory) and the
+  mapping from shadow-state traffic (flags, special registers) onto the
+  hazard pseudo-register numbers the decoder declares.
+
+Targets for the bundled ARM-like and PowerPC-like ISAs are registered
+under ``"arm"`` and ``"ppc"``; tests register deliberately-broken toy
+targets through the same :func:`register_target` hook.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "AuditTarget",
+    "DecoderArm",
+    "EncodingClass",
+    "OverflowCase",
+    "available_targets",
+    "build_target",
+    "register_target",
+]
+
+
+@dataclass
+class DecoderArm:
+    """One decoder dispatch arm as a cube pattern.
+
+    *catch_all* marks the final default arm (its pattern is the whole
+    word space; it is exempt from the overlap pass and its effective
+    coverage is everything the other arms leave).  *overlaps_ok* names
+    sibling arms this arm intentionally overlaps (earlier arms win by
+    decode order); the wildcard ``"*"`` accepts any overlap.
+    """
+
+    name: str
+    mask: int
+    value: int
+    kind: str
+    catch_all: bool = False
+    overlaps_ok: FrozenSet[str] = frozenset()
+    allow: FrozenSet[str] = frozenset()
+
+    def cube(self):
+        return (self.mask & 0xFFFFFFFF, self.value & self.mask & 0xFFFFFFFF)
+
+
+@dataclass
+class EncodingClass:
+    """An assembler-reachable instruction family with its field lattice."""
+
+    name: str
+    #: axis name -> representative values; the lattice is the product
+    fields: Mapping[str, Sequence]
+    #: point dict -> instruction word (may raise ValueError = encoder bug)
+    encode: Callable[[Dict], int]
+    #: decoded instruction -> word, for the ISA003 fixpoint (None: skip)
+    reencode: Optional[Callable] = None
+    #: optional hook seeding extra state (e.g. the syscall number register)
+    setup: Optional[Callable] = None
+    allow: FrozenSet[str] = frozenset()
+
+    def points(self) -> Iterator[Dict]:
+        names = list(self.fields)
+        for combo in itertools.product(*(self.fields[n] for n in names)):
+            yield dict(zip(names, combo))
+
+
+@dataclass
+class OverflowCase:
+    """An encoder call with one field out of range: must raise ValueError."""
+
+    name: str
+    build: Callable[[], int]
+    allow: FrozenSet[str] = frozenset()
+
+
+@dataclass
+class AuditTarget:
+    """Everything the audit passes need to know about one ISA."""
+
+    name: str
+    decode: Callable[[int, int], object]
+    execute: Callable[[object, object], object]
+    #: factory for a fresh taint-instrumented ShadowArchState
+    make_state: Callable[[], object]
+    #: architectural PC register number carved out of hazard comparison
+    #: (PC traffic is modeled via ``writes_pc`` / ``next_pc``), or None
+    pc_reg: Optional[int]
+    #: flag letter ('n'/'z'/'c'/'v') -> hazard pseudo-register
+    flag_regs: Mapping[str, int]
+    #: special register name ('lr'/'ctr') -> hazard pseudo-register
+    spr_regs: Mapping[str, int]
+    #: decoded ``kind`` values meaning "undefined/illegal"
+    udf_kinds: FrozenSet[str]
+    #: the ISA's ``unit`` vocabulary as emitted by its decoder
+    units: FrozenSet[str]
+    arms: List[DecoderArm] = field(default_factory=list)
+    classes: List[EncodingClass] = field(default_factory=list)
+    overflows: List[OverflowCase] = field(default_factory=list)
+    #: rule codes suppressed target-wide
+    allow: FrozenSet[str] = frozenset()
+
+
+# -- registry ---------------------------------------------------------------
+
+_TARGETS: Dict[str, Callable[[], AuditTarget]] = {}
+
+
+def register_target(name: str, builder: Callable[[], AuditTarget]) -> None:
+    """Register (or replace) a named audit-target builder."""
+    _TARGETS[name] = builder
+
+
+def available_targets() -> List[str]:
+    return sorted(_TARGETS)
+
+
+def build_target(name: str) -> AuditTarget:
+    try:
+        builder = _TARGETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown audit target {name!r}; available: {', '.join(available_targets())}"
+        ) from None
+    return builder()
+
+
+# -- the ARM-like target ----------------------------------------------------
+
+def _arm_target() -> AuditTarget:
+    from ...isa.arm import encode as ae
+    from ...isa.arm import isa as ai
+    from ...isa.arm.decode import decode
+    from ...isa.arm.semantics import execute
+    from ...iss.state import ShadowArchState
+    from ...iss.syscalls import SyscallHandler
+
+    AL, EQ = ai.COND_AL, 0x0
+
+    def make_state():
+        return ShadowArchState(
+            ai.N_REGS, syscalls=SyscallHandler(arg_regs=(0, 1, 2), ret_reg=0)
+        )
+
+    mul_group = frozenset({"mull", "mul", "mul-udf"})
+    arms = [
+        # decode order: cond==NV first, then the bit-7..4==1001 multiply
+        # space, BX, the two-bit top-level dispatch, SWI, default udf.
+        DecoderArm("udf-nv", 0xF0000000, 0xF0000000, "udf",
+                   overlaps_ok=frozenset({"*"})),
+        DecoderArm("mull", 0x0F8000F0, 0x00800090, "mull"),
+        DecoderArm("mul", 0x0FC000F0, 0x00000090, "mul"),
+        DecoderArm("mul-udf", 0x0E0000F0, 0x00000090, "udf",
+                   overlaps_ok=frozenset({"mull", "mul"})),
+        DecoderArm("bx", 0x0FFFFFF0, 0x012FFF10, "bx"),
+        DecoderArm("dp", 0x0C000000, 0x00000000, "dp",
+                   overlaps_ok=mul_group | {"bx"}),
+        DecoderArm("ldst", 0x0C000000, 0x04000000, "ldst"),
+        DecoderArm("ldm", 0x0E000000, 0x08000000, "ldm"),
+        DecoderArm("branch", 0x0E000000, 0x0A000000, "branch"),
+        DecoderArm("swi", 0x0F000000, 0x0F000000, "swi"),
+        DecoderArm("udf-rest", 0x00000000, 0x00000000, "udf", catch_all=True),
+    ]
+
+    shifts = ((0, 0), (0, 4), (1, 4), (1, 0), (2, 4), (3, 4), (3, 0))
+    classes = [
+        EncodingClass(
+            "dp-imm",
+            {"cond": (AL, EQ), "opcode": tuple(range(16)), "s": (0, 1),
+             "value": (0x55, 0x3FC)},
+            lambda p: ae.dp_immediate(p["cond"], p["opcode"], p["s"], 1, 2, p["value"]),
+            reencode=lambda i: ae.dp_immediate(i.cond, i.opcode, i.s, i.rn, i.rd, i.imm),
+        ),
+        EncodingClass(
+            "dp-reg",
+            {"opcode": tuple(range(16)), "s": (0, 1), "shift": shifts},
+            lambda p: ae.dp_register(AL, p["opcode"], p["s"], 1, 2, 3,
+                                     p["shift"][0], p["shift"][1]),
+            reencode=lambda i: ae.dp_register(i.cond, i.opcode, i.s, i.rn, i.rd,
+                                              i.rm, i.shift_type, i.shift_amount),
+        ),
+        EncodingClass(
+            "mul",
+            {"accumulate": (0, 1), "s": (0, 1)},
+            lambda p: ae.multiply(AL, p["accumulate"], p["s"], 4, 5, 6, 7),
+            reencode=lambda i: ae.multiply(i.cond, i.accumulate, i.s, i.rd,
+                                           i.rn, i.rs, i.rm),
+        ),
+        EncodingClass(
+            "mull",
+            {"signed": (0, 1), "accumulate": (0, 1), "s": (0, 1)},
+            lambda p: ae.multiply_long(AL, p["signed"], p["accumulate"], p["s"],
+                                       8, 9, 2, 3),
+            reencode=lambda i: ae.multiply_long(i.cond, i.signed_mul, i.accumulate,
+                                                i.s, i.rdhi, i.rdlo, i.rs, i.rm),
+        ),
+        EncodingClass(
+            "ldst-imm",
+            {"load": (0, 1), "byte": (0, 1), "offset": (0, 8, -8)},
+            lambda p: ae.load_store_immediate(AL, p["load"], p["byte"], 1, 2,
+                                              p["offset"]),
+            reencode=lambda i: ae.load_store_immediate(
+                i.cond, 1 if i.is_load else 0, i.byte, i.rn, i.rd, i.imm),
+        ),
+        EncodingClass(
+            "ldst-reg",
+            {"load": (0, 1), "byte": (0, 1), "up": (0, 1), "shift": ((0, 0), (0, 2))},
+            lambda p: ae.load_store_register(AL, p["load"], p["byte"], 1, 2, 3,
+                                             p["shift"][0], p["shift"][1], p["up"]),
+            reencode=lambda i: ae.load_store_register(
+                i.cond, 1 if i.is_load else 0, i.byte, i.rn, i.rd, i.rm,
+                i.shift_type, i.shift_amount, i.up),
+        ),
+        EncodingClass(
+            "ldm",
+            {"load": (0, 1), "pre": (0, 1), "up": (0, 1), "writeback": (0, 1),
+             "reglist": (0x000C, 0x8004)},
+            lambda p: ae.block_transfer(AL, p["load"], 1, p["reglist"],
+                                        p["pre"], p["up"], p["writeback"]),
+            reencode=lambda i: ae.block_transfer(
+                i.cond, 1 if i.is_load else 0, i.rn, i.reglist, i.pre_index,
+                i.up, i.writeback),
+        ),
+        EncodingClass(
+            "branch",
+            {"cond": (AL, EQ), "link": (0, 1), "offset_words": (-2, 4)},
+            lambda p: ae.branch(p["cond"], p["link"], p["offset_words"]),
+            reencode=lambda i: ae.branch(i.cond, i.link, i.imm >> 2),
+        ),
+        EncodingClass(
+            "bx",
+            {"rm": (3, 14)},
+            lambda p: ae.branch_exchange(AL, p["rm"]),
+            reencode=lambda i: ae.branch_exchange(i.cond, i.rm),
+        ),
+        EncodingClass(
+            "swi",
+            {"number": (0, 1, 4)},  # exit / putc / cycles
+            lambda p: ae.software_interrupt(AL, p["number"]),
+            reencode=lambda i: ae.software_interrupt(i.cond, i.swi_number),
+        ),
+    ]
+
+    overflows = [
+        OverflowCase("dp-imm-rn", lambda: ae.dp_immediate(AL, 4, 0, 16, 2, 1)),
+        OverflowCase("dp-imm-rd", lambda: ae.dp_immediate(AL, 4, 0, 1, 16, 1)),
+        OverflowCase("dp-imm-cond-nv", lambda: ae.dp_immediate(0xF, 4, 0, 1, 2, 1)),
+        OverflowCase("dp-imm-opcode", lambda: ae.dp_immediate(AL, 16, 0, 1, 2, 1)),
+        OverflowCase("dp-reg-rm", lambda: ae.dp_register(AL, 4, 0, 1, 2, 16)),
+        OverflowCase("dp-reg-shift-type", lambda: ae.dp_register(AL, 4, 0, 1, 2, 3, 4, 1)),
+        OverflowCase("mul-rd", lambda: ae.multiply(AL, 0, 0, 16, 5, 6, 7)),
+        OverflowCase("mull-rdhi", lambda: ae.multiply_long(AL, 0, 0, 0, 16, 9, 2, 3)),
+        OverflowCase("ldst-imm-rn", lambda: ae.load_store_immediate(AL, 1, 0, 16, 2, 0)),
+        OverflowCase("ldst-reg-rm", lambda: ae.load_store_register(AL, 1, 0, 1, 2, 16)),
+        OverflowCase("ldst-reg-up", lambda: ae.load_store_register(AL, 1, 0, 1, 2, 3, 0, 0, 2)),
+        OverflowCase("branch-link", lambda: ae.branch(AL, 2, 0)),
+        OverflowCase("bx-rm", lambda: ae.branch_exchange(AL, 16)),
+        OverflowCase("ldm-rn", lambda: ae.block_transfer(AL, 1, 16, 0x0C, 0, 1, 0)),
+    ]
+
+    return AuditTarget(
+        name="arm",
+        decode=decode,
+        execute=execute,
+        make_state=make_state,
+        pc_reg=ai.PC,
+        flag_regs={"n": ai.FLAGS_REG, "z": ai.FLAGS_REG,
+                   "c": ai.FLAGS_REG, "v": ai.FLAGS_REG},
+        spr_regs={},
+        udf_kinds=frozenset({"udf"}),
+        units=frozenset({"alu", "mul", "mem", "branch", "system"}),
+        arms=arms,
+        classes=classes,
+        overflows=overflows,
+    )
+
+
+# -- the PowerPC-like target ------------------------------------------------
+
+def _ppc_target() -> AuditTarget:
+    # the ppc package re-exports the decode *function*, which shadows the
+    # submodule attribute — pull the dispatch tables out by name instead
+    from ...isa.ppc.decode import _D_ALU, _D_MEM, _X_ALU, _X_MEM
+    from ...isa.ppc import encode as pe
+    from ...isa.ppc import isa as pi
+    from ...isa.ppc.decode import decode
+    from ...isa.ppc.semantics import execute
+    from ...iss.state import ShadowArchState
+    from ...iss.syscalls import SyscallHandler
+
+    def make_state():
+        return ShadowArchState(
+            pi.N_REGS, syscalls=SyscallHandler(arg_regs=(3, 4, 5), ret_reg=3)
+        )
+
+    opcd_mask = 0xFC000000
+    xo_mask = 0xFC0007FE  # primary opcode + 10-bit extended opcode
+
+    # The arm table is generated from the decoder's own dispatch tables so
+    # it cannot drift from the real opcode lists; the fidelity sampling in
+    # ISA002 then cross-checks the *kinds* against actual decode results.
+    arms: List[DecoderArm] = []
+    for opcd, (mnemonic, _signed) in sorted(_D_ALU.items()):
+        arms.append(DecoderArm(mnemonic, opcd_mask, opcd << 26, "dalu"))
+    arms.append(DecoderArm("cmpwi", opcd_mask, pi.OP_CMPWI << 26, "cmpi"))
+    arms.append(DecoderArm("cmplwi", opcd_mask, pi.OP_CMPLWI << 26, "cmpi"))
+    for opcd, (mnemonic, _load, _byte) in sorted(_D_MEM.items()):
+        arms.append(DecoderArm(mnemonic, opcd_mask, opcd << 26, "mem"))
+    arms.append(DecoderArm("b", opcd_mask, pi.OP_B << 26, "b"))
+    arms.append(DecoderArm("bc", opcd_mask, pi.OP_BC << 26, "bc"))
+    xl_base = pi.OP_XL << 26
+    arms.append(DecoderArm("bclr", xo_mask, xl_base | (pi.XL_BCLR << 1), "bclr"))
+    arms.append(DecoderArm("bcctr", xo_mask, xl_base | (pi.XL_BCCTR << 1), "bcctr"))
+    arms.append(DecoderArm("xl-illegal", opcd_mask, xl_base, "illegal",
+                           overlaps_ok=frozenset({"bclr", "bcctr"})))
+    arms.append(DecoderArm("rlwinm", opcd_mask, pi.OP_RLWINM << 26, "rlwinm"))
+    arms.append(DecoderArm("sc", opcd_mask, pi.OP_SC << 26, "sc"))
+    x_base = pi.OP_X << 26
+    x_subarms: List[str] = []
+
+    def x_arm(name: str, xo: int, kind: str) -> None:
+        x_subarms.append(name)
+        arms.append(DecoderArm(name, xo_mask, x_base | (xo << 1), kind))
+
+    x_arm("cmpw", pi.XO_CMPW, "cmp")
+    x_arm("cmplw", pi.XO_CMPLW, "cmp")
+    for xo, (mnemonic, _load, _byte) in sorted(_X_MEM.items()):
+        x_arm(mnemonic, xo, "memx")
+    x_arm("extsb", pi.XO_EXTSB, "xunary")
+    x_arm("extsh", pi.XO_EXTSH, "xunary")
+    x_arm("cntlzw", pi.XO_CNTLZW, "xunary")
+    x_arm("srawi", pi.XO_SRAWI, "srawi")
+    x_arm("mtspr", pi.XO_MTSPR, "mtspr")
+    x_arm("mfspr", pi.XO_MFSPR, "mfspr")
+    for xo, mnemonic in sorted(_X_ALU.items()):
+        x_arm(mnemonic, xo, "xalu")
+    arms.append(DecoderArm("x-illegal", opcd_mask, x_base, "illegal",
+                           overlaps_ok=frozenset(x_subarms)))
+    arms.append(DecoderArm("illegal", 0, 0, "illegal", catch_all=True))
+
+    d_alu = {mnemonic: (opcd, signed)
+             for opcd, (mnemonic, signed) in _D_ALU.items()}
+    d_mem = {mnemonic: opcd for opcd, (mnemonic, _l, _b) in _D_MEM.items()}
+    x_alu = {mnemonic: xo for xo, mnemonic in _X_ALU.items()}
+    x_mem = {mnemonic: xo for xo, (mnemonic, _l, _b) in _X_MEM.items()}
+    x_unary = {"extsb": pi.XO_EXTSB, "extsh": pi.XO_EXTSH, "cntlzw": pi.XO_CNTLZW}
+
+    def reencode_dalu(i):
+        opcd, signed = d_alu[i.mnemonic]
+        return pe.d_form(opcd, i.rt, i.ra, i.imm, signed=signed)
+
+    def seed_sc(state, point):
+        # syscall number in r0; keep the r3 argument harmless (exit code)
+        state.regs.values[0] = point["sysno"]
+
+    bo_lattice = (pi.BO_ALWAYS, pi.BO_TRUE, pi.BO_FALSE, pi.BO_DNZ, pi.BO_DZ,
+                  0b00000, 0b00010)
+    classes = [
+        EncodingClass(
+            "d-alu-signed",
+            {"op": ("addi", "addis", "addic", "subfic", "mulli"),
+             "ra": (0, 4), "imm": (-7, 5)},
+            lambda p: pe.d_form(d_alu[p["op"]][0], 6, p["ra"], p["imm"]),
+            reencode=reencode_dalu,
+        ),
+        EncodingClass(
+            "d-alu-logical",
+            {"op": ("ori", "oris", "xori", "andi."), "imm": (0, 0xBEEF)},
+            lambda p: pe.d_form(d_alu[p["op"]][0], 6, 7, p["imm"], signed=False),
+            reencode=reencode_dalu,
+        ),
+        EncodingClass(
+            "cmpi",
+            {"op": ("cmpwi", "cmplwi"), "imm": (0, 9)},
+            lambda p: pe.cmpi_form(
+                pi.OP_CMPWI if p["op"] == "cmpwi" else pi.OP_CMPLWI, 4, p["imm"],
+                signed=p["op"] == "cmpwi"),
+            reencode=lambda i: pe.cmpi_form(
+                pi.OP_CMPWI if i.mnemonic == "cmpwi" else pi.OP_CMPLWI,
+                i.ra, i.imm, signed=i.mnemonic == "cmpwi"),
+        ),
+        EncodingClass(
+            "d-mem",
+            {"op": tuple(sorted(d_mem)), "ra": (0, 4), "imm": (8, 16)},
+            lambda p: pe.d_form(d_mem[p["op"]], 6, p["ra"], p["imm"]),
+            reencode=lambda i: pe.d_form(d_mem[i.mnemonic], i.rt, i.ra, i.imm),
+        ),
+        EncodingClass(
+            "b",
+            {"aa": (0, 1), "lk": (0, 1), "offset": (8, -8)},
+            lambda p: pe.i_form(p["offset"], p["aa"], p["lk"]),
+            reencode=lambda i: pe.i_form(i.imm, i.aa, i.lk),
+        ),
+        EncodingClass(
+            "bc",
+            {"bo": bo_lattice, "bi": (pi.CR_EQ, pi.CR_LT), "lk": (0, 1)},
+            lambda p: pe.b_form(p["bo"], p["bi"], 8, 0, p["lk"]),
+            reencode=lambda i: pe.b_form(i.bo, i.bi, i.imm, i.aa, i.lk),
+        ),
+        EncodingClass(
+            "xl",
+            {"op": ("bclr", "bcctr"),
+             "bo": (pi.BO_ALWAYS, pi.BO_TRUE, pi.BO_DNZ), "lk": (0, 1)},
+            lambda p: pe.xl_form(
+                pi.XL_BCLR if p["op"] == "bclr" else pi.XL_BCCTR,
+                p["bo"], pi.CR_EQ, p["lk"]),
+            reencode=lambda i: pe.xl_form(
+                pi.XL_BCLR if i.kind == "bclr" else pi.XL_BCCTR,
+                i.bo, i.bi, i.lk),
+        ),
+        EncodingClass(
+            "rlwinm",
+            {"sh": (0, 3), "mb": (0, 5), "rc": (0, 1)},
+            lambda p: pe.rlwinm(6, 7, p["sh"], p["mb"], 31, p["rc"]),
+            reencode=lambda i: pe.rlwinm(i.rt, i.ra, i.sh, i.mb, i.me, i.rc),
+        ),
+        EncodingClass(
+            "x-alu",
+            {"op": tuple(sorted(x_alu)), "rc": (0, 1)},
+            lambda p: pe.x_form(x_alu[p["op"]], 6, 7, 8, p["rc"]),
+            reencode=lambda i: pe.x_form(x_alu[i.mnemonic], i.rt, i.ra, i.rb, i.rc),
+        ),
+        EncodingClass(
+            "x-cmp",
+            {"op": ("cmpw", "cmplw")},
+            lambda p: pe.cmp_form(
+                pi.XO_CMPW if p["op"] == "cmpw" else pi.XO_CMPLW, 4, 5),
+            reencode=lambda i: pe.cmp_form(
+                pi.XO_CMPW if i.mnemonic == "cmpw" else pi.XO_CMPLW, i.ra, i.rb),
+        ),
+        EncodingClass(
+            "x-mem",
+            {"op": tuple(sorted(x_mem)), "ra": (0, 4)},
+            lambda p: pe.x_form(x_mem[p["op"]], 6, p["ra"], 5),
+            reencode=lambda i: pe.x_form(x_mem[i.mnemonic], i.rt, i.ra, i.rb),
+        ),
+        EncodingClass(
+            "x-unary",
+            {"op": ("extsb", "extsh", "cntlzw"), "rc": (0, 1)},
+            lambda p: pe.x_form(x_unary[p["op"]], 6, 7, 0, p["rc"]),
+            reencode=lambda i: pe.x_form(x_unary[i.mnemonic], i.rt, i.ra, 0, i.rc),
+        ),
+        EncodingClass(
+            "srawi",
+            {"sh": (0, 7), "rc": (0, 1)},
+            lambda p: pe.srawi(6, 7, p["sh"], p["rc"]),
+            reencode=lambda i: pe.srawi(i.rt, i.ra, i.sh, i.rc),
+        ),
+        EncodingClass(
+            "spr",
+            {"op": ("mtlr", "mtctr", "mflr", "mfctr")},
+            lambda p: pe.spr_move(
+                pi.XO_MTSPR if p["op"].startswith("mt") else pi.XO_MFSPR,
+                6, pi.SPR_LR if p["op"].endswith("lr") else pi.SPR_CTR),
+            reencode=lambda i: pe.spr_move(
+                pi.XO_MTSPR if i.kind == "mtspr" else pi.XO_MFSPR, i.rt, i.spr),
+        ),
+        EncodingClass(
+            "sc",
+            {"sysno": (0, 1, 4)},  # exit / putc / cycles
+            lambda p: pe.sc_form(),
+            reencode=lambda i: pe.sc_form(),
+            setup=seed_sc,
+        ),
+    ]
+
+    overflows = [
+        OverflowCase("d-form-rt", lambda: pe.d_form(pi.OP_ADDI, 32, 0, 0)),
+        OverflowCase("b-form-bo", lambda: pe.b_form(32, 0, 8)),
+        OverflowCase("b-form-bi", lambda: pe.b_form(pi.BO_ALWAYS, 32, 8)),
+        OverflowCase("xl-form-bo", lambda: pe.xl_form(pi.XL_BCLR, 32, 0)),
+        OverflowCase("xl-form-lk", lambda: pe.xl_form(pi.XL_BCLR, pi.BO_ALWAYS, 0, 2)),
+        OverflowCase("i-form-aa", lambda: pe.i_form(8, 2, 0)),
+        OverflowCase("srawi-sh", lambda: pe.srawi(6, 7, 32)),
+        OverflowCase("spr-unknown", lambda: pe.spr_move(pi.XO_MTSPR, 6, 3)),
+        OverflowCase("x-form-rc", lambda: pe.x_form(pi.XO_ADD, 6, 7, 8, 2)),
+    ]
+
+    return AuditTarget(
+        name="ppc",
+        decode=decode,
+        execute=execute,
+        make_state=make_state,
+        pc_reg=None,
+        flag_regs={"n": pi.CR0_REG, "z": pi.CR0_REG, "c": pi.CR0_REG},
+        spr_regs={"lr": pi.LR_REG, "ctr": pi.CTR_REG},
+        udf_kinds=frozenset({"illegal"}),
+        units=frozenset({pi.UNIT_IU1, pi.UNIT_IU2, pi.UNIT_SRU,
+                         pi.UNIT_LSU, pi.UNIT_BPU}),
+        arms=arms,
+        classes=classes,
+        overflows=overflows,
+    )
+
+
+register_target("arm", _arm_target)
+register_target("ppc", _ppc_target)

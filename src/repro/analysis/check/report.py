@@ -1,7 +1,7 @@
 """Check reports: property verdicts rendered like lint reports.
 
 A :class:`CheckReport` reuses the shared
-:class:`~repro.analysis.lint.diagnostics.Diagnostic` machinery so that
+:class:`~repro.analysis.diagnostics.Diagnostic` machinery so that
 ``repro lint`` and ``repro check`` emit uniform findings — stable codes,
 severities, ``spec:state:edge`` locations, text and JSON — with one
 addition: every violated property carries a shortest counterexample
@@ -14,7 +14,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..lint.diagnostics import Diagnostic, Severity
+from ..diagnostics import SCHEMA_VERSION, Diagnostic, Severity
 from .explore import Trace
 
 
@@ -97,6 +97,8 @@ class CheckReport:
 
     def to_dict(self) -> Dict[str, object]:
         return {
+            "tool": "check",
+            "schema_version": SCHEMA_VERSION,
             "spec": self.spec,
             "n_osms": self.n_osms,
             "ok": self.ok,

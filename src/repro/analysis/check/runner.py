@@ -15,7 +15,7 @@ from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ...core.osm import MachineSpec
-from ..lint.diagnostics import Diagnostic, Severity
+from ..diagnostics import Diagnostic, Severity
 from .abstraction import purify
 from .explore import ExploreResult, explore
 from .properties import Property, StateProperty, default_properties

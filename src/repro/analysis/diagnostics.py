@@ -1,0 +1,174 @@
+"""Diagnostics machinery shared by every analysis front end.
+
+A :class:`Diagnostic` is one finding: a stable rule code (``OSM001``…,
+``CHK001``…, ``ISA001``…), a severity, a location (for OSM-layer tools a
+``spec:state:edge`` triple; for the ISA auditor a ``target:class:arm``
+triple reusing the same slots) and a human-readable message.  A
+:class:`Report` aggregates the findings of one run of one tool over one
+analysis subject and renders them as text (one finding per line,
+compiler style) or JSON (for CI and tooling).
+
+Every tool — ``repro lint`` (osmlint), ``repro check`` (osmcheck) and
+``repro audit`` (isaaudit) — emits this one JSON schema.  Reports carry
+a ``tool`` name and a ``schema_version`` so downstream consumers can
+dispatch without sniffing rule-code prefixes.
+
+Suppression: a finding attached to an edge/arm whose allow set contains
+the rule code — or whose subject-level allow set contains it — is marked
+``suppressed``.  Suppressed findings stay visible in the JSON output but
+do not count towards :attr:`Report.ok`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+#: version of the JSON finding/report schema emitted by every tool
+SCHEMA_VERSION = 2
+
+
+class Severity(Enum):
+    """Finding severity; ``ERROR`` findings gate the build."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: render/sort order: errors first
+_SEVERITY_ORDER = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+
+
+@dataclass
+class Diagnostic:
+    """One finding with a stable rule code and a subject location.
+
+    The location slots are named after the OSM-layer tools (``spec``,
+    ``state``, ``edge``); the ISA auditor maps its audit target, the
+    instruction class and the decoder arm onto the same three slots so
+    all tools share one schema.
+    """
+
+    code: str                      #: stable rule code, e.g. "OSM001"
+    rule: str                      #: short rule name, e.g. "token-leak"
+    severity: Severity
+    spec: str                      #: analysis subject (spec or audit target)
+    message: str
+    state: Optional[str] = None    #: state / instruction class
+    edge: Optional[str] = None     #: stable edge qualname / decoder arm
+    suppressed: bool = False
+
+    @property
+    def location(self) -> str:
+        """``spec:state:edge`` with absent parts elided."""
+        parts = [self.spec]
+        if self.state is not None:
+            parts.append(self.state)
+        if self.edge is not None:
+            parts.append(self.edge)
+        return ":".join(parts)
+
+    def render(self) -> str:
+        tag = " [suppressed]" if self.suppressed else ""
+        return f"{self.location}: {self.severity}: {self.code} ({self.rule}): {self.message}{tag}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "spec": self.spec,
+            "state": self.state,
+            "edge": self.edge,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+
+@dataclass
+class Report:
+    """All findings of one tool run over one analysis subject."""
+
+    spec: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: codes of the passes that ran (even when they found nothing)
+    passes_run: List[str] = field(default_factory=list)
+    #: emitting tool ("lint", "check", "audit")
+    tool: str = "lint"
+
+    def extend(self, diagnostics) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def sort(self) -> None:
+        self.diagnostics.sort(
+            key=lambda d: (_SEVERITY_ORDER[d.severity], d.code, d.state or "", d.edge or "")
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def active(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if not d.suppressed]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.active if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.active if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no unsuppressed error-severity finding exists."""
+        return not self.errors
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def counts(self) -> Dict[str, int]:
+        totals = {str(s): 0 for s in Severity}
+        for diagnostic in self.active:
+            totals[str(diagnostic.severity)] += 1
+        return totals
+
+    # -- renderers ---------------------------------------------------------
+
+    def render_text(self, show_suppressed: bool = False) -> str:
+        lines = [
+            d.render()
+            for d in self.diagnostics
+            if show_suppressed or not d.suppressed
+        ]
+        counts = self.counts()
+        n_suppressed = sum(1 for d in self.diagnostics if d.suppressed)
+        summary = (
+            f"{self.spec}: {counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['info']} info, {n_suppressed} suppressed "
+            f"({len(self.passes_run)} passes)"
+        )
+        return "\n".join(lines + [summary])
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tool": self.tool,
+            "schema_version": SCHEMA_VERSION,
+            "spec": self.spec,
+            "passes": list(self.passes_run),
+            "counts": self.counts(),
+            "ok": self.ok,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def render_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+#: historical name from the osmlint era; the class is tool-agnostic now
+LintReport = Report

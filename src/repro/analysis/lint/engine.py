@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, List, Optional, Sequence
 
 from ...core.osm import Edge, MachineSpec
-from .diagnostics import Diagnostic, LintReport, Severity
+from ..diagnostics import Diagnostic, LintReport, Severity
 
 
 class LintContext:
@@ -147,7 +147,7 @@ def lint_spec(
         passes = [p for p in passes if p.code in wanted]
 
     ctx = LintContext(spec)
-    report = LintReport(spec=spec.name)
+    report = LintReport(spec=spec.name, tool="lint")
     spec_allow = set(getattr(spec, "lint_allow", ()))
     edge_allow = {edge.qualname: set(edge.lint_allow) for edge in spec.edges}
     for lint_pass in passes:

@@ -36,7 +36,7 @@ from ...core.primitives import (
     Release,
     ReleaseMany,
 )
-from .diagnostics import Diagnostic, Severity
+from ..diagnostics import Diagnostic, Severity
 from .engine import LintContext, LintPass
 
 

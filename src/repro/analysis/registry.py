@@ -21,21 +21,44 @@ from typing import Callable, Dict, List
 
 from ..core.osm import MachineSpec
 
-__all__ = ["SpecBuilder", "available_specs", "build_spec", "register_spec"]
+__all__ = [
+    "SpecBuilder",
+    "available_specs",
+    "build_spec",
+    "register_spec",
+    "spec_isa",
+]
 
 SpecBuilder = Callable[[], MachineSpec]
 
 _REGISTRY: Dict[str, SpecBuilder] = {}
+_ISA: Dict[str, str] = {}
 
 
-def register_spec(name: str, builder: SpecBuilder) -> None:
-    """Register (or replace) a named spec builder."""
+def register_spec(name: str, builder: SpecBuilder, isa: str = "arm") -> None:
+    """Register (or replace) a named spec builder.
+
+    *isa* names the instruction set the model consumes ("arm" or
+    "ppc") — the ISA auditor's routing cross-check (ISA008) uses it to
+    probe the spec with that ISA's ``unit`` vocabulary.
+    """
     _REGISTRY[name] = builder
+    _ISA[name] = isa
 
 
 def available_specs() -> List[str]:
     """Names of every registered lintable specification."""
     return sorted(_REGISTRY)
+
+
+def spec_isa(name: str) -> str:
+    """ISA name ("arm"/"ppc") the registered spec *name* consumes."""
+    try:
+        return _ISA[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown spec {name!r}; available: {', '.join(available_specs())}"
+        ) from None
 
 
 def build_spec(name: str) -> MachineSpec:
@@ -121,6 +144,6 @@ register_spec("pipeline5", _pipeline5)
 register_spec("strongarm", _strongarm)
 register_spec("vliw", _vliw)
 register_spec("multithread", _multithread)
-register_spec("ppc750", _ppc750)
+register_spec("ppc750", _ppc750, isa="ppc")
 register_spec("adl-pipeline5", _adl_pipeline5)
 register_spec("adl-strongarm", _adl_strongarm)

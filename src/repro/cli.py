@@ -12,6 +12,10 @@ Gives the framework a downstream-usable front end:
                  specs via the pure-token abstraction (property codes
                  CHK001…; counterexample traces; nonzero exit on any
                  violated property)
+* ``audit``    — cross-layer ISA/model consistency audit (isaaudit):
+                 encoding space, encode/decode round-trips, hazard
+                 metadata vs. executed semantics, unit routing (rule
+                 codes ISA001…; nonzero exit on unsuppressed errors)
 * ``bench``    — quick cycles-per-second measurement of a model
 * ``workload`` — emit a bundled workload's assembly source
 
@@ -25,6 +29,8 @@ Examples::
     python -m repro lint all --json
     python -m repro check pipeline5 --n-osms 3
     python -m repro check all --json
+    python -m repro audit arm ppc
+    python -m repro audit all --json
     python -m repro workload gsm_dec --isa ppc
 """
 
@@ -204,7 +210,11 @@ def cmd_lint(args) -> int:
         report.spec = name
         reports.append((name, report))
     if args.json:
+        from .analysis.diagnostics import SCHEMA_VERSION
+
         payload = {
+            "tool": "lint",
+            "schema_version": SCHEMA_VERSION,
             "ok": all(report.ok for _, report in reports),
             "models": {name: report.to_dict() for name, report in reports},
         }
@@ -245,7 +255,11 @@ def cmd_check(args) -> int:
             raise SystemExit(str(exc))
         reports.append((name, report))
     if args.json:
+        from .analysis.diagnostics import SCHEMA_VERSION
+
         payload = {
+            "tool": "check",
+            "schema_version": SCHEMA_VERSION,
             "ok": all(report.ok for _, report in reports),
             "models": {name: report.to_dict() for name, report in reports},
         }
@@ -253,6 +267,62 @@ def cmd_check(args) -> int:
     else:
         for name, report in reports:
             print(report.render_text())
+    return 0 if all(report.ok for _, report in reports) else 1
+
+
+def cmd_audit(args) -> int:
+    """Audit ISA encoding/hazard consistency (per-ISA rules ISA001–ISA007)
+    and model unit routing (ISA008); exit 1 on any unsuppressed
+    error-severity finding."""
+    import json
+
+    from .analysis.audit import (
+        DEFAULT_PASSES,
+        ROUTING_CODE,
+        audit_isa,
+        audit_model,
+        available_targets,
+    )
+    from .analysis.registry import available_specs
+
+    targets = available_targets()
+    specs = available_specs()
+    names = list(args.subjects)
+    if "all" in names:
+        names = targets + specs
+    codes = None
+    if args.rules:
+        codes = {code.strip() for code in args.rules.split(",") if code.strip()}
+        unknown = codes - set(DEFAULT_PASSES) - {ROUTING_CODE}
+        if unknown:
+            raise SystemExit(f"unknown audit rule code(s): {sorted(unknown)}")
+    reports = []
+    for name in names:
+        if name in targets:
+            subject_codes = None if codes is None else sorted(codes & set(DEFAULT_PASSES))
+            report = audit_isa(name, codes=subject_codes)
+        elif name in specs:
+            subject_codes = None if codes is None else sorted(codes & {ROUTING_CODE})
+            report = audit_model(name, codes=subject_codes)
+        else:
+            raise SystemExit(
+                f"unknown audit subject {name!r}; ISA targets: "
+                f"{', '.join(targets)}; model specs: {', '.join(specs)}"
+            )
+        reports.append((name, report))
+    if args.json:
+        from .analysis.diagnostics import SCHEMA_VERSION
+
+        payload = {
+            "tool": "audit",
+            "schema_version": SCHEMA_VERSION,
+            "ok": all(report.ok for _, report in reports),
+            "subjects": {name: report.to_dict() for name, report in reports},
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for name, report in reports:
+            print(report.render_text(show_suppressed=args.show_suppressed))
     return 0 if all(report.ok for _, report in reports) else 1
 
 
@@ -372,6 +442,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated property codes to check (e.g. CHK001,CHK004)",
     )
     checker.set_defaults(func=cmd_check)
+
+    audit = sub.add_parser(
+        "audit",
+        help="cross-layer ISA/model consistency audit (isaaudit)",
+    )
+    audit.add_argument(
+        "subjects", nargs="+", metavar="SUBJECT",
+        help="ISA target (arm, ppc), registered model spec name, or 'all'",
+    )
+    audit.add_argument("--json", action="store_true", help="machine-readable output")
+    audit.add_argument(
+        "--rules", "--codes", dest="rules", metavar="CODES",
+        help="comma-separated rule codes to run (e.g. ISA003,ISA008)",
+    )
+    audit.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include suppressed findings in text output",
+    )
+    audit.set_defaults(func=cmd_audit)
 
     bench = sub.add_parser("bench", help="measure simulation speed")
     bench.add_argument("--model", default="strongarm",

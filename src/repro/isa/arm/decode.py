@@ -167,6 +167,16 @@ def _decode_data_processing(instr: ArmInstruction) -> None:
     # ADC/SBC/RSC consume the carry flag even when unconditional.
     if instr.mnemonic in ("adc", "sbc", "rsc"):
         instr.reads_flags = True
+    # RRX (register form, ROR #0) shifts the incoming carry into bit 31.
+    if not instr.has_imm and instr.shift_type == 3 and instr.shift_amount == 0:
+        instr.reads_flags = True
+    # Flag-setting logical ops take C from the barrel shifter, which for
+    # rotate-0 immediates and LSL #0 passes the *incoming* carry through.
+    if instr.mnemonic in isa.DP_LOGICAL and instr.sets_flags and (
+        (instr.has_imm and instr.imm <= 0xFF)
+        or (not instr.has_imm and instr.shift_type == 0 and instr.shift_amount == 0)
+    ):
+        instr.reads_flags = True
     if not no_dest:
         instr.dst_regs = (instr.rd,)
         if instr.rd == PC:

@@ -18,6 +18,25 @@ from typing import Optional, Tuple
 from ..bits import ror32, u32
 
 
+def _check_reg(name: str, value: int) -> int:
+    if not 0 <= value < 16:
+        raise ValueError(f"{name} register r{value} out of range (r0..r15)")
+    return value
+
+
+def _check_cond(cond: int) -> int:
+    # 0xF is the reserved NV space: it would silently decode as udf.
+    if not 0 <= cond <= 0xE:
+        raise ValueError(f"condition code {cond:#x} out of range (0x0..0xE)")
+    return cond
+
+
+def _check_field(name: str, value: int, width: int) -> int:
+    if not 0 <= value < (1 << width):
+        raise ValueError(f"{name} {value} out of {width}-bit range")
+    return value
+
+
 def encode_rotated_immediate(value: int) -> Optional[Tuple[int, int]]:
     """Find (rotate, imm8) such that ``ror32(imm8, 2*rotate) == value``.
 
@@ -34,6 +53,11 @@ def encode_rotated_immediate(value: int) -> Optional[Tuple[int, int]]:
 
 
 def dp_immediate(cond: int, opcode: int, s: int, rn: int, rd: int, value: int) -> int:
+    _check_cond(cond)
+    _check_field("opcode", opcode, 4)
+    _check_field("s", s, 1)
+    _check_reg("rn", rn)
+    _check_reg("rd", rd)
     encoded = encode_rotated_immediate(value)
     if encoded is None:
         raise ValueError(f"immediate {value:#x} not encodable as rotated 8-bit")
@@ -60,6 +84,13 @@ def dp_register(
     shift_type: int = 0,
     shift_amount: int = 0,
 ) -> int:
+    _check_cond(cond)
+    _check_field("opcode", opcode, 4)
+    _check_field("s", s, 1)
+    _check_reg("rn", rn)
+    _check_reg("rd", rd)
+    _check_reg("rm", rm)
+    _check_field("shift type", shift_type, 2)
     if not 0 <= shift_amount < 32:
         raise ValueError(f"shift amount {shift_amount} out of range")
     return (
@@ -75,6 +106,11 @@ def dp_register(
 
 
 def multiply(cond: int, accumulate: int, s: int, rd: int, rn: int, rs: int, rm: int) -> int:
+    _check_cond(cond)
+    _check_field("accumulate", accumulate, 1)
+    _check_field("s", s, 1)
+    for name, reg in (("rd", rd), ("rn", rn), ("rs", rs), ("rm", rm)):
+        _check_reg(name, reg)
     return (
         (cond << 28)
         | (accumulate << 21)
@@ -90,6 +126,12 @@ def multiply(cond: int, accumulate: int, s: int, rd: int, rn: int, rs: int, rm: 
 def multiply_long(
     cond: int, signed: int, accumulate: int, s: int, rdhi: int, rdlo: int, rs: int, rm: int
 ) -> int:
+    _check_cond(cond)
+    _check_field("signed", signed, 1)
+    _check_field("accumulate", accumulate, 1)
+    _check_field("s", s, 1)
+    for name, reg in (("rdhi", rdhi), ("rdlo", rdlo), ("rs", rs), ("rm", rm)):
+        _check_reg(name, reg)
     return (
         (cond << 28)
         | (0b00001 << 23)
@@ -107,6 +149,11 @@ def multiply_long(
 def load_store_immediate(
     cond: int, load: int, byte: int, rn: int, rd: int, offset: int
 ) -> int:
+    _check_cond(cond)
+    _check_field("load", load, 1)
+    _check_field("byte", byte, 1)
+    _check_reg("rn", rn)
+    _check_reg("rd", rd)
     up = 1 if offset >= 0 else 0
     magnitude = abs(offset)
     if magnitude >= 1 << 12:
@@ -135,6 +182,16 @@ def load_store_register(
     shift_amount: int = 0,
     up: int = 1,
 ) -> int:
+    _check_cond(cond)
+    _check_field("load", load, 1)
+    _check_field("byte", byte, 1)
+    _check_field("up", up, 1)
+    _check_reg("rn", rn)
+    _check_reg("rd", rd)
+    _check_reg("rm", rm)
+    _check_field("shift type", shift_type, 2)
+    if not 0 <= shift_amount < 32:
+        raise ValueError(f"shift amount {shift_amount} out of range")
     return (
         (cond << 28)
         | (0b01 << 26)
@@ -152,16 +209,22 @@ def load_store_register(
 
 
 def branch(cond: int, link: int, offset_words: int) -> int:
+    _check_cond(cond)
+    _check_field("link", link, 1)
     if not -(1 << 23) <= offset_words < (1 << 23):
         raise ValueError(f"branch offset {offset_words} out of 24-bit range")
     return (cond << 28) | (0b101 << 25) | (link << 24) | (offset_words & 0xFFFFFF)
 
 
 def branch_exchange(cond: int, rm: int) -> int:
+    # An out-of-range rm would bleed into bit 4 and decode as something else.
+    _check_cond(cond)
+    _check_reg("rm", rm)
     return (cond << 28) | 0x012FFF10 | rm
 
 
 def software_interrupt(cond: int, number: int) -> int:
+    _check_cond(cond)
     if not 0 <= number < (1 << 24):
         raise ValueError(f"swi number {number} out of 24-bit range")
     return (cond << 28) | (0xF << 24) | number
@@ -172,6 +235,12 @@ def block_transfer(
     pre: int, up: int, writeback: int,
 ) -> int:
     """LDM/STM: ``cond 100 P U 0 W L Rn register_list``."""
+    _check_cond(cond)
+    _check_field("load", load, 1)
+    _check_field("pre", pre, 1)
+    _check_field("up", up, 1)
+    _check_field("writeback", writeback, 1)
+    _check_reg("rn", rn)
     if not 0 < reglist < (1 << 16):
         raise ValueError(f"register list {reglist:#x} out of range")
     return (

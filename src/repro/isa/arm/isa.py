@@ -63,6 +63,10 @@ DP_NAMES = {v: k for k, v in DP_OPCODES.items()}
 DP_NO_DEST = frozenset(("tst", "teq", "cmp", "cmn"))
 #: opcodes with no first source register
 DP_NO_RN = frozenset(("mov", "mvn"))
+#: logical opcodes: when setting flags, C comes from the barrel shifter —
+#: which falls back to the *incoming* carry for immediates with rotate 0
+#: and for LSL #0 (ARM ARM A5.1), making those forms carry *readers*
+DP_LOGICAL = frozenset(("and", "eor", "tst", "teq", "orr", "mov", "bic", "mvn"))
 
 SHIFT_TYPES: Dict[str, int] = {"lsl": 0, "lsr": 1, "asr": 2, "ror": 3}
 SHIFT_NAMES = {v: k for k, v in SHIFT_TYPES.items()}

@@ -21,7 +21,7 @@ from ..bits import (
     u32,
 )
 from .decode import ArmInstruction
-from .isa import LR, PC
+from .isa import DP_LOGICAL, LR, PC
 
 
 class ExecInfo:
@@ -150,7 +150,7 @@ def execute(state, instr: ArmInstruction) -> ExecInfo:
     return info
 
 
-_LOGICAL_OPS = frozenset(("and", "eor", "tst", "teq", "orr", "mov", "bic", "mvn"))
+_LOGICAL_OPS = DP_LOGICAL
 
 
 def _execute_dp(state, instr: ArmInstruction, info: ExecInfo) -> None:

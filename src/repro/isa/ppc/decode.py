@@ -6,8 +6,6 @@ from ..bits import bits, bit, sign_extend
 from ..instruction import Instruction
 from . import isa
 from .isa import (
-    BO_DNZ,
-    BO_DZ,
     CR0_REG,
     CTR_REG,
     LR_REG,
@@ -248,7 +246,7 @@ def _decode_bc(instr: PpcInstruction) -> None:
     instr.writes_pc = True
     if not (instr.bo & 0b10000):  # condition matters
         instr.reads_cr = True
-    if instr.bo in (BO_DNZ, BO_DZ):
+    if not (instr.bo & 0b00100):  # CTR decrement (any bo with bit 2 clear)
         instr.reads_ctr = True
         instr.writes_ctr = True
     if instr.lk:
@@ -282,6 +280,10 @@ def _decode_xl(instr: PpcInstruction) -> None:
         return
     if not (instr.bo & 0b10000):
         instr.reads_cr = True
+    if not (instr.bo & 0b00100):  # CTR decrement, same rule as bc
+        instr.writes_ctr = True
+        if instr.kind == "bclr":  # bcctr already lists CTR as a source
+            instr.reads_ctr = True
     if instr.lk:
         instr.dst_regs = (LR_REG,)
     instr.text = instr.mnemonic

@@ -23,6 +23,12 @@ def _uimm16(value: int) -> int:
     return value
 
 
+def _check_field(name: str, value: int, width: int) -> int:
+    if not 0 <= value < (1 << width):
+        raise ValueError(f"{name} {value} out of {width}-bit range")
+    return value
+
+
 def d_form(opcd: int, rt: int, ra: int, imm: int, signed: bool = True) -> int:
     field = _simm16(imm) if signed else _uimm16(imm)
     return (opcd << 26) | (_check_reg(rt) << 21) | (_check_reg(ra) << 16) | field
@@ -35,7 +41,7 @@ def x_form(xo: int, rt: int, ra: int, rb: int, rc: int = 0) -> int:
         | (_check_reg(ra) << 16)
         | (_check_reg(rb) << 11)
         | (xo << 1)
-        | rc
+        | _check_field("Rc", rc, 1)
     )
 
 
@@ -54,6 +60,8 @@ def i_form(target_offset: int, aa: int = 0, lk: int = 0) -> int:
         raise ValueError(f"branch offset {target_offset} not word aligned")
     if not -(1 << 25) <= target_offset < (1 << 25):
         raise ValueError(f"branch offset {target_offset} out of 26-bit range")
+    _check_field("AA", aa, 1)
+    _check_field("LK", lk, 1)
     return (isa.OP_B << 26) | (target_offset & 0x03FFFFFC) | (aa << 1) | lk
 
 
@@ -62,6 +70,10 @@ def b_form(bo: int, bi: int, target_offset: int, aa: int = 0, lk: int = 0) -> in
         raise ValueError(f"branch offset {target_offset} not word aligned")
     if not -(1 << 15) <= target_offset < (1 << 15):
         raise ValueError(f"conditional branch offset {target_offset} out of range")
+    _check_field("BO", bo, 5)
+    _check_field("BI", bi, 5)
+    _check_field("AA", aa, 1)
+    _check_field("LK", lk, 1)
     return (
         (isa.OP_BC << 26)
         | (bo << 21)
@@ -73,6 +85,9 @@ def b_form(bo: int, bi: int, target_offset: int, aa: int = 0, lk: int = 0) -> in
 
 
 def xl_form(xo: int, bo: int, bi: int, lk: int = 0) -> int:
+    _check_field("BO", bo, 5)
+    _check_field("BI", bi, 5)
+    _check_field("LK", lk, 1)
     return (isa.OP_XL << 26) | (bo << 21) | (bi << 16) | (xo << 1) | lk
 
 
@@ -92,17 +107,20 @@ def rlwinm(rs: int, ra: int, sh: int, mb: int, me: int, rc: int = 0) -> int:
 
 
 def srawi(rs: int, ra: int, sh: int, rc: int = 0) -> int:
+    _check_field("SH", sh, 5)
     return (
         (isa.OP_X << 26)
         | (_check_reg(rs) << 21)
         | (_check_reg(ra) << 16)
         | (sh << 11)
         | (isa.XO_SRAWI << 1)
-        | rc
+        | _check_field("Rc", rc, 1)
     )
 
 
 def spr_move(xo: int, reg: int, spr: int) -> int:
+    if spr not in (isa.SPR_LR, isa.SPR_CTR):
+        raise ValueError(f"SPR {spr} not implemented (only LR={isa.SPR_LR}, CTR={isa.SPR_CTR})")
     spr_field = ((spr & 0x1F) << 5) | ((spr >> 5) & 0x1F)
     return (isa.OP_X << 26) | (_check_reg(reg) << 21) | (spr_field << 11) | (xo << 1)
 

@@ -67,3 +67,149 @@ class ArchState:
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"ArchState(pc={self.pc:#x}, halted={self.halted})"
+
+
+# -- taint-instrumented shadow state ----------------------------------------
+#
+# The ISA auditor (repro.analysis.audit.hazards) executes each instruction
+# class against a shadow of ArchState that records every architectural
+# read and write, then compares the observed traffic against the decoder's
+# declared hazard metadata.  The shadow intercepts at the *state* level,
+# below the semantics functions, so it sees exactly what the pipeline
+# models' hazard machinery must account for.
+
+
+class ShadowRegisterFile(RegisterFile):
+    """Register file recording which registers were read and written."""
+
+    __slots__ = ("reads", "writes")
+
+    def __init__(self, n_regs: int):
+        super().__init__(n_regs)
+        self.reads = set()
+        self.writes = set()
+
+    def read(self, reg: int) -> int:
+        self.reads.add(reg)
+        return super().read(reg)
+
+    def write(self, reg: int, value: int) -> None:
+        self.writes.add(reg)
+        super().write(reg, value)
+
+
+class ShadowMemory:
+    """Wrapper around a memory object recording loads and stores."""
+
+    def __init__(self, memory: MainMemory):
+        self._memory = memory
+        self.loads: List[tuple] = []
+        self.stores: List[tuple] = []
+
+    def read_word(self, addr: int) -> int:
+        self.loads.append(("word", addr))
+        return self._memory.read_word(addr)
+
+    def read_half(self, addr: int) -> int:
+        self.loads.append(("half", addr))
+        return self._memory.read_half(addr)
+
+    def read_byte(self, addr: int) -> int:
+        self.loads.append(("byte", addr))
+        return self._memory.read_byte(addr)
+
+    def read_block(self, addr: int, length: int) -> bytes:
+        self.loads.append(("block", addr))
+        return self._memory.read_block(addr, length)
+
+    def write_word(self, addr: int, value: int) -> None:
+        self.stores.append(("word", addr, value))
+        self._memory.write_word(addr, value)
+
+    def write_half(self, addr: int, value: int) -> None:
+        self.stores.append(("half", addr, value))
+        self._memory.write_half(addr, value)
+
+    def write_byte(self, addr: int, value: int) -> None:
+        self.stores.append(("byte", addr, value))
+        self._memory.write_byte(addr, value)
+
+    def write_block(self, addr: int, data: bytes) -> None:
+        self.stores.append(("block", addr, bytes(data)))
+        self._memory.write_block(addr, data)
+
+    def __getattr__(self, name):
+        return getattr(self._memory, name)
+
+
+class ShadowArchState(ArchState):
+    """ArchState recording all register, flag, SPR and memory traffic.
+
+    Flags are recorded as single letters ('n'/'z'/'c'/'v') in
+    ``flag_reads``/``flag_writes``; special registers as 'lr'/'ctr' in
+    ``spr_reads``/``spr_writes``.  Register traffic lives on the
+    :class:`ShadowRegisterFile` (``state.regs.reads`` / ``.writes``) and
+    memory traffic on the :class:`ShadowMemory` (``state.memory.loads`` /
+    ``.stores``).  ``clear_traffic()`` resets everything between
+    instructions.
+    """
+
+    def __init__(self, n_regs: int, memory: Optional[MainMemory] = None, syscalls=None):
+        self._armed = False
+        self.flag_reads = set()
+        self.flag_writes = set()
+        self.spr_reads = set()
+        self.spr_writes = set()
+        super().__init__(n_regs, memory=memory, syscalls=syscalls)
+        self.regs = ShadowRegisterFile(n_regs)
+        self.memory = ShadowMemory(self.memory)
+        self._armed = True
+
+    def clear_traffic(self) -> None:
+        self.regs.reads.clear()
+        self.regs.writes.clear()
+        self.memory.loads.clear()
+        self.memory.stores.clear()
+        self.flag_reads.clear()
+        self.flag_writes.clear()
+        self.spr_reads.clear()
+        self.spr_writes.clear()
+
+
+def _shadow_flag(letter: str):
+    attr = "_flag_" + letter
+
+    def fget(self):
+        if self._armed:
+            self.flag_reads.add(letter)
+        return getattr(self, attr)
+
+    def fset(self, value):
+        if self._armed:
+            self.flag_writes.add(letter)
+        object.__setattr__(self, attr, value)
+
+    return property(fget, fset)
+
+
+def _shadow_spr(name: str):
+    attr = "_spr_" + name
+
+    def fget(self):
+        if self._armed:
+            self.spr_reads.add(name)
+        return getattr(self, attr)
+
+    def fset(self, value):
+        if self._armed:
+            self.spr_writes.add(name)
+        object.__setattr__(self, attr, value)
+
+    return property(fget, fset)
+
+
+for _letter in "nzcv":
+    setattr(ShadowArchState, "flag_" + _letter, _shadow_flag(_letter))
+for _name in ("lr", "ctr"):
+    setattr(ShadowArchState, _name, _shadow_spr(_name))
+del _letter, _name

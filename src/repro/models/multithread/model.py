@@ -292,14 +292,14 @@ class MultithreadModel:
         if not op.instr.is_load:
             regfile = self.regfiles[osm.tag]
             for reg in op.instr.dst_regs:
-                regfile.mark_ready(reg)
+                regfile.mark_ready(reg, osm)
 
     def _enter_writeback(self, osm) -> None:
         op: Operation = osm.operation
         if op.instr.is_load:
             regfile = self.regfiles[osm.tag]
             for reg in op.instr.dst_regs:
-                regfile.mark_ready(reg)
+                regfile.mark_ready(reg, osm)
 
     def _park_miss(self, osm) -> None:
         op: Operation = osm.operation

@@ -44,16 +44,22 @@ class ForwardingRegisterFileManager(RegisterFileManager):
         # in-flight write clears readiness until its result exists.
         return self._ready[reg]
 
-    def mark_ready(self, reg: int) -> None:
+    def mark_ready(self, reg: int, osm=None) -> None:
         """The in-flight producer of *reg* now has a forwardable result.
 
         Only the *youngest* writer's publication counts — an older
-        writer's late publication must not expose a stale value — but in
-        an in-order pipeline results publish in program order, so setting
-        the flag is correct whenever any writer publishes while it is the
-        youngest; models call this from the publishing operation's edge
-        action, which the in-order guarantee makes safe.
+        writer's late publication must not expose a stale value.  In-order
+        publication alone does not guarantee this: a load publishes at
+        B->W, two cycles after its allocate, so a younger writer of the
+        same register can allocate in between, after which the older
+        load's publication must be ignored.  Callers pass the publishing
+        *osm* so stale publications can be dropped (``None`` trusts the
+        caller unconditionally, for hand-built specs without operations).
         """
+        if osm is not None:
+            writers = self._writers[reg]
+            if not writers or writers[-1] is not osm:
+                return
         self._ready[reg] = True
 
     def on_allocate_commit(self, osm, token: Token) -> None:

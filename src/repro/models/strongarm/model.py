@@ -196,13 +196,13 @@ class StrongArmModel(Pipeline5Model):
         op: Operation = osm.operation
         if not op.instr.is_load:
             for reg in op.instr.dst_regs:
-                self.regfile.mark_ready(reg)
+                self.regfile.mark_ready(reg, osm)
 
     def _enter_writeback(self, osm) -> None:
         op: Operation = osm.operation
         if op.instr.is_load:
             for reg in op.instr.dst_regs:
-                self.regfile.mark_ready(reg)
+                self.regfile.mark_ready(reg, osm)
 
     # -- reporting ---------------------------------------------------------------
 

@@ -1,0 +1,299 @@
+"""Tests for the isaaudit cross-layer consistency analyzer (ISA001–ISA008).
+
+Every rule code gets at least one triggering case on a deliberately
+broken toy ISA (built through the same :func:`register_target` hook
+downstream ISAs use), naming the offending instruction class or decoder
+arm.  The triage tests pin that both bundled ISAs and every registered
+model spec audit clean — the cross-layer contract the issue fixes.
+"""
+
+import pytest
+
+from repro.analysis.audit import (
+    AuditTarget,
+    DecoderArm,
+    EncodingClass,
+    OverflowCase,
+    audit_isa,
+    audit_model,
+    audit_routing,
+    audit_target,
+    available_targets,
+    build_target,
+    register_target,
+)
+from repro.analysis.diagnostics import Severity
+from repro.analysis.registry import available_specs
+from repro.core import ALWAYS, Condition, Guard, MachineSpec
+from repro.iss.state import ShadowArchState
+
+
+# -- a deliberately broken toy ISA ------------------------------------------
+#
+# Word layout: top byte selects the class.
+#   0x01BBBBRB  "add"   r2 <- r1 + r[rb]   (rb in the low byte)
+#   0x04_000_II "rot"   imm in the low byte; the decoder DROPS its low
+#                       four bits, breaking the round-trip fixpoint
+#   anything else       "udf"
+#
+# Seeded inconsistencies, one per rule:
+#   ISA001  arms "add" and "add-dup" share the exact same pattern
+#   ISA002  "add-dup" is fully shadowed by "add" under decode order
+#   ISA003  "rot" decode loses imm bits -> re-encode differs
+#   ISA004  "add" semantics read r[rb] and write r3; metadata says
+#           src=(1,), dst=(2,) only
+#   ISA005  "add" metadata declares phantom src r3 (never read) and
+#           is_store (never stores)
+#   ISA006  class "emit-udf" emits a word only the catch-all matches
+#   ISA007  the toy encoder accepts rb=16 without raising
+
+
+class _ToyInstr:
+    def __init__(self, kind, **kw):
+        self.kind = kind
+        self.mnemonic = kind
+        self.text = kind
+        self.unit = kw.pop("unit", "alu")
+        self.src_regs = kw.pop("src_regs", ())
+        self.dst_regs = kw.pop("dst_regs", ())
+        self.is_load = kw.pop("is_load", False)
+        self.is_store = kw.pop("is_store", False)
+        self.writes_pc = kw.pop("writes_pc", False)
+        for name, value in kw.items():
+            setattr(self, name, value)
+
+
+class _ToyInfo:
+    def __init__(self, next_pc):
+        self.next_pc = next_pc
+
+
+def _toy_decode(addr, word):
+    top = (word >> 24) & 0xFF
+    if top == 0x01:
+        return _ToyInstr(
+            "add", rb=word & 0xFF,
+            # ISA004: really reads r[rb] and writes r3 too
+            # ISA005: r3 as a source is phantom; is_store never stores
+            src_regs=(1, 3), dst_regs=(2,), is_store=True,
+        )
+    if top == 0x04:
+        return _ToyInstr("rot", imm=word & 0xF0)  # ISA003: drops low bits
+    return _ToyInstr("udf")
+
+
+def _toy_execute(state, instr):
+    if instr.kind == "add":
+        total = state.regs.read(1) + state.regs.read(instr.rb)
+        state.regs.write(2, total & 0xFFFFFFFF)
+        state.regs.write(3, 0)  # undeclared write
+    elif instr.kind == "rot":
+        state.regs.write(2, instr.imm)
+    else:
+        raise ValueError("udf")
+    return _ToyInfo(next_pc=state.pc + 4)
+
+
+def _toy_encode_add(rb):
+    # ISA007: no range check; rb=16 silently overflows into bits 8+
+    return 0x01000000 | rb
+
+
+def _build_toy() -> AuditTarget:
+    return AuditTarget(
+        name="toy",
+        decode=_toy_decode,
+        execute=_toy_execute,
+        make_state=lambda: ShadowArchState(8),
+        pc_reg=None,
+        flag_regs={},
+        spr_regs={},
+        udf_kinds=frozenset({"udf"}),
+        units=frozenset({"alu"}),
+        arms=[
+            DecoderArm("add", 0xFF000000, 0x01000000, "add"),
+            DecoderArm("add-dup", 0xFF000000, 0x01000000, "add"),
+            DecoderArm("rot", 0xFF000000, 0x04000000, "rot"),
+            DecoderArm("toy-udf", 0x00000000, 0x00000000, "udf",
+                       catch_all=True),
+        ],
+        classes=[
+            EncodingClass(
+                "add",
+                {"rb": (4, 5)},
+                lambda p: _toy_encode_add(p["rb"]),
+                reencode=lambda i: _toy_encode_add(i.rb),
+            ),
+            EncodingClass(
+                "rot",
+                {"imm": (0x15,)},
+                lambda p: 0x04000000 | p["imm"],
+                reencode=lambda i: 0x04000000 | i.imm,
+            ),
+            EncodingClass(
+                "emit-udf",
+                {"x": (0,)},
+                lambda p: 0x7F000000,
+            ),
+        ],
+        overflows=[
+            OverflowCase("add-rb-overflow", lambda: _toy_encode_add(16)),
+        ],
+    )
+
+
+@pytest.fixture()
+def toy_report():
+    register_target("toy", _build_toy)
+    try:
+        yield audit_target(build_target("toy"))
+    finally:
+        from repro.analysis.audit.targets import _TARGETS
+
+        _TARGETS.pop("toy", None)
+
+
+def _codes(report, code):
+    return [d for d in report.diagnostics if d.code == code]
+
+
+class TestToyFindings:
+    def test_isa001_overlapping_arms(self, toy_report):
+        hits = _codes(toy_report, "ISA001")
+        assert hits and hits[0].state == "add"
+        assert "add-dup" in hits[0].message
+
+    def test_isa002_shadowed_arm(self, toy_report):
+        hits = _codes(toy_report, "ISA002")
+        assert any(d.state == "add-dup" and "unreachable" in d.message
+                   for d in hits)
+
+    def test_isa003_roundtrip_broken(self, toy_report):
+        hits = _codes(toy_report, "ISA003")
+        assert hits and hits[0].state == "rot"
+        assert "0x04000015" in hits[0].message
+        assert "0x04000010" in hits[0].message
+
+    def test_isa004_under_declared(self, toy_report):
+        messages = [d.message for d in _codes(toy_report, "ISA004")]
+        assert any("writes r3" in m for m in messages)
+        assert any("reads r4" in m or "reads r5" in m for m in messages)
+
+    def test_isa005_over_declared(self, toy_report):
+        hits = _codes(toy_report, "ISA005")
+        assert all(d.severity is Severity.WARNING for d in hits)
+        messages = [d.message for d in hits]
+        assert any("declares r3" in m and "never read" in m
+                   for m in messages)
+        assert any("is_store" in m for m in messages)
+
+    def test_isa006_emittable_udf(self, toy_report):
+        hits = _codes(toy_report, "ISA006")
+        assert hits and hits[0].state == "emit-udf"
+        assert "0x7f000000" in hits[0].message
+
+    def test_isa007_encoder_overflow(self, toy_report):
+        hits = _codes(toy_report, "ISA007")
+        assert hits and hits[0].state == "add-rb-overflow"
+
+    def test_toy_fails_overall(self, toy_report):
+        assert not toy_report.ok
+        assert toy_report.tool == "audit"
+
+
+class TestSuppressionAndFilters:
+    def test_class_level_allow_suppresses(self):
+        target = _build_toy()
+        target.classes[1].allow = frozenset({"ISA003"})
+        report = audit_target(target)
+        hits = [d for d in report.diagnostics if d.code == "ISA003"]
+        assert hits and all(d.suppressed for d in hits)
+
+    def test_target_level_allow_suppresses(self):
+        target = _build_toy()
+        target.allow = frozenset({"ISA001", "ISA002"})
+        report = audit_target(target)
+        for code in ("ISA001", "ISA002"):
+            hits = [d for d in report.diagnostics if d.code == code]
+            assert hits and all(d.suppressed for d in hits)
+
+    def test_code_filter_runs_only_requested(self):
+        report = audit_target(_build_toy(), codes=["ISA003"])
+        assert report.passes_run == ["ISA003"]
+        assert {d.code for d in report.diagnostics} == {"ISA003"}
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="ISA999"):
+            audit_target(_build_toy(), codes=["ISA999"])
+
+
+# -- ISA008: unit routing ---------------------------------------------------
+
+def _routing_spec(guarded_unit="alu"):
+    spec = MachineSpec("toy-route")
+    spec.state("I", initial=True)
+    spec.state("X")
+    spec.edge("I", "X", Condition([
+        Guard(lambda osm: osm.operation.instr.unit == guarded_unit, "route"),
+    ]))
+    spec.edge("X", "I", ALWAYS)
+    return spec
+
+
+class TestRouting:
+    def test_isa008_unroutable_unit(self):
+        spec = _routing_spec()
+        diags = list(audit_routing(spec, {"alu", "mem"}))
+        assert len(diags) == 1
+        assert diags[0].code == "ISA008"
+        assert diags[0].state == "mem"
+        assert "cannot complete a pipeline traversal" in diags[0].message
+
+    def test_isa008_all_units_route(self):
+        spec = _routing_spec()
+        assert list(audit_routing(spec, {"alu"})) == []
+
+    def test_raising_guard_is_non_discriminating(self):
+        spec = MachineSpec("raisy")
+        spec.state("I", initial=True)
+        spec.edge("I", "I", Condition([
+            Guard(lambda osm: osm.no_such_attribute, "opaque"),
+        ]))
+        assert list(audit_routing(spec, {"alu"})) == []
+
+    def test_registered_specs_route_all_units(self):
+        for name in available_specs():
+            report = audit_model(name)
+            assert report.ok, f"{name}: {report.render_text()}"
+            assert report.passes_run == ["ISA008"]
+
+
+# -- triage: the bundled ISAs are audit-clean -------------------------------
+
+class TestBundledTargets:
+    def test_targets_registered(self):
+        assert set(available_targets()) >= {"arm", "ppc"}
+
+    @pytest.mark.parametrize("name", ["arm", "ppc"])
+    def test_bundled_isa_audits_clean(self, name):
+        report = audit_isa(name)
+        assert report.ok, report.render_text(show_suppressed=True)
+        assert len(report.passes_run) == 7
+
+    @pytest.mark.parametrize("name", ["arm", "ppc"])
+    def test_mutated_metadata_is_caught(self, name):
+        """Dropping a declared source from every decoded instruction must
+        surface as ISA004 — the audit is live, not vacuous."""
+        target = build_target(name)
+        real_decode = target.decode
+
+        def lobotomized(addr, word):
+            instr = real_decode(addr, word)
+            if instr.src_regs:
+                instr.src_regs = instr.src_regs[1:]
+            return instr
+
+        target.decode = lobotomized
+        report = audit_target(target, codes=["ISA004"])
+        assert not report.ok
+        assert any(d.code == "ISA004" for d in report.diagnostics)

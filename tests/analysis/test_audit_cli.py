@@ -1,0 +1,110 @@
+"""Tests for the ``repro audit`` CLI subcommand: exit codes, JSON schema,
+subject dispatch (ISA target vs. model spec), and rule filtering."""
+
+import json
+
+import pytest
+
+from repro.analysis.audit import AuditTarget, EncodingClass, register_target
+from repro.analysis.audit.targets import _TARGETS
+from repro.cli import main
+from repro.iss.state import ShadowArchState
+
+
+class _Instr:
+    kind = "nop"
+    mnemonic = "nop"
+    text = "nop"
+    unit = "alu"
+    src_regs = ()
+    dst_regs = ()
+    is_load = False
+    is_store = False
+    writes_pc = True  # never redirects -> guaranteed ISA005 warning
+
+
+class _Info:
+    def __init__(self, next_pc):
+        self.next_pc = next_pc
+
+
+@pytest.fixture()
+def broken_target_registered():
+    """Temporarily register a target with a guaranteed ISA003 error (the
+    re-encoder flips a bit) and an ISA005 warning."""
+
+    def build():
+        return AuditTarget(
+            name="cli-broken",
+            decode=lambda addr, word: _Instr(),
+            execute=lambda state, instr: _Info(state.pc + 4),
+            make_state=lambda: ShadowArchState(4),
+            pc_reg=None,
+            flag_regs={},
+            spr_regs={},
+            udf_kinds=frozenset({"udf"}),
+            units=frozenset({"alu"}),
+            classes=[
+                EncodingClass(
+                    "nop", {"x": (0,)},
+                    lambda p: 0x60000000,
+                    reencode=lambda i: 0x60000001,
+                ),
+            ],
+        )
+
+    register_target("cli-broken", build)
+    yield "cli-broken"
+    _TARGETS.pop("cli-broken", None)
+
+
+class TestAuditCli:
+    def test_clean_subjects_exit_zero(self, capsys):
+        assert main(["audit", "arm", "ppc", "pipeline5"]) == 0
+        out = capsys.readouterr().out
+        assert "arm: 0 error(s)" in out
+        assert "ppc: 0 error(s)" in out
+        assert "pipeline5: 0 error(s)" in out
+
+    def test_all_covers_isas_and_specs(self, capsys):
+        assert main(["audit", "all"]) == 0
+        out = capsys.readouterr().out
+        for name in ("arm", "ppc", "pipeline5", "strongarm", "vliw",
+                     "multithread", "ppc750", "adl-pipeline5",
+                     "adl-strongarm"):
+            assert f"{name}:" in out
+
+    def test_error_findings_exit_nonzero(self, broken_target_registered, capsys):
+        assert main(["audit", broken_target_registered]) == 1
+        out = capsys.readouterr().out
+        assert "ISA003" in out and "error" in out
+
+    def test_json_output_schema(self, broken_target_registered, capsys):
+        assert main(["audit", "arm", broken_target_registered, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "audit"
+        assert payload["schema_version"] >= 2
+        assert payload["ok"] is False
+        assert set(payload["subjects"]) == {"arm", "cli-broken"}
+        assert payload["subjects"]["arm"]["ok"] is True
+        broken = payload["subjects"]["cli-broken"]
+        assert broken["ok"] is False
+        assert any(d["code"] == "ISA003" for d in broken["diagnostics"])
+        assert any(d["code"] == "ISA005" for d in broken["diagnostics"])
+
+    def test_rules_filter_splits_by_subject_kind(self, capsys):
+        # ISA008 only runs on specs, ISA003 only on ISA targets; a mixed
+        # filter must not error on either subject kind.
+        assert main(["audit", "arm", "pipeline5", "--rules",
+                     "ISA003,ISA008", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["subjects"]["arm"]["passes"] == ["ISA003"]
+        assert payload["subjects"]["pipeline5"]["passes"] == ["ISA008"]
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(SystemExit, match="ISA999"):
+            main(["audit", "arm", "--rules", "ISA999"])
+
+    def test_unknown_subject_rejected(self):
+        with pytest.raises(SystemExit, match="no-such-subject"):
+            main(["audit", "no-such-subject"])

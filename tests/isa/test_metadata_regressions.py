@@ -1,0 +1,196 @@
+"""Pinned regressions for divergences surfaced by ``repro audit``.
+
+Each test here pins one real cross-layer bug the isaaudit passes found
+(or the auditor's prerequisite fixes), so the specific divergence cannot
+silently return:
+
+* ARM RRX and flag-setting logical ops with a carry-passthrough shifter
+  form are *carry readers* and must declare ``reads_flags`` (ISA004).
+* PPC CTR-decrementing branches (any BO with bit 2 clear, in both B-form
+  and XL-form) must declare CTR traffic matching the executed semantics
+  (ISA004/ISA005).
+* Encoders must reject out-of-range fields instead of letting them bleed
+  into neighbouring bit fields (ISA007).
+* The StrongARM forwarding register file must ignore a stale (non-
+  youngest) writer's ``mark_ready`` publication.
+"""
+
+import pytest
+
+from repro.isa.arm import encode as arm_encode
+from repro.isa.arm import isa as arm_isa
+from repro.isa.arm.decode import decode as arm_decode
+from repro.isa.ppc import encode as ppc_encode
+from repro.isa.ppc import isa as ppc_isa
+from repro.isa.ppc.decode import decode as ppc_decode
+
+AL = arm_isa.COND_AL
+FLAGS = arm_isa.FLAGS_REG
+CTR = ppc_isa.CTR_REG
+
+
+def _arm(word):
+    return arm_decode(0x1000, word)
+
+
+def _ppc(word):
+    return ppc_decode(0x1000, word)
+
+
+class TestArmCarryReaders:
+    def test_rrx_reads_carry(self):
+        # mov r2, r3, rrx — register form, ROR #0 rotates C into bit 31
+        i = _arm(arm_encode.dp_register(AL, 13, 0, 0, 2, 3, 3, 0))
+        assert i.reads_flags
+        assert FLAGS in i.src_regs
+
+    def test_plain_ror_does_not_read_carry(self):
+        i = _arm(arm_encode.dp_register(AL, 13, 0, 0, 2, 3, 3, 4))
+        assert not i.reads_flags
+
+    def test_logical_s_with_unrotated_immediate_reads_carry(self):
+        # ands r2, r1, #0x55 — rotate 0, shifter carry-out = incoming C
+        i = _arm(arm_encode.dp_immediate(AL, 0, 1, 1, 2, 0x55))
+        assert i.reads_flags
+        assert FLAGS in i.src_regs
+
+    def test_logical_s_with_rotated_immediate_computes_carry(self):
+        # 0x3FC needs a nonzero rotate; the rotation produces the carry
+        i = _arm(arm_encode.dp_immediate(AL, 0, 1, 1, 2, 0x3FC))
+        assert not i.reads_flags
+
+    def test_logical_s_lsl0_reads_carry(self):
+        # movs r2, r3 — LSL #0 passes the incoming carry through
+        i = _arm(arm_encode.dp_register(AL, 13, 1, 0, 2, 3, 0, 0))
+        assert i.reads_flags
+
+    def test_logical_s_lsl4_computes_carry(self):
+        i = _arm(arm_encode.dp_register(AL, 13, 1, 0, 2, 3, 0, 4))
+        assert not i.reads_flags
+
+    def test_arithmetic_s_does_not_read_carry(self):
+        # adds computes C in the ALU; only adc/sbc/rsc consume it
+        i = _arm(arm_encode.dp_immediate(AL, 4, 1, 1, 2, 0x55))
+        assert not i.reads_flags
+
+    def test_non_flag_setting_logical_does_not_read_carry(self):
+        i = _arm(arm_encode.dp_immediate(AL, 0, 0, 1, 2, 0x55))
+        assert not i.reads_flags
+
+
+class TestPpcCtrDeclaration:
+    def test_bc_dnz_declares_ctr_read_and_write(self):
+        i = _ppc(ppc_encode.b_form(ppc_isa.BO_DNZ, ppc_isa.CR_EQ, 8))
+        assert i.reads_ctr and i.writes_ctr
+        assert CTR in i.src_regs and CTR in i.dst_regs
+
+    def test_bc_decrements_for_any_bo_with_bit2_clear(self):
+        # bo=0b00000: decrement CTR, branch if CTR != 0 AND cond false —
+        # not one of the named BO_* encodings, but still decrements
+        i = _ppc(ppc_encode.b_form(0b00000, ppc_isa.CR_EQ, 8))
+        assert i.reads_ctr and i.writes_ctr
+
+    def test_bc_false_does_not_touch_ctr(self):
+        i = _ppc(ppc_encode.b_form(ppc_isa.BO_FALSE, ppc_isa.CR_EQ, 8))
+        assert not i.reads_ctr and not i.writes_ctr
+        assert CTR not in i.src_regs and CTR not in i.dst_regs
+
+    def test_bclr_dnz_declares_ctr(self):
+        i = _ppc(ppc_encode.xl_form(ppc_isa.XL_BCLR, ppc_isa.BO_DNZ, 0))
+        assert i.kind == "bclr"
+        assert i.reads_ctr and i.writes_ctr
+        assert CTR in i.src_regs and CTR in i.dst_regs
+
+    def test_bcctr_dnz_writes_ctr_and_lists_it_once(self):
+        i = _ppc(ppc_encode.xl_form(ppc_isa.XL_BCCTR, 0b10000, 0))
+        assert i.kind == "bcctr"
+        assert i.writes_ctr
+        # CTR is both the branch target and the decremented counter, but
+        # must appear exactly once in the source list
+        assert i.src_regs.count(CTR) == 1
+        assert CTR in i.dst_regs
+
+    def test_bcctr_always_reads_but_does_not_write_ctr(self):
+        i = _ppc(ppc_encode.xl_form(ppc_isa.XL_BCCTR, ppc_isa.BO_ALWAYS, 0))
+        assert CTR in i.src_regs
+        assert not i.writes_ctr and CTR not in i.dst_regs
+
+
+class TestEncoderFieldValidation:
+    def test_arm_rejects_reserved_condition(self):
+        with pytest.raises(ValueError):
+            arm_encode.dp_immediate(0xF, 0, 0, 1, 2, 0)
+
+    def test_arm_rejects_out_of_range_register(self):
+        with pytest.raises(ValueError):
+            arm_encode.dp_register(AL, 0, 0, 1, 16, 3, 0, 0)
+
+    def test_arm_bx_rejects_out_of_range_rm(self):
+        # rm=16 would bleed into bit 4 and decode as something else
+        with pytest.raises(ValueError):
+            arm_encode.branch_exchange(AL, 16)
+
+    def test_arm_multiply_rejects_out_of_range_register(self):
+        with pytest.raises(ValueError):
+            arm_encode.multiply(AL, 0, 0, 4, 5, 17, 7)
+
+    def test_ppc_d_form_rejects_out_of_range_register(self):
+        with pytest.raises(ValueError):
+            ppc_encode.d_form(ppc_isa.OP_ADDI, 32, 0, 1)
+
+    def test_ppc_b_form_rejects_wide_bo(self):
+        with pytest.raises(ValueError):
+            ppc_encode.b_form(32, 0, 8)
+
+    def test_ppc_xl_form_rejects_wide_bo(self):
+        with pytest.raises(ValueError):
+            ppc_encode.xl_form(ppc_isa.XL_BCLR, 32, 0)
+
+    def test_ppc_srawi_rejects_wide_shift(self):
+        with pytest.raises(ValueError):
+            ppc_encode.srawi(1, 2, 32)
+
+    def test_ppc_spr_move_rejects_unknown_spr(self):
+        with pytest.raises(ValueError):
+            ppc_encode.spr_move(ppc_isa.XO_MTSPR, 1, 123)
+
+
+class TestForwardingPublicationOrder:
+    def test_stale_writer_publication_is_dropped(self):
+        """An older in-flight writer publishing after a younger writer
+        allocated the same register must not set the register ready."""
+        from repro.models.strongarm.managers import ForwardingRegisterFileManager
+
+        class _Backing:
+            def read(self, reg):
+                return 0
+
+            def write(self, reg, value):
+                pass
+
+        mgr = ForwardingRegisterFileManager("rf", 4, _Backing())
+        old_writer, young_writer = object(), object()
+        mgr._writers[1] = [old_writer, young_writer]
+        mgr._ready[1] = False
+
+        mgr.mark_ready(1, osm=old_writer)  # stale: must be ignored
+        assert mgr._ready[1] is False
+
+        mgr.mark_ready(1, osm=young_writer)
+        assert mgr._ready[1] is True
+
+    def test_anonymous_publication_is_trusted(self):
+        from repro.models.strongarm.managers import ForwardingRegisterFileManager
+
+        class _Backing:
+            def read(self, reg):
+                return 0
+
+            def write(self, reg, value):
+                pass
+
+        mgr = ForwardingRegisterFileManager("rf", 4, _Backing())
+        mgr._writers[1] = [object()]
+        mgr._ready[1] = False
+        mgr.mark_ready(1)  # osm=None: hand-built specs without operations
+        assert mgr._ready[1] is True
