@@ -105,6 +105,10 @@ class TokenSystem:
                 token = self._token_by_key[(manager_index, token_name)]
                 token.holder = osm
                 osm.token_buffer[slot] = token
+        for manager in self.managers:
+            resync = getattr(manager, "resync_from_holders", None)
+            if resync is not None:
+                resync()
 
     def initial_state(self) -> SystemState:
         initial = self.spec.initial.name

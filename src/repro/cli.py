@@ -327,22 +327,106 @@ def cmd_audit(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    """Benchmark a model over the MediaBench workloads.
+
+    Emits one JSON row (``--json`` / ``--out FILE``) with cycles/s,
+    events/s (committed OSM transitions per second) and the per-phase
+    wall-time breakdown from the phase-attributed stats layer.  Unless
+    ``--no-verify`` is given, every workload is re-run under the
+    director's reference scheduling loop and the simulation results
+    (cycles, instructions, transitions, exit code) are compared — a
+    mismatch fails the bench with exit status 1.  CI's perf-smoke job
+    runs ``bench --quick`` and fails only on such mismatches, never on
+    speed.
+    """
+    import json
+
+    from .core.stats import SimulationStats
     from .workloads import mediabench
 
     isa = args.isa or MODEL_DEFAULT_ISA.get(args.model, "arm")
-    names = mediabench.MEDIABENCH_NAMES
-    total_cycles = 0
-    import time
-
-    start = time.perf_counter()
+    names = list(mediabench.MEDIABENCH_NAMES)
+    if args.quick:
+        names = names[:3]
+    agg = SimulationStats()
+    source_of = mediabench.arm_source if isa == "arm" else mediabench.ppc_source
+    per_workload = []
+    mismatches = []
     for name in names:
-        source = (mediabench.arm_source if isa == "arm" else mediabench.ppc_source)(name)
-        model = _build_model(args.model, _assemble(isa, source), isa)
-        model.run(args.max_cycles)
-        total_cycles += model.cycles
-    elapsed = time.perf_counter() - start
-    print(f"{args.model}: {total_cycles} cycles in {elapsed:.2f}s "
-          f"= {total_cycles / elapsed:,.0f} cycles/sec")
+        with agg.time_phase("assemble"):
+            program = _assemble(isa, source_of(name))
+        with agg.time_phase("build"):
+            model = _build_model(args.model, program, isa)
+        stats = model.run(args.max_cycles)
+        result = {
+            "cycles": stats.cycles,
+            "instructions": stats.instructions,
+            "transitions": stats.transitions,
+            "exit_code": model.exit_code,
+        }
+        per_workload.append({"workload": name, **result})
+        agg.cycles += stats.cycles
+        agg.instructions += stats.instructions
+        agg.transitions += stats.transitions
+        agg.wall_seconds += stats.wall_seconds
+        agg.record_phase("simulate", stats.phase_seconds.get("simulate", 0.0))
+        if not args.no_verify:
+            # re-run under the reference scheduling loop: the fast path
+            # must be result-identical, not merely faster
+            with agg.time_phase("verify"):
+                with agg.time_phase("build"):
+                    ref_model = _build_model(args.model, program, isa)
+                ref_model.director.reference = True
+                ref_stats = ref_model.run(args.max_cycles)
+            reference = {
+                "cycles": ref_stats.cycles,
+                "instructions": ref_stats.instructions,
+                "transitions": ref_stats.transitions,
+                "exit_code": ref_model.exit_code,
+            }
+            if reference != result:
+                mismatches.append(
+                    {"workload": name, "fast": result, "reference": reference}
+                )
+    row = {
+        "bench": "speed",
+        "model": args.model,
+        "isa": isa,
+        "quick": bool(args.quick),
+        "workloads": per_workload,
+        "cycles": agg.cycles,
+        "instructions": agg.instructions,
+        "transitions": agg.transitions,
+        "wall_seconds": round(agg.wall_seconds, 4),
+        "cycles_per_second": round(agg.cycles_per_second, 1),
+        "events_per_second": round(agg.transitions_per_second, 1),
+        "phase_seconds": {
+            name: round(seconds, 4) for name, seconds in agg.phase_seconds.items()
+        },
+        "verified": (not args.no_verify) and not mismatches,
+        "mismatches": mismatches,
+    }
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(row, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(row, indent=2))
+    else:
+        print(f"{args.model}: {agg.cycles} cycles in {agg.wall_seconds:.2f}s "
+              f"= {agg.cycles_per_second:,.0f} cycles/sec, "
+              f"{agg.transitions_per_second:,.0f} events/sec")
+        for name in sorted(agg.phase_seconds):
+            print(f"  phase {name:<9}: {agg.phase_seconds[name]:.3f}s")
+        if not args.no_verify:
+            state = "ok" if not mismatches else "MISMATCH"
+            print(f"  reference-loop verification: {state}")
+    if mismatches:
+        for mismatch in mismatches:
+            print(f"result mismatch on {mismatch['workload']}: "
+                  f"fast={mismatch['fast']} reference={mismatch['reference']}",
+                  file=sys.stderr)
+        return 1
     return 0
 
 
@@ -467,6 +551,14 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(set(MODEL_DEFAULT_ISA) - {"iss"}))
     bench.add_argument("--isa", choices=("arm", "ppc"))
     bench.add_argument("--max-cycles", type=int, default=10_000_000)
+    bench.add_argument("--quick", action="store_true",
+                       help="CI subset: first three workloads only")
+    bench.add_argument("--json", action="store_true",
+                       help="print the result row as JSON")
+    bench.add_argument("--out", metavar="FILE",
+                       help="also write the JSON row to FILE")
+    bench.add_argument("--no-verify", action="store_true",
+                       help="skip the reference-loop result verification")
     bench.set_defaults(func=cmd_bench)
 
     workload = sub.add_parser("workload", help="print a bundled workload source")

@@ -20,6 +20,24 @@ from .osm import Edge, OperationStateMachine
 from .stats import SimulationStats
 
 
+def rank_stable_in_flight(fn):
+    """Mark a rank-key function whose value for an OSM can change *only*
+    when that OSM leaves or returns to the initial state.
+
+    All built-in rankings qualify: they depend only on ``age``,
+    ``operation`` identity/``seq``, ``tag`` and ``serial``, all of which
+    are assigned exactly at the I boundaries.  The director exploits the
+    mark to keep its cached rank order across control steps, re-sorting
+    only after a transition that touches state I (see
+    ``Director.control_step``).  Custom rank keys without the mark are
+    conservatively re-sorted after every control step that committed any
+    transition.
+    """
+    fn.rank_changes_only_at_initial = True
+    return fn
+
+
+@rank_stable_in_flight
 def age_rank(osm: OperationStateMachine) -> Tuple[int, int, int]:
     """Default ranking: by age (order of last leaving state I).
 
@@ -33,6 +51,7 @@ def age_rank(osm: OperationStateMachine) -> Tuple[int, int, int]:
     return (0, osm.age, osm.serial)
 
 
+@rank_stable_in_flight
 def operation_seq_rank(osm: OperationStateMachine) -> Tuple[int, int]:
     """Rank strictly by operation fetch-sequence number.
 
@@ -93,12 +112,29 @@ class Director:
         #: now, so the director skips it — this makes stalled cycles cheap
         #: without changing any scheduling decision.
         self.version = 0
+        #: when True, run the original reference scheduling loop instead of
+        #: the cached-order fast path.  Both produce identical schedules;
+        #: the reference loop is kept selectable so tests can assert the
+        #: equivalence on full workloads.
+        self.reference = False
+        # -- fast-path caches (see control_step) --
+        #: rank order carried across control steps; rebuilt only when dirty
+        self._order: List[OperationStateMachine] = []
+        self._rank_dirty = True
+        self._order_key: Optional[Callable[[OperationStateMachine], Any]] = None
+        self._rank_stable = False
+        #: per-step stamp replacing the reference loop's pending.pop():
+        #: an OSM stamped with the current step id already transitioned
+        #: this control step and is not scheduled again
+        self._step_id = 0
 
     def add(self, *osms: OperationStateMachine) -> None:
         """Register OSMs with the director."""
         self.osms.extend(osms)
+        self._rank_dirty = True
         for osm in osms:
             osm._fail_version = -1
+            osm._stepped = -1
 
     def notify(self) -> None:
         """Signal an observable hardware-state change (wakes blocked OSMs)."""
@@ -107,7 +143,110 @@ class Director:
     # -- the scheduling algorithm (paper Fig. 3) ----------------------------
 
     def control_step(self) -> int:
-        """Run one control step; returns the number of transitions."""
+        """Run one control step; returns the number of transitions.
+
+        Dispatches to the cached-order fast path, or to the original
+        reference loop when :attr:`reference` is set.  The two are
+        schedule-equivalent: the fast path replaces the per-step full sort
+        with a rank order carried across steps (re-sorted only when a
+        transition may have changed a rank — for rank keys marked
+        :func:`rank_stable_in_flight`, only transitions leaving or entering
+        the initial state qualify), replaces list surgery with per-step
+        stamps, and stamps trailing idle peers with the observable version
+        so the scan reruns only after something observable changes.  Every
+        probe happens against the same OSM in the same order as the
+        reference loop would produce.
+        """
+        if self.reference:
+            return self._control_step_reference()
+        rank_key = self.rank_key
+        if rank_key is not self._order_key:
+            # rank function replaced after construction: order invalid
+            self._order_key = rank_key
+            self._rank_stable = getattr(
+                rank_key, "rank_changes_only_at_initial", False)
+            self._rank_dirty = True
+        if self._rank_dirty:
+            # Same inputs as the reference sort: self.osms in registration
+            # order under a stable sort, so ties break identically.
+            self._order = sorted(self.osms, key=rank_key)
+            self._rank_dirty = False
+        order = self._order
+        rank_stable = self._rank_stable
+        self._step_id += 1
+        step_id = self._step_id
+        stats = self.stats
+        trace = self.trace
+        clock = self.clock
+        restart = self.restart
+        version = self.version  # mirrored to self.version on every change
+        transitions = 0
+        probed = 0
+        i = 0
+        n = len(order)
+        while i < n:
+            osm = order[i]
+            if osm._stepped == step_id or osm._fail_version == version:
+                i += 1
+                continue
+            edge = osm.try_transition(clock)
+            probed += 1
+            if version != self.version:
+                # an edge action called notify(): pick up the new version
+                version = self.version
+            if edge is not None:
+                version += 1
+                self.version = version
+                transitions += 1
+                if trace is not None:
+                    trace(clock, osm, edge)
+                # Stamped: not scheduled again this control step (the
+                # reference loop pops it from the pending list).
+                osm._stepped = step_id
+                if not rank_stable or edge.src.is_initial or edge.dst.is_initial:
+                    # The committed transition may have changed this OSM's
+                    # rank (operation assigned/cleared, age stamped):
+                    # re-sort before the next control step.
+                    self._rank_dirty = True
+                if restart:
+                    i = 0
+                else:
+                    i += 1
+            else:
+                osm._fail_version = version
+                if osm.operation is None:
+                    # Idle OSMs of the same machine and thread share the
+                    # fetch edge: once one fails, its not-yet-transitioned
+                    # trailing peers fail identically this step.  The
+                    # stamps persist, so the scan reruns only after the
+                    # observable version changes.
+                    spec = osm.spec
+                    tag = osm.tag
+                    for j in range(i + 1, n):
+                        trailing = order[j]
+                        if (
+                            trailing._stepped != step_id
+                            and trailing.operation is None
+                            and trailing.tag == tag
+                            and trailing.spec is spec
+                        ):
+                            trailing._fail_version = version
+                i += 1
+        stats.control_step_passes += probed
+        stats.transitions += transitions
+        if transitions == 0 and probed and self.deadlock_check:
+            self._abort_on_cyclic_wait()
+        self.clock += 1
+        return transitions
+
+    def _control_step_reference(self) -> int:
+        """The original scheduling loop (paper Fig. 3, directly transcribed).
+
+        Kept as the executable specification of the fast path: re-sorts the
+        whole OSM pool every step and scans trailing idle peers.  Tests run
+        full workloads under both loops and assert identical cycle counts,
+        stats and traces.
+        """
         # updateOSMList(): rank at the beginning of each control step.
         pending = sorted(self.osms, key=self.rank_key)
         transitions = 0

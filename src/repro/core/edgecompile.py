@@ -1,0 +1,207 @@
+"""Edge-condition compiler: specialise guard conditions at model-build time.
+
+The paper's C++ implementation owes much of its speed to the fact that
+*"the token machinery compiles away"* — each edge's conjunction of
+primitives becomes straight-line code.  This module reproduces that step
+for the Python interpreter: :func:`compile_condition` turns an edge's
+:class:`~repro.core.primitives.Condition` into one generated function
+
+    probe(osm, txn) -> bool
+
+whose body is the concatenation of the primitives' probe bodies with all
+per-primitive constants (managers, bound manager methods, slot names,
+static identifiers, predicates) baked in as parameter defaults, so the
+hot loop pays local-variable loads instead of attribute chains and
+per-primitive dispatch.
+
+Semantics are identical to calling ``p.probe(osm, txn)`` for each
+primitive in declaration order — each emitter below mirrors the
+corresponding ``probe`` body in :mod:`repro.core.primitives` exactly.
+Primitives other than the five core types (``AllocateMany``,
+``ReleaseMany``, user subclasses) are embedded as a generic
+``p.probe(osm, txn)`` call, so custom primitives keep working unchanged.
+Any failure during code generation falls back to an interpreted closure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from .errors import TokenError
+from .primitives import (Allocate, AllocateMany, Condition, Discard, Guard,
+                         Inquire, Release, ReleaseMany)
+
+
+def _always_true(osm, txn) -> bool:
+    return True
+
+
+def _interpreted(primitives) -> Callable:
+    """Fallback probe: call each primitive in order (seed semantics)."""
+    def probe(osm, txn, _primitives=tuple(primitives)):
+        for p in _primitives:
+            if not p.probe(osm, txn):
+                return False
+        return True
+    return probe
+
+
+def compile_condition(condition: Condition) -> Callable:
+    """A ``probe(osm, txn) -> bool`` function specialised for *condition*."""
+    primitives = condition.primitives
+    if not primitives:
+        return _always_true
+    try:
+        return _compile(primitives)
+    except Exception:  # pragma: no cover - codegen is total for core types
+        return _interpreted(primitives)
+
+
+def _compile(primitives) -> Callable:
+    env: Dict[str, Any] = {"TokenError": TokenError}
+    params: List[str] = []
+
+    def bind(name: str, obj: Any) -> str:
+        env[name] = obj
+        params.append(name)
+        return name
+
+    body: List[str] = []
+    emit = body.append
+    # True once an earlier primitive may already have appended to
+    # txn.releases — only then can a Release hit the double-release check
+    may_have_releases = False
+
+    for i, p in enumerate(primitives):
+        t = type(p)
+        if t is Allocate:
+            alloc = bind(f"a{i}_alloc", p.manager.allocate)
+            mgr = bind(f"a{i}_mgr", p.manager)
+            slot = bind(f"a{i}_slot", p.slot)
+            ident = bind(f"a{i}_ident", p.ident)
+            if p._dynamic:
+                emit(f"ident = {ident}(osm)")
+                emit("if ident is not None:")
+                pre = "    "
+            else:
+                emit(f"ident = {ident}")
+                pre = ""
+            emit(pre + f"token = {alloc}(osm, ident, txn)")
+            emit(pre + "if token is None:")
+            emit(pre + f"    osm.blocked_on = ({mgr}, ident)")
+            emit(pre + "    return False")
+            emit(pre + "txn.dirty = True")
+            emit(pre + f"txn.grants.append(({slot}, token))")
+            emit(pre + "txn._granted_ids.add(id(token))")
+        elif t is Inquire:
+            inq = bind(f"i{i}_inq", p.manager.inquire)
+            mgr = bind(f"i{i}_mgr", p.manager)
+            if p._dynamic:
+                ident = bind(f"i{i}_ident", p.ident)
+                emit(f"ident = {ident}(osm)")
+                emit("if ident is not None:")
+                emit("    if not isinstance(ident, (list, tuple)):")
+                emit(f"        if not {inq}(osm, ident, txn):")
+                emit(f"            osm.blocked_on = ({mgr}, ident)")
+                emit("            return False")
+                emit("        txn.dirty = True")
+                emit(f"        txn.inquiries.append(({mgr}, ident))")
+                emit(f"        {mgr}.n_inquiries += 1")
+                emit("    else:")
+                emit("        for single in ident:")
+                emit(f"            if not {inq}(osm, single, txn):")
+                emit(f"                osm.blocked_on = ({mgr}, single)")
+                emit("                return False")
+                emit("            txn.dirty = True")
+                emit(f"            txn.inquiries.append(({mgr}, single))")
+                emit(f"            {mgr}.n_inquiries += 1")
+            elif isinstance(p.ident, (list, tuple)):
+                idents = bind(f"i{i}_idents", tuple(p.ident))
+                emit(f"for single in {idents}:")
+                emit(f"    if not {inq}(osm, single, txn):")
+                emit(f"        osm.blocked_on = ({mgr}, single)")
+                emit("        return False")
+                emit("    txn.dirty = True")
+                emit(f"    txn.inquiries.append(({mgr}, single))")
+                emit(f"    {mgr}.n_inquiries += 1")
+            else:
+                ident = bind(f"i{i}_ident", p.ident)
+                emit(f"if not {inq}(osm, {ident}, txn):")
+                emit(f"    osm.blocked_on = ({mgr}, {ident})")
+                emit("    return False")
+                emit("txn.dirty = True")
+                emit(f"txn.inquiries.append(({mgr}, {ident}))")
+                emit(f"{mgr}.n_inquiries += 1")
+        elif t is Release:
+            slot = bind(f"r{i}_slot", p.slot)
+            emit(f"token = osm.token_buffer.get({slot})")
+            emit("if token is not None:")
+            if may_have_releases:
+                emit("    if txn.releases and txn.is_tentatively_released(token):")
+                emit("        raise TokenError(")
+                emit(f"            'double release of slot %r in one condition' % ({slot},))")
+            emit("    mgr = token.manager")
+            emit("    if not mgr.release(osm, token, txn):")
+            emit(f"        osm.blocked_on = (mgr, {slot})")
+            emit("        return False")
+            emit("    txn.dirty = True")
+            if p.value is not None:
+                value = bind(f"r{i}_value", p.value)
+                emit(f"    txn.releases.append((token, {value}(osm), {slot}))")
+            else:
+                emit(f"    txn.releases.append((token, None, {slot}))")
+            may_have_releases = True
+        elif t is Discard:
+            if p.slot is not None:
+                slot = bind(f"d{i}_slot", p.slot)
+                emit(f"token = osm.token_buffer.get({slot})")
+                emit("if token is not None:")
+                emit("    txn.dirty = True")
+                emit(f"    txn.discards.append((token, {slot}))")
+            else:
+                emit("for _slot, _token in osm.token_buffer.items():")
+                emit("    txn.dirty = True")
+                emit("    txn.discards.append((_token, _slot))")
+        elif t is AllocateMany:
+            alloc = bind(f"m{i}_alloc", p.manager.allocate)
+            mgr = bind(f"m{i}_mgr", p.manager)
+            slot = bind(f"m{i}_slot", p.slot)
+            idents = bind(f"m{i}_idents", p.idents)
+            emit(f"for _i, ident in enumerate({idents}(osm) or ()):")
+            emit(f"    token = {alloc}(osm, ident, txn)")
+            emit("    if token is None:")
+            emit(f"        osm.blocked_on = ({mgr}, ident)")
+            emit("        return False")
+            emit("    txn.dirty = True")
+            emit(f"    txn.grants.append(({slot} + str(_i), token))")
+            emit("    txn._granted_ids.add(id(token))")
+        elif t is ReleaseMany:
+            prefix = bind(f"r{i}_prefix", p.prefix)
+            if p.value is not None:
+                value = bind(f"r{i}_value", p.value)
+                value_expr = f"{value}(osm, _token)"
+            else:
+                value_expr = "None"
+            emit("for _slot, _token in list(osm.token_buffer.items()):")
+            emit(f"    if _slot.startswith({prefix}):")
+            emit("        if not _token.manager.release(osm, _token, txn):")
+            emit("            osm.blocked_on = (_token.manager, _slot)")
+            emit("            return False")
+            emit("        txn.dirty = True")
+            emit(f"        txn.releases.append((_token, {value_expr}, _slot))")
+            may_have_releases = True
+        elif t is Guard:
+            pred = bind(f"g{i}_pred", p.predicate)
+            emit(f"if not {pred}(osm):")
+            emit("    return False")
+        else:  # AllocateMany, ReleaseMany, custom primitives
+            probe = bind(f"p{i}_probe", p.probe)
+            emit(f"if not {probe}(osm, txn):")
+            emit("    return False")
+            may_have_releases = True  # the generic probe may append releases
+    emit("return True")
+
+    sig = "".join(f", {n}={n}" for n in params)
+    src = f"def _probe(osm, txn{sig}):\n" + "\n".join("    " + ln for ln in body)
+    exec(compile(src, "<edge-condition>", "exec"), env)
+    return env["_probe"]

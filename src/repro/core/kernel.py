@@ -41,11 +41,31 @@ class KernelBase:
         self.cycle = 0
         for module in self.modules:
             module.notify = director.notify
+        self._hooks_stale = True
+        self._begin_hooks: List[Callable[[int], None]] = []
+        self._end_hooks: List[Callable[[int], None]] = []
 
     def add_module(self, module: HardwareModule) -> HardwareModule:
         self.modules.append(module)
         module.notify = self.director.notify
+        self._hooks_stale = True
         return module
+
+    def _rebind_hooks(self) -> None:
+        """Snapshot the modules' overridden cycle hooks (in module order),
+        skipping base-class no-ops so the per-cycle loop pays only for
+        modules that actually do hardware work."""
+        base_begin = HardwareModule.begin_cycle
+        base_end = HardwareModule.end_cycle
+        self._begin_hooks = [
+            m.begin_cycle for m in self.modules
+            if type(m).begin_cycle is not base_begin
+        ]
+        self._end_hooks = [
+            m.end_cycle for m in self.modules
+            if type(m).end_cycle is not base_end
+        ]
+        self._hooks_stale = False
 
     def _finished(self) -> bool:
         return self.stop_condition is not None and self.stop_condition()
@@ -60,30 +80,57 @@ class CycleDrivenKernel(KernelBase):
     def step(self) -> None:
         """One clock cycle: hardware begin phase, OSM control step,
         hardware end phase."""
+        if self._hooks_stale:
+            self._rebind_hooks()
         cycle = self.cycle
-        for module in self.modules:
-            module.begin_cycle(cycle)
+        for hook in self._begin_hooks:
+            hook(cycle)
         self.director.control_step()
-        for module in self.modules:
-            module.end_cycle(cycle)
+        for hook in self._end_hooks:
+            hook(cycle)
         self.cycle += 1
         self.stats.cycles += 1
 
     def run(self, max_cycles: int = 10_000_000) -> SimulationStats:
-        """Run until the stop condition holds or *max_cycles* elapse."""
-        self.stats.start_timer()
+        """Run until the stop condition holds or *max_cycles* elapse.
+
+        The loop body is :meth:`step` inlined with the hook lists and the
+        control-step callable hoisted to locals — one cycle is the hottest
+        path of the whole simulator.
+        """
+        stats = self.stats
+        stats.start_timer()
         try:
             while self.cycle < max_cycles:
-                if self._finished():
-                    return self.stats
-                self.step()
+                stop = self.stop_condition
+                if stop is not None and stop():
+                    return stats
+                if self._hooks_stale:
+                    self._rebind_hooks()
+                begin_hooks = self._begin_hooks
+                end_hooks = self._end_hooks
+                control_step = self.director.control_step
+                cycle = self.cycle
+                while cycle < max_cycles:
+                    if stop is not None and stop():
+                        break
+                    for hook in begin_hooks:
+                        hook(cycle)
+                    control_step()
+                    for hook in end_hooks:
+                        hook(cycle)
+                    cycle += 1
+                    self.cycle = cycle
+                    stats.cycles += 1
+                    if self._hooks_stale or self.stop_condition is not stop:
+                        break  # modules or stop condition changed mid-run
         finally:
-            self.stats.stop_timer()
+            stats.stop_timer(phase="simulate")
         if not self._finished():
             raise SimulationError(
                 f"simulation did not terminate within {max_cycles} cycles"
             )
-        return self.stats
+        return stats
 
 
 class SimulationKernel(KernelBase):
@@ -110,13 +157,15 @@ class SimulationKernel(KernelBase):
 
     def step(self) -> None:
         """Advance to (and through) the next clock edge, per Fig. 4."""
+        if self._hooks_stale:
+            self._rebind_hooks()
         interval = self.clock.period // self.clock.phases
         next_edge = self.scheduler.now + interval
         # Run all hardware events strictly before the edge.
         self.scheduler.run_until(next_edge)
         cycle = self.cycle
-        for module in self.modules:
-            module.begin_cycle(cycle)
+        for hook in self._begin_hooks:
+            hook(cycle)
         # The control step finishes in zero time from the DE viewpoint and
         # introduces no events directly.
         before = len(self.scheduler.queue)
@@ -126,8 +175,8 @@ class SimulationKernel(KernelBase):
                 "OSM control step scheduled DE events; the control step must "
                 "finish in zero time (paper Fig. 4)"
             )
-        for module in self.modules:
-            module.end_cycle(cycle)
+        for hook in self._end_hooks:
+            hook(cycle)
         self.cycle += 1
         self.stats.cycles += 1
 
@@ -139,7 +188,7 @@ class SimulationKernel(KernelBase):
                     return self.stats
                 self.step()
         finally:
-            self.stats.stop_timer()
+            self.stats.stop_timer(phase="simulate")
         if not self._finished():
             raise SimulationError(
                 f"simulation did not terminate within {max_cycles} cycles"

@@ -103,6 +103,15 @@ class TokenManager:
     def on_discard(self, osm, token: Token) -> None:
         self.n_discards += 1
 
+    def resync_from_holders(self) -> None:
+        """Rebuild any cached occupancy bookkeeping from token holders.
+
+        Normal simulation keeps caches (e.g. the pool free count) in sync
+        through the commit hooks above.  Tools that teleport system state by
+        assigning ``token.holder`` directly — the explicit-state model
+        checker's ``restore`` — must call this afterwards.
+        """
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name!r})"
 
@@ -138,7 +147,8 @@ class SlotManager(TokenManager):
 
     def allocate(self, osm, ident, txn: Transaction) -> Optional[Token]:
         token = self.token
-        if token.holder is None and not txn.is_tentatively_granted(token):
+        # inlined txn.is_tentatively_granted (hot path)
+        if token.holder is None and id(token) not in txn._granted_ids:
             return token
         # The slot frees within this control step only if an earlier-ranked
         # OSM already committed its release; sequential director scheduling
@@ -172,6 +182,10 @@ class PoolManager(TokenManager):
             raise ValueError(f"pool {name!r} must have positive size, got {size}")
         self.tokens: List[Token] = [Token(self, f"{name}[{i}]", i) for i in range(size)]
         self.hold_release = False
+        #: committed free-token count, maintained by the commit hooks; lets
+        #: a probe against a full pool fail in O(1) instead of scanning
+        #: (full pools are the common case for stalled cycles)
+        self._n_free = size
 
     @property
     def capacity(self) -> int:
@@ -183,6 +197,9 @@ class PoolManager(TokenManager):
 
     @property
     def n_free(self) -> int:
+        # Introspection recounts from holders so it stays truthful even for
+        # tools that poke token.holder directly; the probe fast path uses
+        # the cached _n_free, resynced via resync_from_holders().
         return sum(1 for t in self.tokens if t.holder is None)
 
     @property
@@ -190,12 +207,26 @@ class PoolManager(TokenManager):
         return [t.holder for t in self.tokens if t.holder is not None]
 
     def allocate(self, osm, ident, txn: Transaction) -> Optional[Token]:
+        # Tentative grants only shrink availability, and tentative releases
+        # do not free tokens until commit, so an empty committed free count
+        # is an exact refusal.  When tokens are free, the scan preserves the
+        # deterministic lowest-index selection.
+        if self._n_free == 0:
+            return None
+        granted = txn._granted_ids
         for token in self.tokens:
-            if token.holder is None and not txn.is_tentatively_granted(token):
+            if token.holder is None and id(token) not in granted:
                 return token
         return None
 
     def inquire(self, osm, ident, txn: Transaction) -> bool:
+        n_free = self._n_free
+        if n_free == 0:
+            return False
+        if n_free > len(txn.grants):
+            # More committed-free tokens than tentative grants in the whole
+            # transaction: at least one free token cannot be granted yet.
+            return True
         return any(
             t.holder is None and not txn.is_tentatively_granted(t) for t in self.tokens
         )
@@ -206,6 +237,21 @@ class PoolManager(TokenManager):
         if token.holder is not osm:
             raise TokenError(f"{self.name}: {osm!r} does not hold {token!r}")
         return not self.hold_release
+
+    def on_allocate_commit(self, osm, token: Token) -> None:
+        super().on_allocate_commit(osm, token)
+        self._n_free -= 1
+
+    def on_release_commit(self, osm, token: Token, value: Any) -> None:
+        super().on_release_commit(osm, token, value)
+        self._n_free += 1
+
+    def on_discard(self, osm, token: Token) -> None:
+        super().on_discard(osm, token)
+        self._n_free += 1
+
+    def resync_from_holders(self) -> None:
+        self._n_free = sum(1 for t in self.tokens if t.holder is None)
 
 
 class RegisterFileManager(TokenManager):
@@ -267,8 +313,14 @@ class RegisterFileManager(TokenManager):
             return None
         if self.max_outstanding is not None and self._outstanding >= self.max_outstanding:
             return None
+        # One committed writer holds exactly one update token of its
+        # register, so a full writer list means no free token: O(1) refusal
+        # without scanning the token pool (the common WAW-stall case).
+        if len(self._writers[reg]) >= self.updates_per_reg:
+            return None
+        granted = txn._granted_ids
         for token in self.update_tokens[reg]:
-            if token.holder is None and not txn.is_tentatively_granted(token):
+            if token.holder is None and id(token) not in granted:
                 return token
         return None
 

@@ -17,9 +17,11 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from .edgecompile import compile_condition
 from .errors import SpecError, TokenError
 from .primitives import ALWAYS, Condition, Primitive
 from .token import Token
+from .transaction import Transaction
 
 Action = Callable[["OperationStateMachine"], None]
 
@@ -27,7 +29,7 @@ Action = Callable[["OperationStateMachine"], None]
 class State:
     """A named state in a machine specification."""
 
-    __slots__ = ("name", "is_initial", "on_enter", "out_edges")
+    __slots__ = ("name", "is_initial", "on_enter", "out_edges", "_plan")
 
     def __init__(self, name: str, is_initial: bool = False, on_enter: Optional[Action] = None):
         self.name = name
@@ -35,6 +37,25 @@ class State:
         self.on_enter = on_enter
         #: outgoing edges sorted by descending static priority
         self.out_edges: List["Edge"] = []
+        #: pre-bound probe plan: ``((edge, compiled_probe), ...)`` snapshot
+        #: of the outgoing edges, each guard condition compiled to one
+        #: specialised ``probe(osm, txn) -> bool`` function (see
+        #: :mod:`repro.core.edgecompile`).  Built lazily at first use and
+        #: invalidated whenever an edge is declared; compiling once at
+        #: model-build time keeps the per-cycle transition probe free of
+        #: per-primitive dispatch, attribute chasing and temporary lists.
+        self._plan: Optional[Tuple[Tuple["Edge", Callable], ...]] = None
+
+    def probe_plan(self) -> Tuple[Tuple["Edge", Callable], ...]:
+        """The pre-bound (edge, compiled probe) plan for this state."""
+        plan = self._plan
+        if plan is None:
+            plan = tuple(
+                (edge, compile_condition(edge.condition))
+                for edge in self.out_edges
+            )
+            self._plan = plan
+        return plan
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"State({self.name!r})"
@@ -151,11 +172,13 @@ class MachineSpec:
                  allow=allow)
         e.index = len(self.edges)
         self.edges.append(e)
-        out = self.states[src].out_edges
+        source = self.states[src]
+        out = source.out_edges
         out.append(e)
         # keep outgoing edges sorted: highest static priority first, then
         # declaration order (stable sort) for determinism among equals
         out.sort(key=lambda edge: -edge.priority)
+        source._plan = None  # edge set changed: rebuild the probe plan
         return e
 
     def validate(self) -> None:
@@ -205,6 +228,10 @@ class OperationStateMachine:
         decisions).
     """
 
+    __slots__ = ("spec", "name", "serial", "tag", "current", "token_buffer",
+                 "operation", "age", "blocked_on", "n_transitions",
+                 "last_edge", "_fail_version", "_stepped", "_txn")
+
     _next_serial = 0
 
     def __init__(self, spec: MachineSpec, name: Optional[str] = None, tag: Any = None):
@@ -233,6 +260,13 @@ class OperationStateMachine:
         #: director bookkeeping: observable-state version at the last
         #: failed probe (see Director.control_step)
         self._fail_version = -1
+        #: director bookkeeping: control-step id of the last committed
+        #: transition (an OSM transitions at most once per control step)
+        self._stepped = -1
+        #: the OSM's private reusable transaction: probe traffic is always
+        #: sequential per OSM, so one lazily-reset object serves every
+        #: try_transition call without pool traffic
+        self._txn = Transaction(self)
 
     # -- token buffer helpers ---------------------------------------------
 
@@ -268,33 +302,48 @@ class OperationStateMachine:
         satisfied condition, commits the transaction, updates state, runs
         the edge action and the destination's ``on_enter``, and returns the
         edge.  Returns ``None`` when no edge fires.
+
+        The probe loop runs over the state's pre-bound
+        :meth:`State.probe_plan`: each edge's guard condition is compiled
+        at model-build time into one specialised probe function (see
+        :mod:`repro.core.edgecompile`), so per-cycle work is one call per
+        candidate edge instead of per-primitive dispatch.  The observable
+        behaviour is identical to probing each edge's condition in
+        declaration order.
         """
         self.blocked_on = None
-        for edge in self.current.out_edges:
-            txn = edge.condition.probe(self)
-            if txn is None:
-                continue
-            left_initial = self.in_initial
-            txn.commit()
-            self.current = edge.dst
-            self.last_edge = edge
-            self.n_transitions += 1
-            if left_initial:
-                self.age = clock
-            if edge.action is not None:
-                edge.action(self)
-            if edge.dst.on_enter is not None:
-                edge.dst.on_enter(self)
-            if edge.dst.is_initial:
-                # Back to I: token buffer must be empty (model invariant).
-                if self.token_buffer:
-                    raise TokenError(
-                        f"{self.name}: returned to initial state still holding "
-                        f"{sorted(self.token_buffer)}"
-                    )
-                self.operation = None
-                self.age = -1
-            return edge
+        current = self.current
+        plan = current._plan
+        if plan is None:
+            plan = current.probe_plan()
+        txn = self._txn
+        if txn.dirty:
+            txn.reset(self)
+        for edge, probe in plan:
+            if probe(self, txn):
+                txn.commit()
+                dst = edge.dst
+                self.current = dst
+                self.last_edge = edge
+                self.n_transitions += 1
+                if current.is_initial:
+                    self.age = clock
+                if edge.action is not None:
+                    edge.action(self)
+                if dst.on_enter is not None:
+                    dst.on_enter(self)
+                if dst.is_initial:
+                    # Back to I: token buffer must be empty (model invariant).
+                    if self.token_buffer:
+                        raise TokenError(
+                            f"{self.name}: returned to initial state still "
+                            f"holding {sorted(self.token_buffer)}"
+                        )
+                    self.operation = None
+                    self.age = -1
+                return edge
+            if txn.dirty:
+                txn.reset(self)
         return None
 
     def __repr__(self) -> str:  # pragma: no cover

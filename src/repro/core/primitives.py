@@ -19,14 +19,15 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
 
 from .errors import TokenError
 from .manager import TokenManager
-from .token import resolve_identifier
-from .transaction import Transaction
+from .transaction import Transaction, acquire_transaction, recycle_transaction
 
 IdentLike = Union[Any, Callable[[Any], Any]]
 
 
 class Primitive:
     """Base class of the four transaction primitives."""
+
+    __slots__ = ()
 
     #: subclasses set this for traces
     kind = "primitive"
@@ -57,22 +58,34 @@ class Allocate(Primitive):
         defaults to the manager name.
     """
 
+    __slots__ = ("manager", "ident", "slot", "_dynamic")
+
     kind = "allocate"
 
     def __init__(self, manager: TokenManager, ident: IdentLike = None, slot: Optional[str] = None):
         self.manager = manager
         self.ident = ident
         self.slot = slot or manager.name
+        #: resolved once at model-build time: dynamic identifiers are
+        #: callables evaluated per probe, static ones are used as-is
+        self._dynamic = callable(ident)
 
     def probe(self, osm, txn: Transaction) -> bool:
-        ident = resolve_identifier(self.ident, osm)
-        if self.ident is not None and callable(self.ident) and ident is None:
-            return True  # operation does not need this resource
-        token = self.manager.allocate(osm, ident, txn)
+        if self._dynamic:
+            ident = self.ident(osm)
+            if ident is None:
+                return True  # operation does not need this resource
+        else:
+            ident = self.ident
+        manager = self.manager
+        token = manager.allocate(osm, ident, txn)
         if token is None:
-            osm.note_blocked_on(self.manager, ident)
+            osm.note_blocked_on(manager, ident)
             return False
-        txn.add_grant(self.slot, token)
+        # inlined txn.add_grant (hot path)
+        txn.dirty = True
+        txn.grants.append((self.slot, token))
+        txn._granted_ids.add(id(token))
         return True
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -86,6 +99,8 @@ class AllocateMany(Primitive):
     rename buffer per destination register).  ``idents`` is a callable
     returning a sequence of identifiers; slots are ``f"{slot}{i}"``.
     """
+
+    __slots__ = ("manager", "idents", "slot")
 
     kind = "allocate"
 
@@ -115,26 +130,39 @@ class Inquire(Primitive):
     sequence of identifiers all of which must be available.
     """
 
+    __slots__ = ("manager", "ident", "_dynamic")
+
     kind = "inquire"
 
     def __init__(self, manager: TokenManager, ident: IdentLike = None):
         self.manager = manager
         self.ident = ident
+        self._dynamic = callable(ident)
 
     def probe(self, osm, txn: Transaction) -> bool:
-        if callable(self.ident):
+        if self._dynamic:
             ident = self.ident(osm)
             if ident is None:
                 return True  # operation does not use this resource
         else:
             ident = self.ident
-        idents = ident if isinstance(ident, (list, tuple)) else (ident,)
-        for single in idents:
-            if not self.manager.inquire(osm, single, txn):
-                osm.note_blocked_on(self.manager, single)
+        manager = self.manager
+        if not isinstance(ident, (list, tuple)):
+            # scalar fast path: the overwhelmingly common shape
+            if not manager.inquire(osm, ident, txn):
+                osm.note_blocked_on(manager, ident)
                 return False
-            txn.add_inquiry(self.manager, single)
-            self.manager.n_inquiries += 1
+            # inlined txn.add_inquiry (hot path)
+            txn.dirty = True
+            txn.inquiries.append((manager, ident))
+            manager.n_inquiries += 1
+            return True
+        for single in ident:
+            if not manager.inquire(osm, single, txn):
+                osm.note_blocked_on(manager, single)
+                return False
+            txn.add_inquiry(manager, single)
+            manager.n_inquiries += 1
         return True
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -155,6 +183,8 @@ class Release(Primitive):
         the computed result accompanying a register-update release).
     """
 
+    __slots__ = ("slot", "value")
+
     kind = "release"
 
     def __init__(self, slot: str, value: Optional[Callable[[Any], Any]] = None):
@@ -162,16 +192,19 @@ class Release(Primitive):
         self.value = value
 
     def probe(self, osm, txn: Transaction) -> bool:
-        token = osm.token_buffer.get(self.slot)
+        slot = self.slot
+        token = osm.token_buffer.get(slot)
         if token is None:
             return True
-        if txn.is_tentatively_released(token):
-            raise TokenError(f"double release of slot {self.slot!r} in one condition")
+        if txn.releases and txn.is_tentatively_released(token):
+            raise TokenError(f"double release of slot {slot!r} in one condition")
         if not token.manager.release(osm, token, txn):
-            osm.note_blocked_on(token.manager, self.slot)
+            osm.note_blocked_on(token.manager, slot)
             return False
         value = self.value(osm) if self.value is not None else None
-        txn.add_release(token, value)
+        # inlined txn.add_release (hot path)
+        txn.dirty = True
+        txn.releases.append((token, value, slot))
         return True
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -182,6 +215,8 @@ class ReleaseMany(Primitive):
     """Release every buffer slot matching a prefix (dynamic counterpart of
     :class:`AllocateMany`)."""
 
+    __slots__ = ("prefix", "value")
+
     kind = "release"
 
     def __init__(self, prefix: str, value: Optional[Callable[[Any, Any], Any]] = None):
@@ -189,14 +224,15 @@ class ReleaseMany(Primitive):
         self.value = value
 
     def probe(self, osm, txn: Transaction) -> bool:
+        prefix = self.prefix
         for slot, token in list(osm.token_buffer.items()):
-            if not slot.startswith(self.prefix):
+            if not slot.startswith(prefix):
                 continue
             if not token.manager.release(osm, token, txn):
                 osm.note_blocked_on(token.manager, slot)
                 return False
             value = self.value(osm, token) if self.value is not None else None
-            txn.add_release(token, value)
+            txn.add_release(token, value, slot)
         return True
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -211,6 +247,8 @@ class Discard(Primitive):
     discards only that slot if held.
     """
 
+    __slots__ = ("slot",)
+
     kind = "discard"
 
     def __init__(self, slot: Optional[str] = None):
@@ -220,10 +258,10 @@ class Discard(Primitive):
         if self.slot is not None:
             token = osm.token_buffer.get(self.slot)
             if token is not None:
-                txn.add_discard(token)
+                txn.add_discard(token, self.slot)
             return True
-        for token in osm.token_buffer.values():
-            txn.add_discard(token)
+        for slot, token in osm.token_buffer.items():
+            txn.add_discard(token, slot)
         return True
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -240,6 +278,8 @@ class Guard(Primitive):
     an ``Inquire`` against an anonymous manager whose policy is the
     predicate.
     """
+
+    __slots__ = ("predicate", "label")
 
     kind = "guard"
 
@@ -273,24 +313,16 @@ class Condition:
 
     def probe(self, osm) -> Optional[Transaction]:
         """Return a ready-to-commit transaction, or ``None`` if unsatisfied."""
-        pool = _TXN_POOL
-        if pool:
-            txn = pool.pop()
-            txn.reset(osm)
-        else:
-            txn = Transaction(osm)
+        txn = acquire_transaction(osm)
         for primitive in self.primitives:
             if not primitive.probe(osm, txn):
-                pool.append(txn)  # failed probes recycle their transaction
+                recycle_transaction(txn)  # failed probes recycle their transaction
                 return None
         return txn
 
     def __repr__(self) -> str:  # pragma: no cover
         return " & ".join(repr(p) for p in self.primitives) or "Always()"
 
-
-#: recycled transactions for failed probes (bounded by natural use)
-_TXN_POOL: List[Transaction] = []
 
 #: the trivially-true condition (edges that always may fire)
 ALWAYS = Condition(())

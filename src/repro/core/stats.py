@@ -1,9 +1,20 @@
-"""Simulation statistics collected by the director and kernels."""
+"""Simulation statistics collected by the director and kernels.
+
+Besides the raw counters, stats carry a *phase-attributed* timing layer:
+coarse named phases (``assemble``, ``build``, ``simulate``, ``verify``
+by convention) accumulated in :attr:`SimulationStats.phase_seconds`.
+Phases are timed only at harness boundaries — wrapping a whole
+assemble/build/run call via :meth:`time_phase` or the ``phase=``
+argument of :meth:`stop_timer` — never inside the per-cycle hot loop,
+so the attribution is free at simulation time.  ``repro bench`` reports
+the per-phase breakdown in its JSON row.
+"""
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
 
 
 class SimulationStats:
@@ -22,16 +33,40 @@ class SimulationStats:
         self.instructions = 0
         #: per-state occupancy histogram: state name -> OSM-cycles spent
         self.state_occupancy: Dict[str, int] = {}
+        #: phase name -> accumulated wall seconds (see module docstring)
+        self.phase_seconds: Dict[str, float] = {}
         self._wall_start: Optional[float] = None
         self.wall_seconds = 0.0
 
     def start_timer(self) -> None:
         self._wall_start = time.perf_counter()
 
-    def stop_timer(self) -> None:
+    def stop_timer(self, phase: Optional[str] = None) -> None:
+        """Stop the wall timer; with *phase*, also attribute the elapsed
+        interval to that phase (the kernels pass ``"simulate"``)."""
         if self._wall_start is not None:
-            self.wall_seconds += time.perf_counter() - self._wall_start
+            elapsed = time.perf_counter() - self._wall_start
+            self.wall_seconds += elapsed
             self._wall_start = None
+            if phase is not None:
+                self.record_phase(phase, elapsed)
+
+    def record_phase(self, name: str, seconds: float) -> None:
+        """Attribute *seconds* of wall time to the named phase."""
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+    @contextmanager
+    def time_phase(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block and attribute it to the named phase.
+
+        Intended for harness-level boundaries (assembling, model build,
+        verification re-runs) — not for per-cycle code.
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_phase(name, time.perf_counter() - start)
 
     @property
     def cycles_per_second(self) -> float:
@@ -39,6 +74,13 @@ class SimulationStats:
         if self.wall_seconds <= 0.0:
             return 0.0
         return self.cycles / self.wall_seconds
+
+    @property
+    def transitions_per_second(self) -> float:
+        """Committed OSM transitions (scheduling events) per wall second."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.transitions / self.wall_seconds
 
     @property
     def ipc(self) -> float:
@@ -64,6 +106,8 @@ class SimulationStats:
             f"wall seconds     : {self.wall_seconds:.3f}",
             f"cycles/second    : {self.cycles_per_second:,.0f}",
         ]
+        for name in sorted(self.phase_seconds):
+            lines.append(f"phase {name:<11}: {self.phase_seconds[name]:.3f}s")
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover

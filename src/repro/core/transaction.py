@@ -26,16 +26,22 @@ from .token import Token
 class Transaction:
     """Records the tentative effects of one edge-condition evaluation."""
 
-    __slots__ = ("osm", "grants", "releases", "discards", "inquiries", "_granted_ids")
+    __slots__ = ("osm", "grants", "releases", "discards", "inquiries",
+                 "_granted_ids", "dirty")
 
     def __init__(self, osm):
         self.osm = osm
+        #: True once any tentative effect is recorded; a clean transaction
+        #: can be reused for the next probe without clearing anything
+        self.dirty = False
         #: tokens tentatively granted, with the buffer slot they will occupy
         self.grants: List[Tuple[str, Token]] = []
-        #: tokens tentatively released (with optional writeback value)
-        self.releases: List[Tuple[Token, Any]] = []
-        #: tokens to be discarded on commit
-        self.discards: List[Token] = []
+        #: tokens tentatively released (with the buffer slot they leave and
+        #: an optional writeback value); slot ``None`` means "unknown, look
+        #: it up at commit" (kept for direct non-primitive users)
+        self.releases: List[Tuple[Token, Any, Optional[str]]] = []
+        #: tokens to be discarded on commit, with their buffer slot
+        self.discards: List[Tuple[Token, Optional[str]]] = []
         #: (manager, ident) pairs successfully inquired, for tracing
         self.inquiries: List[Tuple[Any, Any]] = []
         self._granted_ids: Set[int] = set()
@@ -44,28 +50,45 @@ class Transaction:
 
     def add_grant(self, slot: str, token: Token) -> None:
         """Record a tentative allocate grant into buffer slot *slot*."""
+        self.dirty = True
         self.grants.append((slot, token))
         self._granted_ids.add(id(token))
 
-    def add_release(self, token: Token, value: Any = None) -> None:
-        """Record a tentative release (with optional value handed back)."""
-        self.releases.append((token, value))
+    def add_release(self, token: Token, value: Any = None,
+                    slot: Optional[str] = None) -> None:
+        """Record a tentative release (with optional value handed back).
 
-    def add_discard(self, token: Token) -> None:
-        self.discards.append(token)
+        Callers that know which buffer slot holds *token* pass it so the
+        commit phase avoids a reverse scan of the token buffer.
+        """
+        self.dirty = True
+        self.releases.append((token, value, slot))
+
+    def add_discard(self, token: Token, slot: Optional[str] = None) -> None:
+        self.dirty = True
+        self.discards.append((token, slot))
 
     def add_inquiry(self, manager, ident) -> None:
+        self.dirty = True
         self.inquiries.append((manager, ident))
 
     def reset(self, osm) -> None:
         """Recycle this transaction for a fresh probe (object pooling:
         most probes fail and their transactions are reused)."""
         self.osm = osm
-        self.grants.clear()
-        self.releases.clear()
-        self.discards.clear()
-        self.inquiries.clear()
-        self._granted_ids.clear()
+        self.dirty = False
+        # guard each clear: a typical transaction touches one or two of
+        # the five containers, and list.clear on a list known to be empty
+        # still costs a method call
+        if self.grants:
+            self.grants.clear()
+            self._granted_ids.clear()
+        if self.releases:
+            self.releases.clear()
+        if self.discards:
+            self.discards.clear()
+        if self.inquiries:
+            self.inquiries.clear()
 
     def is_tentatively_granted(self, token: Token) -> bool:
         """True when *token* was already promised earlier in this probe.
@@ -77,7 +100,7 @@ class Transaction:
         return bool(self._granted_ids) and id(token) in self._granted_ids
 
     def tentative_release_value(self, token: Token) -> Optional[Any]:
-        for released, value in self.releases:
+        for released, value, _ in self.releases:
             if released is token:
                 return value
         return None
@@ -85,7 +108,7 @@ class Transaction:
     def is_tentatively_released(self, token: Token) -> bool:
         if not self.releases:
             return False
-        return any(released is token for released, _ in self.releases)
+        return any(released is token for released, _, _ in self.releases)
 
     # -- commit phase --------------------------------------------------------
 
@@ -98,26 +121,67 @@ class Transaction:
         ordering is the director's responsibility; a single transaction only
         ever concerns one OSM.
         """
-        buffer = self.osm.token_buffer
-        for token, value in self.releases:
-            slot = self.osm.slot_of(token)
-            if slot is not None:
-                del buffer[slot]
-            token.holder = None
-            token.manager.on_release_commit(self.osm, token, value)
-        for token in self.discards:
-            slot = self.osm.slot_of(token)
-            if slot is not None:
-                del buffer[slot]
-            token.holder = None
-            token.manager.on_discard(self.osm, token)
-        for slot, token in self.grants:
-            token.holder = self.osm
-            buffer[slot] = token
-            token.manager.on_allocate_commit(self.osm, token)
+        osm = self.osm
+        buffer = osm.token_buffer
+        releases = self.releases
+        if releases:
+            for token, value, slot in releases:
+                if slot is None:
+                    slot = osm.slot_of(token)
+                if slot is not None:
+                    del buffer[slot]
+                token.holder = None
+                token.manager.on_release_commit(osm, token, value)
+            releases.clear()
+        discards = self.discards
+        if discards:
+            for token, slot in discards:
+                if slot is None:
+                    slot = osm.slot_of(token)
+                if slot is not None:
+                    del buffer[slot]
+                token.holder = None
+                token.manager.on_discard(osm, token)
+            discards.clear()
+        grants = self.grants
+        if grants:
+            for slot, token in grants:
+                token.holder = osm
+                buffer[slot] = token
+                token.manager.on_allocate_commit(osm, token)
+            grants.clear()
+            self._granted_ids.clear()
+        if self.inquiries:
+            self.inquiries.clear()
+        # a committed transaction leaves itself clean, ready for the next
+        # probe without a reset
+        self.dirty = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Transaction(osm={self.osm.name}, grants={len(self.grants)}, "
             f"releases={len(self.releases)}, discards={len(self.discards)})"
         )
+
+
+#: recycled transactions (object pooling: most probes fail, and committed
+#: transactions are never retained by managers, so both can be reused)
+_TXN_POOL: List[Transaction] = []
+
+
+def acquire_transaction(osm) -> Transaction:
+    """A fresh (possibly recycled) transaction bound to *osm*."""
+    pool = _TXN_POOL
+    if pool:
+        txn = pool.pop()
+        if txn.dirty:
+            txn.reset(osm)
+        else:
+            txn.osm = osm
+        return txn
+    return Transaction(osm)
+
+
+def recycle_transaction(txn: Transaction) -> None:
+    """Return *txn* to the pool once its probe failed or its commit ran."""
+    _TXN_POOL.append(txn)

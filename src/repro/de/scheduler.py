@@ -33,7 +33,13 @@ class DiscreteEventScheduler:
         return self.queue.schedule(timestamp, action, label)
 
     def run_until(self, timestamp: int) -> None:
-        """Run every event with ``t < timestamp``; leaves ``now`` there."""
+        """Run every event with ``t < timestamp``; leaves ``now = timestamp``.
+
+        The boundary is half-open: an event scheduled exactly at
+        *timestamp* stays queued, so back-to-back ``run_until(t)`` /
+        ``run_until(t + 1)`` calls partition time without double-running
+        or dropping edge events.  :meth:`run_all` uses the same contract.
+        """
         while True:
             t = self.queue.peek_time()
             if t is None or t >= timestamp:
@@ -45,15 +51,26 @@ class DiscreteEventScheduler:
         self.now = timestamp
 
     def run_all(self, horizon: Optional[int] = None) -> None:
-        """Drain the queue (optionally only up to *horizon*)."""
+        """Drain the queue; with *horizon*, behave like ``run_until(horizon)``.
+
+        Without a horizon, runs until the queue is empty (events may keep
+        scheduling more) and ``now`` rests at the last event's timestamp.
+        With a horizon, the boundary matches :meth:`run_until` exactly:
+        events with ``t < horizon`` run, an event at ``t == horizon``
+        stays queued, and ``now`` advances to *horizon* even when no
+        event fired — so a subsequent relative :meth:`schedule` is
+        anchored at the horizon, not at the last-run event.
+        """
         while True:
             t = self.queue.peek_time()
-            if t is None or (horizon is not None and t > horizon):
+            if t is None or (horizon is not None and t >= horizon):
                 break
             event = self.queue.pop()
             self.now = event.timestamp
             event.run()
             self.events_run += 1
+        if horizon is not None:
+            self.now = horizon
 
 
 class DeltaCycleSimulator:

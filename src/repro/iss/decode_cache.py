@@ -1,0 +1,84 @@
+"""Shared decoded-operation cache with write invalidation.
+
+The ISS interpreters and the OSM-layer timing models both decode
+instructions from main memory, and both memoise the result by address —
+decoding is by far the most expensive part of a fetch.  The seed
+implementation kept a bare per-interpreter dict that was *never
+invalidated*: a program that stores over its own text kept executing the
+stale decode.
+
+:class:`DecodeCache` fixes that contract.  It is keyed by address, shared
+between the functional interpreter and the fetch units of the timing
+models (they all decode through :meth:`BaseInterpreter.fetch_decode`),
+and registers a write hook on the backing :class:`MainMemory` so any
+store overlapping a cached instruction's bytes drops exactly the stale
+entries.  Invalidation is O(span) per write and the hook costs one list
+check per write when nothing is cached near the store.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from ..memory.mainmem import MainMemory
+
+#: instruction width in bytes (both targets are fixed-width 32-bit ISAs)
+INSTR_BYTES = 4
+
+
+class DecodeCache:
+    """Address-keyed decoded-instruction cache, invalidated by writes.
+
+    Parameters
+    ----------
+    memory:
+        The backing main memory; a write hook is registered so stores
+        that overlap a cached instruction invalidate it.
+    decode:
+        ``decode(addr, word) -> instr`` — the ISA decoder.
+    """
+
+    __slots__ = ("entries", "_decode", "_read_word", "invalidations")
+
+    def __init__(self, memory: MainMemory, decode: Callable[[int, int], Any]):
+        #: addr -> decoded instruction (exposed so the hot fetch path can
+        #: do the dict probe without an extra call; see fetch_decode)
+        self.entries: Dict[int, Any] = {}
+        self._decode = decode
+        self._read_word = memory.read_word
+        #: number of cached entries dropped by overlapping writes
+        self.invalidations = 0
+        memory.add_write_hook(self._on_write)
+
+    def fetch(self, addr: int):
+        """The decoded instruction at *addr* (decoding on first use)."""
+        instr = self.entries.get(addr)
+        if instr is None:
+            instr = self._decode(addr, self._read_word(addr))
+            self.entries[addr] = instr
+        return instr
+
+    def _on_write(self, address: int, length: int) -> None:
+        """Drop every cached instruction whose bytes overlap the write.
+
+        An instruction cached at address X covers ``[X, X+4)``; a write
+        of *length* bytes at *address* overlaps X in
+        ``[address-3, address+length-1]``.  Entries are keyed at their
+        start address (any alignment), so the whole span is probed.
+        """
+        entries = self.entries
+        if not entries:
+            return
+        pop = entries.pop
+        for addr in range(address - INSTR_BYTES + 1, address + length):
+            if pop(addr & 0xFFFFFFFF, None) is not None:
+                self.invalidations += 1
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DecodeCache({len(self.entries)} entries, {self.invalidations} invalidated)"

@@ -8,10 +8,9 @@ functional execution, while the OSM models own the timing.
 
 from __future__ import annotations
 
-from typing import Dict
-
 from ..isa.program import Program
 from ..memory.mainmem import MainMemory
+from .decode_cache import DecodeCache
 from .state import ArchState
 from .syscalls import SyscallHandler
 
@@ -34,7 +33,10 @@ class BaseInterpreter:
         self.state = ArchState(self.n_regs, memory, self.syscalls)
         self.state.pc = program.entry
         self._init_state(stack_top)
-        self._decode_cache: Dict[int, object] = {}
+        #: shared decoded-operation cache: the timing models fetch through
+        #: :meth:`fetch_decode` too, so functional and timing layers see
+        #: one consistent, write-invalidated view of the text
+        self.decode_cache = DecodeCache(memory, self._decode)
         self.steps = 0
 
     # -- ISA hooks ------------------------------------------------------------
@@ -54,12 +56,16 @@ class BaseInterpreter:
     # -- execution --------------------------------------------------------------
 
     def fetch_decode(self, addr: int):
-        """Decode (with caching) the instruction at *addr*."""
-        instr = self._decode_cache.get(addr)
+        """Decode (with caching) the instruction at *addr*.
+
+        The cache is shared with the timing models and invalidated on
+        memory writes, so self-modifying code re-decodes (see
+        :mod:`repro.iss.decode_cache`).
+        """
+        cache = self.decode_cache
+        instr = cache.entries.get(addr)
         if instr is None:
-            word = self.state.memory.read_word(addr)
-            instr = self._decode(addr, word)
-            self._decode_cache[addr] = instr
+            return cache.fetch(addr)
         return instr
 
     def step(self):

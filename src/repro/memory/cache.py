@@ -92,12 +92,27 @@ class Cache:
 
     def access(self, address: int, is_write: bool = False) -> int:
         """Simulate one access; returns its latency in cycles."""
-        self.stats.accesses += 1
-        index, tag = self._locate(address)
+        stats = self.stats
+        stats.accesses += 1
+        line = address >> self._offset_bits
+        index = line & self._index_mask
+        tag = line >> (self.n_sets.bit_length() - 1)
         ways = self._sets[index]
-        for position, (way_tag, dirty) in enumerate(ways):
+        if ways:
+            way_tag, dirty = ways[0]
             if way_tag == tag:
-                self.stats.hits += 1
+                # MRU hit (sequential streams hit here): no LRU reorder
+                stats.hits += 1
+                if is_write and self.write_back and not dirty:
+                    ways[0] = (tag, True)
+                latency = self.hit_latency
+                if is_write and not self.write_back:
+                    latency += self._write_through_latency(address)
+                return latency
+        for position in range(1, len(ways)):
+            way_tag, dirty = ways[position]
+            if way_tag == tag:
+                stats.hits += 1
                 ways.pop(position)
                 ways.insert(0, (tag, dirty or (is_write and self.write_back)))
                 latency = self.hit_latency

@@ -4,12 +4,18 @@ Backing store for both the ISS architectural state and the hardware-layer
 memory modules.  Pages are allocated lazily so programs can scatter text,
 data and stack across a 32-bit space without cost.  All accesses are
 little-endian.
+
+Write hooks: consumers that cache derived views of memory (the decode
+caches — see :mod:`repro.iss.decode_cache`) register a callback via
+:meth:`MainMemory.add_write_hook` and are told the ``(address, length)``
+span of every mutation, so self-modifying code invalidates exactly the
+stale entries.  Each write operation notifies once for its whole span.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Dict
+from typing import Callable, Dict, List
 
 PAGE_BITS = 12
 PAGE_SIZE = 1 << PAGE_BITS
@@ -21,6 +27,15 @@ class MainMemory:
 
     def __init__(self):
         self._pages: Dict[int, bytearray] = {}
+        #: callbacks ``hook(address, length)`` fired after every write
+        self._write_hooks: List[Callable[[int, int], None]] = []
+
+    def add_write_hook(self, hook: Callable[[int, int], None]) -> None:
+        """Register *hook(address, length)*, called after each write."""
+        self._write_hooks.append(hook)
+
+    def remove_write_hook(self, hook: Callable[[int, int], None]) -> None:
+        self._write_hooks.remove(hook)
 
     def _page(self, address: int) -> bytearray:
         number = address >> PAGE_BITS
@@ -39,9 +54,16 @@ class MainMemory:
             return 0
         return page[address & PAGE_MASK]
 
+    def _write_byte_raw(self, address: int, value: int) -> None:
+        self._page(address)[address & PAGE_MASK] = value & 0xFF
+
     def write_byte(self, address: int, value: int) -> None:
         address &= 0xFFFFFFFF
         self._page(address)[address & PAGE_MASK] = value & 0xFF
+        hooks = self._write_hooks
+        if hooks:
+            for hook in hooks:
+                hook(address, 1)
 
     def read_word(self, address: int) -> int:
         address &= 0xFFFFFFFF
@@ -63,22 +85,37 @@ class MainMemory:
         offset = address & PAGE_MASK
         if offset <= PAGE_SIZE - 4:
             struct.pack_into("<I", self._page(address), offset, value & 0xFFFFFFFF)
-            return
-        for i in range(4):
-            self.write_byte(address + i, (value >> (8 * i)) & 0xFF)
+        else:
+            for i in range(4):
+                self._write_byte_raw((address + i) & 0xFFFFFFFF, (value >> (8 * i)) & 0xFF)
+        hooks = self._write_hooks
+        if hooks:
+            for hook in hooks:
+                hook(address, 4)
 
     def read_half(self, address: int) -> int:
         return self.read_byte(address) | (self.read_byte(address + 1) << 8)
 
     def write_half(self, address: int, value: int) -> None:
-        self.write_byte(address, value & 0xFF)
-        self.write_byte(address + 1, (value >> 8) & 0xFF)
+        address &= 0xFFFFFFFF
+        self._write_byte_raw(address, value & 0xFF)
+        self._write_byte_raw((address + 1) & 0xFFFFFFFF, (value >> 8) & 0xFF)
+        hooks = self._write_hooks
+        if hooks:
+            for hook in hooks:
+                hook(address, 2)
 
     # -- block accessors --------------------------------------------------------
 
     def write_block(self, address: int, data: bytes) -> None:
+        address &= 0xFFFFFFFF
         for i, byte in enumerate(data):
-            self.write_byte(address + i, byte)
+            self._write_byte_raw((address + i) & 0xFFFFFFFF, byte)
+        if data:
+            hooks = self._write_hooks
+            if hooks:
+                for hook in hooks:
+                    hook(address, len(data))
 
     def read_block(self, address: int, length: int) -> bytes:
         return bytes(self.read_byte(address + i) for i in range(length))

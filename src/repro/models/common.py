@@ -159,9 +159,15 @@ class _FetchSlotManager(SlotManager):
         self._unit = unit
 
     def allocate(self, osm, ident, txn):
-        if not self._unit.can_accept():
+        # inlined can_accept() + SlotManager.allocate (hot path: probed by
+        # every idle OSM every cycle)
+        unit = self._unit
+        if unit.halted or unit._redirect_pending is not None:
             return None
-        return super().allocate(osm, ident, txn)
+        token = self.token
+        if token.holder is None and id(token) not in txn._granted_ids:
+            return token
+        return None
 
 
 class ResetUnit(HardwareModule):

@@ -46,8 +46,23 @@ from ...isa.bits import popcount_significant_bytes
 from ...isa.program import Program
 from ...iss.interpreter import ArmInterpreter
 from ...memory.cache import Cache
+from ...core.director import rank_stable_in_flight
 from ..common import Operation, ResetUnit, StageUnit
 from ..strongarm.managers import ForwardingRegisterFileManager
+
+
+@rank_stable_in_flight
+def _mt_rank(osm):
+    """Age ranking with the thread tag contributing (Section 6).
+
+    Depends only on the operation seq, tag and serial, all fixed while the
+    OSM is in flight, so the director may cache the rank order between
+    I-boundary transitions.
+    """
+    operation = osm.operation
+    if operation is None:
+        return (1, osm.tag, osm.serial)
+    return (0, operation.seq, osm.tag)
 
 
 class ThreadContext:
@@ -159,7 +174,7 @@ class MultithreadModel:
         self.dcache = dcache
 
         self.spec = self._build_spec()
-        self.director = Director(rank_key=self._rank, restart=restart)
+        self.director = Director(rank_key=_mt_rank, restart=restart)
         self.osms = []
         for tid in range(len(self.threads)):
             for _ in range(osms_per_thread):
@@ -173,13 +188,9 @@ class MultithreadModel:
         )
         self.kernel.stop_condition = self._finished
 
-    @staticmethod
-    def _rank(osm):
-        """Age ranking with the thread tag contributing (Section 6)."""
-        operation = osm.operation
-        if operation is None:
-            return (1, osm.tag, osm.serial)
-        return (0, operation.seq, osm.tag)
+    #: kept as an attribute for back-compat with code referencing
+    #: ``MultithreadModel._rank``
+    _rank = staticmethod(_mt_rank)
 
     def _build_spec(self) -> MachineSpec:
         spec = MachineSpec("mt5")

@@ -46,7 +46,8 @@ from ...isa.program import Program
 from ...iss.interpreter import ArmInterpreter
 from ...memory.cache import Cache
 from ...memory.tlb import Tlb
-from ..common import FetchUnit, Operation, ResetUnit, StageUnit, kill_younger
+from ..common import (FetchUnit, Operation, ResetUnit, StageUnit,
+                      kill_younger, memory_latency)
 
 #: number of OSMs instantiated: pipeline depth + spares so fetch never
 #: starves while an OSM finishes its W->I transition
@@ -243,8 +244,6 @@ class Pipeline5Model:
     def _memory_access(self, osm) -> None:
         """Entry to B: charge D-cache/TLB latency (block transfers pay one
         beat per word, the Section-4 variable-latency idiom)."""
-        from ..common import memory_latency
-
         op: Operation = osm.operation
         latency = memory_latency(op.info, self.dcache, self.dtlb)
         if latency > 1:

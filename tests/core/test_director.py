@@ -126,6 +126,118 @@ class TestRestart:
         assert senior.current.name == "Wait"
 
 
+class TestRestartStatsAudit:
+    """Stats/age stamping audit under ``restart=True``.
+
+    The restart loop revisits OSMs after every commit; these tests pin
+    that revisiting never double-counts a transition, never lets one OSM
+    transition twice in a control step, and never re-stamps an in-flight
+    operation's age.
+    """
+
+    @staticmethod
+    def _senior_releases_for_junior(restart):
+        """Senior releases a resource the junior allocates, same step.
+
+        Rank order already serves the senior first, so the junior sees
+        the freed resource within a single pass — the configuration where
+        ``restart=False`` (the case-study optimisation) must be exactly
+        equivalent to the general algorithm.
+        """
+        resource = SlotManager("res")
+        spec_senior = MachineSpec("senior")
+        spec_senior.state("I", initial=True)
+        spec_senior.state("Hold")
+        spec_senior.state("Done")
+        spec_senior.edge("I", "Hold", Condition([Allocate(resource, slot="res")]))
+        spec_senior.edge("Hold", "Done", Condition([Release("res")]))
+        spec_senior.edge("Done", "I", ALWAYS)
+        senior = OperationStateMachine(spec_senior)
+
+        spec_junior = MachineSpec("junior")
+        spec_junior.state("I", initial=True)
+        spec_junior.state("Need")
+        spec_junior.state("Out")
+        spec_junior.edge("I", "Need", Condition([Allocate(resource, slot="res")]))
+        spec_junior.edge("Need", "Out", Condition([Release("res")]))
+        spec_junior.edge("Out", "I", ALWAYS)
+        junior = OperationStateMachine(spec_junior)
+
+        director = Director(rank_key=lambda o: 0 if o.spec.name == "senior" else 1,
+                            restart=restart, deadlock_check=False)
+        director.add(senior, junior)
+        return director, senior, junior
+
+    def test_restart_equivalent_when_senior_frees_junior(self):
+        runs = []
+        for restart in (True, False):
+            director, senior, junior = self._senior_releases_for_junior(restart)
+            trace = []
+            director.trace = lambda clk, osm, edge, t=trace: t.append(
+                (clk, osm.spec.name, edge.label))
+            history = []
+            per_step = []
+            for _ in range(8):
+                per_step.append(director.control_step())
+                history.append((senior.current.name, junior.current.name))
+            runs.append((history, per_step, trace, director.stats.transitions))
+        assert runs[0] == runs[1]
+        # sanity: the interesting hand-off actually happened — the junior
+        # allocated in the same step the senior released
+        history = runs[0][0]
+        assert ("Done", "Need") in history
+
+    def test_no_double_count_or_double_transition_under_restart(self):
+        # junior-frees-senior: the configuration where restart genuinely
+        # revisits the senior after a commit
+        resource = SlotManager("res")
+        spec = MachineSpec("m")
+        spec.state("I", initial=True)
+        spec.state("Wait")
+        spec.state("Got")
+        spec.edge("I", "Wait", ALWAYS)
+        spec.edge("Wait", "Got", Condition([Allocate(resource)]))
+        senior = OperationStateMachine(spec)
+
+        spec2 = MachineSpec("m2")
+        spec2.state("I", initial=True)
+        spec2.state("Hold")
+        spec2.state("Done")
+        spec2.edge("I", "Hold", Condition([Allocate(resource, slot="res")]))
+        spec2.edge("Hold", "Done", Condition([Release("res")]))
+        junior = OperationStateMachine(spec2)
+
+        director = Director(rank_key=lambda o: 0 if o is senior else 1,
+                            restart=True, deadlock_check=False)
+        director.add(senior, junior)
+        trace = []
+        director.trace = lambda clk, osm, edge: trace.append((clk, id(osm)))
+        total = 0
+        for _ in range(4):
+            count = director.control_step()
+            total += count
+            # no OSM may transition twice in one control step
+            this_step = [t for t in trace if t[0] == director.clock - 1]
+            assert len(this_step) == len(set(this_step))
+        assert senior.current.name == "Got"  # restart picked up the release
+        # reported counts match the trace exactly: no double-counting
+        assert total == len(trace) == director.stats.transitions
+
+    def test_age_stamped_once_per_occupancy_under_restart(self):
+        director, senior, junior = self._senior_releases_for_junior(restart=True)
+        ages = []
+        for _ in range(8):
+            director.control_step()
+            ages.append(senior.age)
+        # age is stamped when leaving I and must stay fixed while in
+        # flight (restart revisits must not re-stamp it with a later clock):
+        # within each contiguous in-flight span the stamp is constant
+        assert any(a >= 0 for a in ages)
+        for previous, current in zip(ages, ages[1:]):
+            if previous >= 0 and current >= 0:
+                assert current == previous
+
+
 class TestRanking:
     def test_age_rank_orders_idle_last(self):
         spec = MachineSpec("m")

@@ -2,6 +2,8 @@
 
 import time
 
+import pytest
+
 from repro.core import SimulationStats
 
 
@@ -59,3 +61,42 @@ class TestSimulationStats:
         stats.instructions = 5
         text = stats.summary()
         assert "cycles" in text and "IPC" in text
+
+
+class TestPhaseAttribution:
+    def test_record_and_accumulate(self):
+        stats = SimulationStats()
+        stats.record_phase("assemble", 0.5)
+        stats.record_phase("assemble", 0.25)
+        assert stats.phase_seconds == {"assemble": 0.75}
+
+    def test_time_phase_context_manager(self):
+        stats = SimulationStats()
+        with stats.time_phase("build"):
+            pass
+        assert stats.phase_seconds["build"] >= 0.0
+        with stats.time_phase("build"):
+            pass
+        assert set(stats.phase_seconds) == {"build"}
+
+    def test_stop_timer_attributes_phase(self):
+        stats = SimulationStats()
+        stats.start_timer()
+        stats.stop_timer(phase="simulate")
+        assert stats.wall_seconds == pytest.approx(
+            stats.phase_seconds["simulate"])
+        # stopping without a running timer is a no-op
+        stats.stop_timer(phase="simulate")
+        assert len(stats.phase_seconds) == 1
+
+    def test_transitions_per_second(self):
+        stats = SimulationStats()
+        stats.transitions = 300
+        stats.wall_seconds = 2.0
+        assert stats.transitions_per_second == 150.0
+        assert SimulationStats().transitions_per_second == 0.0
+
+    def test_summary_includes_phases(self):
+        stats = SimulationStats()
+        stats.record_phase("simulate", 1.0)
+        assert "phase simulate" in stats.summary()

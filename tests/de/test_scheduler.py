@@ -48,6 +48,34 @@ class TestDiscreteEventScheduler:
         scheduler.run_all(horizon=4)
         assert fired == [1, 2]
 
+    def test_run_all_horizon_matches_run_until_boundary(self):
+        # Regression: run_all(horizon) used to run events at t == horizon
+        # (while run_until excluded them) and left `now` at the last event
+        # instead of the horizon.  Both methods now share the half-open
+        # [now, horizon) contract.
+        a = DiscreteEventScheduler()
+        b = DiscreteEventScheduler()
+        fired_a, fired_b = [], []
+        for scheduler, fired in ((a, fired_a), (b, fired_b)):
+            for t in (2, 5, 7):
+                scheduler.schedule(t, lambda t=t, fired=fired: fired.append(t))
+        a.run_all(horizon=5)
+        b.run_until(5)
+        assert fired_a == fired_b == [2]  # the t == 5 event stays queued
+        assert a.now == b.now == 5
+        a.run_all(horizon=6)
+        assert fired_a == [2, 5]
+
+    def test_run_all_horizon_advances_now_without_events(self):
+        scheduler = DiscreteEventScheduler()
+        fired = []
+        scheduler.run_all(horizon=10)
+        assert scheduler.now == 10
+        # relative scheduling is anchored at the horizon
+        scheduler.schedule(2, lambda: fired.append(scheduler.now))
+        scheduler.run_all()
+        assert fired == [12]
+
 
 class _Inverter(PortModule):
     """out = not in; used to build a combinational loop."""

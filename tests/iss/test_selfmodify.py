@@ -1,0 +1,138 @@
+"""Self-modifying-code regression tests for the decode caches.
+
+The seed implementation memoised decoded instructions by address and
+never invalidated the cache, so a program that stored over its own text
+kept executing the stale decode.  These tests pin the fixed contract: a
+memory write overlapping a cached instruction's bytes drops the entry and
+the next fetch re-decodes.
+"""
+
+from repro.isa.arm import assemble as asm_arm
+from repro.isa.ppc import assemble as asm_ppc
+from repro.iss import ArmInterpreter, PpcInterpreter
+from repro.memory.mainmem import MainMemory
+
+from ..conftest import arm_program, ppc_program
+
+
+def _arm_encoding(instruction: str) -> int:
+    """The 32-bit encoding of a single ARM instruction."""
+    program = asm_arm(arm_program(instruction))
+    memory = MainMemory()
+    program.load_into(memory)
+    return memory.read_word(program.entry)
+
+
+def _ppc_encoding(instruction: str) -> int:
+    program = asm_ppc(ppc_program(instruction))
+    memory = MainMemory()
+    program.load_into(memory)
+    return memory.read_word(program.entry)
+
+
+class TestArmSelfModify:
+    def test_store_over_executed_instruction_redecodes(self):
+        # `target` executes once (priming the decode cache), is then
+        # overwritten with `mov r0, #42`, and executes again.  With a
+        # never-invalidated cache the second pass re-runs the stale
+        # `mov r0, #1` and the program exits with 1 instead of 42.
+        patch_word = _arm_encoding("    mov r0, #42")
+        source = arm_program(f"""
+    mov  r4, #0
+    li   r1, target
+    li   r2, patch
+loop:
+target:
+    mov  r0, #1
+    cmp  r4, #1
+    beq  done
+    mov  r4, #1
+    ldr  r3, [r2]
+    str  r3, [r1]
+    b    loop
+done:
+""", data=f"patch: .word {patch_word:#010x}")
+        interpreter = ArmInterpreter(asm_arm(source))
+        assert interpreter.run(10_000) == 42
+        assert interpreter.decode_cache.invalidations >= 1
+
+    def test_byte_store_invalidates_overlapping_instruction(self):
+        # A one-byte store into the middle of a cached instruction must
+        # also drop it: `mov r0, #1` has its immediate in the low byte,
+        # so patching that byte to 7 changes the re-decoded result.
+        source = arm_program("""
+    mov  r4, #0
+    li   r1, target
+loop:
+target:
+    mov  r0, #1
+    cmp  r4, #1
+    beq  done
+    mov  r4, #1
+    mov  r3, #7
+    strb r3, [r1]
+    b    loop
+done:
+""")
+        interpreter = ArmInterpreter(asm_arm(source))
+        assert interpreter.run(10_000) == 7
+
+    def test_unmodified_code_still_cached(self):
+        interpreter = ArmInterpreter(asm_arm(arm_program("    mov r0, #3")))
+        entry = interpreter.program.entry
+        first = interpreter.fetch_decode(entry)
+        assert interpreter.fetch_decode(entry) is first
+        # a store elsewhere leaves the entry alone
+        interpreter.state.memory.write_word(0x7000, 0xDEAD)
+        assert interpreter.fetch_decode(entry) is first
+        # a store over it forces a re-decode of identical bytes
+        interpreter.state.memory.write_word(entry, first.word)
+        assert interpreter.fetch_decode(entry) is not first
+
+
+class TestPpcSelfModify:
+    def test_store_over_executed_instruction_redecodes(self):
+        patch_word = _ppc_encoding("    li r3, 42")
+        source = ppc_program(f"""
+    li    r8, 0
+    li32  r4, target
+    li32  r5, patch
+    lwz   r6, 0(r5)
+loop:
+target:
+    li    r3, 1
+    cmpwi r8, 1
+    beq   done
+    li    r8, 1
+    stw   r6, 0(r4)
+    b     loop
+done:
+""", data=f"patch: .word {patch_word:#010x}")
+        interpreter = PpcInterpreter(asm_ppc(source))
+        assert interpreter.run(10_000) == 42
+        assert interpreter.decode_cache.invalidations >= 1
+
+
+class TestWriteHookPlumbing:
+    def test_hooks_fire_once_per_span(self):
+        memory = MainMemory()
+        spans = []
+        memory.add_write_hook(lambda address, length: spans.append((address, length)))
+        memory.write_byte(0x100, 0xAA)
+        memory.write_half(0x200, 0xBBCC)
+        memory.write_word(0x300, 0x11223344)
+        memory.write_block(0x400, b"\x01\x02\x03\x04\x05")
+        assert spans == [(0x100, 1), (0x200, 2), (0x300, 4), (0x400, 5)]
+
+    def test_remove_write_hook(self):
+        memory = MainMemory()
+        spans = []
+
+        def hook(address, length):
+            spans.append((address, length))
+
+        memory.add_write_hook(hook)
+        memory.write_byte(0, 1)
+        memory.remove_write_hook(hook)
+        memory.write_byte(0, 2)
+        assert spans == [(0, 1)]
