@@ -13,8 +13,7 @@ Run:  python examples/formal_analysis.py
 """
 
 from repro.analysis import render_asm, reservation_table, operand_latencies
-from repro.analysis.deadlock import analyze as analyze_deadlock
-from repro.analysis.reachability import analyze as analyze_reachability
+from repro.analysis.lint.graph import analyze_deadlock, analyze_reachability
 from repro.core import Allocate, Condition, MachineSpec, Release, SlotManager
 from repro.isa.arm import assemble
 from repro.models.pipeline5 import Pipeline5Model
@@ -129,6 +128,36 @@ def main() -> None:
     lobotomized.decode = hide_first_source
     for diagnostic in audit_target(lobotomized, codes=["ISA004"]).errors[:3]:
         print(diagnostic.render())
+    print()
+
+    # --- effect/purity analysis (effectcheck) ------------------------------------
+    from repro.analysis.effects import compilability_report, effects_spec
+    from repro.core import Guard
+
+    print("=== effectcheck: effect/purity certification of edge code ===")
+    effects = effects_spec(spec)
+    comp = compilability_report(spec, effects)
+    print(effects.render_text())
+    print(f"compilability: fully_compilable={comp.fully_compilable} "
+          f"fusable={comp.fusable_states}")
+    # seed an impure guard — one that mutates the OSM at probe time —
+    # and EFF001 refuses to certify the edge for compilation
+    impure = MachineSpec("impure")
+    impure.state("I", initial=True)
+    impure.state("P")
+    stage = SlotManager("S")
+
+    def sneaky(osm):
+        osm.operation = None  # probe-time mutation: EFF001
+        return True
+
+    impure.edge("I", "P", Condition([Guard(sneaky, "sneaky"), Allocate(stage)]))
+    impure.edge("P", "I", Condition([Release("S")]))
+    bad_effects = effects_spec(impure)
+    for diagnostic in bad_effects.errors[:2]:
+        print(diagnostic.render())
+    bad_comp = compilability_report(impure, bad_effects)
+    print(f"unsafe edges (demoted to interpreted probing): {bad_comp.unsafe_edges}")
     print()
 
     # --- compiler information -------------------------------------------------------

@@ -1,6 +1,6 @@
 """Formal analysis and compiler-information extraction (Section 6)."""
 
-from . import asm_export, check, compiler_info, deadlock, lint, modelcheck, reachability
+from . import asm_export, check, compiler_info, deadlock, effects, lint, modelcheck, reachability
 from .asm_export import AsmRule, export_asm, render_asm
 from .check import (
     CheckReport,
@@ -13,23 +13,32 @@ from .check import (
     purify,
 )
 from .compiler_info import canonical_path, operand_latencies, reservation_table
-from .deadlock import DeadlockReport
+from .effects import CompilabilityReport, Footprint, compilability_report, effects_spec
 from .lint import Diagnostic, LintReport, Severity, lint_spec
+from .lint.graph import (
+    DeadlockReport,
+    ReachabilityReport,
+    analyze_deadlock,
+    analyze_reachability,
+)
 from .modelcheck import ModelCheckReport, check as model_check
-from .reachability import ReachabilityReport
 from .registry import available_specs, build_spec, register_spec
 
 __all__ = [
     "AsmRule",
     "CheckReport",
+    "CompilabilityReport",
     "DeadlockReport",
     "Diagnostic",
     "Finding",
+    "Footprint",
     "LintReport",
     "ModelCheckReport",
     "ReachabilityReport",
     "Severity",
     "Trace",
+    "analyze_deadlock",
+    "analyze_reachability",
     "asm_export",
     "available_specs",
     "build_spec",
@@ -38,9 +47,12 @@ __all__ = [
     "check_model",
     "check_spec",
     "check_system",
+    "compilability_report",
     "compiler_info",
     "deadlock",
     "default_properties",
+    "effects",
+    "effects_spec",
     "export_asm",
     "lint",
     "lint_spec",

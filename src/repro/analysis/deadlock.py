@@ -1,104 +1,29 @@
-"""Static cyclic-resource-dependency detection.
+"""Deprecated shim: the hold-allocate deadlock analysis moved to
+:mod:`repro.analysis.lint.graph` (the lint/checker stack is the single
+owner of spec-graph facts).
 
-Section 3.4: "scheduling deadlock may occur in the model if cyclic
-resource dependency involving two or more OSMs exists ...  In OSM based
-microprocessor models, such cyclic dependency implies a cyclic pipeline."
-
-The static analysis approximates hold-and-wait: walking a specification's
-edges, manager B depends on manager A when some edge *allocates from B
-while holding a token of A* (the A token was acquired earlier on the path
-and not yet released).  A cycle in this hold-allocate graph is a
-potential deadlock — a cyclic pipeline — which the director would abort
-on at run time; catching it statically is one of the validation payoffs
-of the declarative model.
+``DeadlockReport`` is re-exported unchanged; :func:`analyze` delegates
+to :func:`repro.analysis.lint.graph.analyze_deadlock` after emitting a
+:class:`DeprecationWarning`.  New code should import from the lint
+package or run the OSM008 lint pass, which reports cycles through the
+shared diagnostics schema.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+import warnings
 
-from ..core.osm import MachineSpec
-from ..core.primitives import Allocate, AllocateMany, Discard, Release, ReleaseMany
+from .lint.graph import DeadlockReport, analyze_deadlock
 
-
-@dataclass
-class DeadlockReport:
-    #: hold-allocate dependencies: (held manager, requested manager)
-    dependencies: Set[Tuple[str, str]] = field(default_factory=set)
-    cycles: List[List[str]] = field(default_factory=list)
-
-    @property
-    def deadlock_free(self) -> bool:
-        return not self.cycles
+__all__ = ["DeadlockReport", "analyze"]
 
 
-def analyze(spec: MachineSpec) -> DeadlockReport:
-    """Build the hold-allocate graph of *spec* and find its cycles."""
-    report = DeadlockReport()
-    if spec.initial is None:
-        raise ValueError(f"{spec.name}: no initial state")
-
-    # Depth-first exploration of (state, frozenset of (slot, manager)
-    # pairs): the slot-to-manager binding is part of the abstract token
-    # buffer, so a slot name like "unit" reused by several parallel edges
-    # (one per function unit) resolves correctly along each path.
-    start = (spec.initial.name, frozenset())
-    seen = {start}
-    frontier = [start]
-    while frontier:
-        state_name, held = frontier.pop()
-        state = spec.states[state_name]
-        for edge in state.out_edges:
-            new_held = dict(held)
-            for primitive in edge.condition.primitives:
-                if isinstance(primitive, (Allocate, AllocateMany)):
-                    manager = primitive.manager.name
-                    for holder in dict(held).values():
-                        report.dependencies.add((holder, manager))
-                    new_held[primitive.slot] = manager
-                elif isinstance(primitive, Release):
-                    new_held.pop(primitive.slot, None)
-                elif isinstance(primitive, ReleaseMany):
-                    for slot in [s for s in new_held if s.startswith(primitive.prefix)]:
-                        new_held.pop(slot)
-                elif isinstance(primitive, Discard):
-                    if primitive.slot is None:
-                        new_held.clear()
-                    else:
-                        new_held.pop(primitive.slot, None)
-            successor = (edge.dst.name, frozenset(new_held.items()))
-            if successor not in seen:
-                seen.add(successor)
-                frontier.append(successor)
-
-    report.cycles = _find_cycles(report.dependencies)
-    return report
-
-
-def _find_cycles(dependencies: Set[Tuple[str, str]]) -> List[List[str]]:
-    graph: Dict[str, List[str]] = {}
-    for src, dst in dependencies:
-        graph.setdefault(src, []).append(dst)
-        graph.setdefault(dst, [])
-    cycles: List[List[str]] = []
-    WHITE, GREY, BLACK = 0, 1, 2
-    colour = {node: WHITE for node in graph}
-
-    def visit(node: str, path: List[str]) -> None:
-        colour[node] = GREY
-        path.append(node)
-        for succ in graph[node]:
-            if colour[succ] == GREY:
-                cycle = path[path.index(succ):] + [succ]
-                if sorted(cycle[:-1]) not in [sorted(c[:-1]) for c in cycles]:
-                    cycles.append(cycle)
-            elif colour[succ] == WHITE:
-                visit(succ, path)
-        path.pop()
-        colour[node] = BLACK
-
-    for node in list(graph):
-        if colour[node] == WHITE:
-            visit(node, [])
-    return cycles
+def analyze(spec) -> DeadlockReport:
+    """Deprecated alias of :func:`repro.analysis.lint.graph.analyze_deadlock`."""
+    warnings.warn(
+        "repro.analysis.deadlock.analyze is deprecated; use "
+        "repro.analysis.lint.graph.analyze_deadlock (or the OSM008 lint pass)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return analyze_deadlock(spec)

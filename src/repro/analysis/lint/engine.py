@@ -41,17 +41,17 @@ class LintContext:
     @property
     def reachability(self):
         if self._reachability is None:
-            from ..reachability import analyze
+            from .graph import analyze_reachability
 
-            self._reachability = analyze(self.spec)
+            self._reachability = analyze_reachability(self.spec)
         return self._reachability
 
     @property
     def deadlock(self):
         if self._deadlock is None:
-            from ..deadlock import analyze
+            from .graph import analyze_deadlock
 
-            self._deadlock = analyze(self.spec)
+            self._deadlock = analyze_deadlock(self.spec)
         return self._deadlock
 
 

@@ -1,0 +1,179 @@
+"""Spec-graph analyses shared by the checker stack: reachability and
+hold-allocate deadlock.
+
+Home of the implementations that historically lived in the standalone
+``repro.analysis.reachability`` and ``repro.analysis.deadlock`` modules
+(both still importable as deprecated shims).  The lint passes OSM006
+(reachability) and OSM008 (resource cycles) consume these via
+:class:`~.engine.LintContext`, and the explicit-state checker cross-
+validates their verdicts; keeping them inside the lint package makes
+the registry/checker stack the single owner of spec-graph facts.
+
+Reachability (Section 6: *"it is possible to extract model properties
+for formal verification purposes"*):
+
+* every state must be reachable from the initial state;
+* every state must be co-reachable (some path leads back to I),
+  otherwise operations can be permanently absorbed;
+* a reachable state with no outgoing edges traps operations;
+* edges out of unreachable states are dead.
+
+Deadlock (Section 3.4: *"scheduling deadlock may occur in the model if
+cyclic resource dependency involving two or more OSMs exists … such
+cyclic dependency implies a cyclic pipeline"*): walking a spec's edges,
+manager B depends on manager A when some edge allocates from B while a
+token of A is still held along the path; a cycle in this hold-allocate
+graph is a potential deadlock the director would abort on at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ...core.osm import MachineSpec
+from ...core.primitives import Allocate, AllocateMany, Discard, Release, ReleaseMany
+
+__all__ = [
+    "DeadlockReport",
+    "ReachabilityReport",
+    "analyze_deadlock",
+    "analyze_reachability",
+]
+
+
+@dataclass
+class ReachabilityReport:
+    reachable: Set[str] = field(default_factory=set)
+    unreachable: Set[str] = field(default_factory=set)
+    #: states from which the initial state cannot be reached again
+    non_returning: Set[str] = field(default_factory=set)
+    trapping: Set[str] = field(default_factory=set)
+    dead_edges: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (self.unreachable or self.non_returning or self.trapping)
+
+
+def analyze_reachability(spec: MachineSpec) -> ReachabilityReport:
+    """Run the full reachability/liveness analysis."""
+    report = ReachabilityReport()
+    if spec.initial is None:
+        raise ValueError(f"{spec.name}: no initial state")
+
+    # forward reachability
+    frontier = [spec.initial]
+    report.reachable = {spec.initial.name}
+    while frontier:
+        state = frontier.pop()
+        for edge in state.out_edges:
+            if edge.dst.name not in report.reachable:
+                report.reachable.add(edge.dst.name)
+                frontier.append(edge.dst)
+    report.unreachable = set(spec.states) - report.reachable
+
+    # co-reachability of the initial state (reverse walk)
+    predecessors: Dict[str, Set[str]] = {name: set() for name in spec.states}
+    for edge in spec.edges:
+        predecessors[edge.dst.name].add(edge.src.name)
+    returning = {spec.initial.name}
+    frontier2 = [spec.initial.name]
+    while frontier2:
+        name = frontier2.pop()
+        for pred in predecessors[name]:
+            if pred not in returning:
+                returning.add(pred)
+                frontier2.append(pred)
+    report.non_returning = report.reachable - returning
+
+    # trapping states and dead edges
+    for name, state in spec.states.items():
+        if name in report.reachable and not state.out_edges:
+            report.trapping.add(name)
+    for edge in spec.edges:
+        if edge.src.name in report.unreachable:
+            report.dead_edges.append(edge.label)
+    return report
+
+
+@dataclass
+class DeadlockReport:
+    #: hold-allocate dependencies: (held manager, requested manager)
+    dependencies: Set[Tuple[str, str]] = field(default_factory=set)
+    cycles: List[List[str]] = field(default_factory=list)
+
+    @property
+    def deadlock_free(self) -> bool:
+        return not self.cycles
+
+
+def analyze_deadlock(spec: MachineSpec) -> DeadlockReport:
+    """Build the hold-allocate graph of *spec* and find its cycles."""
+    report = DeadlockReport()
+    if spec.initial is None:
+        raise ValueError(f"{spec.name}: no initial state")
+
+    # Depth-first exploration of (state, frozenset of (slot, manager)
+    # pairs): the slot-to-manager binding is part of the abstract token
+    # buffer, so a slot name like "unit" reused by several parallel edges
+    # (one per function unit) resolves correctly along each path.
+    start = (spec.initial.name, frozenset())
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        state_name, held = frontier.pop()
+        state = spec.states[state_name]
+        for edge in state.out_edges:
+            new_held = dict(held)
+            for primitive in edge.condition.primitives:
+                if isinstance(primitive, (Allocate, AllocateMany)):
+                    manager = primitive.manager.name
+                    for holder in dict(held).values():
+                        report.dependencies.add((holder, manager))
+                    new_held[primitive.slot] = manager
+                elif isinstance(primitive, Release):
+                    new_held.pop(primitive.slot, None)
+                elif isinstance(primitive, ReleaseMany):
+                    for slot in [s for s in new_held if s.startswith(primitive.prefix)]:
+                        new_held.pop(slot)
+                elif isinstance(primitive, Discard):
+                    if primitive.slot is None:
+                        new_held.clear()
+                    else:
+                        new_held.pop(primitive.slot, None)
+            successor = (edge.dst.name, frozenset(new_held.items()))
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+
+    report.cycles = _find_cycles(report.dependencies)
+    return report
+
+
+def _find_cycles(dependencies: Set[Tuple[str, str]]) -> List[List[str]]:
+    graph: Dict[str, List[str]] = {}
+    for src, dst in dependencies:
+        graph.setdefault(src, []).append(dst)
+        graph.setdefault(dst, [])
+    cycles: List[List[str]] = []
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {node: WHITE for node in graph}
+
+    def visit(node: str, path: List[str]) -> None:
+        colour[node] = GREY
+        path.append(node)
+        for succ in graph[node]:
+            if colour[succ] == GREY:
+                cycle = path[path.index(succ):] + [succ]
+                if sorted(cycle[:-1]) not in [sorted(c[:-1]) for c in cycles]:
+                    cycles.append(cycle)
+            elif colour[succ] == WHITE:
+                visit(succ, path)
+        path.pop()
+        colour[node] = BLACK
+
+    for node in list(graph):
+        if colour[node] == WHITE:
+            visit(node, [])
+    return cycles

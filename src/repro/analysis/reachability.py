@@ -1,76 +1,29 @@
-"""State-reachability and liveness analysis of machine specifications.
+"""Deprecated shim: the reachability/liveness analysis moved to
+:mod:`repro.analysis.lint.graph` (the lint/checker stack is the single
+owner of spec-graph facts).
 
-Because OSM specifications are declarative, static properties fall out of
-a graph walk (Section 6: "it is possible to extract model properties for
-formal verification purposes"):
-
-* every state must be reachable from the initial state (dead states in a
-  processor description are specification bugs);
-* every state must be co-reachable: some path must lead back to the
-  initial state, otherwise operations can be permanently absorbed;
-* edges out of unreachable states are dead;
-* a state with no outgoing edges (other than I, which always has the
-  fetch edge) traps operations.
+``ReachabilityReport`` is re-exported unchanged; :func:`analyze`
+delegates to :func:`repro.analysis.lint.graph.analyze_reachability`
+after emitting a :class:`DeprecationWarning`.  New code should import
+from the lint package or run the OSM006 lint pass, which reports
+reachability defects through the shared diagnostics schema.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Set
+import warnings
 
-from ..core.osm import MachineSpec
+from .lint.graph import ReachabilityReport, analyze_reachability
 
-
-@dataclass
-class ReachabilityReport:
-    reachable: Set[str] = field(default_factory=set)
-    unreachable: Set[str] = field(default_factory=set)
-    #: states from which the initial state cannot be reached again
-    non_returning: Set[str] = field(default_factory=set)
-    trapping: Set[str] = field(default_factory=set)
-    dead_edges: List[str] = field(default_factory=list)
-
-    @property
-    def clean(self) -> bool:
-        return not (self.unreachable or self.non_returning or self.trapping)
+__all__ = ["ReachabilityReport", "analyze"]
 
 
-def analyze(spec: MachineSpec) -> ReachabilityReport:
-    """Run the full reachability/liveness analysis."""
-    report = ReachabilityReport()
-    if spec.initial is None:
-        raise ValueError(f"{spec.name}: no initial state")
-
-    # forward reachability
-    frontier = [spec.initial]
-    report.reachable = {spec.initial.name}
-    while frontier:
-        state = frontier.pop()
-        for edge in state.out_edges:
-            if edge.dst.name not in report.reachable:
-                report.reachable.add(edge.dst.name)
-                frontier.append(edge.dst)
-    report.unreachable = set(spec.states) - report.reachable
-
-    # co-reachability of the initial state (reverse walk)
-    predecessors: Dict[str, Set[str]] = {name: set() for name in spec.states}
-    for edge in spec.edges:
-        predecessors[edge.dst.name].add(edge.src.name)
-    returning = {spec.initial.name}
-    frontier2 = [spec.initial.name]
-    while frontier2:
-        name = frontier2.pop()
-        for pred in predecessors[name]:
-            if pred not in returning:
-                returning.add(pred)
-                frontier2.append(pred)
-    report.non_returning = report.reachable - returning
-
-    # trapping states and dead edges
-    for name, state in spec.states.items():
-        if name in report.reachable and not state.out_edges:
-            report.trapping.add(name)
-    for edge in spec.edges:
-        if edge.src.name in report.unreachable:
-            report.dead_edges.append(edge.label)
-    return report
+def analyze(spec) -> ReachabilityReport:
+    """Deprecated alias of :func:`repro.analysis.lint.graph.analyze_reachability`."""
+    warnings.warn(
+        "repro.analysis.reachability.analyze is deprecated; use "
+        "repro.analysis.lint.graph.analyze_reachability (or the OSM006 lint pass)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return analyze_reachability(spec)

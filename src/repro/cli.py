@@ -16,6 +16,11 @@ Gives the framework a downstream-usable front end:
                  encoding space, encode/decode round-trips, hazard
                  metadata vs. executed semantics, unit routing (rule
                  codes ISA001…; nonzero exit on unsuppressed errors)
+* ``effects``  — static effect/purity analysis (effectcheck) of the
+                 Python callables hanging off model specs: certifies
+                 the fast-path and edge-compiler contracts (rule codes
+                 EFF001…; per-model compilability report; nonzero exit
+                 on unsuppressed errors)
 * ``bench``    — quick cycles-per-second measurement of a model
 * ``workload`` — emit a bundled workload's assembly source
 
@@ -31,6 +36,8 @@ Examples::
     python -m repro check all --json
     python -m repro audit arm ppc
     python -m repro audit all --json
+    python -m repro effects ppc750
+    python -m repro effects all --json
     python -m repro workload gsm_dec --isa ppc
 """
 
@@ -165,8 +172,7 @@ _start:
         model = _build_model(args.model, program, "arm")
     spec = model.spec
     from .analysis import render_asm, reservation_table
-    from .analysis.deadlock import analyze as analyze_deadlock
-    from .analysis.reachability import analyze as analyze_reachability
+    from .analysis.lint.graph import analyze_deadlock, analyze_reachability
 
     reach = analyze_reachability(spec)
     deadlock = analyze_deadlock(spec)
@@ -326,6 +332,65 @@ def cmd_audit(args) -> int:
     return 0 if all(report.ok for _, report in reports) else 1
 
 
+def cmd_effects(args) -> int:
+    """Effect/purity analysis (effectcheck) of one or more model specs;
+    exit 1 on any unsuppressed error-severity finding."""
+    import json
+
+    from .analysis.effects import (
+        build_spec,
+        compilability_report,
+        effects_spec,
+    )
+    from .analysis.registry import available_specs
+
+    names = list(args.models)
+    if "all" in names:
+        names = available_specs()
+    codes = None
+    if args.rules:
+        codes = [code.strip() for code in args.rules.split(",") if code.strip()]
+    results = []
+    for name in names:
+        try:
+            spec = build_spec(name)
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0]))
+        try:
+            report = effects_spec(spec, codes=codes)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        report.spec = name  # key by registry name (spec.name may differ)
+        results.append((name, report, compilability_report(spec, report)))
+    if args.json:
+        from .analysis.diagnostics import SCHEMA_VERSION
+
+        payload = {
+            "tool": "effects",
+            "schema_version": SCHEMA_VERSION,
+            "ok": all(report.ok for _, report, _ in results),
+            "models": {
+                name: {
+                    **report.to_dict(),
+                    "compilability": comp.to_dict(),
+                }
+                for name, report, comp in results
+            },
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for name, report, comp in results:
+            print(report.render_text(show_suppressed=args.show_suppressed))
+            verdict = (
+                "fully compilable"
+                if comp.fully_compilable
+                else f"{len(comp.fusable_states)}/{len(comp.verdicts)} states "
+                     f"fusable, {len(comp.unsafe_edges)} unsafe edge(s)"
+            )
+            print(f"{name}: compilability: {verdict}")
+    return 0 if all(report.ok for _, report, _ in results) else 1
+
+
 def cmd_bench(args) -> int:
     """Benchmark a model over the MediaBench workloads.
 
@@ -358,6 +423,7 @@ def cmd_bench(args) -> int:
         with agg.time_phase("build"):
             model = _build_model(args.model, program, isa)
         stats = model.run(args.max_cycles)
+        agg.absorb_compile_stats(model.spec)
         result = {
             "cycles": stats.cycles,
             "instructions": stats.instructions,
@@ -405,6 +471,11 @@ def cmd_bench(args) -> int:
         },
         "verified": (not args.no_verify) and not mismatches,
         "mismatches": mismatches,
+        "compiled_probes": agg.compiled_probes,
+        "probe_fallbacks": agg.probe_fallbacks,
+        "fallback_edges": [
+            {"edge": edge, "reason": reason} for edge, reason in agg.fallback_edges
+        ],
     }
     if args.out:
         with open(args.out, "w") as handle:
@@ -418,6 +489,9 @@ def cmd_bench(args) -> int:
               f"{agg.transitions_per_second:,.0f} events/sec")
         for name in sorted(agg.phase_seconds):
             print(f"  phase {name:<9}: {agg.phase_seconds[name]:.3f}s")
+        if agg.compiled_probes or agg.probe_fallbacks:
+            print(f"  probes: {agg.compiled_probes} compiled, "
+                  f"{agg.probe_fallbacks} interpreted fallbacks")
         if not args.no_verify:
             state = "ok" if not mismatches else "MISMATCH"
             print(f"  reference-loop verification: {state}")
@@ -545,6 +619,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="include suppressed findings in text output",
     )
     audit.set_defaults(func=cmd_audit)
+
+    effects = sub.add_parser(
+        "effects",
+        help="static effect/purity analysis (effectcheck) of model specifications",
+    )
+    effects.add_argument(
+        "models", nargs="+", metavar="MODEL",
+        help="registered spec name(s), or 'all'",
+    )
+    effects.add_argument("--json", action="store_true", help="machine-readable output")
+    effects.add_argument(
+        "--rules", metavar="CODES",
+        help="comma-separated rule codes to run (e.g. EFF001,EFF004)",
+    )
+    effects.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include suppressed findings in text output",
+    )
+    effects.set_defaults(func=cmd_effects)
 
     bench = sub.add_parser("bench", help="measure simulation speed")
     bench.add_argument("--model", default="strongarm",

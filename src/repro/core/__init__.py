@@ -35,7 +35,8 @@ from .primitives import (
     ReleaseMany,
 )
 from .osm import Edge, MachineSpec, OperationStateMachine, State
-from .director import Director, age_rank
+from .edgecompile import CompileStats, apply_compilability, compile_edge_probe
+from .director import Director, age_rank, rank_stable_in_flight
 from .kernel import CycleDrivenKernel, SimulationKernel
 from .stats import SimulationStats
 
@@ -43,6 +44,7 @@ __all__ = [
     "ALWAYS",
     "Allocate",
     "AllocateMany",
+    "CompileStats",
     "Condition",
     "CycleDrivenKernel",
     "Director",
@@ -71,5 +73,8 @@ __all__ = [
     "TokenManager",
     "Transaction",
     "age_rank",
+    "apply_compilability",
+    "compile_edge_probe",
+    "rank_stable_in_flight",
     "resolve_identifier",
 ]

@@ -13,6 +13,8 @@ unnecessary and a single rank-ordered pass suffices.
 
 from __future__ import annotations
 
+import functools
+
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from .errors import SchedulingDeadlockError
@@ -32,9 +34,31 @@ def rank_stable_in_flight(fn):
     ``Director.control_step``).  Custom rank keys without the mark are
     conservatively re-sorted after every control step that committed any
     transition.
+
+    Plain functions are marked in place and returned unchanged, so their
+    metadata is untouched.  Callables that refuse attribute assignment
+    (bound methods, some partials) are wrapped instead; the wrapper
+    carries the mark and ``functools.wraps`` metadata (``__name__``,
+    ``__qualname__``, ``__wrapped__``) so diagnostics, tracebacks and
+    the effect analyzer all name — and can introspect — the real
+    rank function.
+
+    The honesty of the mark is statically audited by effectcheck's
+    EFF002 pass (``repro effects``): a marked function that reads
+    anything outside the I-boundary-stable inputs is reported as an
+    error, because the director's cached rank order would silently go
+    stale.
     """
-    fn.rank_changes_only_at_initial = True
-    return fn
+    try:
+        fn.rank_changes_only_at_initial = True
+        return fn
+    except AttributeError:
+        @functools.wraps(fn)
+        def wrapper(osm):
+            return fn(osm)
+
+        wrapper.rank_changes_only_at_initial = True
+        return wrapper
 
 
 @rank_stable_in_flight
@@ -135,6 +159,10 @@ class Director:
         for osm in osms:
             osm._fail_version = -1
             osm._stepped = -1
+            # Analysis breadcrumb: record which rank key schedules this
+            # spec's OSMs so `repro effects` can audit its
+            # rank_stable_in_flight mark (EFF002) without a live model.
+            osm.spec.analysis_rank_key = self.rank_key
 
     def notify(self) -> None:
         """Signal an observable hardware-state change (wakes blocked OSMs)."""

@@ -21,15 +21,73 @@ Primitives other than the five core types (``AllocateMany``,
 ``ReleaseMany``, user subclasses) are embedded as a generic
 ``p.probe(osm, txn)`` call, so custom primitives keep working unchanged.
 Any failure during code generation falls back to an interpreted closure.
+
+Fallbacks are no longer silent: :func:`compile_edge_probe` (the entry
+point used by :meth:`repro.core.osm.State.probe_plan`) records every
+compile outcome in the owning spec's :class:`CompileStats` — which edge
+compiled, which fell back, and why ("policy" when the edge was pinned to
+the interpreter by :attr:`~repro.core.osm.Edge.compile_mode`, "opt-out"
+when a primitive sets ``compilable = False``, or the codegen error).
+``repro bench`` surfaces the counts in its JSON row and the effectcheck
+analyzer (:mod:`repro.analysis.effects`) reports each fallback edge as
+an EFF008 diagnostic.  The effect analyzer's per-model compilability
+report feeds back in through :func:`apply_compilability`, which pins
+provably-unsafe edges to the interpreted path.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .errors import TokenError
 from .primitives import (Allocate, AllocateMany, Condition, Discard, Guard,
                          Inquire, Release, ReleaseMany)
+
+
+class CompileStats:
+    """Per-spec record of edge-probe compile outcomes.
+
+    One entry per edge qualname; re-recording an edge (plans are rebuilt
+    after spec edits or :func:`apply_compilability`) replaces its entry,
+    so the counts never double-count a rebuilt plan.
+    """
+
+    def __init__(self):
+        #: edge qualname -> None (compiled) or fallback reason string
+        self.edges: Dict[str, Optional[str]] = {}
+
+    def record(self, edge, reason: Optional[str] = None) -> None:
+        self.edges[edge.qualname] = reason
+
+    @property
+    def compiled(self) -> int:
+        return sum(1 for reason in self.edges.values() if reason is None)
+
+    @property
+    def fallbacks(self) -> int:
+        return sum(1 for reason in self.edges.values() if reason is not None)
+
+    @property
+    def fallback_edges(self) -> List[Tuple[str, str]]:
+        """``(edge qualname, reason)`` for every interpreted fallback."""
+        return sorted(
+            (qualname, reason)
+            for qualname, reason in self.edges.items()
+            if reason is not None
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "compiled": self.compiled,
+            "fallbacks": self.fallbacks,
+            "fallback_edges": [
+                {"edge": qualname, "reason": reason}
+                for qualname, reason in self.fallback_edges
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CompileStats(compiled={self.compiled}, fallbacks={self.fallbacks})"
 
 
 def _always_true(osm, txn) -> bool:
@@ -48,13 +106,67 @@ def _interpreted(primitives) -> Callable:
 
 def compile_condition(condition: Condition) -> Callable:
     """A ``probe(osm, txn) -> bool`` function specialised for *condition*."""
+    probe, _reason = _compile_or_fallback(condition)
+    return probe
+
+
+def compile_edge_probe(edge, spec=None) -> Callable:
+    """Compile *edge*'s guard condition, recording the outcome.
+
+    The spec-aware entry point used by ``State.probe_plan``: behaves like
+    :func:`compile_condition` but honours ``edge.compile_mode`` (edges
+    pinned to ``"interpreted"`` — e.g. by :func:`apply_compilability` —
+    skip codegen entirely) and records the outcome in
+    ``spec.compile_stats`` so fallbacks are countable and reportable.
+    """
+    if getattr(edge, "compile_mode", "auto") == "interpreted":
+        probe, reason = _interpreted_probe(edge.condition), "policy"
+    else:
+        probe, reason = _compile_or_fallback(edge.condition)
+    if spec is not None:
+        spec.compile_stats.record(edge, reason)
+    return probe
+
+
+def apply_compilability(spec, report) -> int:
+    """Pin the edges *report* deems unsafe to the interpreted path.
+
+    *report* is a :class:`repro.analysis.effects.CompilabilityReport`
+    (duck-typed: anything with an ``unsafe_edges`` iterable of edge
+    qualnames).  Matching edges get ``compile_mode = "interpreted"`` and
+    their source states' probe plans are invalidated so the next
+    ``probe_plan()`` rebuilds — and re-records — them.  Returns the
+    number of edges pinned.
+    """
+    unsafe = set(report.unsafe_edges)
+    pinned = 0
+    for edge in spec.edges:
+        if edge.qualname in unsafe and edge.compile_mode != "interpreted":
+            edge.compile_mode = "interpreted"
+            edge.src._plan = None
+            pinned += 1
+    return pinned
+
+
+def _interpreted_probe(condition: Condition) -> Callable:
+    if not condition.primitives:
+        return _always_true
+    return _interpreted(condition.primitives)
+
+
+def _compile_or_fallback(condition: Condition):
+    """``(probe, fallback_reason)``; *fallback_reason* is None when the
+    condition compiled to straight-line code."""
     primitives = condition.primitives
     if not primitives:
-        return _always_true
+        return _always_true, None
+    for p in primitives:
+        if not getattr(p, "compilable", True):
+            return _interpreted(primitives), f"opt-out: {p!r}"
     try:
-        return _compile(primitives)
-    except Exception:  # pragma: no cover - codegen is total for core types
-        return _interpreted(primitives)
+        return _compile(primitives), None
+    except Exception as exc:  # codegen failure: interpreted closure, counted
+        return _interpreted(primitives), f"codegen: {type(exc).__name__}: {exc}"
 
 
 def _compile(primitives) -> Callable:

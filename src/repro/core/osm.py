@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from .edgecompile import compile_condition
+from .edgecompile import CompileStats, compile_edge_probe
 from .errors import SpecError, TokenError
 from .primitives import ALWAYS, Condition, Primitive
 from .token import Token
@@ -29,12 +29,16 @@ Action = Callable[["OperationStateMachine"], None]
 class State:
     """A named state in a machine specification."""
 
-    __slots__ = ("name", "is_initial", "on_enter", "out_edges", "_plan")
+    __slots__ = ("name", "is_initial", "on_enter", "out_edges", "spec", "_plan")
 
     def __init__(self, name: str, is_initial: bool = False, on_enter: Optional[Action] = None):
         self.name = name
         self.is_initial = is_initial
         self.on_enter = on_enter
+        #: owning spec, set by :meth:`MachineSpec.state`; carries the
+        #: per-spec :class:`~repro.core.edgecompile.CompileStats` that
+        #: :meth:`probe_plan` records compile outcomes into
+        self.spec: Optional["MachineSpec"] = None
         #: outgoing edges sorted by descending static priority
         self.out_edges: List["Edge"] = []
         #: pre-bound probe plan: ``((edge, compiled_probe), ...)`` snapshot
@@ -51,7 +55,7 @@ class State:
         plan = self._plan
         if plan is None:
             plan = tuple(
-                (edge, compile_condition(edge.condition))
+                (edge, compile_edge_probe(edge, self.spec))
                 for edge in self.out_edges
             )
             self._plan = plan
@@ -86,7 +90,7 @@ class Edge:
     """
 
     __slots__ = ("src", "dst", "condition", "priority", "action", "label",
-                 "index", "lint_allow")
+                 "index", "lint_allow", "compile_mode")
 
     def __init__(
         self,
@@ -110,6 +114,11 @@ class Edge:
         #: when labels repeat); assigned by :meth:`MachineSpec.edge`
         self.index: int = -1
         self.lint_allow: Tuple[str, ...] = tuple(allow)
+        #: "auto" (compile the guard condition, interpreted fallback on
+        #: failure) or "interpreted" (skip codegen — set by
+        #: :func:`repro.core.edgecompile.apply_compilability` for edges
+        #: the effect analyzer cannot certify)
+        self.compile_mode: str = "auto"
 
     @property
     def qualname(self) -> str:
@@ -136,6 +145,13 @@ class MachineSpec:
         #: spec-wide lint suppressions (rule codes); see Edge.lint_allow
         #: for the per-edge variant
         self.lint_allow: Tuple[str, ...] = ()
+        #: per-spec edge-probe compile outcomes (see CompileStats)
+        self.compile_stats = CompileStats()
+        #: analysis breadcrumb: the rank-key function of the director the
+        #: spec's OSMs were last registered with (stamped by
+        #: ``Director.add``); the effect analyzer's EFF002 pass audits it
+        #: when it carries the ``rank_stable_in_flight`` mark
+        self.analysis_rank_key: Optional[Callable] = None
 
     def allow_lint(self, *codes: str) -> "MachineSpec":
         """Suppress the given lint-rule codes everywhere in this spec."""
@@ -147,6 +163,7 @@ class MachineSpec:
         if name in self.states:
             return self.states[name]
         st = State(name, initial, on_enter)
+        st.spec = self
         self.states[name] = st
         if initial:
             if self.initial is not None:

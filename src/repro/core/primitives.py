@@ -32,10 +32,20 @@ class Primitive:
     #: subclasses set this for traces
     kind = "primitive"
 
+    #: set False on a subclass (or instance) to keep the edge compiler
+    #: from baking this primitive into a specialised probe — the edge
+    #: then runs the interpreted closure and the fallback is counted in
+    #: the spec's :class:`~repro.core.edgecompile.CompileStats` and
+    #: reported by effectcheck (EFF008).  Use for probes whose behaviour
+    #: depends on being dispatched through the interpreter (e.g. probes
+    #: that are monkeypatched per instance at run time).
+    compilable = True
+
     def probe(self, osm, txn: Transaction) -> bool:
         """Probe phase: return True when the transaction would succeed,
         recording tentative effects in *txn*.  Must not mutate any manager
-        or OSM state."""
+        or OSM state — effectcheck's EFF005 pass statically audits custom
+        overrides against this contract."""
         raise NotImplementedError
 
     def __and__(self, other: "Primitive") -> "Condition":

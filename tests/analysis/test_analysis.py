@@ -3,8 +3,7 @@
 import pytest
 
 from repro.analysis import export_asm, render_asm, reservation_table
-from repro.analysis.deadlock import analyze as analyze_deadlock
-from repro.analysis.reachability import analyze as analyze_reachability
+from repro.analysis.lint.graph import analyze_deadlock, analyze_reachability
 from repro.core import (
     ALWAYS,
     Allocate,

@@ -99,10 +99,10 @@ class TestModelCheck:
         report = check(crossing_machine, n_osms=2, all_orders=True)
         assert report.trapped_states  # the deadlocked configuration
         # and the static analysis agrees there is a cycle
-        from repro.analysis.deadlock import analyze
+        from repro.analysis.lint.graph import analyze_deadlock
 
         spec, _ = crossing_machine()
-        assert not analyze(spec).deadlock_free
+        assert not analyze_deadlock(spec).deadlock_free
 
     def test_single_osm_cannot_deadlock_the_crossing(self):
         report = check(crossing_machine, n_osms=1)

@@ -1,0 +1,108 @@
+"""Cross-tool JSON schema stability.
+
+All four analysis front ends — osmlint (``repro lint``), osmcheck
+(``repro check``), isaaudit (``repro audit``) and effectcheck
+(``repro effects``) — emit the shared diagnostics schema of
+:mod:`repro.analysis.diagnostics`.  These tests pin the contract
+downstream consumers (CI artifact diffing, dashboards) dispatch on:
+a ``tool`` name, the ``schema_version``, and rule codes of the shape
+``ABC123``.
+"""
+
+import re
+
+import pytest
+
+from repro.analysis.audit import audit_target, build_target
+from repro.analysis.check import check_model
+from repro.analysis.diagnostics import SCHEMA_VERSION
+from repro.analysis.effects import effects_spec
+from repro.analysis.lint import lint_spec
+from repro.analysis.registry import build_spec
+
+RULE_CODE = re.compile(r"^[A-Z]{3}\d{3}$")
+
+#: finding keys shared by every tool (osmcheck findings add "trace")
+DIAGNOSTIC_KEYS = {
+    "code", "rule", "severity", "spec", "state", "edge", "message",
+    "suppressed",
+}
+
+
+def _lint_report():
+    return "lint", lint_spec(build_spec("pipeline5")).to_dict()
+
+
+def _check_report():
+    return "check", check_model("pipeline5", n_osms=2).to_dict()
+
+
+def _audit_report():
+    return "audit", audit_target(build_target("arm"), codes=["ISA003"]).to_dict()
+
+
+def _effects_report():
+    return "effects", effects_spec(build_spec("pipeline5")).to_dict()
+
+
+REPORTS = {
+    "lint": _lint_report,
+    "check": _check_report,
+    "audit": _audit_report,
+    "effects": _effects_report,
+}
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    return {name: build() for name, build in REPORTS.items()}
+
+
+@pytest.mark.parametrize("tool", sorted(REPORTS))
+class TestSchemaStability:
+    def test_tool_name_matches(self, payloads, tool):
+        expected, payload = payloads[tool]
+        assert payload["tool"] == expected == tool
+
+    def test_schema_version_is_current(self, payloads, tool):
+        _, payload = payloads[tool]
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_core_envelope_keys(self, payloads, tool):
+        _, payload = payloads[tool]
+        assert isinstance(payload["spec"], str)
+        assert isinstance(payload["ok"], bool)
+
+    def test_rule_codes_are_well_formed(self, payloads, tool):
+        _, payload = payloads[tool]
+        findings = payload.get("diagnostics", payload.get("findings", []))
+        rules = payload.get("passes", payload.get("properties", []))
+        for code in rules:
+            assert RULE_CODE.match(code), code
+        for finding in findings:
+            assert RULE_CODE.match(finding["code"]), finding["code"]
+            assert DIAGNOSTIC_KEYS <= set(finding)
+            assert finding["severity"] in {"error", "warning", "info"}
+
+
+class TestRulePrefixes:
+    """Each tool owns one rule-code prefix; overlap would make the
+    merged CI artifact ambiguous."""
+
+    def test_prefixes_are_disjoint(self, payloads):
+        prefixes = {}
+        for tool, (_, payload) in payloads.items():
+            rules = payload.get("passes", payload.get("properties", []))
+            for code in rules:
+                prefixes.setdefault(code[:3], set()).add(tool)
+        for prefix, owners in prefixes.items():
+            assert len(owners) == 1, (prefix, owners)
+
+    def test_expected_prefix_per_tool(self, payloads):
+        expected = {"lint": "OSM", "check": "CHK", "audit": "ISA",
+                    "effects": "EFF"}
+        for tool, prefix in expected.items():
+            _, payload = payloads[tool]
+            rules = payload.get("passes", payload.get("properties", []))
+            assert rules, tool
+            assert all(code.startswith(prefix) for code in rules), tool

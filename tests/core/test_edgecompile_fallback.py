@@ -1,0 +1,129 @@
+"""Codegen-fallback accounting: the edge compiler must count (never
+hide) every probe that falls back to the interpreter, and the counts
+must flow through ``SimulationStats`` into the bench row.
+
+The fixture plants a deliberately uncompilable primitive
+(``compilable = False``) so the fallback path is exercised on purpose.
+"""
+
+import json
+
+from repro.cli import main
+from repro.core import (
+    Allocate,
+    Condition,
+    MachineSpec,
+    Release,
+    SlotManager,
+    compile_edge_probe,
+)
+from repro.core.osm import OperationStateMachine
+from repro.core.primitives import Primitive
+from repro.core.stats import SimulationStats
+
+
+class Uncompilable(Primitive):
+    """Opts out of codegen; probe itself is protocol-abiding."""
+
+    kind = "uncompilable"
+    compilable = False
+
+    def probe(self, osm, txn) -> bool:
+        return True
+
+    def __repr__(self):
+        return "Uncompilable()"
+
+
+def spec_with_optout() -> MachineSpec:
+    stage = SlotManager("S")
+    spec = MachineSpec("fallback")
+    spec.state("I", initial=True)
+    spec.state("P")
+    spec.edge("I", "P", Condition([Uncompilable(), Allocate(stage)]),
+              label="slow")
+    spec.edge("P", "I", Condition([Release("S")]), label="retire")
+    return spec
+
+
+class TestCompileStats:
+    def test_optout_primitive_is_counted_with_reason(self):
+        spec = spec_with_optout()
+        for state in spec.states.values():
+            state.probe_plan()
+        stats = spec.compile_stats
+        assert stats.compiled == 1          # the pure-Release retire edge
+        assert stats.fallbacks == 1
+        [(qualname, reason)] = stats.fallback_edges
+        assert qualname == "slow@0"
+        assert reason.startswith("opt-out")
+
+    def test_rebuilding_a_plan_does_not_double_count(self):
+        spec = spec_with_optout()
+        for _ in range(3):
+            for state in spec.states.values():
+                state._plan = None
+                state.probe_plan()
+        assert spec.compile_stats.fallbacks == 1
+        assert spec.compile_stats.compiled == 1
+
+    def test_fallback_probe_semantics_match_interpreted(self):
+        spec = spec_with_optout()
+        osm = OperationStateMachine(spec)
+        assert osm.try_transition(0) is not None
+        assert osm.current.name == "P"
+        assert osm.holds("S")
+
+    def test_compile_edge_probe_records_into_spec(self):
+        spec = spec_with_optout()
+        edge = next(e for e in spec.edges if e.qualname == "slow@0")
+        compile_edge_probe(edge, spec)
+        assert spec.compile_stats.edges["slow@0"] is not None
+
+    def test_to_dict_shape(self):
+        spec = spec_with_optout()
+        for state in spec.states.values():
+            state.probe_plan()
+        payload = spec.compile_stats.to_dict()
+        assert payload["compiled"] == 1
+        assert payload["fallbacks"] == 1
+        assert payload["fallback_edges"] == [
+            {"edge": "slow@0", "reason": payload["fallback_edges"][0]["reason"]}
+        ]
+
+
+class TestStatsAbsorption:
+    def test_absorb_accumulates(self):
+        spec = spec_with_optout()
+        for state in spec.states.values():
+            state.probe_plan()
+        stats = SimulationStats()
+        stats.absorb_compile_stats(spec)
+        assert stats.compiled_probes == 1
+        assert stats.probe_fallbacks == 1
+        assert stats.fallback_edges == [("slow@0", spec.compile_stats.fallback_edges[0][1])]
+
+    def test_summary_mentions_fallbacks(self):
+        spec = spec_with_optout()
+        for state in spec.states.values():
+            state.probe_plan()
+        stats = SimulationStats()
+        stats.absorb_compile_stats(spec)
+        summary = stats.summary()
+        assert "compiled probes  : 1" in summary
+        assert "probe fallbacks  : 1" in summary
+
+    def test_specless_absorb_is_a_no_op(self):
+        stats = SimulationStats()
+        stats.absorb_compile_stats(object())
+        assert stats.compiled_probes == 0 and stats.probe_fallbacks == 0
+
+
+class TestBenchSurface:
+    def test_bench_json_row_carries_probe_counts(self, capsys):
+        assert main(["bench", "--model", "pipeline5", "--quick",
+                     "--json"]) == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["compiled_probes"] > 0
+        assert row["probe_fallbacks"] == 0
+        assert row["fallback_edges"] == []

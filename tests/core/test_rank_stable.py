@@ -1,0 +1,99 @@
+"""``rank_stable_in_flight`` marking semantics and metadata hygiene.
+
+The decorator must (a) mark plain functions in place, (b) fall back to
+a wrapper for callables that refuse attribute assignment — bound
+methods, ``functools.partial`` — and (c) carry ``functools.wraps``
+metadata on that wrapper so diagnostics, tracebacks and effectcheck's
+EFF002 pass all name (and can introspect) the real rank function.
+"""
+
+import functools
+
+from repro.core.director import (
+    Director,
+    age_rank,
+    operation_seq_rank,
+    rank_stable_in_flight,
+)
+from repro.core.osm import OperationStateMachine
+
+
+class Ranker:
+    """Host for a bound-method rank key (refuses attribute assignment
+    on the bound method object, so the decorator must wrap)."""
+
+    def key(self, osm):
+        return osm.age
+
+
+class TestPlainFunction:
+    def test_marked_in_place(self):
+        def my_rank(osm):
+            return osm.age
+
+        marked = rank_stable_in_flight(my_rank)
+        assert marked is my_rank
+        assert marked.rank_changes_only_at_initial is True
+
+    def test_metadata_untouched(self):
+        def my_rank(osm):
+            "docstring survives"
+            return osm.age
+
+        marked = rank_stable_in_flight(my_rank)
+        assert marked.__name__ == "my_rank"
+        assert marked.__doc__ == "docstring survives"
+        assert not hasattr(marked, "__wrapped__")
+
+
+class TestWrappedCallables:
+    def test_bound_method_is_wrapped_with_metadata(self):
+        bound = Ranker().key
+        marked = rank_stable_in_flight(bound)
+        assert marked is not bound
+        assert marked.rank_changes_only_at_initial is True
+        # functools.wraps metadata: name, qualname, and the unwrap chain
+        assert marked.__name__ == "key"
+        assert marked.__qualname__.endswith("Ranker.key")
+        assert marked.__wrapped__ is bound
+
+    def test_partial_is_marked_in_place(self):
+        """partial objects accept attribute assignment, so no wrapper
+        (and no call overhead) is needed."""
+        def keyed(osm, scale):
+            return osm.age * scale
+
+        part = functools.partial(keyed, scale=2)
+        marked = rank_stable_in_flight(part)
+        assert marked is part
+        assert marked.rank_changes_only_at_initial is True
+
+    def test_wrapper_delegates(self):
+        class FakeOsm:
+            age = 7
+
+        marked = rank_stable_in_flight(Ranker().key)
+        assert marked(FakeOsm()) == 7
+
+    def test_effectcheck_sees_through_the_wrapper(self):
+        """inspect.unwrap must reach the real function, so EFF002 can
+        verify the mark against real source — not the wrapper shell."""
+        import inspect
+
+        bound = Ranker().key
+        marked = rank_stable_in_flight(bound)
+        assert inspect.unwrap(marked) is bound
+
+
+class TestBuiltinRankings:
+    def test_builtin_rankings_carry_the_mark(self):
+        assert age_rank.rank_changes_only_at_initial is True
+        assert operation_seq_rank.rank_changes_only_at_initial is True
+
+    def test_director_add_stamps_the_breadcrumb(self):
+        from repro.analysis.registry import build_spec
+
+        spec = build_spec("pipeline5")
+        director = Director(deadlock_check=False)
+        director.add(OperationStateMachine(spec))
+        assert spec.analysis_rank_key is director.rank_key
