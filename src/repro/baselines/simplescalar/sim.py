@@ -202,7 +202,9 @@ class SimpleScalarArm:
             op = self.d_op
             self.d_op = None
             self.e_op = op
-            op.info = arm_semantics.execute(self.state, op.instr)
+            fn = op.instr.exec_fn
+            op.info = fn(self.state) if fn is not None \
+                else arm_semantics.execute(self.state, op.instr)
             self.state.instret += 1
             self._claim_dests(op)
             extra = self.execute_latency(op) - 1

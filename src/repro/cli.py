@@ -57,7 +57,7 @@ def _assemble(isa: str, source: str):
     return assemble(source)
 
 
-def _build_model(name: str, program, isa: str):
+def _build_model(name: str, program, isa: str, fused: bool = True):
     if name == "iss":
         from .iss import ArmInterpreter, PpcInterpreter
 
@@ -66,12 +66,12 @@ def _build_model(name: str, program, isa: str):
         from .models.pipeline5 import Pipeline5Model
 
         _require_isa(name, isa, "arm")
-        return Pipeline5Model(program)
+        return Pipeline5Model(program, fused=fused)
     if name == "strongarm":
         from .models.strongarm import StrongArmModel
 
         _require_isa(name, isa, "arm")
-        return StrongArmModel(program)
+        return StrongArmModel(program, fused=fused)
     if name == "vliw":
         from .models.vliw import VliwModel
 
@@ -81,7 +81,7 @@ def _build_model(name: str, program, isa: str):
         from .models.ppc750 import Ppc750Model
 
         _require_isa(name, isa, "ppc")
-        return Ppc750Model(program)
+        return Ppc750Model(program, fused=fused)
     raise SystemExit(
         f"unknown model {name!r} (choose iss, pipeline5, strongarm, vliw, ppc750)"
     )
@@ -391,25 +391,35 @@ def cmd_effects(args) -> int:
     return 0 if all(report.ok for _, report, _ in results) else 1
 
 
-def cmd_bench(args) -> int:
-    """Benchmark a model over the MediaBench workloads.
+#: models benched by ``bench --model cases`` (one per bundled ISA)
+BENCH_CASE_MODELS = ("strongarm", "ppc750")
 
-    Emits one JSON row (``--json`` / ``--out FILE``) with cycles/s,
-    events/s (committed OSM transitions per second) and the per-phase
-    wall-time breakdown from the phase-attributed stats layer.  Unless
-    ``--no-verify`` is given, every workload is re-run under the
-    director's reference scheduling loop and the simulation results
-    (cycles, instructions, transitions, exit code) are compared — a
-    mismatch fails the bench with exit status 1.  CI's perf-smoke job
-    runs ``bench --quick`` and fails only on such mismatches, never on
-    speed.
+
+def _model_decode_cache(model):
+    """The model's ISS-level :class:`~repro.iss.decode_cache.DecodeCache`,
+    whether it fetches directly (``model.iss``) or through an oracle."""
+    iss = getattr(model, "iss", None)
+    if iss is None:
+        oracle = getattr(model, "oracle", None)
+        iss = getattr(oracle, "interpreter", None)
+    return getattr(iss, "decode_cache", None)
+
+
+def _bench_model(model_name: str, args, fused: bool) -> dict:
+    """One bench row: run every workload on *model_name*, aggregate.
+
+    The timed simulate runs happen with the cyclic garbage collector
+    paused (collected right before, re-enabled right after): the
+    simulator allocates at a steady rate and GC passes mid-measurement
+    only add variance.  Results are unaffected — collection has no
+    semantic effect.
     """
-    import json
+    import gc
 
     from .core.stats import SimulationStats
     from .workloads import mediabench
 
-    isa = args.isa or MODEL_DEFAULT_ISA.get(args.model, "arm")
+    isa = args.isa or MODEL_DEFAULT_ISA.get(model_name, "arm")
     names = list(mediabench.MEDIABENCH_NAMES)
     if args.quick:
         names = names[:3]
@@ -417,13 +427,30 @@ def cmd_bench(args) -> int:
     source_of = mediabench.arm_source if isa == "arm" else mediabench.ppc_source
     per_workload = []
     mismatches = []
+    compile_stats = None
+    cache_counts = {"block_hits": 0, "block_misses": 0,
+                    "entry_invalidations": 0, "block_invalidations": 0}
     for name in names:
         with agg.time_phase("assemble"):
             program = _assemble(isa, source_of(name))
         with agg.time_phase("build"):
-            model = _build_model(args.model, program, isa)
-        stats = model.run(args.max_cycles)
+            model = _build_model(model_name, program, isa, fused=fused)
+        gc_was_enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
+        try:
+            stats = model.run(args.max_cycles)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         agg.absorb_compile_stats(model.spec)
+        compile_stats = model.spec.compile_stats
+        cache = _model_decode_cache(model)
+        if cache is not None:
+            cache_counts["block_hits"] += cache.block_hits
+            cache_counts["block_misses"] += cache.block_misses
+            cache_counts["entry_invalidations"] += cache.invalidations
+            cache_counts["block_invalidations"] += cache.block_invalidations
         result = {
             "cycles": stats.cycles,
             "instructions": stats.instructions,
@@ -441,7 +468,7 @@ def cmd_bench(args) -> int:
             # must be result-identical, not merely faster
             with agg.time_phase("verify"):
                 with agg.time_phase("build"):
-                    ref_model = _build_model(args.model, program, isa)
+                    ref_model = _build_model(model_name, program, isa, fused=fused)
                 ref_model.director.reference = True
                 ref_stats = ref_model.run(args.max_cycles)
             reference = {
@@ -454,11 +481,16 @@ def cmd_bench(args) -> int:
                 mismatches.append(
                     {"workload": name, "fast": result, "reference": reference}
                 )
-    row = {
+    probes = cache_counts["block_hits"] + cache_counts["block_misses"]
+    block_hit_rate = (
+        round(cache_counts["block_hits"] / probes, 4) if probes else None
+    )
+    return {
         "bench": "speed",
-        "model": args.model,
+        "model": model_name,
         "isa": isa,
         "quick": bool(args.quick),
+        "fused": fused,
         "workloads": per_workload,
         "cycles": agg.cycles,
         "instructions": agg.instructions,
@@ -476,32 +508,84 @@ def cmd_bench(args) -> int:
         "fallback_edges": [
             {"edge": edge, "reason": reason} for edge, reason in agg.fallback_edges
         ],
+        "fused_states": compile_stats.fused_states if compile_stats else 0,
+        "fused_fallback_states": (
+            compile_stats.fused_fallback_states if compile_stats else 0
+        ),
+        "decode_cache": {**cache_counts, "block_hit_rate": block_hit_rate},
     }
+
+
+def _print_bench_row(row: dict, verify: bool) -> None:
+    mode = "fused" if row["fused"] else "no-fused"
+    print(f"{row['model']} ({mode}): {row['cycles']} cycles in "
+          f"{row['wall_seconds']:.2f}s "
+          f"= {row['cycles_per_second']:,.0f} cycles/sec, "
+          f"{row['events_per_second']:,.0f} events/sec")
+    for name in sorted(row["phase_seconds"]):
+        print(f"  phase {name:<9}: {row['phase_seconds'][name]:.3f}s")
+    if row["compiled_probes"] or row["probe_fallbacks"]:
+        print(f"  probes: {row['compiled_probes']} compiled, "
+              f"{row['probe_fallbacks']} interpreted fallbacks")
+    print(f"  fused states: {row['fused_states']} "
+          f"({row['fused_fallback_states']} fallback)")
+    cache = row["decode_cache"]
+    if cache["block_hit_rate"] is not None:
+        print(f"  block cache: {cache['block_hits']} hits / "
+              f"{cache['block_misses']} misses "
+              f"(hit rate {cache['block_hit_rate']:.2%}, "
+              f"{cache['entry_invalidations']}+"
+              f"{cache['block_invalidations']} invalidated)")
+    if verify:
+        state = "ok" if not row["mismatches"] else "MISMATCH"
+        print(f"  reference-loop verification: {state}")
+
+
+def cmd_bench(args) -> int:
+    """Benchmark models over the MediaBench workloads.
+
+    Emits one JSON row per model with cycles/s, events/s (committed OSM
+    transitions per second), the per-phase wall-time breakdown from the
+    phase-attributed stats layer, the whole-model specialization
+    counters (``fused_states``/``fused_fallback_states``) and the
+    ISS block-cache hit rate.  ``--model cases`` benches every case-study
+    model (StrongARM and PPC 750); a single ``--model`` writes one row
+    object to ``--out``, ``cases`` writes a JSON array.  Unless
+    ``--no-verify`` is given, every workload is re-run under the
+    director's reference scheduling loop and the simulation results
+    (cycles, instructions, transitions, exit code) are compared — a
+    mismatch fails the bench with exit status 1.  CI's perf-smoke job
+    runs ``bench --quick`` fused and unfused and fails only on result
+    mismatches, never on speed.
+    """
+    import json
+
+    if args.model == "cases" and args.isa:
+        raise SystemExit("--isa conflicts with --model cases "
+                         "(each case model implies its ISA)")
+    model_names = (
+        list(BENCH_CASE_MODELS) if args.model == "cases" else [args.model]
+    )
+    fused = not args.no_fused
+    rows = [_bench_model(name, args, fused) for name in model_names]
+    payload = rows if args.model == "cases" else rows[0]
     if args.out:
         with open(args.out, "w") as handle:
-            json.dump(row, handle, indent=2)
+            json.dump(payload, handle, indent=2)
             handle.write("\n")
     if args.json:
-        print(json.dumps(row, indent=2))
+        print(json.dumps(payload, indent=2))
     else:
-        print(f"{args.model}: {agg.cycles} cycles in {agg.wall_seconds:.2f}s "
-              f"= {agg.cycles_per_second:,.0f} cycles/sec, "
-              f"{agg.transitions_per_second:,.0f} events/sec")
-        for name in sorted(agg.phase_seconds):
-            print(f"  phase {name:<9}: {agg.phase_seconds[name]:.3f}s")
-        if agg.compiled_probes or agg.probe_fallbacks:
-            print(f"  probes: {agg.compiled_probes} compiled, "
-                  f"{agg.probe_fallbacks} interpreted fallbacks")
-        if not args.no_verify:
-            state = "ok" if not mismatches else "MISMATCH"
-            print(f"  reference-loop verification: {state}")
-    if mismatches:
-        for mismatch in mismatches:
-            print(f"result mismatch on {mismatch['workload']}: "
+        for row in rows:
+            _print_bench_row(row, verify=not args.no_verify)
+    failed = False
+    for row in rows:
+        for mismatch in row["mismatches"]:
+            failed = True
+            print(f"result mismatch on {row['model']}/{mismatch['workload']}: "
                   f"fast={mismatch['fast']} reference={mismatch['reference']}",
                   file=sys.stderr)
-        return 1
-    return 0
+    return 1 if failed else 0
 
 
 def cmd_workload(args) -> int:
@@ -640,9 +724,14 @@ def build_parser() -> argparse.ArgumentParser:
     effects.set_defaults(func=cmd_effects)
 
     bench = sub.add_parser("bench", help="measure simulation speed")
-    bench.add_argument("--model", default="strongarm",
-                       choices=sorted(set(MODEL_DEFAULT_ISA) - {"iss"}))
+    bench.add_argument("--model", default="cases",
+                       choices=sorted(set(MODEL_DEFAULT_ISA) - {"iss"}) + ["cases"],
+                       help="a single model, or 'cases' for one row per "
+                            "case-study model (strongarm + ppc750)")
     bench.add_argument("--isa", choices=("arm", "ppc"))
+    bench.add_argument("--no-fused", action="store_true",
+                       help="disable the fused per-state step functions "
+                            "(A/B baseline; results must be identical)")
     bench.add_argument("--max-cycles", type=int, default=10_000_000)
     bench.add_argument("--quick", action="store_true",
                        help="CI subset: first three workloads only")

@@ -36,6 +36,13 @@ from .primitives import (
 )
 from .osm import Edge, MachineSpec, OperationStateMachine, State
 from .edgecompile import CompileStats, apply_compilability, compile_edge_probe
+from .fuse import (
+    ManagerEmitter,
+    defuse_spec,
+    enable_fusion,
+    fuse_spec,
+    register_native_emitter,
+)
 from .director import Director, age_rank, rank_stable_in_flight
 from .kernel import CycleDrivenKernel, SimulationKernel
 from .stats import SimulationStats
@@ -53,6 +60,7 @@ __all__ = [
     "Guard",
     "Inquire",
     "MachineSpec",
+    "ManagerEmitter",
     "OperationStateMachine",
     "OsmError",
     "PoolManager",
@@ -75,6 +83,10 @@ __all__ = [
     "age_rank",
     "apply_compilability",
     "compile_edge_probe",
+    "defuse_spec",
+    "enable_fusion",
+    "fuse_spec",
     "rank_stable_in_flight",
+    "register_native_emitter",
     "resolve_identifier",
 ]

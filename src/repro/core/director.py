@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import functools
 
+from bisect import bisect_left
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from .errors import SchedulingDeadlockError
@@ -75,6 +76,20 @@ def age_rank(osm: OperationStateMachine) -> Tuple[int, int, int]:
     return (0, osm.age, osm.serial)
 
 
+#: departure-monotone: an OSM leaving the initial state always receives a
+#: rank key strictly greater than every in-flight OSM's current key (ages
+#: are stamped from the monotone clock; sequence numbers from the monotone
+#: fetch counter — within one step, departures happen in scan order).  The
+#: director exploits the mark to maintain its cached rank order
+#: *incrementally* across I-boundary transitions (append departures,
+#: bisect re-inserted idles) instead of re-sorting the pool; a runtime
+#: strict-monotonicity check degrades to a full re-sort whenever a
+#: particular step violates the property (e.g. restart-mode fetches out of
+#: serial order), so the mark is an optimisation hint, never a soundness
+#: assumption.
+age_rank.rank_departure_monotone = True
+
+
 @rank_stable_in_flight
 def operation_seq_rank(osm: OperationStateMachine) -> Tuple[int, int]:
     """Rank strictly by operation fetch-sequence number.
@@ -89,6 +104,9 @@ def operation_seq_rank(osm: OperationStateMachine) -> Tuple[int, int]:
     if operation is None:
         return (1, osm.serial)
     return (0, operation.seq)
+
+
+operation_seq_rank.rank_departure_monotone = True
 
 
 class Director:
@@ -151,6 +169,25 @@ class Director:
         #: an OSM stamped with the current step id already transitioned
         #: this control step and is not scheduled again
         self._step_id = 0
+        # -- incremental rank-order maintenance (see _rebuild_order) --
+        #: the rank key is both in-flight-stable and departure-monotone
+        self._inc_eligible = False
+        #: the current _order is maintained as _flight + _idle partitions
+        self._inc_active = False
+        self._flight: List[OperationStateMachine] = []
+        self._flight_keys: List[Any] = []
+        self._idle: List[OperationStateMachine] = []
+        self._idle_keys: List[Any] = []
+        #: every OSM shares one (spec, tag) class: the idle pool is
+        #: homogeneous, enabling the two-phase specialised scan
+        self._uniform_pool = False
+        #: _order lags behind _flight/_idle (split scan defers the concat)
+        self._order_stale = False
+        #: observable version at which the whole idle pool was stamped
+        #: blocked; the idle phase is skipped wholesale while it matches
+        self._idle_fail_version = -1
+        #: observable version already cleared by the cyclic-wait analysis
+        self._deadlock_version = -1
 
     def add(self, *osms: OperationStateMachine) -> None:
         """Register OSMs with the director."""
@@ -189,18 +226,19 @@ class Director:
             return self._control_step_reference()
         rank_key = self.rank_key
         if rank_key is not self._order_key:
-            # rank function replaced after construction: order invalid
-            self._order_key = rank_key
-            self._rank_stable = getattr(
-                rank_key, "rank_changes_only_at_initial", False)
-            self._rank_dirty = True
+            self._resolve_order_key(rank_key)
         if self._rank_dirty:
-            # Same inputs as the reference sort: self.osms in registration
-            # order under a stable sort, so ties break identically.
-            self._order = sorted(self.osms, key=rank_key)
-            self._rank_dirty = False
+            self._rebuild_order(rank_key)
+        if self._inc_active and self._uniform_pool and not self.restart:
+            return self._control_step_split(rank_key)
+        if self._order_stale:
+            self._order = self._flight + self._idle
+            self._order_stale = False
         order = self._order
         rank_stable = self._rank_stable
+        # I-boundary transitions collected for incremental order
+        # maintenance; None = this step falls back to dirty + full re-sort
+        boundary = [] if self._inc_active else None
         self._step_id += 1
         step_id = self._step_id
         stats = self.stats
@@ -217,7 +255,14 @@ class Director:
             if osm._stepped == step_id or osm._fail_version == version:
                 i += 1
                 continue
-            edge = osm.try_transition(clock)
+            # Dispatch point: fused whole-state stepper when the current
+            # state carries one (see repro.core.fuse), per-edge probe plan
+            # otherwise.  Both produce the identical Edge-or-None outcome.
+            stepper = osm.current._fused
+            if stepper is not None:
+                edge = stepper(osm, clock)
+            else:
+                edge = osm.try_transition(clock)
             probed += 1
             if version != self.version:
                 # an edge action called notify(): pick up the new version
@@ -233,9 +278,16 @@ class Director:
                 osm._stepped = step_id
                 if not rank_stable or edge.src.is_initial or edge.dst.is_initial:
                     # The committed transition may have changed this OSM's
-                    # rank (operation assigned/cleared, age stamped):
-                    # re-sort before the next control step.
-                    self._rank_dirty = True
+                    # rank (operation assigned/cleared, age stamped).
+                    src_init = edge.src.is_initial
+                    if boundary is None or not rank_stable:
+                        # re-sort before the next control step
+                        self._rank_dirty = True
+                    elif src_init != edge.dst.is_initial:
+                        # membership change: applied incrementally after
+                        # the scan (an I self-loop changes neither
+                        # membership nor, for a stable key, the rank)
+                        boundary.append((osm, src_init))
                 if restart:
                     i = 0
                 else:
@@ -260,12 +312,230 @@ class Director:
                         ):
                             trailing._fail_version = version
                 i += 1
+        if boundary:
+            self._apply_boundary(boundary, rank_key)
         stats.control_step_passes += probed
         stats.transitions += transitions
         if transitions == 0 and probed and self.deadlock_check:
-            self._abort_on_cyclic_wait()
+            if self._deadlock_version != version:
+                # The wait graph is a pure function of the observable
+                # version: holders change only with transitions and
+                # blocked_on only with probes, both of which this version
+                # has already seen.  One clean analysis clears all
+                # subsequent stalled steps at the same version.
+                self._abort_on_cyclic_wait()
+                self._deadlock_version = version
         self.clock += 1
         return transitions
+
+    def _control_step_split(self, rank_key) -> int:
+        """Single-pass scan specialised for the common configuration:
+        restart off, incremental rank partition active, homogeneous OSM
+        pool (one spec/tag class).  Schedule-identical to the generic
+        scan — the partition invariant makes the rank order literally
+        ``flight + idle``, so walking the two lists in sequence visits
+        the same OSMs in the same order — but the flight phase drops the
+        per-item step stamp (single pass: no OSM is visited twice) and
+        the idle phase exploits homogeneity: after one idle OSM refuses
+        to fetch, the rest are stamped wholesale, and the entire phase
+        is skipped while the observable version still matches
+        ``_idle_fail_version``."""
+        stats = self.stats
+        trace = self.trace
+        clock = self.clock
+        version = self.version
+        transitions = 0
+        probed = 0
+        boundary = None
+        for osm in self._flight:
+            if osm._fail_version == version:
+                continue
+            stepper = osm.current._fused
+            if stepper is not None:
+                edge = stepper(osm, clock)
+            else:
+                edge = osm.try_transition(clock)
+            probed += 1
+            # reload: an edge action may have called notify()
+            version = self.version
+            if edge is not None:
+                version += 1
+                self.version = version
+                transitions += 1
+                if trace is not None:
+                    trace(clock, osm, edge)
+                if edge.dst.is_initial:
+                    # flight OSMs are not in I, so only a retirement or a
+                    # reset changes membership
+                    if boundary is None:
+                        boundary = [(osm, False)]
+                    else:
+                        boundary.append((osm, False))
+            else:
+                osm._fail_version = version
+        idle = self._idle
+        if idle and self._idle_fail_version != version:
+            phase_version = version
+            i = 0
+            n = len(idle)
+            while i < n:
+                osm = idle[i]
+                i += 1
+                if osm._fail_version == version:
+                    continue
+                stepper = osm.current._fused
+                if stepper is not None:
+                    edge = stepper(osm, clock)
+                else:
+                    edge = osm.try_transition(clock)
+                probed += 1
+                version = self.version
+                if edge is not None:
+                    version += 1
+                    self.version = version
+                    transitions += 1
+                    if trace is not None:
+                        trace(clock, osm, edge)
+                    if not edge.dst.is_initial:
+                        # an I self-loop (e.g. a doomed fetch discard)
+                        # changes neither membership nor rank
+                        if boundary is None:
+                            boundary = [(osm, True)]
+                        else:
+                            boundary.append((osm, True))
+                else:
+                    # Homogeneous idle pool: every remaining idle OSM
+                    # shares this fetch edge and fails identically.
+                    osm._fail_version = version
+                    for j in range(i, n):
+                        idle[j]._fail_version = version
+                    break
+            if version == phase_version:
+                # No idle transition: every idle OSM now carries the
+                # current version stamp, so the next steps can skip the
+                # phase outright until something observable changes.
+                self._idle_fail_version = version
+        if boundary is not None:
+            self._apply_boundary(boundary, rank_key)
+        stats.control_step_passes += probed
+        stats.transitions += transitions
+        if transitions == 0 and probed and self.deadlock_check:
+            if self._deadlock_version != version:
+                self._abort_on_cyclic_wait()
+                self._deadlock_version = version
+        self.clock += 1
+        return transitions
+
+    # -- rank-order cache maintenance ---------------------------------------
+
+    def prepare(self) -> None:
+        """Prime the scheduling caches before a hot loop.
+
+        Optional — :meth:`control_step` builds everything lazily — but
+        calling it once up front keeps the first simulated cycles off the
+        rebuild path.  A no-op in reference mode (the reference loop owns
+        no caches; tests assert ``_order`` stays empty there).
+        """
+        if self.reference:
+            return
+        rank_key = self.rank_key
+        if rank_key is not self._order_key:
+            self._resolve_order_key(rank_key)
+        if self._rank_dirty:
+            self._rebuild_order(rank_key)
+
+    def _resolve_order_key(self, rank_key) -> None:
+        """Adopt a (possibly replaced) rank function: order invalid."""
+        self._order_key = rank_key
+        self._rank_stable = getattr(
+            rank_key, "rank_changes_only_at_initial", False)
+        self._inc_eligible = self._rank_stable and getattr(
+            rank_key, "rank_departure_monotone", False)
+        self._inc_active = False
+        self._rank_dirty = True
+
+    def _rebuild_order(self, rank_key) -> None:
+        """Full re-sort — the reference semantics: self.osms in
+        registration order under a stable sort, so ties break identically.
+
+        When the rank key is marked in-flight-stable *and*
+        departure-monotone, the sorted order is additionally partitioned
+        into the in-flight prefix and the idle suffix so subsequent
+        I-boundary transitions can maintain it incrementally (append
+        departures at the flight tail, bisect returning OSMs into the
+        idle suffix) instead of re-sorting.  The partition is verified
+        here — in-flight strictly before idle, all keys strictly
+        increasing — and any violation simply leaves the incremental
+        mode off for this rebuild; scheduling is unaffected either way.
+        """
+        order = sorted(self.osms, key=rank_key)
+        self._order = order
+        self._order_stale = False
+        self._rank_dirty = False
+        self._inc_active = False
+        if not self._inc_eligible or not order:
+            return
+        flight = [osm for osm in order if not osm.in_initial]
+        if order[:len(flight)] != flight:
+            return  # an idle OSM ranks inside the in-flight prefix
+        idle = order[len(flight):]
+        keys = [rank_key(osm) for osm in order]
+        if any(a >= b for a, b in zip(keys, keys[1:])):
+            return  # duplicate/unordered keys: bisect maintenance unsound
+        self._flight = flight
+        self._flight_keys = keys[:len(flight)]
+        self._idle = idle
+        self._idle_keys = keys[len(flight):]
+        self._inc_active = True
+        first = order[0]
+        self._uniform_pool = all(
+            osm.spec is first.spec and osm.tag == first.tag for osm in order
+        )
+
+    def _apply_boundary(self, boundary, rank_key) -> None:
+        """Incrementally apply this step's I-boundary membership changes
+        to the cached rank order.  Any surprise — non-monotone departure
+        key, duplicate idle key, an OSM missing from its expected
+        partition — degrades to a full re-sort next step."""
+        flight = self._flight
+        flight_keys = self._flight_keys
+        idle = self._idle
+        idle_keys = self._idle_keys
+        for osm, departed in boundary:
+            key = rank_key(osm)
+            try:
+                if departed:
+                    if flight_keys and key <= flight_keys[-1]:
+                        self._degrade_inc()
+                        return
+                    # the departing OSM is almost always the head of the
+                    # idle partition (lowest rank fetches first)
+                    j = 0 if idle and idle[0] is osm else idle.index(osm)
+                    del idle[j]
+                    del idle_keys[j]
+                    flight.append(osm)
+                    flight_keys.append(key)
+                else:
+                    # retirement in program order: usually the oldest
+                    j = 0 if flight and flight[0] is osm else flight.index(osm)
+                    del flight[j]
+                    del flight_keys[j]
+                    pos = bisect_left(idle_keys, key)
+                    if pos < len(idle_keys) and idle_keys[pos] == key:
+                        self._degrade_inc()
+                        return
+                    idle.insert(pos, osm)
+                    idle_keys.insert(pos, key)
+            except ValueError:  # not in the expected partition
+                self._degrade_inc()
+                return
+        # The concatenated order is only needed by the generic scan; the
+        # split scan walks the partitions directly, so defer the concat.
+        self._order_stale = True
+
+    def _degrade_inc(self) -> None:
+        self._inc_active = False
+        self._rank_dirty = True
 
     def _control_step_reference(self) -> int:
         """The original scheduling loop (paper Fig. 3, directly transcribed).

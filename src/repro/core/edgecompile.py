@@ -55,9 +55,15 @@ class CompileStats:
     def __init__(self):
         #: edge qualname -> None (compiled) or fallback reason string
         self.edges: Dict[str, Optional[str]] = {}
+        #: state name -> None (fused) or fallback reason string; recorded
+        #: by :func:`repro.core.fuse.fuse_spec`
+        self.states: Dict[str, Optional[str]] = {}
 
     def record(self, edge, reason: Optional[str] = None) -> None:
         self.edges[edge.qualname] = reason
+
+    def record_state(self, state, reason: Optional[str] = None) -> None:
+        self.states[state.name] = reason
 
     @property
     def compiled(self) -> int:
@@ -66,6 +72,23 @@ class CompileStats:
     @property
     def fallbacks(self) -> int:
         return sum(1 for reason in self.edges.values() if reason is not None)
+
+    @property
+    def fused_states(self) -> int:
+        return sum(1 for reason in self.states.values() if reason is None)
+
+    @property
+    def fused_fallback_states(self) -> int:
+        return sum(1 for reason in self.states.values() if reason is not None)
+
+    @property
+    def fallback_states(self) -> List[Tuple[str, str]]:
+        """``(state name, reason)`` for every unfused state."""
+        return sorted(
+            (name, reason)
+            for name, reason in self.states.items()
+            if reason is not None
+        )
 
     @property
     def fallback_edges(self) -> List[Tuple[str, str]]:
@@ -83,6 +106,12 @@ class CompileStats:
             "fallback_edges": [
                 {"edge": qualname, "reason": reason}
                 for qualname, reason in self.fallback_edges
+            ],
+            "fused_states": self.fused_states,
+            "fused_fallback_states": self.fused_fallback_states,
+            "fallback_states": [
+                {"state": name, "reason": reason}
+                for name, reason in self.fallback_states
             ],
         }
 
@@ -144,6 +173,7 @@ def apply_compilability(spec, report) -> int:
         if edge.qualname in unsafe and edge.compile_mode != "interpreted":
             edge.compile_mode = "interpreted"
             edge.src._plan = None
+            edge.src._fused = None  # fused steppers bake the plan too
             pinned += 1
     return pinned
 

@@ -100,6 +100,7 @@ class CycleDrivenKernel(KernelBase):
         """
         stats = self.stats
         stats.start_timer()
+        self.director.prepare()
         try:
             while self.cycle < max_cycles:
                 stop = self.stop_condition
@@ -110,20 +111,22 @@ class CycleDrivenKernel(KernelBase):
                 begin_hooks = self._begin_hooks
                 end_hooks = self._end_hooks
                 control_step = self.director.control_step
-                cycle = self.cycle
-                while cycle < max_cycles:
-                    if stop is not None and stop():
-                        break
-                    for hook in begin_hooks:
-                        hook(cycle)
-                    control_step()
-                    for hook in end_hooks:
-                        hook(cycle)
-                    cycle += 1
+                cycle = start_cycle = self.cycle
+                try:
+                    while cycle < max_cycles:
+                        if stop is not None and stop():
+                            break
+                        for hook in begin_hooks:
+                            hook(cycle)
+                        control_step()
+                        for hook in end_hooks:
+                            hook(cycle)
+                        cycle += 1
+                        if self._hooks_stale or self.stop_condition is not stop:
+                            break  # modules or stop condition changed mid-run
+                finally:
                     self.cycle = cycle
-                    stats.cycles += 1
-                    if self._hooks_stale or self.stop_condition is not stop:
-                        break  # modules or stop condition changed mid-run
+                    stats.cycles += cycle - start_cycle
         finally:
             stats.stop_timer(phase="simulate")
         if not self._finished():

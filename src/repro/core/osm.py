@@ -29,7 +29,8 @@ Action = Callable[["OperationStateMachine"], None]
 class State:
     """A named state in a machine specification."""
 
-    __slots__ = ("name", "is_initial", "on_enter", "out_edges", "spec", "_plan")
+    __slots__ = ("name", "is_initial", "on_enter", "out_edges", "spec",
+                 "_plan", "_fused")
 
     def __init__(self, name: str, is_initial: bool = False, on_enter: Optional[Action] = None):
         self.name = name
@@ -49,6 +50,11 @@ class State:
         #: model-build time keeps the per-cycle transition probe free of
         #: per-primitive dispatch, attribute chasing and temporary lists.
         self._plan: Optional[Tuple[Tuple["Edge", Callable], ...]] = None
+        #: fused whole-state stepper ``step(osm, clock) -> Edge | None``
+        #: installed by :func:`repro.core.fuse.fuse_spec` for states the
+        #: effect analysis certifies; ``None`` means "walk the per-edge
+        #: probe plan" (the always-available fallback)
+        self._fused: Optional[Callable] = None
 
     def probe_plan(self) -> Tuple[Tuple["Edge", Callable], ...]:
         """The pre-bound (edge, compiled probe) plan for this state."""
@@ -196,6 +202,7 @@ class MachineSpec:
         # declaration order (stable sort) for determinism among equals
         out.sort(key=lambda edge: -edge.priority)
         source._plan = None  # edge set changed: rebuild the probe plan
+        source._fused = None  # and drop any fused stepper baked on the old set
         return e
 
     def validate(self) -> None:

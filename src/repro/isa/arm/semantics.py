@@ -25,23 +25,28 @@ from .isa import DP_LOGICAL, LR, PC
 
 
 class ExecInfo:
-    """Outcome of executing one instruction."""
+    """Outcome of executing one instruction.
 
-    __slots__ = ("executed", "next_pc", "mem_addr", "mem_addrs", "mem_is_store",
-                 "mul_operand", "taken")
+    The rarely-populated fields live as class-level defaults so the
+    constructor — on the hot path of every executed instruction, both
+    interpreted and compiled (:mod:`repro.isa.arm.execgen`) — stores only
+    the two fields that always vary; writers override the rest when the
+    instruction actually produces them.
+    """
+
+    #: effective address for loads/stores (None otherwise)
+    mem_addr: Optional[int] = None
+    #: every address touched (block transfers; None for single access)
+    mem_addrs = None
+    mem_is_store = False
+    #: multiplier Rs operand magnitude (early-termination latency model)
+    mul_operand: Optional[int] = None
+    #: True when a branch actually redirected control flow
+    taken = False
 
     def __init__(self, executed: bool, next_pc: int):
         self.executed = executed
         self.next_pc = next_pc
-        #: effective address for loads/stores (None otherwise)
-        self.mem_addr: Optional[int] = None
-        #: every address touched (block transfers; None for single access)
-        self.mem_addrs = None
-        self.mem_is_store = False
-        #: multiplier Rs operand magnitude (early-termination latency model)
-        self.mul_operand: Optional[int] = None
-        #: True when a branch actually redirected control flow
-        self.taken = False
 
 
 def condition_passed(cond: int, n: int, z: int, c: int, v: int) -> bool:

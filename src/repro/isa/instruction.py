@@ -31,6 +31,10 @@ class Instruction:
         ``"mem"``, ``"branch"``, ``"system"``.
     is_load / is_store / is_branch / writes_pc:
         Memory and control-flow classification.
+    exec_fn:
+        Optional specialised executor ``fn(state) -> ExecInfo`` bound by
+        the per-ISA execgen when the instruction joins a decoded basic
+        block; ``None`` falls back to the generic ``semantics.execute``.
     """
 
     __slots__ = (
@@ -45,6 +49,7 @@ class Instruction:
         "is_store",
         "is_branch",
         "writes_pc",
+        "exec_fn",
     )
 
     def __init__(self, addr: int, word: int):
@@ -59,6 +64,7 @@ class Instruction:
         self.is_store = False
         self.is_branch = False
         self.writes_pc = False
+        self.exec_fn = None
 
     @property
     def is_mem(self) -> bool:

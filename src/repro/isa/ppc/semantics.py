@@ -15,20 +15,23 @@ from .isa import CR_EQ, CR_GT, CR_LT, SPR_LR
 
 
 class ExecInfo:
-    """Outcome of executing one instruction (same shape as the ARM one)."""
+    """Outcome of executing one instruction (same shape as the ARM one).
 
-    __slots__ = ("executed", "next_pc", "mem_addr", "mem_addrs", "mem_is_store",
-                 "mul_operand", "taken")
+    As on the ARM side, rarely-populated fields are class-level defaults
+    so the per-instruction constructor stores only the two that always
+    vary.
+    """
+
+    mem_addr: Optional[int] = None
+    #: multi-beat accesses (unused by the PPC subset; API symmetry)
+    mem_addrs = None
+    mem_is_store = False
+    mul_operand: Optional[int] = None
+    taken = False
 
     def __init__(self, executed: bool, next_pc: int):
         self.executed = executed
         self.next_pc = next_pc
-        self.mem_addr: Optional[int] = None
-        #: multi-beat accesses (unused by the PPC subset; API symmetry)
-        self.mem_addrs = None
-        self.mem_is_store = False
-        self.mul_operand: Optional[int] = None
-        self.taken = False
 
 
 def _set_cr0(state, value: int) -> None:

@@ -1,7 +1,9 @@
 """Instruction-set simulators (interpreted and dynamically compiled) and
 the functional oracle."""
 
-from .compiled import CompiledArmInterpreter
+from .compiled import (CompiledArmInterpreter, CompiledInterpreter,
+                       CompiledPpcInterpreter)
+from .decode_cache import DecodeCache, DecodedBlock
 from .interpreter import ArmInterpreter, BaseInterpreter, IssError, PpcInterpreter
 from .oracle import ExecRecord, Oracle
 from .state import ArchState, RegisterFile
@@ -11,6 +13,10 @@ __all__ = [
     "ArchState",
     "ArmInterpreter",
     "CompiledArmInterpreter",
+    "CompiledInterpreter",
+    "CompiledPpcInterpreter",
+    "DecodeCache",
+    "DecodedBlock",
     "BaseInterpreter",
     "ExecRecord",
     "IssError",

@@ -1,34 +1,37 @@
-"""Dynamically-compiled instruction-set simulation (ARM-like target).
+"""Dynamically-compiled instruction-set simulation.
 
 Section 1 of the paper classifies fast ISS techniques: interpreted
 simulation, statically-compiled simulation [Pees et al.] and
-dynamically-compiled simulation [Shade].  :class:`CompiledArmInterpreter`
-implements the dynamic variant: the first time control reaches an
-address, the basic block starting there is *translated to Python source*,
-``compile``d, and cached; subsequent visits run the specialised function
-directly, eliminating per-instruction decode and dispatch.
+dynamically-compiled simulation [Shade].  :class:`CompiledInterpreter`
+implements the dynamic variant over the shared decode cache's basic-block
+layer: the first time control reaches an address, the block starting
+there is bound to a specialised function and cached on the
+:class:`~repro.iss.decode_cache.DecodedBlock`; subsequent visits run the
+function directly, eliminating per-instruction decode and dispatch, and
+a store over translated code invalidates decode and translation together.
 
-Translation specialises everything static: register numbers, immediates,
-shift amounts and condition tests become literals in the generated code;
-NZCV flags live in local variables across the block and spill only at
-block exit.  Blocks end at control transfers (branches, mov-to-pc, swi)
-or after ``MAX_BLOCK_LEN`` instructions.
+The ARM target translates whole blocks to Python source
+(:class:`BlockTranslator`): register numbers, immediates, shift amounts
+and condition tests become literals, and NZCV flags live in local
+variables across the block, spilling only at block exit.  The PPC target
+chains the per-instruction executors bound by
+:mod:`repro.isa.ppc.execgen`.  Blocks end at control transfers
+(branches, mov-to-pc, swi/sc) or after ``MAX_BLOCK_LEN`` instructions.
 
-The compiled ISS is drop-in compatible with
-:class:`~repro.iss.interpreter.ArmInterpreter` (same architectural state,
-same syscalls) and is differentially tested against it; the speed ratio
-is reported by ``benchmarks/bench_compiled_iss.py``.
+Both compiled ISSs are drop-in compatible with their interpreters (same
+architectural state, same syscalls) and are differentially tested
+against them; the speed ratio is reported by
+``benchmarks/bench_compiled_iss.py``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
-from ..isa.arm import decode as arm_decode
 from ..isa.arm.decode import ArmInstruction
 from ..isa.arm.isa import PC
 from ..isa.program import Program
-from .interpreter import ArmInterpreter, IssError
+from .interpreter import ArmInterpreter, IssError, PpcInterpreter
 
 MAX_BLOCK_LEN = 64
 
@@ -111,6 +114,20 @@ class BlockTranslator:
 
     # -- per-instruction translation -----------------------------------------------
 
+    def emit_store_guard(self, instr: ArmInstruction) -> None:
+        """After a store: bail out if the store hit this very block.
+
+        The decode cache flips ``valid`` on the block object when a write
+        overlaps it, so self-modifying code stops at the next instruction
+        boundary and the dispatch loop re-fetches — the same contract the
+        interpreted block loop honors.  ``_b`` is bound to the block at
+        translation time.
+        """
+        self.emit("if not _b.valid:")
+        self._indent += 1
+        self.emit_early_return(str((instr.addr + 4) & 0xFFFFFFFF))
+        self._indent -= 1
+
     def translate(self, instr: ArmInstruction) -> Optional[str]:
         """Emit statements for *instr*; returns a 'return' expression when
         the instruction ends the block (control transfer), else None."""
@@ -123,6 +140,8 @@ class BlockTranslator:
             self._indent += 1
             self._emit_body(instr)
             self._indent -= 1
+            if instr.is_store:
+                self.emit_store_guard(instr)
             return None
         if instr.kind == "ldm" and instr.writes_pc:
             if guard:
@@ -140,6 +159,8 @@ class BlockTranslator:
         ):
             return self._emit_block_ender(instr, guard)
         self._emit_body(instr)
+        if instr.is_store:
+            self.emit_store_guard(instr)
         return None
 
     def _emit_body(self, instr: ArmInstruction) -> None:
@@ -390,64 +411,124 @@ def _sub(a: int, b: int, carry: int = 1):
     return _add(a, (~b) & 0xFFFFFFFF, carry)
 
 
-class CompiledArmInterpreter:
-    """Shade-style dynamically-compiling ISS for the ARM-like target."""
+class CompiledInterpreter:
+    """Shade-style dynamically-compiling ISS, generic over the target.
+
+    Basic blocks come from the shared :class:`~repro.iss.decode_cache.
+    DecodeCache` (discovered at fetch time, invalidated by overlapping
+    writes), and each block's translation is cached *on the block
+    object* — so a store over translated code drops the stale
+    translation together with the stale decode, fixing the seed
+    organisation where the compiled ISS kept a private, never-invalidated
+    block table.
+
+    The generic translation chains the per-instruction ``exec_fn``
+    executors the ISA's execgen bound when the block was built (how the
+    PPC target benefits from the block machinery); the ARM subclass
+    overrides it with whole-block translation via :class:`BlockTranslator`,
+    which additionally caches registers and flags in locals across the
+    block.
+    """
+
+    #: the interpreter supplying state/syscalls/decode (subclasses set)
+    fallback_class: type = None  # type: ignore[assignment]
+    #: whether the fallback should bind per-instruction executors (the
+    #: whole-block ARM translator makes them redundant work)
+    fallback_specialize = True
 
     def __init__(self, program: Program, stdin: bytes = b"", stack_top: int = 0x80000):
         # reuse the interpreter's state/syscall construction
-        self._fallback = ArmInterpreter(program, stdin=stdin, stack_top=stack_top)
+        self._fallback = self.fallback_class(
+            program, stdin=stdin, stack_top=stack_top,
+            specialize=self.fallback_specialize,
+        )
         self.state = self._fallback.state
         self.syscalls = self._fallback.syscalls
+        self.decode_cache = self._fallback.decode_cache
         self.program = program
-        self._blocks: Dict[int, Callable] = {}
         self.blocks_compiled = 0
         self.block_runs = 0
 
     # -- translation -----------------------------------------------------------
 
-    def _compile_block(self, entry: int) -> Callable:
-        translator = BlockTranslator()
-        addr = entry
-        count = 0
-        return_expr: Optional[str] = None
-        while count < MAX_BLOCK_LEN:
-            word = self.state.memory.read_word(addr)
-            instr = arm_decode(addr, word)
-            if instr.kind == "udf":
-                raise IssError(f"undefined instruction at {addr:#x}: {word:#010x}")
-            count += 1
-            translator.instr_count = count
-            return_expr = translator.translate(instr)
-            if return_expr is not None:
-                break
-            addr = (addr + 4) & 0xFFFFFFFF
-        if return_expr is None:
-            return_expr = str(addr)  # block-length limit: continue next door
-        source = translator.build(entry, count, return_expr)
-        namespace = {"_add": _add, "_sub": _sub}
-        exec(compile(source, f"<block {entry:#x}>", "exec"), namespace)
-        self.blocks_compiled += 1
-        return namespace[f"_block_{entry:x}"]
+    def _translate_block(self, block) -> Callable:
+        """``fn(state, syscalls) -> next_pc`` chaining the block's
+        pre-bound executors (interpreter fallback per instruction)."""
+        execute = self._fallback._execute
+        instrs = block.instrs
+
+        def run_block(state, syscalls, instrs=instrs, block=block, execute=execute):
+            for instr in instrs:
+                if not block.valid:
+                    break  # self-modified under our feet: re-fetch
+                fn = instr.exec_fn
+                if fn is not None:
+                    fn(state)
+                else:
+                    execute(instr)
+                state.instret += 1
+                if state.halted:
+                    break
+            return state.pc
+
+        return run_block
 
     # -- execution ----------------------------------------------------------------
 
     def run(self, max_blocks: int = 10_000_000) -> int:
         """Run to the exit syscall; returns the exit code."""
         state = self.state
-        blocks = self._blocks
-        pc = state.pc
+        syscalls = self.syscalls
+        fetch_block = self.decode_cache.fetch_block
         while not state.halted:
             if self.block_runs >= max_blocks:
                 raise IssError(f"program exceeded {max_blocks} blocks")
-            block = blocks.get(pc)
-            if block is None:
-                block = self._compile_block(pc)
-                blocks[pc] = block
-            pc = block(state, self.syscalls)
+            block = fetch_block(state.pc)
+            fn = block.compiled
+            if fn is None:
+                fn = self._translate_block(block)
+                block.compiled = fn
+                self.blocks_compiled += 1
+            state.pc = fn(state, syscalls)
             self.block_runs += 1
-        state.pc = pc
         return state.exit_code
 
     @property
     def steps(self) -> int:
         return self.state.instret
+
+
+class CompiledArmInterpreter(CompiledInterpreter):
+    """Dynamically-compiling ISS for the ARM-like target: whole-block
+    translation to Python source with registers and flags in locals."""
+
+    fallback_class = ArmInterpreter
+    fallback_specialize = False
+
+    def _translate_block(self, block) -> Callable:
+        translator = BlockTranslator()
+        count = 0
+        return_expr: Optional[str] = None
+        for instr in block.instrs:
+            if instr.kind == "udf":
+                raise IssError(
+                    f"undefined instruction at {instr.addr:#x}: {instr.word:#010x}")
+            count += 1
+            translator.instr_count = count
+            return_expr = translator.translate(instr)
+        if return_expr is None:
+            # block-length limit (or decode ran off memory): continue at
+            # the next sequential address
+            return_expr = str(block.end & 0xFFFFFFFF)
+        entry = block.entry
+        source = translator.build(entry, count, return_expr)
+        namespace = {"_add": _add, "_sub": _sub, "_b": block}
+        exec(compile(source, f"<block {entry:#x}>", "exec"), namespace)
+        return namespace[f"_block_{entry:x}"]
+
+
+class CompiledPpcInterpreter(CompiledInterpreter):
+    """Dynamically-compiling ISS for the PowerPC-like target, running the
+    execgen-specialised executor chain block at a time."""
+
+    fallback_class = PpcInterpreter

@@ -7,48 +7,135 @@ implementation kept a bare per-interpreter dict that was *never
 invalidated*: a program that stores over its own text kept executing the
 stale decode.
 
-:class:`DecodeCache` fixes that contract.  It is keyed by address, shared
+:class:`DecodeCache` fixes that contract and extends it to *basic
+blocks*.  The per-instruction layer is keyed by address and shared
 between the functional interpreter and the fetch units of the timing
-models (they all decode through :meth:`BaseInterpreter.fetch_decode`),
-and registers a write hook on the backing :class:`MainMemory` so any
-store overlapping a cached instruction's bytes drops exactly the stale
-entries.  Invalidation is O(span) per write and the hook costs one list
-check per write when nothing is cached near the store.
+models (they all decode through :meth:`BaseInterpreter.fetch_decode`).
+On top of it, :meth:`fetch_block` discovers basic-block boundaries at
+fetch time: starting from an entry address it decodes forward until a
+control transfer (``is_branch`` / ``writes_pc``) or a system instruction
+ends the block, and memoises the resulting :class:`DecodedBlock`.  The
+run loops of the interpreted and dynamically-compiled ISSs execute whole
+blocks between cache probes, and the per-ISA execgen binds specialised
+executor closures to a block's instructions when it is first built.
+
+Both layers honor the write-invalidation contract.  A write hook on the
+backing :class:`MainMemory` consults a 256-byte *page map* — page index
+-> cached entry addresses / blocks spanning the page — so a store costs
+O(pages touched) when nothing is cached nearby, instead of the previous
+O(write length) per-byte scan; wide block writes (``write_block``) no
+longer walk every byte of their span.  A store that overlaps a cached
+instruction drops the entry *and* every block containing it; dropped
+blocks are flagged ``valid = False`` so a run loop mid-way through one
+stops at the next instruction boundary and re-fetches.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from ..memory.mainmem import MainMemory
 
 #: instruction width in bytes (both targets are fixed-width 32-bit ISAs)
 INSTR_BYTES = 4
 
+#: page granularity of the invalidation index (2**8 = 256 bytes)
+PAGE_SHIFT = 8
+
+#: longest basic block discovered at fetch time (matches the compiled
+#: ISS's translation limit; longer straight-line runs chain blocks)
+MAX_BLOCK_LEN = 64
+
+
+def _default_ends_block(instr) -> bool:
+    """ISA-generic block-ender predicate over the hazard metadata.
+
+    Control transfers end blocks (``is_branch`` covers branches,
+    ``writes_pc`` covers ALU/load writes to the PC), and so do system
+    instructions (ARM ``swi``/``udf`` are unit ``"system"``, PPC
+    ``sc``/``mtspr``/``mfspr`` are unit ``"sru"``) — a syscall can halt
+    the machine or rewrite memory under the block.
+    """
+    return instr.is_branch or instr.writes_pc or instr.unit in ("system", "sru")
+
+
+class DecodedBlock:
+    """A decoded basic block: ``instrs[i]`` is at ``entry + 4*i``.
+
+    ``valid`` flips to False when a store overlaps ``[entry, end)``; run
+    loops check it at instruction boundaries so self-modifying code
+    re-fetches mid-block.  ``compiled`` caches the dynamically-compiled
+    translation of the block (see :mod:`repro.iss.compiled`); it dies
+    with the block, which is what ties block translations to the
+    write-invalidation contract.
+    """
+
+    __slots__ = ("entry", "end", "instrs", "valid", "compiled")
+
+    def __init__(self, entry: int, instrs: List[Any]):
+        self.entry = entry
+        self.end = entry + INSTR_BYTES * len(instrs)
+        self.instrs = instrs
+        self.valid = True
+        self.compiled: Optional[Callable] = None
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "valid" if self.valid else "invalidated"
+        return f"DecodedBlock({self.entry:#x}..{self.end:#x}, {len(self.instrs)} instrs, {state})"
+
 
 class DecodeCache:
-    """Address-keyed decoded-instruction cache, invalidated by writes.
+    """Address-keyed decoded-instruction and basic-block cache.
 
     Parameters
     ----------
     memory:
         The backing main memory; a write hook is registered so stores
-        that overlap a cached instruction invalidate it.
+        that overlap a cached instruction invalidate it (and any block
+        containing it).
     decode:
         ``decode(addr, word) -> instr`` — the ISA decoder.
+    ends_block:
+        Predicate deciding where fetch-time block discovery stops; the
+        default works for both targets from the hazard metadata alone.
+    bind_block:
+        Optional ``bind_block(instrs) -> None`` hook, called once per
+        newly-built block — the per-ISA execgen uses it to attach
+        specialised ``exec_fn`` closures to the block's instructions.
     """
 
-    __slots__ = ("entries", "_decode", "_read_word", "invalidations")
+    __slots__ = ("entries", "blocks", "_decode", "_read_word", "_ends_block",
+                 "_bind_block", "_pages", "_block_pages", "invalidations",
+                 "block_hits", "block_misses", "block_invalidations")
 
-    def __init__(self, memory: MainMemory, decode: Callable[[int, int], Any]):
+    def __init__(self, memory: MainMemory, decode: Callable[[int, int], Any],
+                 ends_block: Optional[Callable[[Any], bool]] = None,
+                 bind_block: Optional[Callable[[List[Any]], None]] = None):
         #: addr -> decoded instruction (exposed so the hot fetch path can
         #: do the dict probe without an extra call; see fetch_decode)
         self.entries: Dict[int, Any] = {}
+        #: entry addr -> DecodedBlock
+        self.blocks: Dict[int, DecodedBlock] = {}
         self._decode = decode
         self._read_word = memory.read_word
+        self._ends_block = ends_block or _default_ends_block
+        self._bind_block = bind_block
+        #: page index -> addresses of cached entries on that page
+        self._pages: Dict[int, Set[int]] = {}
+        #: page index -> blocks overlapping that page
+        self._block_pages: Dict[int, Set[DecodedBlock]] = {}
         #: number of cached entries dropped by overlapping writes
         self.invalidations = 0
+        self.block_hits = 0
+        self.block_misses = 0
+        #: number of cached blocks dropped by overlapping writes
+        self.block_invalidations = 0
         memory.add_write_hook(self._on_write)
+
+    # -- per-instruction layer ----------------------------------------------
 
     def fetch(self, addr: int):
         """The decoded instruction at *addr* (decoding on first use)."""
@@ -56,29 +143,109 @@ class DecodeCache:
         if instr is None:
             instr = self._decode(addr, self._read_word(addr))
             self.entries[addr] = instr
+            self._pages.setdefault(addr >> PAGE_SHIFT, set()).add(addr)
         return instr
 
+    # -- basic-block layer ---------------------------------------------------
+
+    def fetch_block(self, addr: int) -> DecodedBlock:
+        """The basic block entered at *addr* (built on first use)."""
+        block = self.blocks.get(addr)
+        if block is not None:
+            self.block_hits += 1
+            return block
+        self.block_misses += 1
+        return self._build_block(addr)
+
+    def _build_block(self, entry: int) -> DecodedBlock:
+        instrs = [self.fetch(entry)]
+        ends_block = self._ends_block
+        addr = entry
+        while not ends_block(instrs[-1]) and len(instrs) < MAX_BLOCK_LEN:
+            addr = (addr + INSTR_BYTES) & 0xFFFFFFFF
+            try:
+                instrs.append(self.fetch(addr))
+            except Exception:
+                # decoding ran off mapped memory: the block ends here and
+                # the (unreachable unless buggy) next fetch will fault in
+                # the run loop instead, exactly as the per-instruction
+                # interpreter would
+                break
+        block = DecodedBlock(entry, instrs)
+        self.blocks[entry] = block
+        for page in range(entry >> PAGE_SHIFT,
+                          ((block.end - 1) >> PAGE_SHIFT) + 1):
+            self._block_pages.setdefault(page, set()).add(block)
+        if self._bind_block is not None:
+            self._bind_block(instrs)
+        return block
+
+    # -- invalidation ---------------------------------------------------------
+
     def _on_write(self, address: int, length: int) -> None:
-        """Drop every cached instruction whose bytes overlap the write.
+        """Drop every cached instruction and block the write overlaps.
 
         An instruction cached at address X covers ``[X, X+4)``; a write
         of *length* bytes at *address* overlaps X in
-        ``[address-3, address+length-1]``.  Entries are keyed at their
-        start address (any alignment), so the whole span is probed.
+        ``[address-3, address+length-1]``.  Only the pages spanned by
+        that interval are consulted, so a wide ``write_block`` costs one
+        probe per 256-byte page rather than one per byte.
         """
+        lo = address - INSTR_BYTES + 1
+        hi = address + length
+        first_page = lo >> PAGE_SHIFT
+        last_page = (hi - 1) >> PAGE_SHIFT
+        pages = self._pages
+        block_pages = self._block_pages
+        if first_page == last_page:
+            # fast path: data stores almost never share a page with code
+            if first_page not in pages and first_page not in block_pages:
+                return
         entries = self.entries
-        if not entries:
-            return
-        pop = entries.pop
-        for addr in range(address - INSTR_BYTES + 1, address + length):
-            if pop(addr & 0xFFFFFFFF, None) is not None:
-                self.invalidations += 1
+        for page in range(first_page, last_page + 1):
+            addrs = pages.get(page)
+            if addrs:
+                dead = [a for a in addrs if lo <= a < hi]
+                for a in dead:
+                    addrs.discard(a)
+                    del entries[a]
+                self.invalidations += len(dead)
+                if not addrs:
+                    del pages[page]
+            blocks_here = block_pages.get(page)
+            if blocks_here:
+                dead_blocks = [b for b in blocks_here
+                               if address < b.end and hi > b.entry]
+                for block in dead_blocks:
+                    self._drop_block(block)
+                self.block_invalidations += len(dead_blocks)
+
+    def _drop_block(self, block: DecodedBlock) -> None:
+        block.valid = False
+        block.compiled = None
+        if self.blocks.get(block.entry) is block:
+            del self.blocks[block.entry]
+        block_pages = self._block_pages
+        for page in range(block.entry >> PAGE_SHIFT,
+                          ((block.end - 1) >> PAGE_SHIFT) + 1):
+            blocks_here = block_pages.get(page)
+            if blocks_here is not None:
+                blocks_here.discard(block)
+                if not blocks_here:
+                    del block_pages[page]
 
     def clear(self) -> None:
         self.entries.clear()
+        for block in list(self.blocks.values()):
+            block.valid = False
+            block.compiled = None
+        self.blocks.clear()
+        self._pages.clear()
+        self._block_pages.clear()
 
     def __len__(self) -> int:
         return len(self.entries)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"DecodeCache({len(self.entries)} entries, {self.invalidations} invalidated)"
+        return (f"DecodeCache({len(self.entries)} entries, {len(self.blocks)} blocks, "
+                f"{self.invalidations}+{self.block_invalidations} invalidated)")

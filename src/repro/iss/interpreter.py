@@ -20,12 +20,23 @@ class IssError(Exception):
 
 
 class BaseInterpreter:
-    """Shared machinery: decode cache, run loop, instruction budget."""
+    """Shared machinery: decode cache, run loop, instruction budget.
+
+    With ``specialize`` (the default), instruction fetches that miss the
+    decode cache build whole basic blocks, and the per-ISA execgen binds
+    a specialised executor closure to every supported instruction
+    (``instr.exec_fn``); :meth:`run` executes block-at-a-time and both
+    :meth:`step` and the timing models dispatch through ``exec_fn`` when
+    present.  ``specialize=False`` keeps the pure per-instruction
+    interpreter — the reference the specialised path is differentially
+    tested against.
+    """
 
     #: subclasses set: ISA hooks
     n_regs = 16
 
-    def __init__(self, program: Program, stdin: bytes = b"", stack_top: int = 0x80000):
+    def __init__(self, program: Program, stdin: bytes = b"", stack_top: int = 0x80000,
+                 specialize: bool = True):
         self.program = program
         memory = MainMemory()
         program.load_into(memory)
@@ -33,10 +44,14 @@ class BaseInterpreter:
         self.state = ArchState(self.n_regs, memory, self.syscalls)
         self.state.pc = program.entry
         self._init_state(stack_top)
+        self.specialize = specialize
         #: shared decoded-operation cache: the timing models fetch through
         #: :meth:`fetch_decode` too, so functional and timing layers see
         #: one consistent, write-invalidated view of the text
-        self.decode_cache = DecodeCache(memory, self._decode)
+        self.decode_cache = DecodeCache(
+            memory, self._decode,
+            bind_block=self._bind_block if specialize else None,
+        )
         self.steps = 0
 
     # -- ISA hooks ------------------------------------------------------------
@@ -53,6 +68,10 @@ class BaseInterpreter:
     def _execute(self, instr):
         raise NotImplementedError
 
+    def _bind_block(self, instrs) -> None:
+        """Attach specialised executors to a new block (per-ISA execgen)."""
+        raise NotImplementedError
+
     # -- execution --------------------------------------------------------------
 
     def fetch_decode(self, addr: int):
@@ -60,13 +79,17 @@ class BaseInterpreter:
 
         The cache is shared with the timing models and invalidated on
         memory writes, so self-modifying code re-decodes (see
-        :mod:`repro.iss.decode_cache`).
+        :mod:`repro.iss.decode_cache`).  When specialising, a miss
+        builds the whole basic block entered at *addr*, so the timing
+        models' fetch units transparently pick up ``exec_fn`` executors.
         """
         cache = self.decode_cache
         instr = cache.entries.get(addr)
-        if instr is None:
-            return cache.fetch(addr)
-        return instr
+        if instr is not None:
+            return instr
+        if self.specialize:
+            return cache.fetch_block(addr).instrs[0]
+        return cache.fetch(addr)
 
     def step(self):
         """Execute one instruction; returns (instr, exec_info)."""
@@ -74,7 +97,8 @@ class BaseInterpreter:
             raise IssError("stepping a halted machine")
         pc = self.state.pc
         instr = self.fetch_decode(pc)
-        info = self._execute(instr)
+        fn = instr.exec_fn
+        info = fn(self.state) if fn is not None else self._execute(instr)
         self.state.instret += 1
         self.steps += 1
         return instr, info
@@ -82,10 +106,39 @@ class BaseInterpreter:
     def run(self, max_steps: int = 50_000_000) -> int:
         """Run to the exit syscall; returns the exit code."""
         state = self.state
-        while not state.halted:
-            if self.steps >= max_steps:
-                raise IssError(f"program exceeded {max_steps} instructions")
-            self.step()
+        if not self.specialize:
+            while not state.halted:
+                if self.steps >= max_steps:
+                    raise IssError(f"program exceeded {max_steps} instructions")
+                self.step()
+            return state.exit_code
+        # Block-at-a-time loop: one cache probe per basic block, then the
+        # pre-bound executors back to back.  ``block.valid`` is checked at
+        # every instruction boundary so a store into the *currently
+        # executing* block stops before the next stale instruction.
+        fetch_block = self.decode_cache.fetch_block
+        execute = self._execute
+        steps = self.steps
+        try:
+            while not state.halted:
+                block = fetch_block(state.pc)
+                for instr in block.instrs:
+                    if not block.valid:
+                        break
+                    if steps >= max_steps:
+                        raise IssError(
+                            f"program exceeded {max_steps} instructions")
+                    fn = instr.exec_fn
+                    if fn is not None:
+                        fn(state)
+                    else:
+                        execute(instr)
+                    state.instret += 1
+                    steps += 1
+                    if state.halted:
+                        break
+        finally:
+            self.steps = steps
         return state.exit_code
 
 
@@ -112,6 +165,11 @@ class ArmInterpreter(BaseInterpreter):
 
         return execute(self.state, instr)
 
+    def _bind_block(self, instrs) -> None:
+        from ..isa.arm.execgen import bind_block
+
+        bind_block(instrs)
+
 
 class PpcInterpreter(BaseInterpreter):
     """ISS for the PowerPC-like target."""
@@ -133,3 +191,8 @@ class PpcInterpreter(BaseInterpreter):
         from ..isa.ppc.semantics import execute
 
         return execute(self.state, instr)
+
+    def _bind_block(self, instrs) -> None:
+        from ..isa.ppc.execgen import bind_block
+
+        bind_block(instrs)

@@ -70,14 +70,18 @@ class Cache:
         self.write_back = write_back
         self.next_level = next_level
         self.stats = CacheStats()
-        # sets[i] is an LRU-ordered list of (tag, dirty); index 0 = MRU
-        self._sets: List[List[Tuple[int, bool]]] = [[] for _ in range(self.n_sets)]
+        # sets[i] maps tag -> dirty in LRU order: the *last* key is the
+        # MRU way, the first the eviction victim.  A dict keeps every
+        # access O(1) (hit reorder is a pop + reinsert; eviction pops the
+        # first key) where an LRU list pays a linear scan per access.
+        self._sets: List[dict] = [{} for _ in range(self.n_sets)]
         self._offset_bits = line_size.bit_length() - 1
         self._index_mask = self.n_sets - 1
+        self._index_bits = self.n_sets.bit_length() - 1
 
     def _locate(self, address: int) -> Tuple[int, int]:
         line = address >> self._offset_bits
-        return line & self._index_mask, line >> (self.n_sets.bit_length() - 1)
+        return line & self._index_mask, line >> self._index_bits
 
     def probe(self, address: int) -> bool:
         """Non-mutating hit check (no replacement, no statistics).
@@ -88,7 +92,7 @@ class Cache:
         at the clock edge.
         """
         index, tag = self._locate(address)
-        return any(way_tag == tag for way_tag, _ in self._sets[index])
+        return tag in self._sets[index]
 
     def access(self, address: int, is_write: bool = False) -> int:
         """Simulate one access; returns its latency in cycles."""
@@ -96,40 +100,28 @@ class Cache:
         stats.accesses += 1
         line = address >> self._offset_bits
         index = line & self._index_mask
-        tag = line >> (self.n_sets.bit_length() - 1)
+        tag = line >> self._index_bits
         ways = self._sets[index]
-        if ways:
-            way_tag, dirty = ways[0]
-            if way_tag == tag:
-                # MRU hit (sequential streams hit here): no LRU reorder
-                stats.hits += 1
-                if is_write and self.write_back and not dirty:
-                    ways[0] = (tag, True)
-                latency = self.hit_latency
-                if is_write and not self.write_back:
-                    latency += self._write_through_latency(address)
-                return latency
-        for position in range(1, len(ways)):
-            way_tag, dirty = ways[position]
-            if way_tag == tag:
-                stats.hits += 1
-                ways.pop(position)
-                ways.insert(0, (tag, dirty or (is_write and self.write_back)))
-                latency = self.hit_latency
-                if is_write and not self.write_back:
-                    latency += self._write_through_latency(address)
-                return latency
+        dirty = ways.pop(tag, None)
+        if dirty is not None:
+            stats.hits += 1
+            # reinsertion moves the way to the MRU (last) position
+            ways[tag] = dirty or (is_write and self.write_back)
+            latency = self.hit_latency
+            if is_write and not self.write_back:
+                latency += self._write_through_latency(address)
+            return latency
         # miss
-        self.stats.misses += 1
+        stats.misses += 1
         latency = self.hit_latency + self.miss_penalty
         if self.next_level is not None:
             latency = self.hit_latency + self.next_level.access(address, False)
         if len(ways) >= self.assoc:
-            _, victim_dirty = ways.pop()
+            victim_dirty = ways.pop(next(iter(ways)))
             if victim_dirty:
-                self.stats.writebacks += 1
+                stats.writebacks += 1
                 latency += self._writeback_latency()
-        ways.insert(0, (tag, is_write and self.write_back))
+        ways[tag] = is_write and self.write_back
         if is_write and not self.write_back:
             latency += self._write_through_latency(address)
         return latency
@@ -145,7 +137,7 @@ class Cache:
         return max(1, self.miss_penalty // 4)
 
     def flush(self) -> None:
-        self._sets = [[] for _ in range(self.n_sets)]
+        self._sets = [{} for _ in range(self.n_sets)]
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -8,8 +8,6 @@ true-LRU replacement, matching the 32-entry SA-1100 I/D TLBs.
 
 from __future__ import annotations
 
-from typing import List
-
 
 class TlbStats:
     __slots__ = ("accesses", "hits", "misses")
@@ -35,28 +33,28 @@ class Tlb:
         self.page_bits = page_bits
         self.walk_penalty = walk_penalty
         self.stats = TlbStats()
-        self._lru: List[int] = []  # page numbers, index 0 = MRU
+        # page -> True in LRU order: last key = MRU, first = victim.  The
+        # dict keeps hits and replacement O(1) (a list pays a linear
+        # ``index`` scan on every translation).
+        self._lru: dict = {}
 
     def access(self, address: int) -> int:
         """Translate (identity map); returns the latency in cycles (0 on
         hit — translation overlaps the cache access — else the walk
         penalty)."""
-        self.stats.accesses += 1
+        stats = self.stats
+        stats.accesses += 1
         page = address >> self.page_bits
         lru = self._lru
-        try:
-            position = lru.index(page)
-        except ValueError:
-            self.stats.misses += 1
-            if len(lru) >= self.entries:
-                lru.pop()
-            lru.insert(0, page)
-            return self.walk_penalty
-        self.stats.hits += 1
-        if position:
-            lru.pop(position)
-            lru.insert(0, page)
-        return 0
+        if lru.pop(page, False):
+            stats.hits += 1
+            lru[page] = True  # reinsert at the MRU (last) position
+            return 0
+        stats.misses += 1
+        if len(lru) >= self.entries:
+            del lru[next(iter(lru))]
+        lru[page] = True
+        return self.walk_penalty
 
     def flush(self) -> None:
         self._lru.clear()

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from ..core import ResetManager, SlotManager
+from ..core import ResetManager, SlotManager, register_native_emitter
+from ..core.fuse import SlotManagerEmitter
 from ..de.module import HardwareModule
 from ..memory.cache import Cache
 from ..memory.tlb import Tlb
@@ -87,10 +88,15 @@ class FetchUnit(HardwareModule):
     """
 
     def __init__(self, decode_at: Callable[[int], object], entry: int,
-                 icache: Optional[Cache] = None, itlb: Optional[Tlb] = None):
+                 icache: Optional[Cache] = None, itlb: Optional[Tlb] = None,
+                 entries: Optional[dict] = None):
         super().__init__("m_f")
         self.manager = _FetchSlotManager("m_f", self)
         self.decode_at = decode_at
+        #: the decode cache's addr->instr dict, probed inline before
+        #: falling back to ``decode_at`` (pure hot-path shortcut: the
+        #: cache mutates this same dict in place on invalidation)
+        self._entries = entries if entries is not None else {}
         self.fetch_pc = entry
         self.icache = icache
         self.itlb = itlb
@@ -109,16 +115,21 @@ class FetchUnit(HardwareModule):
     def fetch_into(self, osm) -> None:
         """Edge action for I->F: create the operation for this OSM."""
         pc = self.fetch_pc
-        instr = self.decode_at(pc)
-        osm.operation = Operation(self._seq, pc, instr)
-        self._seq += 1
+        instr = self._entries.get(pc)
+        if instr is None:
+            instr = self.decode_at(pc)
+        seq = self._seq
+        osm.operation = Operation(seq, pc, instr)
+        self._seq = seq + 1
         self.fetched += 1
         self.fetch_pc = (pc + 4) & 0xFFFFFFFF
+        itlb = self.itlb
+        icache = self.icache
         latency = 1
-        if self.itlb is not None:
-            latency += self.itlb.access(pc)
-        if self.icache is not None:
-            latency += self.icache.access(pc) - 1
+        if itlb is not None:
+            latency += itlb.access(pc)
+        if icache is not None:
+            latency += icache.access(pc) - 1
         if latency > 1:
             self._countdown = latency - 1
             self.manager.hold_release = True
@@ -168,6 +179,22 @@ class _FetchSlotManager(SlotManager):
         if token.holder is None and id(token) not in txn._granted_ids:
             return token
         return None
+
+
+class _FetchSlotEmitter(SlotManagerEmitter):
+    """Native fusion codegen mirroring :meth:`_FetchSlotManager.allocate`:
+    the plain slot grant gated on the fetch unit accepting.  Inquire,
+    release and the commit hooks are inherited SlotManager behaviour."""
+
+    def allocate(self, g, w, mgr, out, ident_expr, avoid):
+        unit = g.bind("fetch_unit", mgr._unit)
+        w(f"{out} = None")
+        gate = f"{unit}.halted or {unit}._redirect_pending is not None"
+        with w.block(f"if not ({gate}):"):
+            super().allocate(g, w, mgr, out, ident_expr, avoid)
+
+
+register_native_emitter(_FetchSlotManager, _FetchSlotEmitter())
 
 
 class ResetUnit(HardwareModule):

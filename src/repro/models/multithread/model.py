@@ -204,6 +204,10 @@ class MultithreadModel:
         def dests(osm):
             return osm.operation.instr.dst_regs
 
+        # inlined into fused steppers (must mirror the bodies above)
+        sources.__fuse_inline__ = "osm.operation.instr.src_regs"
+        dests.__fuse_inline__ = "osm.operation.instr.dst_regs"
+
         spec.edge("I", "F", Condition([Allocate(self.fetch.manager, slot="m_f")]),
                   action=self.fetch.fetch_into, label="fetch")
         spec.edge("F", "D",
@@ -267,7 +271,9 @@ class MultithreadModel:
     def _execute_op(self, osm) -> None:
         thread = self.threads[osm.tag]
         op: Operation = osm.operation
-        info = arm_semantics.execute(thread.state, op.instr)
+        fn = op.instr.exec_fn
+        info = fn(thread.state) if fn is not None \
+            else arm_semantics.execute(thread.state, op.instr)
         op.info = info
         thread.state.instret += 1
         if op.instr.unit == "mul" and info.executed:

@@ -39,6 +39,7 @@ from ...core import (
     Release,
     ReleaseMany,
     SimulationStats,
+    enable_fusion,
 )
 from ...isa.arm import semantics as arm_semantics
 from ...isa.bits import popcount_significant_bytes
@@ -81,6 +82,12 @@ def _dest_regs(osm) -> tuple:
     return osm.operation.instr.dst_regs
 
 
+# Fused steppers paste these expressions in place of the calls (they must
+# mirror the function bodies exactly — see repro.core.fuse._ident_call).
+_source_regs.__fuse_inline__ = "osm.operation.instr.src_regs"
+_dest_regs.__fuse_inline__ = "osm.operation.instr.dst_regs"
+
+
 class Pipeline5Model:
     """The tutorial 5-stage OSM processor model over the ARM-like ISA.
 
@@ -97,7 +104,17 @@ class Pipeline5Model:
     restart:
         Director outer-loop restart (Fig. 3 general algorithm) — the
         case-study optimisation disables it; exposed for ablation A1.
+    fused:
+        Generate fused per-state step functions for the states the effect
+        analysis certifies (see :mod:`repro.core.fuse`); ``False`` keeps
+        the per-edge probe plans only.  Scheduling results are identical
+        either way.
     """
+
+    #: units whose :meth:`execute_latency` can exceed one cycle —
+    #: ``_execute_op`` consults the latency hook only for these, so
+    #: subclasses stretching other units must extend this set too
+    MULTI_CYCLE_UNITS = frozenset({"mul"})
 
     def __init__(
         self,
@@ -109,13 +126,15 @@ class Pipeline5Model:
         n_osms: int = DEFAULT_N_OSMS,
         restart: bool = False,
         stdin: bytes = b"",
+        fused: bool = True,
     ):
         self.program = program
         self.iss = ArmInterpreter(program, stdin=stdin)
         self.state = self.iss.state
 
         # -- hardware layer: modules and their TMIs -------------------------
-        self.fetch = FetchUnit(self.iss.fetch_decode, program.entry, icache, itlb)
+        self.fetch = FetchUnit(self.iss.fetch_decode, program.entry, icache, itlb,
+                               entries=self.iss.decode_cache.entries)
         self.decode_stage = StageUnit("m_d")
         self.execute_stage = StageUnit("m_e")
         self.buffer_stage = StageUnit("m_b")
@@ -132,6 +151,10 @@ class Pipeline5Model:
         self.director = Director(rank_key=operation_seq_rank, restart=restart)
         self.osms = [OperationStateMachine(self.spec) for _ in range(n_osms)]
         self.director.add(*self.osms)
+        if fused:
+            # After director.add: fusion certification audits the stamped
+            # rank key and bakes the per-state steppers (repro.core.fuse).
+            enable_fusion(self.spec)
 
         modules = [
             self.fetch,
@@ -216,12 +239,17 @@ class Pipeline5Model:
     def _execute_op(self, osm) -> None:
         """Entry to E: perform the operation's semantics (program order)."""
         op: Operation = osm.operation
-        info = arm_semantics.execute(self.state, op.instr)
+        instr = op.instr
+        fn = instr.exec_fn
+        info = fn(self.state) if fn is not None \
+            else arm_semantics.execute(self.state, instr)
         op.info = info
         self.state.instret += 1
-        extra = self.execute_latency(op) - 1
-        if extra > 0:
-            self.execute_stage.hold(extra)
+        if instr.unit in self.MULTI_CYCLE_UNITS:
+            extra = self.execute_latency(op) - 1
+            if extra > 0:
+                self.execute_stage.hold(extra)
+                self._hold_functional_units(op, extra)
         sequential = (op.pc + 4) & 0xFFFFFFFF
         if info.next_pc != sequential:
             self.fetch.redirect(info.next_pc)
@@ -229,6 +257,10 @@ class Pipeline5Model:
         if self.state.halted:
             self.fetch.halt()
             kill_younger(self.osms, op.seq, self.reset_unit)
+
+    def _hold_functional_units(self, op: Operation, extra: int) -> None:
+        """Multi-cycle hook: occupy functional units beyond the E stage
+        itself for *extra* further cycles (override in subclasses)."""
 
     def execute_latency(self, op: Operation) -> int:
         """Execute-stage occupancy in cycles (override in subclasses)."""
@@ -244,8 +276,10 @@ class Pipeline5Model:
     def _memory_access(self, osm) -> None:
         """Entry to B: charge D-cache/TLB latency (block transfers pay one
         beat per word, the Section-4 variable-latency idiom)."""
-        op: Operation = osm.operation
-        latency = memory_latency(op.info, self.dcache, self.dtlb)
+        info = osm.operation.info
+        if info is None or info.mem_addr is None:
+            return  # non-memory operation: one cycle, nothing to charge
+        latency = memory_latency(info, self.dcache, self.dtlb)
         if latency > 1:
             self.buffer_stage.hold(latency - 1)
 

@@ -41,6 +41,7 @@ from ...core import (
     Release,
     ReleaseMany,
     SimulationStats,
+    enable_fusion,
 )
 from ...de.module import HardwareModule
 from ...isa.ppc import isa as ppc_isa
@@ -225,6 +226,7 @@ class Ppc750Model:
         retire_width: int = 2,
         gpr_rename_buffers: int = 6,
         stdin: bytes = b"",
+        fused: bool = True,
     ):
         if not perfect_memory:
             icache = icache if icache is not None else default_icache()
@@ -253,6 +255,10 @@ class Ppc750Model:
         self.director = Director(rank_key=operation_seq_rank, restart=restart)
         self.osms = [OperationStateMachine(self.spec) for _ in range(n_osms)]
         self.director.add(*self.osms)
+        if fused:
+            # Fused per-state steppers for every state the effect analysis
+            # certifies (repro.core.fuse); scheduling results identical.
+            enable_fusion(self.spec)
 
         modules: List[HardwareModule] = [
             self.fetch,
@@ -281,6 +287,11 @@ class Ppc750Model:
 
         def dep_idents(osm):
             return osm.operation.src_deps
+
+        # inlined into fused steppers (must mirror the bodies above)
+        src_idents.__fuse_inline__ = "osm.operation.instr.src_regs"
+        dst_idents.__fuse_inline__ = "osm.operation.instr.dst_regs"
+        dep_idents.__fuse_inline__ = "osm.operation.src_deps"
 
         # Audited suppression: can_accept() consults the lazily-extended
         # oracle trace, so probing may run the reference ISS forward and

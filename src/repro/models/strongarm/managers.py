@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from ...core.fuse import RegisterFileManagerEmitter, register_native_emitter
 from ...core.manager import RegisterFileManager
 from ...core.token import Token
 from ...core.transaction import Transaction
@@ -75,3 +76,33 @@ class ForwardingRegisterFileManager(RegisterFileManager):
         super().on_discard(osm, token)
         if not self._writers[token.index]:
             self._ready[token.index] = True
+
+
+class ForwardingRegisterFileEmitter(RegisterFileManagerEmitter):
+    """Native fusion codegen for :class:`ForwardingRegisterFileManager`:
+    the base register-file bodies plus the forwarding-readiness bit in
+    inquire and the commit hooks.  Discards stay on the virtual
+    ``on_discard`` path, so only the hook bodies mirrored here matter."""
+
+    def inquire(self, g, w, mgr, ident_expr, ctx, fail):
+        wr = g.bind("writers", mgr._writers)
+        ready = g.bind("ready", mgr._ready)
+        cond = (f"{ident_expr} is not None and {wr}[{ident_expr}]"
+                f" and not {ready}[{ident_expr}]")
+        with w.block(f"if {cond}:"):
+            fail()
+
+    def allocate_commit(self, g, w, mgr, tok):
+        super().allocate_commit(g, w, mgr, tok)
+        ready = g.bind("ready", mgr._ready)
+        w(f"{ready}[{tok}.index] = False")
+
+    def release_commit(self, g, w, mgr_expr, tok, value_expr):
+        super().release_commit(g, w, mgr_expr, tok, value_expr)
+        with w.block(f"if not {mgr_expr}._writers[{tok}.index]:"):
+            w(f"{mgr_expr}._ready[{tok}.index] = True")
+
+
+register_native_emitter(
+    ForwardingRegisterFileManager, ForwardingRegisterFileEmitter()
+)

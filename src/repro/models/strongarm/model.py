@@ -75,6 +75,7 @@ class StrongArmModel(Pipeline5Model):
         n_osms: int = 7,
         restart: bool = False,
         stdin: bytes = b"",
+        fused: bool = True,
     ):
         if not perfect_memory:
             icache = icache if icache is not None else default_icache()
@@ -92,6 +93,7 @@ class StrongArmModel(Pipeline5Model):
             n_osms=n_osms,
             restart=restart,
             stdin=stdin,
+            fused=fused,
         )
         self.kernel.add_module(self.multiplier)
         self.clock_hz = CLOCK_HZ
@@ -176,12 +178,9 @@ class StrongArmModel(Pipeline5Model):
             return latency
         return 1
 
-    def _execute_op(self, osm) -> None:
-        super()._execute_op(osm)
-        op: Operation = osm.operation
+    def _hold_functional_units(self, op: Operation, extra: int) -> None:
         # Multiplier structural occupancy mirrors the E-stage hold.
-        extra = self.execute_latency(op) - 1
-        if extra > 0 and op.instr.unit == "mul":
+        if op.instr.unit == "mul":
             self.multiplier.hold(extra)
 
     def _enter_buffer(self, osm) -> None:

@@ -76,8 +76,10 @@ class WideFetchUnit(FetchUnit):
     so at most ``width`` fresh operations can claim slots each cycle).
     """
 
-    def __init__(self, decode_at, entry: int, width: int, icache: Optional[Cache] = None):
-        super().__init__(decode_at, entry, icache, None)
+    def __init__(self, decode_at, entry: int, width: int,
+                 icache: Optional[Cache] = None,
+                 entries: Optional[dict] = None):
+        super().__init__(decode_at, entry, icache, None, entries=entries)
         self.manager = _WideFetchManager("m_f", self, width)
 
 
@@ -110,7 +112,8 @@ class VliwModel:
         self.iss = ArmInterpreter(program, stdin=stdin)
         self.state = self.iss.state
 
-        self.fetch = WideFetchUnit(self.iss.fetch_decode, program.entry, width, icache)
+        self.fetch = WideFetchUnit(self.iss.fetch_decode, program.entry, width,
+                                   icache, entries=self.iss.decode_cache.entries)
         self.decode_stage = WideStageUnit("m_d", width)
         self.execute_stage = WideStageUnit("m_e", width)
         self.buffer_stage = WideStageUnit("m_b", width)
@@ -168,7 +171,9 @@ class VliwModel:
 
     def _execute_op(self, osm) -> None:
         op: Operation = osm.operation
-        info = arm_semantics.execute(self.state, op.instr)
+        fn = op.instr.exec_fn
+        info = fn(self.state) if fn is not None \
+            else arm_semantics.execute(self.state, op.instr)
         op.info = info
         self.state.instret += 1
         if op.instr.unit == "mul" and info.executed:

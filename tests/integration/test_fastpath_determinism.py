@@ -48,6 +48,32 @@ def test_ppc750_fast_path_matches_reference(name):
     assert fast == reference
 
 
+@pytest.mark.parametrize("name", ["gsm_dec"])
+def test_strongarm_fused_matches_unfused(name):
+    # the fused per-state steppers are mechanism only: switching them
+    # off must not change a single observable
+    source = mediabench.arm_source(name)
+    fused = _run(StrongArmModel(asm_arm(source), fused=True), reference=False)
+    plain = _run(StrongArmModel(asm_arm(source), fused=False), reference=False)
+    assert fused == plain
+
+
+@pytest.mark.parametrize("name", ["gsm_dec"])
+def test_ppc750_fused_matches_unfused(name):
+    source = mediabench.ppc_source(name)
+    fused = _run(Ppc750Model(asm_ppc(source), fused=True), reference=False)
+    plain = _run(Ppc750Model(asm_ppc(source), fused=False), reference=False)
+    assert fused == plain
+
+
+def test_fused_steppers_actually_installed():
+    model = StrongArmModel(asm_arm(mediabench.arm_source("gsm_dec")))
+    assert model.spec.compile_stats.fused_states > 0
+    plain = StrongArmModel(asm_arm(mediabench.arm_source("gsm_dec")),
+                           fused=False)
+    assert plain.spec.compile_stats.fused_states == 0
+
+
 def test_reference_flag_actually_switches_loops():
     # guard against the reference loop silently becoming unreachable:
     # the fast path maintains a cached order, the reference loop does not

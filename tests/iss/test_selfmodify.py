@@ -9,7 +9,9 @@ the next fetch re-decodes.
 
 from repro.isa.arm import assemble as asm_arm
 from repro.isa.ppc import assemble as asm_ppc
-from repro.iss import ArmInterpreter, PpcInterpreter
+from repro.iss import (ArmInterpreter, CompiledArmInterpreter,
+                       CompiledPpcInterpreter, PpcInterpreter)
+from repro.iss.decode_cache import PAGE_SHIFT
 from repro.memory.mainmem import MainMemory
 
 from ..conftest import arm_program, ppc_program
@@ -111,6 +113,194 @@ done:
         interpreter = PpcInterpreter(asm_ppc(source))
         assert interpreter.run(10_000) == 42
         assert interpreter.decode_cache.invalidations >= 1
+
+
+def _arm_midblock_source() -> str:
+    """A loop whose head block caches ``target`` as its *middle*
+    instruction; the tail block then stores over it."""
+    patch_word = _arm_encoding("    mov r0, #42")
+    return arm_program(f"""
+    mov  r4, #0
+    li   r1, target
+    li   r2, patch
+loop:
+    mov  r0, #1
+target:
+    mov  r0, #2
+    cmp  r4, #1
+    beq  done
+    mov  r4, #1
+    ldr  r3, [r2]
+    str  r3, [r1]
+    b    loop
+done:
+""", data=f"patch: .word {patch_word:#010x}")
+
+
+def _arm_sameblock_source() -> str:
+    """Straight-line code whose store patches the *next* instruction in
+    the currently-executing block (the store-guard case)."""
+    patch_word = _arm_encoding("    mov r0, #42")
+    return arm_program(f"""
+    li   r1, target
+    li   r2, patch
+    ldr  r3, [r2]
+    str  r3, [r1]
+target:
+    mov  r0, #1
+""", data=f"patch: .word {patch_word:#010x}")
+
+
+def _ppc_midblock_source() -> str:
+    patch_word = _ppc_encoding("    li r3, 42")
+    return ppc_program(f"""
+    li    r8, 0
+    li32  r4, target
+    li32  r5, patch
+    lwz   r6, 0(r5)
+loop:
+    li    r3, 1
+target:
+    li    r3, 2
+    cmpwi r8, 1
+    beq   done
+    li    r8, 1
+    stw   r6, 0(r4)
+    b     loop
+done:
+""", data=f"patch: .word {patch_word:#010x}")
+
+
+def _ppc_sameblock_source() -> str:
+    patch_word = _ppc_encoding("    li r3, 42")
+    return ppc_program(f"""
+    li32  r4, target
+    li32  r5, patch
+    lwz   r6, 0(r5)
+    stw   r6, 0(r4)
+target:
+    li    r3, 1
+""", data=f"patch: .word {patch_word:#010x}")
+
+
+class TestBlockSelfModify:
+    """The basic-block layer: stores into cached blocks must drop them
+    (and their bound executors) wherever in the block they land."""
+
+    def test_arm_store_into_middle_of_cached_block(self):
+        interpreter = ArmInterpreter(asm_arm(_arm_midblock_source()))
+        assert interpreter.run(10_000) == 42
+        assert interpreter.decode_cache.block_invalidations >= 1
+
+    def test_arm_store_guard_stops_current_block(self):
+        # The store and its victim share a block: the run loop must stop
+        # at the instruction boundary instead of finishing the stale tail.
+        interpreter = ArmInterpreter(asm_arm(_arm_sameblock_source()))
+        assert interpreter.run(10_000) == 42
+
+    def test_ppc_store_into_middle_of_cached_block(self):
+        interpreter = PpcInterpreter(asm_ppc(_ppc_midblock_source()))
+        assert interpreter.run(10_000) == 42
+        assert interpreter.decode_cache.block_invalidations >= 1
+
+    def test_ppc_store_guard_stops_current_block(self):
+        interpreter = PpcInterpreter(asm_ppc(_ppc_sameblock_source()))
+        assert interpreter.run(10_000) == 42
+
+    def test_arm_write_straddling_two_blocks_drops_both(self):
+        source = arm_program("""
+    b    first
+first:
+    mov  r0, #1
+    b    second
+second:
+    mov  r0, #2
+    b    third
+third:
+    mov  r0, #3
+""")
+        interpreter = ArmInterpreter(asm_arm(source))
+        cache = interpreter.decode_cache
+        entry = interpreter.program.entry
+        block_a = cache.fetch_block(entry + 4)
+        block_b = cache.fetch_block(block_a.end)
+        assert block_a.valid and block_b.valid
+        # 8 bytes spanning A's last word and B's first word: both die
+        memory = interpreter.state.memory
+        span = memory.read_block(block_a.end - 4, 8)
+        memory.write_block(block_a.end - 4, span)
+        assert not block_a.valid and not block_b.valid
+        assert cache.blocks.get(block_a.entry) is None
+        assert cache.blocks.get(block_b.entry) is None
+        assert cache.block_invalidations >= 2
+
+    def test_ppc_write_straddling_two_blocks_drops_both(self):
+        source = ppc_program("""
+    b    first
+first:
+    li   r3, 1
+    b    second
+second:
+    li   r3, 2
+    b    third
+third:
+    li   r3, 3
+""")
+        interpreter = PpcInterpreter(asm_ppc(source))
+        cache = interpreter.decode_cache
+        entry = interpreter.program.entry
+        block_a = cache.fetch_block(entry + 4)
+        block_b = cache.fetch_block(block_a.end)
+        memory = interpreter.state.memory
+        span = memory.read_block(block_a.end - 4, 8)
+        memory.write_block(block_a.end - 4, span)
+        assert not block_a.valid and not block_b.valid
+        assert cache.block_invalidations >= 2
+
+
+class TestWideWriteInvalidation:
+    """A single wide ``write_block`` must invalidate exactly the cached
+    entries its byte span overlaps — across every page it touches — and
+    leave neighbours on either side cached."""
+
+    def test_wide_write_spans_pages(self):
+        page = 1 << PAGE_SHIFT
+        body = "\n".join("    mov  r0, #1" for _ in range(3 * page // 4 + 8))
+        interpreter = ArmInterpreter(asm_arm(arm_program(body)))
+        cache = interpreter.decode_cache
+        entry = interpreter.program.entry
+        kept_low = cache.fetch(entry)
+        cache.fetch(entry + page)
+        cache.fetch(entry + 2 * page)
+        kept_high = cache.fetch(entry + 3 * page)
+        # rewrite two whole pages with their own bytes: same text, but
+        # the cached decodes in [entry+page, entry+3*page) must drop
+        memory = interpreter.state.memory
+        span = memory.read_block(entry + page, 2 * page)
+        memory.write_block(entry + page, span)
+        assert cache.invalidations == 2
+        assert entry + page not in cache.entries
+        assert entry + 2 * page not in cache.entries
+        assert cache.fetch(entry) is kept_low
+        assert cache.fetch(entry + 3 * page) is kept_high
+
+
+class TestCompiledSelfModify:
+    """The dynamically-compiling ISSs share the decode cache, so stores
+    over translated code must drop the stale translation too — including
+    a store whose victim is later in the currently-running block."""
+
+    def test_arm_compiled_store_over_cached_block(self):
+        assert CompiledArmInterpreter(asm_arm(_arm_midblock_source())).run() == 42
+
+    def test_arm_compiled_store_guard_same_block(self):
+        assert CompiledArmInterpreter(asm_arm(_arm_sameblock_source())).run() == 42
+
+    def test_ppc_compiled_store_over_cached_block(self):
+        assert CompiledPpcInterpreter(asm_ppc(_ppc_midblock_source())).run() == 42
+
+    def test_ppc_compiled_store_guard_same_block(self):
+        assert CompiledPpcInterpreter(asm_ppc(_ppc_sameblock_source())).run() == 42
 
 
 class TestWriteHookPlumbing:
