@@ -1,6 +1,6 @@
 """Formal analysis and compiler-information extraction (Section 6)."""
 
-from . import asm_export, check, compiler_info, deadlock, effects, lint, modelcheck, reachability
+from . import asm_export, check, compiler_info, effects, lint, modelcheck
 from .asm_export import AsmRule, export_asm, render_asm
 from .check import (
     CheckReport,
@@ -49,7 +49,6 @@ __all__ = [
     "check_system",
     "compilability_report",
     "compiler_info",
-    "deadlock",
     "default_properties",
     "effects",
     "effects_spec",
@@ -60,7 +59,6 @@ __all__ = [
     "modelcheck",
     "operand_latencies",
     "purify",
-    "reachability",
     "register_spec",
     "render_asm",
     "reservation_table",

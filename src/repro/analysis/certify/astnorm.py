@@ -1,0 +1,44 @@
+"""AST normalization helpers shared by transcheck and the snapshot tests.
+
+Generated code is compared *structurally*: parse, then unparse, so
+formatting details of the writers (indent width, blank lines, redundant
+parentheses) never count as differences.  Python 3.9+ is required for
+``ast.unparse`` — the package's floor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+
+def normalize_source(source: str) -> str:
+    """Parse-and-unparse *source* into a canonical text form."""
+    return ast.unparse(ast.parse(source))
+
+
+def parse_function(source: str, name: Optional[str] = None) -> ast.FunctionDef:
+    """The (single) function definition in *source*.
+
+    *name* pins the expected function name; a mismatch or a module that
+    is not exactly one function definition raises ``ValueError`` —
+    generated artifacts have a fixed shape and anything else means the
+    generator (or the introspection hook) is broken.
+    """
+    tree = ast.parse(source)
+    if len(tree.body) != 1 or not isinstance(tree.body[0], ast.FunctionDef):
+        raise ValueError("expected exactly one function definition")
+    fn = tree.body[0]
+    if name is not None and fn.name != name:
+        raise ValueError(f"expected function {name!r}, found {fn.name!r}")
+    return fn
+
+
+def const_value(node: ast.AST):
+    """The literal value of *node*, or ``...`` (Ellipsis) when the node
+    is not a compile-time literal.  Ellipsis is used as the "unknown"
+    sentinel because ``None`` is itself a legitimate literal."""
+    try:
+        return ast.literal_eval(node)
+    except (ValueError, SyntaxError, TypeError):
+        return ...

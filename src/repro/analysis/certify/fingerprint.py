@@ -1,0 +1,65 @@
+"""Generator fingerprinting for transcheck certificates (TRV008).
+
+A fuse certificate is only as good as the generator that produced the
+code it certifies: if :mod:`repro.core.fuse` (or any of the other code
+generators) changes after a certificate was stamped, the certificate is
+*stale* — it vouches for code the current generator would no longer
+emit.  :func:`generator_fingerprint` hashes the source text of every
+generator module, and :func:`repro.core.fuse.enable_fusion` embeds the
+hash in ``spec.fuse_certificate`` at build time; ``repro certify``
+re-computes the hash and flags any mismatch (rule TRV008).
+
+The hash covers source *text*, not bytecode — whitespace-only edits do
+invalidate certificates, which is the conservative direction: a stale
+certificate costs one re-certification, a trusted-but-wrong one costs a
+silent miscompile.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+from typing import Dict, Optional, Tuple
+
+#: every module whose output transcheck certifies, in hash order
+GENERATOR_MODULES: Tuple[str, ...] = (
+    "repro.core.edgecompile",
+    "repro.core.fuse",
+    "repro.isa.arm.execgen",
+    "repro.isa.ppc.execgen",
+    "repro.iss.compiled",
+)
+
+_cached: Optional[str] = None
+
+
+def generator_sources() -> Dict[str, str]:
+    """``module name -> source text`` for every generator module."""
+    sources: Dict[str, str] = {}
+    for name in GENERATOR_MODULES:
+        module = importlib.import_module(name)
+        path = getattr(module, "__file__", None)
+        if path is None:  # pragma: no cover - frozen/zipped installs
+            sources[name] = ""
+            continue
+        with open(path, "r", encoding="utf-8") as handle:
+            sources[name] = handle.read()
+    return sources
+
+
+def generator_fingerprint() -> str:
+    """The sha256 hex digest over all generator module sources.
+
+    Cached per process: the sources cannot change under a running
+    interpreter without also invalidating the imported modules.
+    """
+    global _cached
+    if _cached is None:
+        digest = hashlib.sha256()
+        for name, source in sorted(generator_sources().items()):
+            digest.update(name.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(source.encode("utf-8"))
+            digest.update(b"\x00")
+        _cached = digest.hexdigest()
+    return _cached

@@ -20,7 +20,7 @@ The buffer is a mapping ``slot -> (manager name, definite)``:
   zero).  ``AllocateMany`` families are summarised by a single
   ``"<prefix>*"`` entry.
 
-The walk mirrors :func:`repro.analysis.deadlock.analyze`'s exploration
+The walk mirrors :func:`repro.analysis.lint.graph.analyze_deadlock`'s exploration
 of ``(state, buffer)`` configurations but tracks definiteness and emits
 lifecycle events instead of a dependency graph.  Guards and inquiries
 never change the buffer, and every edge is explored from every

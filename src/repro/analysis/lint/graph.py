@@ -3,7 +3,7 @@ hold-allocate deadlock.
 
 Home of the implementations that historically lived in the standalone
 ``repro.analysis.reachability`` and ``repro.analysis.deadlock`` modules
-(both still importable as deprecated shims).  The lint passes OSM006
+(the deprecation shims have since been removed).  The lint passes OSM006
 (reachability) and OSM008 (resource cycles) consume these via
 :class:`~.engine.LintContext`, and the explicit-state checker cross-
 validates their verdicts; keeping them inside the lint package makes

@@ -261,7 +261,7 @@ class ReachabilityPass(LintPass):
     """OSM006: unreachable states, trapping states, states that cannot
     return to I, and edges out of unreachable states.
 
-    Rehomes :mod:`repro.analysis.reachability` as a lint rule so the
+    Rehomes the retired ``repro.analysis.reachability`` module as a lint rule so the
     graph-liveness findings carry stable codes and severities alongside
     the token-lifecycle rules.
     """
@@ -335,7 +335,7 @@ class ResourceCyclePass(LintPass):
 
     Section 3.4: cyclic resource dependency between managers implies a
     cyclic pipeline, where scheduling deadlock may occur at run time.
-    Rehomes :mod:`repro.analysis.deadlock` as a lint rule; a cycle is a
+    Rehomes the retired ``repro.analysis.deadlock`` module as a lint rule; a cycle is a
     warning (some cyclic pipelines are deliberate and resolved by
     manager policy), promote per-model via CI if desired.
     """

@@ -5,7 +5,9 @@ Gives the framework a downstream-usable front end:
 * ``run``      — assemble a program and run it on a model or ISS,
                  optionally with a pipeline trace
 * ``asm``      — assemble to a hex/word listing
-* ``analyze``  — reachability/deadlock/ASM-export of a model's OSM spec
+* ``analyze``  — umbrella: run all five analysis tools (lint, check,
+                 audit, effects, certify) over model specs and their
+                 ISAs, with one merged JSON report for CI
 * ``lint``     — static analysis of model specs (rule codes OSM001…;
                  nonzero exit on unsuppressed error findings)
 * ``check``    — explicit-state model checking (osmcheck) of model
@@ -21,6 +23,11 @@ Gives the framework a downstream-usable front end:
                  the fast-path and edge-compiler contracts (rule codes
                  EFF001…; per-model compilability report; nonzero exit
                  on unsuppressed errors)
+* ``certify``  — translation validation (transcheck) of generated
+                 fast-path code: fused steppers, compiled edge probes,
+                 execgen closures and compiled ISS blocks are replayed
+                 or diffed against their reference sources (rule codes
+                 TRV001…; nonzero exit on unsuppressed errors)
 * ``bench``    — quick cycles-per-second measurement of a model
 * ``workload`` — emit a bundled workload's assembly source
 
@@ -29,7 +36,7 @@ Examples::
     python -m repro run --model strongarm examples/sum.s
     python -m repro run --model ppc750 --isa ppc --trace prog.s
     python -m repro asm --isa arm prog.s
-    python -m repro analyze --model pipeline5
+    python -m repro analyze all --json
     python -m repro lint strongarm ppc750
     python -m repro lint all --json
     python -m repro check pipeline5 --n-osms 3
@@ -38,6 +45,8 @@ Examples::
     python -m repro audit all --json
     python -m repro effects ppc750
     python -m repro effects all --json
+    python -m repro certify arm strongarm
+    python -m repro certify all --json
     python -m repro workload gsm_dec --isa ppc
 """
 
@@ -150,43 +159,147 @@ def cmd_asm(args) -> int:
 
 
 def cmd_analyze(args) -> int:
-    placeholder = """
-    .text
-_start:
-    mov r0, #0
-    swi #0
-"""
-    program = _assemble("arm", placeholder)
-    if args.model == "ppc750":
-        from .isa.ppc import assemble as asm_ppc
-        from .models.ppc750 import Ppc750Model
+    """Umbrella: run all five analysis tools (osmlint, osmcheck,
+    isaaudit, effectcheck, transcheck) over the named model specs and
+    the ISAs they consume; exit 1 if any tool reports a failure.
 
-        model = Ppc750Model(asm_ppc("""
-    .text
-_start:
-    li r0, 0
-    li r3, 0
-    sc
-"""))
+    JSON mode emits one merged report — per model a section per
+    spec-level tool, per ISA the audit and certify sections — so CI can
+    archive a single artifact for the whole static-analysis matrix.
+    """
+    import json
+
+    from .analysis.audit import audit_isa, audit_model
+    from .analysis.certify import certify_isa, certify_spec
+    from .analysis.check import check_model
+    from .analysis.effects import compilability_report, effects_spec
+    from .analysis.lint import lint_spec
+    from .analysis.registry import available_specs, build_spec, spec_isa
+
+    names = list(args.models)
+    if "all" in names:
+        names = available_specs()
+    model_sections = {}
+    isa_names = []
+    ok = True
+    for name in names:
+        try:
+            spec = build_spec(name)
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0]))
+        isa = spec_isa(name)
+        if isa not in isa_names:
+            isa_names.append(isa)
+        lint = lint_spec(spec)
+        lint.spec = name
+        check = check_model(name, n_osms=2)
+        effects = effects_spec(spec)
+        effects.spec = name
+        compilability = compilability_report(spec, effects)
+        routing = audit_model(name)
+        certify = certify_spec(spec)
+        certify.spec = name
+        reports = (lint, check, effects, routing, certify)
+        ok = ok and all(report.ok for report in reports)
+        model_sections[name] = {
+            "lint": lint.to_dict(),
+            "check": check.to_dict(),
+            "effects": {**effects.to_dict(),
+                        "compilability": compilability.to_dict()},
+            "audit": routing.to_dict(),
+            "certify": certify.to_dict(),
+        }
+        if not args.json:
+            print(f"== {name} ==")
+            for report in (lint, effects, routing, certify):
+                print(report.render_text(
+                    show_suppressed=args.show_suppressed))
+            print(check.render_text())
+    isa_sections = {}
+    for isa in isa_names:
+        audit = audit_isa(isa)
+        certify = certify_isa(isa)
+        ok = ok and audit.ok and certify.ok
+        isa_sections[isa] = {
+            "audit": audit.to_dict(),
+            "certify": certify.to_dict(),
+        }
+        if not args.json:
+            print(f"== {isa} (ISA) ==")
+            print(audit.render_text(show_suppressed=args.show_suppressed))
+            print(certify.render_text(show_suppressed=args.show_suppressed))
+    if args.json:
+        from .analysis.diagnostics import SCHEMA_VERSION
+
+        payload = {
+            "tool": "analyze",
+            "schema_version": SCHEMA_VERSION,
+            "ok": ok,
+            "models": model_sections,
+            "isas": isa_sections,
+        }
+        print(json.dumps(payload, indent=2))
+    elif ok:
+        print("analyze: all tools clean")
+    return 0 if ok else 1
+
+
+def cmd_certify(args) -> int:
+    """Translation validation (transcheck) of generated fast-path code;
+    exit 1 on any unsuppressed error-severity finding."""
+    import json
+
+    from .analysis.certify import (
+        DEFAULT_PASSES,
+        ISA_CODES,
+        SPEC_CODES,
+        certify_isa,
+        certify_spec,
+    )
+    from .analysis.audit.targets import available_targets
+    from .analysis.registry import available_specs, build_spec
+
+    targets = available_targets()
+    specs = available_specs()
+    names = list(args.subjects)
+    if "all" in names:
+        names = targets + specs
+    codes = None
+    if args.rules:
+        codes = {code.strip() for code in args.rules.split(",") if code.strip()}
+        unknown = codes - set(DEFAULT_PASSES)
+        if unknown:
+            raise SystemExit(f"unknown certify rule code(s): {sorted(unknown)}")
+    reports = []
+    for name in names:
+        if name in targets:
+            subject_codes = None if codes is None else sorted(codes & set(ISA_CODES))
+            report = certify_isa(name, codes=subject_codes)
+        elif name in specs:
+            subject_codes = None if codes is None else sorted(codes & set(SPEC_CODES))
+            spec = build_spec(name)
+            report = certify_spec(spec, codes=subject_codes)
+            report.spec = name  # key by registry name (spec.name may differ)
+        else:
+            raise SystemExit(
+                f"unknown certify subject {name!r}; ISA targets: "
+                f"{', '.join(targets)}; model specs: {', '.join(specs)}"
+            )
+        reports.append((name, report))
+    if args.json:
+        from .analysis.diagnostics import SCHEMA_VERSION
+
+        payload = {
+            "tool": "certify",
+            "schema_version": SCHEMA_VERSION,
+            "ok": all(report.ok for _, report in reports),
+            "subjects": {name: report.to_dict() for name, report in reports},
+        }
+        print(json.dumps(payload, indent=2))
     else:
-        model = _build_model(args.model, program, "arm")
-    spec = model.spec
-    from .analysis import render_asm, reservation_table
-    from .analysis.lint.graph import analyze_deadlock, analyze_reachability
-
-    reach = analyze_reachability(spec)
-    deadlock = analyze_deadlock(spec)
-    print(f"specification: {spec.name} "
-          f"({len(spec.states)} states, {len(spec.edges)} edges)")
-    print(f"reachability clean : {reach.clean}")
-    print(f"deadlock free      : {deadlock.deadlock_free}")
-    print("reservation table  :")
-    for state, resources in reservation_table(spec):
-        print(f"  {state}: {', '.join(resources) or '-'}")
-    if args.asm:
-        print()
-        print(render_asm(spec))
-    return 0
+        for name, report in reports:
+            print(report.render_text(show_suppressed=args.show_suppressed))
+    return 0 if all(report.ok for _, report in reports) else 1
 
 
 def cmd_lint(args) -> int:
@@ -636,10 +749,20 @@ def build_parser() -> argparse.ArgumentParser:
     asm.add_argument("--isa", default="arm", choices=("arm", "ppc"))
     asm.set_defaults(func=cmd_asm)
 
-    analyze = sub.add_parser("analyze", help="formal analysis of a model spec")
-    analyze.add_argument("--model", default="pipeline5",
-                         choices=("pipeline5", "strongarm", "vliw", "ppc750"))
-    analyze.add_argument("--asm", action="store_true", help="dump the ASM rules")
+    analyze = sub.add_parser(
+        "analyze",
+        help="run all five analysis tools over model specs (merged report)",
+    )
+    analyze.add_argument(
+        "models", nargs="+", metavar="MODEL",
+        help="registered spec name(s), or 'all'",
+    )
+    analyze.add_argument("--json", action="store_true",
+                         help="one merged machine-readable report")
+    analyze.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include suppressed findings in text output",
+    )
     analyze.set_defaults(func=cmd_analyze)
 
     lint = sub.add_parser(
@@ -722,6 +845,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="include suppressed findings in text output",
     )
     effects.set_defaults(func=cmd_effects)
+
+    certify = sub.add_parser(
+        "certify",
+        help="translation validation (transcheck) of generated fast-path code",
+    )
+    certify.add_argument(
+        "subjects", nargs="+", metavar="SUBJECT",
+        help="ISA target (arm, ppc), registered model spec name, or 'all'",
+    )
+    certify.add_argument("--json", action="store_true", help="machine-readable output")
+    certify.add_argument(
+        "--rules", "--codes", dest="rules", metavar="CODES",
+        help="comma-separated rule codes to run (e.g. TRV001,TRV003)",
+    )
+    certify.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include suppressed findings in text output",
+    )
+    certify.set_defaults(func=cmd_certify)
 
     bench = sub.add_parser("bench", help="measure simulation speed")
     bench.add_argument("--model", default="cases",

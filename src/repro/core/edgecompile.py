@@ -158,24 +158,44 @@ def compile_edge_probe(edge, spec=None) -> Callable:
 
 
 def apply_compilability(spec, report) -> int:
-    """Pin the edges *report* deems unsafe to the interpreted path.
+    """Pin the edges/states *report* deems unsafe to the fallback paths.
 
     *report* is a :class:`repro.analysis.effects.CompilabilityReport`
     (duck-typed: anything with an ``unsafe_edges`` iterable of edge
     qualnames).  Matching edges get ``compile_mode = "interpreted"`` and
     their source states' probe plans are invalidated so the next
-    ``probe_plan()`` rebuilds — and re-records — them.  Returns the
-    number of edges pinned.
+    ``probe_plan()`` rebuilds — and re-records — them.
+
+    A report may additionally carry ``uncertified_states`` — an iterable
+    of ``(state name, reason)`` pairs, as produced by transcheck
+    (:mod:`repro.analysis.certify`) translation validation.  Each named
+    state loses its fused stepper and is re-recorded in
+    ``spec.compile_stats`` as a fused fallback with a ``certify:``
+    reason, so the demotion is visible in the bench JSON row.
+
+    Returns the number of edges pinned plus states demoted.
     """
-    unsafe = set(report.unsafe_edges)
-    pinned = 0
+    unsafe = set(getattr(report, "unsafe_edges", ()) or ())
+    stats = getattr(spec, "compile_stats", None)
+    changed = 0
     for edge in spec.edges:
         if edge.qualname in unsafe and edge.compile_mode != "interpreted":
             edge.compile_mode = "interpreted"
             edge.src._plan = None
             edge.src._fused = None  # fused steppers bake the plan too
-            pinned += 1
-    return pinned
+            if stats is not None and stats.states.get(edge.src.name, "") is None:
+                # the state was counted as fused; keep the census honest
+                stats.record_state(edge.src, "policy: unsafe edge pinned")
+            changed += 1
+    for name, reason in getattr(report, "uncertified_states", ()) or ():
+        state = spec.states.get(name)
+        if state is None:
+            continue
+        state._fused = None
+        if stats is not None:
+            stats.record_state(state, f"certify: {reason}")
+        changed += 1
+    return changed
 
 
 def _interpreted_probe(condition: Condition) -> Callable:
@@ -346,4 +366,6 @@ def _compile(primitives) -> Callable:
     sig = "".join(f", {n}={n}" for n in params)
     src = f"def _probe(osm, txn{sig}):\n" + "\n".join("    " + ln for ln in body)
     exec(compile(src, "<edge-condition>", "exec"), env)
-    return env["_probe"]
+    probe = env["_probe"]
+    probe.__probe_source__ = src  # transcheck introspection (TRV003)
+    return probe

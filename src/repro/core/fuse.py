@@ -51,6 +51,7 @@ outside the contract, exactly as for compiled probes.
 
 from __future__ import annotations
 
+import ast
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -127,6 +128,33 @@ def _expr(g: _Codegen, hint: str, value: Any) -> str:
     return g.bind(hint, value)
 
 
+#: AST node types an inline ident expression may contain — pure data
+#: navigation only; anything that can call, comprehend or assign is out
+_INLINE_SAFE_NODES = (
+    ast.Expression, ast.Name, ast.Attribute, ast.Subscript, ast.Constant,
+    ast.Tuple, ast.List, ast.Index, ast.Slice, ast.Load,
+)
+
+
+def safe_inline_expr(expr: Any) -> bool:
+    """True when *expr* is a syntactically side-effect-free expression.
+
+    The ``__fuse_inline__`` contract only admits pure data navigation
+    over ``osm`` — names, attribute chains, subscripts and literal
+    containers.  Calls, comprehensions, lambdas, boolean operators and
+    anything else that could hide effects (or diverge from the tagged
+    function's footprint) are rejected; the fuser then demotes the site
+    to a dynamic call instead of pasting the expression (and transcheck
+    rule TRV002 reports the broken declaration)."""
+    if not isinstance(expr, str):
+        return False
+    try:
+        tree = ast.parse(expr, mode="eval")
+    except SyntaxError:
+        return False
+    return all(isinstance(node, _INLINE_SAFE_NODES) for node in ast.walk(tree))
+
+
 def _ident_call(g: _Codegen, hint: str, fn: Any) -> str:
     """A source expression for ``fn(osm)``.
 
@@ -135,9 +163,12 @@ def _ident_call(g: _Codegen, hint: str, fn: Any) -> str:
     same value as calling it — and the stepper then pays zero call
     overhead for the hazard-identifier hot path.  The declaration is a
     contract: the expression and the function body must stay in lockstep
-    (the A/B determinism tests compare the fused and reference paths)."""
+    (the A/B determinism tests compare the fused and reference paths, and
+    transcheck's TRV002 compares the footprints statically).  A tagged
+    expression that fails :func:`safe_inline_expr` is not pasted — the
+    site demotes to the dynamic call."""
     inline = getattr(fn, "__fuse_inline__", None)
-    if inline is not None:
+    if inline is not None and safe_inline_expr(inline):
         return f"({inline})"
     return f"{g.bind(hint, fn)}(osm)"
 
@@ -887,15 +918,31 @@ def fuse_spec(spec, states=None) -> int:
 
 
 def defuse_spec(spec) -> None:
-    """Remove all fused steppers (A/B testing, post-mutation cleanup)."""
+    """Remove all fused steppers (A/B testing, post-mutation cleanup).
+
+    Also the stats-reset hook for unfused model builds: clears the
+    per-state fusion census and the fuse certificate, so counters from
+    an earlier fused build never leak into an unfused one."""
     for state in spec.states.values():
         state._fused = None
     spec.compile_stats.states.clear()
+    if getattr(spec, "fuse_certificate", None) is not None:
+        spec.fuse_certificate = None
 
 
 class _UnsafeEdges:
     def __init__(self, unsafe_edges):
         self.unsafe_edges = unsafe_edges
+
+
+class _Uncertified:
+    """Minimal compilability-report shape carrying only transcheck
+    demotions, for :func:`apply_compilability`."""
+
+    unsafe_edges: tuple = ()
+
+    def __init__(self, uncertified_states):
+        self.uncertified_states = uncertified_states
 
 
 def _structure_key(spec) -> tuple:
@@ -924,6 +971,10 @@ def _structure_key(spec) -> tuple:
 #: structure key -> (frozenset of fusable state names, tuple of unsafe edges)
 _CERT_CACHE: Dict[tuple, Tuple[frozenset, tuple]] = {}
 
+#: (structure key, generator fingerprint) -> tuple of (state, reason)
+#: transcheck demotions — empty for a generator that certifies clean
+_TRV_CACHE: Dict[tuple, tuple] = {}
+
 
 def enable_fusion(spec) -> int:
     """Certify *spec* with effectcheck and fuse the certified states.
@@ -932,9 +983,17 @@ def enable_fusion(spec) -> int:
     analysis (cached per spec structure, so repeated model builds pay it
     once per process), pins statically-unsafe edges to the interpreted
     path via :func:`apply_compilability`, and fuses exactly the states
-    the compilability report deems fusable.  Analysis failures degrade
-    to no fusion — the per-edge plan keeps working — and are recorded in
-    ``spec.compile_stats``.  Returns the number of states fused.
+    the compilability report deems fusable.  The generated steppers are
+    then translation-validated by transcheck
+    (:mod:`repro.analysis.certify`, cached per structure + generator
+    fingerprint): a state whose stepper fails certification is demoted
+    back to the per-edge plan, with the fallback counted in
+    ``spec.compile_stats``.  The surviving set is stamped on
+    ``spec.fuse_certificate`` together with the generator fingerprint so
+    ``repro certify`` can flag stale certificates (TRV008).  Analysis
+    failures degrade to no fusion — the per-edge plan keeps working —
+    and are recorded in ``spec.compile_stats``.  Returns the number of
+    states fused.
     """
     try:
         key = _structure_key(spec)
@@ -952,7 +1011,25 @@ def enable_fusion(spec) -> int:
         fusable, unsafe = verdict
         if unsafe:
             apply_compilability(spec, _UnsafeEdges(unsafe))
-        return fuse_spec(spec, states=fusable)
+        fused = fuse_spec(spec, states=fusable)
+
+        from ..analysis.certify import (certify_fused_states,
+                                        generator_fingerprint)
+        fingerprint = generator_fingerprint()
+        trv_key = (key, fingerprint)
+        uncertified = _TRV_CACHE.get(trv_key)
+        if uncertified is None:
+            uncertified = tuple(certify_fused_states(spec))
+            _TRV_CACHE[trv_key] = uncertified
+        if uncertified:
+            fused -= apply_compilability(spec, _Uncertified(uncertified))
+        spec.fuse_certificate = {
+            "generator": fingerprint,
+            "fused_states": sorted(
+                name for name, state in spec.states.items()
+                if state._fused is not None),
+        }
+        return fused
     except Exception as exc:  # analysis failure: degrade to unfused
         for state in spec.states.values():
             state._fused = None

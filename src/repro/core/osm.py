@@ -203,6 +203,9 @@ class MachineSpec:
         out.sort(key=lambda edge: -edge.priority)
         source._plan = None  # edge set changed: rebuild the probe plan
         source._fused = None  # and drop any fused stepper baked on the old set
+        # the fusion census entry described the old edge set; drop it so
+        # a later rebuild (or none) never reports a stale fused state
+        self.compile_stats.states.pop(source.name, None)
         return e
 
     def validate(self) -> None:

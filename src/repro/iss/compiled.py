@@ -524,7 +524,9 @@ class CompiledArmInterpreter(CompiledInterpreter):
         source = translator.build(entry, count, return_expr)
         namespace = {"_add": _add, "_sub": _sub, "_b": block}
         exec(compile(source, f"<block {entry:#x}>", "exec"), namespace)
-        return namespace[f"_block_{entry:x}"]
+        fn = namespace[f"_block_{entry:x}"]
+        fn.__block_source__ = source  # transcheck introspection (TRV005)
+        return fn
 
 
 class CompiledPpcInterpreter(CompiledInterpreter):

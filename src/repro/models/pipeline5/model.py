@@ -39,6 +39,7 @@ from ...core import (
     Release,
     ReleaseMany,
     SimulationStats,
+    defuse_spec,
     enable_fusion,
 )
 from ...isa.arm import semantics as arm_semantics
@@ -155,6 +156,10 @@ class Pipeline5Model:
             # After director.add: fusion certification audits the stamped
             # rank key and bakes the per-state steppers (repro.core.fuse).
             enable_fusion(self.spec)
+        else:
+            # reset the fusion census too, so counters from an earlier
+            # fused build never leak into an unfused one
+            defuse_spec(self.spec)
 
         modules = [
             self.fetch,

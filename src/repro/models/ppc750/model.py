@@ -41,6 +41,7 @@ from ...core import (
     Release,
     ReleaseMany,
     SimulationStats,
+    defuse_spec,
     enable_fusion,
 )
 from ...de.module import HardwareModule
@@ -259,6 +260,10 @@ class Ppc750Model:
             # Fused per-state steppers for every state the effect analysis
             # certifies (repro.core.fuse); scheduling results identical.
             enable_fusion(self.spec)
+        else:
+            # reset the fusion census too, so counters from an earlier
+            # fused build never leak into an unfused one
+            defuse_spec(self.spec)
 
         modules: List[HardwareModule] = [
             self.fetch,

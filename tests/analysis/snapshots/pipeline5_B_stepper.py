@@ -1,0 +1,37 @@
+def _fused_step(osm, clock, mgr_1=mgr_1, slot_tok_3=slot_tok_3, cls_6=cls_6, edge_7=edge_7, dst_8=dst_8):
+    osm.blocked_on = None
+    buffer = osm.token_buffer
+    while True:
+        a0t2 = slot_tok_3 if slot_tok_3.holder is None else None
+        if a0t2 is None:
+            osm.blocked_on = (mgr_1, None)
+            break
+        r1t4 = buffer.get('m_b')
+        if r1t4 is not None:
+            r1m5 = r1t4.manager
+            if type(r1m5) is cls_6:
+                if r1t4 is not r1m5.token:
+                    raise TokenError('%s: release of foreign token %r' % (r1m5.name, r1t4))
+                if r1t4.holder is not osm:
+                    raise TokenError('%s: %r does not hold %r' % (r1m5.name, osm, r1t4))
+                if r1m5.hold_release:
+                    osm.blocked_on = (r1m5, 'm_b')
+                    break
+            elif not r1m5.release(osm, r1t4, osm._txn):
+                osm.blocked_on = (r1m5, 'm_b')
+                break
+        if r1t4 is not None:
+            del buffer['m_b']
+            r1t4.holder = None
+            if type(r1m5) is cls_6:
+                r1m5.n_releases += 1
+            else:
+                r1m5.on_release_commit(osm, r1t4, None)
+        a0t2.holder = osm
+        buffer['m_w'] = a0t2
+        mgr_1.n_allocates += 1
+        osm.current = dst_8
+        osm.last_edge = edge_7
+        osm.n_transitions += 1
+        return edge_7
+    return None

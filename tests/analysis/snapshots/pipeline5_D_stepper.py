@@ -1,0 +1,97 @@
+def _fused_step(osm, clock, mgr_1=mgr_1, doomed_2=doomed_2, edge_6=edge_6, dst_7=dst_7, action_8=action_8, mgr_9=mgr_9, slot_tok_11=slot_tok_11, mgr_12=mgr_12, writers_14=writers_14, upd_21=upd_21, cls_26=cls_26, edge_29=edge_29, dst_30=dst_30, action_31=action_31):
+    osm.blocked_on = None
+    buffer = osm.token_buffer
+    while True:
+        if id(osm) not in doomed_2:
+            osm.blocked_on = (mgr_1, None)
+            break
+        mgr_1.n_inquiries += 1
+        d1l3 = list(buffer.items())
+        for _ds4, _dt5 in d1l3:
+            del buffer[_ds4]
+            _dt5.holder = None
+            _dt5.manager.on_discard(osm, _dt5)
+        osm.current = dst_7
+        osm.last_edge = edge_6
+        osm.n_transitions += 1
+        action_8(osm)
+        if buffer:
+            raise TokenError('%s: returned to initial state still holding %s' % (osm.name, sorted(buffer)))
+        osm.operation = None
+        osm.age = -1
+        return edge_6
+    while True:
+        a0t10 = slot_tok_11 if slot_tok_11.holder is None else None
+        if a0t10 is None:
+            osm.blocked_on = (mgr_9, None)
+            break
+        i1v13 = osm.operation.instr.src_regs
+        if i1v13 is not None:
+            if not isinstance(i1v13, (list, tuple)):
+                if i1v13 is not None and writers_14[i1v13]:
+                    osm.blocked_on = (mgr_12, i1v13)
+                    break
+                mgr_12.n_inquiries += 1
+            else:
+                i1ok15 = True
+                for i1s16 in i1v13:
+                    if i1s16 is not None and writers_14[i1s16]:
+                        osm.blocked_on = (mgr_12, i1s16)
+                        i1ok15 = False
+                        break
+                    mgr_12.n_inquiries += 1
+                if not i1ok15:
+                    break
+        m2l17 = []
+        m2ok18 = True
+        for m2i19 in osm.operation.instr.dst_regs or ():
+            m2t20 = None
+            _mo22 = mgr_12.max_outstanding
+            if m2i19 is not None and (_mo22 is None or mgr_12._outstanding < _mo22) and (len(writers_14[m2i19]) < mgr_12.updates_per_reg):
+                for _rt23 in upd_21[m2i19]:
+                    if _rt23.holder is None and _rt23 not in m2l17:
+                        m2t20 = _rt23
+                        break
+            if m2t20 is None:
+                osm.blocked_on = (mgr_12, m2i19)
+                m2ok18 = False
+                break
+            m2l17.append(m2t20)
+        if not m2ok18:
+            break
+        r3t24 = buffer.get('m_d')
+        if r3t24 is not None:
+            r3m25 = r3t24.manager
+            if type(r3m25) is cls_26:
+                if r3t24 is not r3m25.token:
+                    raise TokenError('%s: release of foreign token %r' % (r3m25.name, r3t24))
+                if r3t24.holder is not osm:
+                    raise TokenError('%s: %r does not hold %r' % (r3m25.name, osm, r3t24))
+                if r3m25.hold_release:
+                    osm.blocked_on = (r3m25, 'm_d')
+                    break
+            elif not r3m25.release(osm, r3t24, osm._txn):
+                osm.blocked_on = (r3m25, 'm_d')
+                break
+        if r3t24 is not None:
+            del buffer['m_d']
+            r3t24.holder = None
+            if type(r3m25) is cls_26:
+                r3m25.n_releases += 1
+            else:
+                r3m25.on_release_commit(osm, r3t24, None)
+        a0t10.holder = osm
+        buffer['m_e'] = a0t10
+        mgr_9.n_allocates += 1
+        for _gi27, _gt28 in enumerate(m2l17):
+            _gt28.holder = osm
+            buffer['rupd' + str(_gi27)] = _gt28
+            mgr_12.n_allocates += 1
+            mgr_12._outstanding += 1
+            writers_14[_gt28.index].append(osm)
+        osm.current = dst_30
+        osm.last_edge = edge_29
+        osm.n_transitions += 1
+        action_31(osm)
+        return edge_29
+    return None

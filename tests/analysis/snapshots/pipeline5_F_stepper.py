@@ -1,0 +1,56 @@
+def _fused_step(osm, clock, mgr_1=mgr_1, doomed_2=doomed_2, edge_6=edge_6, dst_7=dst_7, action_8=action_8, mgr_9=mgr_9, slot_tok_11=slot_tok_11, cls_14=cls_14, edge_15=edge_15, dst_16=dst_16):
+    osm.blocked_on = None
+    buffer = osm.token_buffer
+    while True:
+        if id(osm) not in doomed_2:
+            osm.blocked_on = (mgr_1, None)
+            break
+        mgr_1.n_inquiries += 1
+        d1l3 = list(buffer.items())
+        for _ds4, _dt5 in d1l3:
+            del buffer[_ds4]
+            _dt5.holder = None
+            _dt5.manager.on_discard(osm, _dt5)
+        osm.current = dst_7
+        osm.last_edge = edge_6
+        osm.n_transitions += 1
+        action_8(osm)
+        if buffer:
+            raise TokenError('%s: returned to initial state still holding %s' % (osm.name, sorted(buffer)))
+        osm.operation = None
+        osm.age = -1
+        return edge_6
+    while True:
+        a0t10 = slot_tok_11 if slot_tok_11.holder is None else None
+        if a0t10 is None:
+            osm.blocked_on = (mgr_9, None)
+            break
+        r1t12 = buffer.get('m_f')
+        if r1t12 is not None:
+            r1m13 = r1t12.manager
+            if type(r1m13) is cls_14:
+                if r1t12 is not r1m13.token:
+                    raise TokenError('%s: release of foreign token %r' % (r1m13.name, r1t12))
+                if r1t12.holder is not osm:
+                    raise TokenError('%s: %r does not hold %r' % (r1m13.name, osm, r1t12))
+                if r1m13.hold_release:
+                    osm.blocked_on = (r1m13, 'm_f')
+                    break
+            elif not r1m13.release(osm, r1t12, osm._txn):
+                osm.blocked_on = (r1m13, 'm_f')
+                break
+        if r1t12 is not None:
+            del buffer['m_f']
+            r1t12.holder = None
+            if type(r1m13) is cls_14:
+                r1m13.n_releases += 1
+            else:
+                r1m13.on_release_commit(osm, r1t12, None)
+        a0t10.holder = osm
+        buffer['m_d'] = a0t10
+        mgr_9.n_allocates += 1
+        osm.current = dst_16
+        osm.last_edge = edge_15
+        osm.n_transitions += 1
+        return edge_15
+    return None

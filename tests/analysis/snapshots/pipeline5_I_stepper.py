@@ -1,0 +1,20 @@
+def _fused_step(osm, clock, mgr_1=mgr_1, fetch_unit_3=fetch_unit_3, slot_tok_4=slot_tok_4, edge_5=edge_5, dst_6=dst_6, action_7=action_7):
+    osm.blocked_on = None
+    buffer = osm.token_buffer
+    while True:
+        a0t2 = None
+        if not (fetch_unit_3.halted or fetch_unit_3._redirect_pending is not None):
+            a0t2 = slot_tok_4 if slot_tok_4.holder is None else None
+        if a0t2 is None:
+            osm.blocked_on = (mgr_1, None)
+            break
+        a0t2.holder = osm
+        buffer['m_f'] = a0t2
+        mgr_1.n_allocates += 1
+        osm.current = dst_6
+        osm.last_edge = edge_5
+        osm.n_transitions += 1
+        osm.age = clock
+        action_7(osm)
+        return edge_5
+    return None

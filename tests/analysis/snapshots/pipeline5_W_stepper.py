@@ -1,0 +1,64 @@
+def _fused_step(osm, clock, cls_3=cls_3, cls_9=cls_9, edge_15=edge_15, dst_16=dst_16, action_17=action_17):
+    osm.blocked_on = None
+    buffer = osm.token_buffer
+    while True:
+        r0t1 = buffer.get('m_w')
+        if r0t1 is not None:
+            r0m2 = r0t1.manager
+            if type(r0m2) is cls_3:
+                if r0t1 is not r0m2.token:
+                    raise TokenError('%s: release of foreign token %r' % (r0m2.name, r0t1))
+                if r0t1.holder is not osm:
+                    raise TokenError('%s: %r does not hold %r' % (r0m2.name, osm, r0t1))
+                if r0m2.hold_release:
+                    osm.blocked_on = (r0m2, 'm_w')
+                    break
+            elif not r0m2.release(osm, r0t1, osm._txn):
+                osm.blocked_on = (r0m2, 'm_w')
+                break
+        r1l4 = []
+        r1ok5 = True
+        for r1s6, r1t7 in list(buffer.items()):
+            if not r1s6.startswith('rupd'):
+                continue
+            r1m8 = r1t7.manager
+            if type(r1m8) is cls_9:
+                if r1t7.holder is not osm:
+                    raise TokenError('%s: invalid release of %r by %r' % (r1m8.name, r1t7, osm))
+            elif not r1m8.release(osm, r1t7, osm._txn):
+                osm.blocked_on = (r1m8, r1s6)
+                r1ok5 = False
+                break
+            r1l4.append((r1s6, r1t7, r1m8, None))
+        if not r1ok5:
+            break
+        if r0t1 is not None:
+            del buffer['m_w']
+            r0t1.holder = None
+            if type(r0m2) is cls_3:
+                r0m2.n_releases += 1
+            else:
+                r0m2.on_release_commit(osm, r0t1, None)
+        for _cs10, _ct11, _cm12, _cv13 in r1l4:
+            del buffer[_cs10]
+            _ct11.holder = None
+            if type(_cm12) is cls_9:
+                _cm12.n_releases += 1
+                _cm12._outstanding -= 1
+                _wl14 = _cm12._writers[_ct11.index]
+                if osm in _wl14:
+                    _wl14.remove(osm)
+                if _cv13 is not None:
+                    _cm12.backing.write(_ct11.index, _cv13)
+            else:
+                _cm12.on_release_commit(osm, _ct11, _cv13)
+        osm.current = dst_16
+        osm.last_edge = edge_15
+        osm.n_transitions += 1
+        action_17(osm)
+        if buffer:
+            raise TokenError('%s: returned to initial state still holding %s' % (osm.name, sorted(buffer)))
+        osm.operation = None
+        osm.age = -1
+        return edge_15
+    return None

@@ -1,0 +1,94 @@
+"""Golden snapshots of generated fast-path code.
+
+transcheck (``repro certify``) validates generated code *semantically* —
+by symbolic replay against the reference plan.  These tests pin the
+other axis: the exact *shape* of the generated artifacts, so an
+unintended generator change is visible as a reviewable diff even when
+it happens to stay semantics-preserving.
+
+Sources are normalized through :func:`repro.analysis.certify.astnorm.
+normalize_source` (parse + unparse) before comparison, so formatting
+details of the code writers never count as drift.  To regenerate after
+an intentional generator change::
+
+    UPDATE_SNAPSHOTS=1 python -m pytest tests/analysis/test_codegen_snapshots.py
+
+and review the snapshot diff alongside the generator change.
+"""
+
+import difflib
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.certify.astnorm import normalize_source
+from repro.analysis.registry import build_spec
+
+SNAPSHOT_DIR = Path(__file__).parent / "snapshots"
+
+#: the pipeline5 states whose fused steppers are pinned (all of them —
+#: the model fuses every state)
+PIPELINE5_STATES = ("I", "F", "D", "E", "B", "W")
+
+
+def _assert_matches_snapshot(name: str, source: str) -> None:
+    normalized = normalize_source(source) + "\n"
+    path = SNAPSHOT_DIR / name
+    if os.environ.get("UPDATE_SNAPSHOTS"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(normalized)
+        return
+    assert path.exists(), (
+        f"missing snapshot {name}; generate it with "
+        f"UPDATE_SNAPSHOTS=1 python -m pytest {__file__}"
+    )
+    expected = path.read_text()
+    if normalized != expected:
+        diff = "\n".join(difflib.unified_diff(
+            expected.splitlines(), normalized.splitlines(),
+            fromfile=f"snapshots/{name}", tofile="generated", lineterm=""))
+        pytest.fail(
+            f"generated code drifted from snapshot {name} — review the "
+            f"generator change (or UPDATE_SNAPSHOTS=1 if intended):\n{diff}")
+
+
+@pytest.fixture(scope="module")
+def pipeline5_spec():
+    return build_spec("pipeline5")
+
+
+@pytest.mark.parametrize("state_name", PIPELINE5_STATES)
+def test_pipeline5_fused_stepper_snapshot(pipeline5_spec, state_name):
+    state = pipeline5_spec.states[state_name]
+    assert state._fused is not None, f"{state_name}: expected a fused stepper"
+    _assert_matches_snapshot(
+        f"pipeline5_{state_name}_stepper.py",
+        state._fused.__fused_source__)
+
+
+def test_arm_execgen_adds_snapshot():
+    """One representative execgen closure: a flag-setting ALU op covers
+    the register write, the four flag writes and the PC advance."""
+    from repro.isa.arm import assemble, decode
+    from repro.isa.arm.execgen import _translate
+
+    program = assemble("""
+    .text
+_start:
+    adds r1, r2, r3
+    swi #0
+""")
+    addr, word = program.text_words()[0]
+    source = _translate(decode(addr, word), "_exec")
+    assert source is not None
+    _assert_matches_snapshot("arm_adds_executor.py", source)
+
+
+def test_snapshots_contain_no_stale_files():
+    """Every committed snapshot is exercised by a test above — a renamed
+    state or instruction must not leave orphans behind."""
+    expected = {f"pipeline5_{name}_stepper.py" for name in PIPELINE5_STATES}
+    expected.add("arm_adds_executor.py")
+    actual = {p.name for p in SNAPSHOT_DIR.glob("*.py")}
+    assert actual == expected

@@ -1,69 +1,40 @@
-"""The legacy ``analysis.deadlock`` / ``analysis.reachability`` modules
-are deprecation shims over :mod:`repro.analysis.lint.graph`.
+"""The legacy ``analysis.deadlock`` / ``analysis.reachability``
+deprecation shims are gone: :mod:`repro.analysis.lint.graph` is the
+single owner of the spec-graph analyses.
 
-Coverage here pins three things: the shims warn, the shims return the
-*same* results as the lint-stack owners, and the graph analyses agree
-with the osmcheck model checker's ground truth on every bundled spec.
+Coverage here pins two things: the old import paths are really removed
+(so nothing silently resurrects them), and the graph analyses still
+agree with the osmcheck model checker's ground truth on every bundled
+spec — the cross-validation the shim tests used to carry.
 """
-
-import warnings
 
 import pytest
 
 from repro.analysis.check import check_model
-from repro.analysis.deadlock import analyze as legacy_deadlock
-from repro.analysis.lint.graph import (
-    DeadlockReport,
-    ReachabilityReport,
-    analyze_deadlock,
-    analyze_reachability,
-)
-from repro.analysis.reachability import analyze as legacy_reachability
+from repro.analysis.lint.graph import analyze_deadlock, analyze_reachability
 from repro.analysis.registry import available_specs, build_spec
 
 
-@pytest.mark.parametrize("name", available_specs())
-class TestShimAgreement:
-    def test_reachability_shim_matches_lint_graph(self, name):
-        spec = build_spec(name)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            legacy = legacy_reachability(spec)
-        fresh = analyze_reachability(spec)
-        assert isinstance(legacy, ReachabilityReport)
-        assert legacy.clean == fresh.clean
-        assert set(legacy.unreachable) == set(fresh.unreachable)
-        assert set(legacy.non_returning) == set(fresh.non_returning)
+class TestShimRemoval:
+    def test_deadlock_shim_removed(self):
+        with pytest.raises(ImportError):
+            import repro.analysis.deadlock  # noqa: F401
 
-    def test_deadlock_shim_matches_lint_graph(self, name):
-        spec = build_spec(name)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            legacy = legacy_deadlock(spec)
-        fresh = analyze_deadlock(spec)
-        assert isinstance(legacy, DeadlockReport)
-        assert legacy.deadlock_free == fresh.deadlock_free
-        assert set(legacy.dependencies) == set(fresh.dependencies)
-        assert legacy.cycles == fresh.cycles
+    def test_reachability_shim_removed(self):
+        with pytest.raises(ImportError):
+            import repro.analysis.reachability  # noqa: F401
 
-
-class TestShimDeprecation:
-    def test_reachability_shim_warns(self):
-        spec = build_spec("pipeline5")
-        with pytest.warns(DeprecationWarning, match="analyze_reachability"):
-            legacy_reachability(spec)
-
-    def test_deadlock_shim_warns(self):
-        spec = build_spec("pipeline5")
-        with pytest.warns(DeprecationWarning, match="analyze_deadlock"):
-            legacy_deadlock(spec)
-
-    def test_package_still_exposes_shim_modules(self):
-        """Back-compat import paths keep working (one release of grace)."""
+    def test_package_no_longer_exposes_shim_modules(self):
         import repro.analysis as analysis
 
-        assert analysis.deadlock.analyze is legacy_deadlock
-        assert analysis.reachability.analyze is legacy_reachability
+        assert "deadlock" not in analysis.__all__
+        assert "reachability" not in analysis.__all__
+
+    def test_lint_graph_owns_the_analyses(self):
+        import repro.analysis as analysis
+
+        assert analysis.analyze_deadlock is analyze_deadlock
+        assert analysis.analyze_reachability is analyze_reachability
 
 
 @pytest.mark.parametrize("name", available_specs())

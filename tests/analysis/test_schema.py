@@ -1,9 +1,9 @@
 """Cross-tool JSON schema stability.
 
-All four analysis front ends — osmlint (``repro lint``), osmcheck
-(``repro check``), isaaudit (``repro audit``) and effectcheck
-(``repro effects``) — emit the shared diagnostics schema of
-:mod:`repro.analysis.diagnostics`.  These tests pin the contract
+All five analysis front ends — osmlint (``repro lint``), osmcheck
+(``repro check``), isaaudit (``repro audit``), effectcheck
+(``repro effects``) and transcheck (``repro certify``) — emit the
+shared diagnostics schema of :mod:`repro.analysis.diagnostics`.  These tests pin the contract
 downstream consumers (CI artifact diffing, dashboards) dispatch on:
 a ``tool`` name, the ``schema_version``, and rule codes of the shape
 ``ABC123``.
@@ -14,6 +14,7 @@ import re
 import pytest
 
 from repro.analysis.audit import audit_target, build_target
+from repro.analysis.certify import certify_spec
 from repro.analysis.check import check_model
 from repro.analysis.diagnostics import SCHEMA_VERSION
 from repro.analysis.effects import effects_spec
@@ -45,11 +46,16 @@ def _effects_report():
     return "effects", effects_spec(build_spec("pipeline5")).to_dict()
 
 
+def _certify_report():
+    return "certify", certify_spec(build_spec("pipeline5")).to_dict()
+
+
 REPORTS = {
     "lint": _lint_report,
     "check": _check_report,
     "audit": _audit_report,
     "effects": _effects_report,
+    "certify": _certify_report,
 }
 
 
@@ -100,7 +106,7 @@ class TestRulePrefixes:
 
     def test_expected_prefix_per_tool(self, payloads):
         expected = {"lint": "OSM", "check": "CHK", "audit": "ISA",
-                    "effects": "EFF"}
+                    "effects": "EFF", "certify": "TRV"}
         for tool, prefix in expected.items():
             _, payload = payloads[tool]
             rules = payload.get("passes", payload.get("properties", []))

@@ -67,16 +67,26 @@ class TestAsm:
 
 
 class TestAnalyze:
-    @pytest.mark.parametrize("model", ["pipeline5", "strongarm", "ppc750"])
-    def test_analyze_models(self, model, capsys):
-        assert main(["analyze", "--model", model]) == 0
+    def test_analyze_umbrella(self, capsys):
+        assert main(["analyze", "pipeline5"]) == 0
         out = capsys.readouterr().out
-        assert "reachability clean : True" in out
-        assert "deadlock free      : True" in out
+        assert "analyze: all tools clean" in out
 
-    def test_asm_dump(self, capsys):
-        assert main(["analyze", "--model", "pipeline5", "--asm"]) == 0
-        assert "rule fetch" in capsys.readouterr().out
+    def test_analyze_json(self, capsys):
+        import json
+
+        assert main(["analyze", "pipeline5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "analyze"
+        assert payload["ok"] is True
+        assert set(payload["models"]["pipeline5"]) == {
+            "lint", "check", "effects", "audit", "certify"}
+        assert "arm" in payload["isas"]
+
+    def test_certify_cli(self, capsys):
+        assert main(["certify", "pipeline5"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
 
 
 class TestWorkload:
