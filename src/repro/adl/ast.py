@@ -7,6 +7,14 @@ step, scoped to what the case studies need: a declarative description of
 token managers, machine states and edges whose conditions are
 conjunctions of the four primitives, from which a working simulator is
 synthesised (:mod:`repro.adl.synth`).
+
+Every declaration node carries the 1-based source line it was parsed
+from (``lineno``; ``None`` for programmatically-built ASTs).  The
+synthesiser threads these through to the :class:`~repro.core.MachineSpec`
+it builds (``source_span`` on states and edges), which is what lets the
+description-level analyzer (:mod:`repro.analysis.adl`) map *any*
+downstream diagnostic — lint, model checking, effect analysis — back to
+the ADL line the author wrote.
 """
 
 from __future__ import annotations
@@ -24,6 +32,8 @@ class ManagerDecl:
     params: Dict[str, int] = field(default_factory=dict)
     #: regfile variant: plain (stall-at-decode) or forwarding
     forwarding: bool = False
+    #: 1-based source line of the declaration (None when built in code)
+    lineno: Optional[int] = None
 
 
 @dataclass
@@ -33,14 +43,15 @@ class PrimitiveDecl:
     ``op`` is one of allocate / allocate_many / inquire / release /
     release_many / discard; ``manager`` names the target (slot name for
     release forms); ``ident`` is the identifier vocabulary word
-    (``sources`` / ``dests`` / ``unit`` / none); ``slot`` optionally
-    renames the token-buffer slot.
+    (``sources`` / ``dests`` / none); ``slot`` optionally renames the
+    token-buffer slot.
     """
 
     op: str
     manager: Optional[str] = None
     ident: Optional[str] = None
     slot: Optional[str] = None
+    lineno: Optional[int] = None
 
 
 @dataclass
@@ -52,12 +63,21 @@ class EdgeDecl:
     #: action names applied in order on commit (the vocabulary is defined
     #: by the synthesiser)
     actions: List[str] = field(default_factory=list)
+    #: adlcheck rule codes acknowledged as false positives on this edge
+    #: (``allow ADL007`` after the action list)
+    allow: List[str] = field(default_factory=list)
+    lineno: Optional[int] = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.src}->{self.dst}"
 
 
 @dataclass
 class StateDecl:
     name: str
     initial: bool = False
+    lineno: Optional[int] = None
 
 
 @dataclass
@@ -65,6 +85,7 @@ class MachineDecl:
     name: str
     states: List[StateDecl] = field(default_factory=list)
     edges: List[EdgeDecl] = field(default_factory=list)
+    lineno: Optional[int] = None
 
     @property
     def initial_state(self) -> Optional[str]:
@@ -80,6 +101,12 @@ class ProcessorDecl:
     managers: List[ManagerDecl] = field(default_factory=list)
     machines: List[MachineDecl] = field(default_factory=list)
     params: Dict[str, int] = field(default_factory=dict)
+    #: adlcheck rule codes suppressed description-wide (``allow ADL009``
+    #: at processor level)
+    allow: List[str] = field(default_factory=list)
+    #: source line of each ``param`` declaration (for diagnostics)
+    param_lines: Dict[str, int] = field(default_factory=dict)
+    lineno: Optional[int] = None
 
     def manager(self, name: str) -> ManagerDecl:
         for decl in self.managers:

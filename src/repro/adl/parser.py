@@ -3,16 +3,31 @@
 Grammar (see ``examples/adl_synthesis.py`` for a complete description)::
 
     processor  := "processor" NAME "{" item* "}"
-    item       := manager | machine | param
+    item       := manager | machine | param | allow
     param      := "param" NAME INT
+    allow      := "allow" CODE              # suppress an adlcheck rule
     manager    := "manager" NAME "kind" KIND (NAME INT | "forwarding")*
     machine    := "machine" NAME "{" (state | edge)* "}"
     state      := "state" NAME ["initial"]
     edge       := "edge" NAME "->" NAME ["priority" INT]
-                  "{" prim (";" prim)* "}" ["action" NAME]
+                  "{" prim (";" prim)* "}" ("action" NAME | "allow" CODE)*
     prim       := OP [NAME] [IDENT] ["as" NAME]
 
 Comments run from ``#`` to end of line.
+
+Every declaration node records the source line it starts on, and every
+:class:`AdlError` is located: syntax errors carry the offending token's
+line, semantic errors the declaration's line, and an unexpected
+end-of-description the line of the last token consumed — a truncated
+file points at its own tail, not at nothing.
+
+``parse(text)`` performs the semantic validation the synthesiser
+depends on (undeclared managers, dangling edge endpoints, missing
+initial states, unknown identifier words) and raises on the first
+violation.  ``parse(text, validate=False)`` skips it, returning the raw
+AST so the description-level analyzer (:mod:`repro.analysis.adl`) can
+report *all* semantic defects as located diagnostics instead of
+stopping at the first.
 """
 
 from __future__ import annotations
@@ -43,6 +58,9 @@ PRIMITIVE_OPS = frozenset(
 )
 IDENT_WORDS = frozenset(("sources", "dests"))
 
+#: keywords that terminate the optional NAME operands of a primitive
+_PRIM_STOP_WORDS = frozenset(("action", "allow", "as"))
+
 
 class _Tokens:
     def __init__(self, text: str):
@@ -61,6 +79,9 @@ class _Tokens:
                 continue
             self.items.append((kind, value, lineno))
         self.index = 0
+        #: line of the most recently consumed token, so running off the
+        #: end of a truncated description still reports a location
+        self.last_lineno: Optional[int] = self.items[-1][2] if self.items else None
 
     def peek(self) -> Optional[Tuple[str, str, int]]:
         if self.index < len(self.items):
@@ -70,7 +91,7 @@ class _Tokens:
     def next(self, expect_kind: Optional[str] = None, expect_value: Optional[str] = None):
         token = self.peek()
         if token is None:
-            raise AdlError("unexpected end of description")
+            raise AdlError("unexpected end of description", self.last_lineno)
         kind, value, lineno = token
         if expect_kind is not None and kind != expect_kind:
             raise AdlError(f"expected {expect_kind}, got {value!r}", lineno)
@@ -87,39 +108,50 @@ class _Tokens:
         return False
 
 
-def parse(text: str) -> ProcessorDecl:
-    """Parse a processor description into its AST."""
+def parse(text: str, validate: bool = True) -> ProcessorDecl:
+    """Parse a processor description into its AST.
+
+    With ``validate=False`` only syntax is checked; semantic validation
+    (the checks the synthesiser depends on) is skipped so a checker can
+    report every defect rather than the first.
+    """
     tokens = _Tokens(text)
-    tokens.next("name", "processor")
+    _, _, proc_line = tokens.next("name", "processor")
     _, name, _ = tokens.next("name")
     tokens.next("sym", "{")
-    processor = ProcessorDecl(name)
+    processor = ProcessorDecl(name, lineno=proc_line)
     while not tokens.accept("}"):
         kind, value, lineno = tokens.next("name")
         if value == "manager":
-            processor.managers.append(_parse_manager(tokens))
+            processor.managers.append(_parse_manager(tokens, lineno))
         elif value == "machine":
-            processor.machines.append(_parse_machine(tokens))
+            processor.machines.append(_parse_machine(tokens, lineno))
         elif value == "param":
-            _, pname, _ = tokens.next("name")
+            _, pname, pline = tokens.next("name")
             _, pvalue, _ = tokens.next("int")
             processor.params[pname] = int(pvalue)
+            processor.param_lines[pname] = pline
+        elif value == "allow":
+            processor.allow.append(tokens.next("name")[1])
         else:
-            raise AdlError(f"expected manager/machine/param, got {value!r}", lineno)
-    _validate(processor)
+            raise AdlError(
+                f"expected manager/machine/param/allow, got {value!r}", lineno
+            )
+    if validate:
+        _validate(processor)
     return processor
 
 
-def _parse_manager(tokens: _Tokens) -> ManagerDecl:
+def _parse_manager(tokens: _Tokens, lineno: int) -> ManagerDecl:
     _, name, _ = tokens.next("name")
     tokens.next("name", "kind")
-    _, kind, lineno = tokens.next("name")
+    _, kind, kind_line = tokens.next("name")
     if kind not in MANAGER_KINDS:
-        raise AdlError(f"unknown manager kind {kind!r}", lineno)
-    decl = ManagerDecl(name, kind)
+        raise AdlError(f"unknown manager kind {kind!r}", kind_line)
+    decl = ManagerDecl(name, kind, lineno=lineno)
     while True:
         token = tokens.peek()
-        if token is None or token[1] in ("manager", "machine", "param", "}"):
+        if token is None or token[1] in ("manager", "machine", "param", "allow", "}"):
             break
         _, key, key_line = tokens.next("name")
         if key == "forwarding":
@@ -130,24 +162,24 @@ def _parse_manager(tokens: _Tokens) -> ManagerDecl:
     return decl
 
 
-def _parse_machine(tokens: _Tokens) -> MachineDecl:
+def _parse_machine(tokens: _Tokens, lineno: int) -> MachineDecl:
     _, name, _ = tokens.next("name")
     tokens.next("sym", "{")
-    machine = MachineDecl(name)
+    machine = MachineDecl(name, lineno=lineno)
     while not tokens.accept("}"):
-        _, keyword, lineno = tokens.next("name")
+        _, keyword, kw_line = tokens.next("name")
         if keyword == "state":
             _, state_name, _ = tokens.next("name")
             initial = tokens.accept("initial")
-            machine.states.append(StateDecl(state_name, initial))
+            machine.states.append(StateDecl(state_name, initial, lineno=kw_line))
         elif keyword == "edge":
-            machine.edges.append(_parse_edge(tokens))
+            machine.edges.append(_parse_edge(tokens, kw_line))
         else:
-            raise AdlError(f"expected state/edge, got {keyword!r}", lineno)
+            raise AdlError(f"expected state/edge, got {keyword!r}", kw_line)
     return machine
 
 
-def _parse_edge(tokens: _Tokens) -> EdgeDecl:
+def _parse_edge(tokens: _Tokens, lineno: int) -> EdgeDecl:
     _, src, _ = tokens.next("name")
     tokens.next("arrow")
     _, dst, _ = tokens.next("name")
@@ -159,24 +191,39 @@ def _parse_edge(tokens: _Tokens) -> EdgeDecl:
     while not tokens.accept("}"):
         primitives.append(_parse_primitive(tokens))
         tokens.accept(";")
-    actions: List[str] = []
-    while tokens.accept("action"):
-        actions.append(tokens.next("name")[1])
-    return EdgeDecl(src, dst, primitives, priority, actions)
+    edge = EdgeDecl(src, dst, primitives, priority, lineno=lineno)
+    while True:
+        if tokens.accept("action"):
+            edge.actions.append(tokens.next("name")[1])
+        elif tokens.accept("allow"):
+            edge.allow.append(tokens.next("name")[1])
+        else:
+            break
+    return edge
+
+
+def _operand_follows(tokens: _Tokens) -> bool:
+    """True when the next token can be a primitive NAME operand."""
+    token = tokens.peek()
+    return (
+        token is not None
+        and token[0] == "name"
+        and token[1] not in _PRIM_STOP_WORDS
+        and token[1] not in PRIMITIVE_OPS
+    )
 
 
 def _parse_primitive(tokens: _Tokens) -> PrimitiveDecl:
     _, op, lineno = tokens.next("name")
     if op not in PRIMITIVE_OPS:
         raise AdlError(f"unknown primitive {op!r}", lineno)
-    prim = PrimitiveDecl(op)
-    token = tokens.peek()
-    if token is not None and token[0] == "name" and token[1] not in (
-        "action", "as", ";"
-    ) and token[1] not in PRIMITIVE_OPS:
+    prim = PrimitiveDecl(op, lineno=lineno)
+    if _operand_follows(tokens) and tokens.peek()[1] not in IDENT_WORDS:
         prim.manager = tokens.next("name")[1]
-    token = tokens.peek()
-    if token is not None and token[1] in IDENT_WORDS:
+    # the identifier position accepts any bare name so misspellings
+    # ("srcs") survive parsing and surface as located ADL005 findings
+    # instead of a confusing "unknown primitive" error one token later
+    if _operand_follows(tokens):
         prim.ident = tokens.next("name")[1]
     if tokens.accept("as"):
         prim.slot = tokens.next("name")[1]
@@ -186,21 +233,34 @@ def _parse_primitive(tokens: _Tokens) -> PrimitiveDecl:
 def _validate(processor: ProcessorDecl) -> None:
     manager_names = {m.name for m in processor.managers}
     if len(manager_names) != len(processor.managers):
-        raise AdlError(f"duplicate manager names in {processor.name!r}")
+        raise AdlError(
+            f"duplicate manager names in {processor.name!r}", processor.lineno
+        )
     for machine in processor.machines:
         state_names = {s.name for s in machine.states}
         if machine.initial_state is None:
-            raise AdlError(f"machine {machine.name!r} has no initial state")
+            raise AdlError(
+                f"machine {machine.name!r} has no initial state", machine.lineno
+            )
         for edge in machine.edges:
             for endpoint in (edge.src, edge.dst):
                 if endpoint not in state_names:
                     raise AdlError(
-                        f"edge {edge.src}->{edge.dst} references unknown state"
+                        f"edge {edge.src}->{edge.dst} references unknown state",
+                        edge.lineno,
                     )
             for prim in edge.primitives:
                 needs_manager = prim.op in ("allocate", "allocate_many", "inquire")
                 if needs_manager and (prim.manager not in manager_names):
                     raise AdlError(
                         f"primitive {prim.op} on edge {edge.src}->{edge.dst} "
-                        f"references unknown manager {prim.manager!r}"
+                        f"references unknown manager {prim.manager!r}",
+                        prim.lineno,
+                    )
+                if prim.ident is not None and prim.ident not in IDENT_WORDS:
+                    raise AdlError(
+                        f"unknown identifier word {prim.ident!r} on edge "
+                        f"{edge.src}->{edge.dst} (expected one of "
+                        f"{'/'.join(sorted(IDENT_WORDS))})",
+                        prim.lineno,
                     )

@@ -62,6 +62,14 @@ from .ast import PrimitiveDecl, ProcessorDecl
 from .parser import AdlError, parse
 
 
+#: the fixed action vocabulary edges may bind to (the table above); the
+#: description-level analyzer (ADL001) checks action names against this
+#: set before synthesis is ever attempted
+ACTION_NAMES = frozenset(
+    ("fetch", "execute", "memory", "publish", "publish_loads", "retire", "killed")
+)
+
+
 class _Backing:
     def __init__(self, n_regs: int):
         self.values = [0] * n_regs
@@ -167,9 +175,16 @@ class SynthesizedModel:
 
     def _build_spec(self) -> MachineSpec:
         machine = self.processor.machine
+        unit = self.processor.name
         spec = MachineSpec(machine.name)
+        # provenance: every synthesized state/edge remembers the ADL line
+        # it came from, so analysis diagnostics over the generated spec
+        # can be remapped onto the description (see repro.analysis.adl)
+        spec.source_unit = unit
         for state in machine.states:
-            spec.state(state.name, initial=state.initial)
+            declared = spec.state(state.name, initial=state.initial)
+            if state.lineno is not None:
+                declared.source_span = (unit, state.lineno)
         for edge in machine.edges:
             primitives = [self._synth_primitive(p) for p in edge.primitives]
             if "execute" in edge.actions:
@@ -183,7 +198,8 @@ class SynthesizedModel:
             for name in edge.actions:
                 if name not in self.actions:
                     raise AdlError(
-                        f"unknown action {name!r} on edge {edge.src}->{edge.dst}"
+                        f"unknown action {name!r} on edge {edge.src}->{edge.dst}",
+                        edge.lineno,
                     )
                 bound.append(self.actions[name])
             action = None
@@ -193,8 +209,10 @@ class SynthesizedModel:
                 def action(osm, _bound=tuple(bound)):
                     for callback in _bound:
                         callback(osm)
-            spec.edge(edge.src, edge.dst, Condition(primitives),
-                      priority=edge.priority, action=action)
+            declared = spec.edge(edge.src, edge.dst, Condition(primitives),
+                                 priority=edge.priority, action=action)
+            if edge.lineno is not None:
+                declared.source_span = (unit, edge.lineno)
         spec.validate()
         return spec
 

@@ -1,0 +1,152 @@
+"""ADL010: synthesis closure — the whole-toolchain rule.
+
+The nine source-level rules reason about the description *as text*.
+This pass closes the loop: it synthesizes the description into a
+runnable model (over a two-instruction stub program — spec structure is
+program-independent) and runs the existing OSM-layer pipeline over the
+result:
+
+* **osmlint** — token-flow dataflow rules OSM001–OSM008;
+* **osmcheck** — explicit-state model checking (deadlock, livelock,
+  capacity, buffer hygiene) with ``n_osms=2``;
+* **effectcheck** — effect/purity contracts EFF001–EFF008 over the
+  synthesized edge code.
+
+Every active downstream finding is *remapped*: re-coded ``ADL010``
+(rule ``synth-closure``), the original ``tool:CODE`` preserved in the
+message, and — via the ``source_span`` provenance the synthesiser
+stamps on generated states and edges — located at the ADL line of the
+declaration it arose from.  An author who writes a deadlocking guard
+sees ``mydesc.adl:14: error: ADL010 (synth-closure): [check:CHK001]
+deadlock ... (at mydesc:14)``, not a trace into generated code.
+
+A description that fails to synthesize at all (which the source-level
+rules should have predicted, but defence in depth) yields one ADL010
+finding carrying the synthesis error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from ...adl.ast import ProcessorDecl
+from ..diagnostics import Diagnostic, Severity, SourceSpan
+from .engine import AdlContext, AdlPass
+
+#: bound on the model-check exploration inside the closure; generous for
+#: two OSMs over the pipeline-sized machines descriptions declare
+_MAX_STATES = 50_000
+
+
+def _stub_program():
+    """A minimal ARM program to instantiate the synthesized model over
+    (the spec's structure is program-independent)."""
+    from ...isa.arm import assemble
+
+    return assemble("""
+    .text
+_start:
+    mov r0, #0
+    swi #0
+""")
+
+
+class SynthClosurePass(AdlPass):
+    """ADL010: synthesize and run lint + check + effects, remapping
+    every downstream finding back onto the description's source lines."""
+
+    code = "ADL010"
+    rule = "synth-closure"
+
+    def run(self, ctx: AdlContext) -> Iterator[Diagnostic]:
+        try:
+            spec = self._synthesize(ctx.processor)
+        except Exception as exc:  # noqa: BLE001 — any failure is the finding
+            yield Diagnostic(
+                code=self.code,
+                rule=self.rule,
+                severity=Severity.ERROR,
+                spec=ctx.unit,
+                message=f"description does not synthesize: {exc}",
+                source_span=ctx.span(getattr(exc, "lineno", None)),
+            )
+            return
+
+        spans = self._span_index(ctx, spec)
+        yield from self._remap(ctx, "lint", self._lint(spec), spans)
+        yield from self._remap(ctx, "check", self._check(spec), spans)
+        yield from self._remap(ctx, "effects", self._effects(spec), spans)
+
+    # -- synthesis ---------------------------------------------------------
+
+    @staticmethod
+    def _synthesize(processor: ProcessorDecl):
+        from ...adl.synth import SynthesizedModel
+
+        return SynthesizedModel(processor, _stub_program()).spec
+
+    # -- downstream tools --------------------------------------------------
+
+    @staticmethod
+    def _lint(spec):
+        from ..lint import lint_spec
+
+        return lint_spec(spec).active
+
+    @staticmethod
+    def _check(spec):
+        from ..check import check_spec
+
+        report = check_spec(spec, n_osms=2, max_states=_MAX_STATES)
+        return [d for d in report.diagnostics if not d.suppressed]
+
+    @staticmethod
+    def _effects(spec):
+        from ..effects import effects_spec
+
+        return effects_spec(spec).active
+
+    # -- remapping ---------------------------------------------------------
+
+    @staticmethod
+    def _span_index(
+        ctx: AdlContext, spec
+    ) -> Tuple[Dict[str, SourceSpan], Dict[str, SourceSpan]]:
+        """(edge qualname -> span, state name -> span) over *spec*,
+        lifted from the provenance tuples the synthesiser stamped.
+
+        Spans are re-keyed to *ctx*'s unit: the synthesiser stamps the
+        processor name, but the author checked a file (or registry
+        name) and that is where the line number points."""
+        edge_spans: Dict[str, SourceSpan] = {}
+        state_spans: Dict[str, SourceSpan] = {}
+        for edge in spec.edges:
+            span = SourceSpan.from_obj(getattr(edge, "source_span", None))
+            if span is not None:
+                edge_spans[edge.qualname] = SourceSpan(ctx.unit, span.line)
+        for state in spec.states.values():
+            span = SourceSpan.from_obj(getattr(state, "source_span", None))
+            if span is not None:
+                state_spans[state.name] = SourceSpan(ctx.unit, span.line)
+        return edge_spans, state_spans
+
+    def _remap(
+        self, ctx: AdlContext, tool: str, diagnostics, spans
+    ) -> Iterator[Diagnostic]:
+        edge_spans, state_spans = spans
+        for original in diagnostics:
+            span: Optional[SourceSpan] = None
+            if original.edge is not None:
+                span = edge_spans.get(original.edge)
+            if span is None and original.state is not None:
+                span = state_spans.get(original.state)
+            yield Diagnostic(
+                code=self.code,
+                rule=self.rule,
+                severity=original.severity,
+                spec=ctx.unit,
+                message=f"[{tool}:{original.code}] {original.message}",
+                state=original.state,
+                edge=original.edge,
+                source_span=span,
+            )

@@ -1,0 +1,522 @@
+"""The bundled adlcheck rules, ADL001–ADL009.
+
+All nine rules operate purely on the parsed
+:class:`~repro.adl.ast.ProcessorDecl` — no synthesis, no simulation, no
+Python-level reflection — so they run in microseconds and their
+diagnostics carry the exact source line of the offending declaration.
+ADL010 (synthesis closure) lives in :mod:`.closure`.
+
+====== ===================== ========================================
+code   rule                  catches
+====== ===================== ========================================
+ADL001 undefined-reference   primitives naming undeclared managers;
+                             actions outside the synthesiser vocabulary
+ADL002 duplicate-declaration duplicate manager / state / machine names
+ADL003 dangling-edge         edge endpoints naming undeclared states
+ADL004 initial-state         missing or multiple initial states;
+                             states unreachable from the initial
+ADL005 identifier            unknown identifier words; allocate_many
+                             without an identifier; identifiers the
+                             synthesiser ignores
+ADL006 capacity              allocate_many against capacity-1 managers;
+                             nonpositive size/regs parameters
+ADL007 token-balance         slots still held on return to the initial
+                             state (allocate without release); release
+                             of a slot no path allocates
+ADL008 edge-priority         edges shadowed by an always-enabled
+                             higher-priority sibling; same-priority
+                             siblings with identical conditions
+ADL009 unused-declaration    managers no primitive references; params
+                             the synthesiser ignores
+====== ===================== ========================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from ...adl.ast import EdgeDecl, MachineDecl, PrimitiveDecl
+from ...adl.parser import IDENT_WORDS
+from ...adl.synth import ACTION_NAMES
+from ..diagnostics import Diagnostic, Severity
+from .engine import AdlContext, AdlPass
+
+#: primitive ops whose first operand must name a declared manager
+_MANAGER_OPS = frozenset(("allocate", "allocate_many", "inquire"))
+#: primitive ops whose first operand names a token-buffer slot
+_SLOT_OPS = frozenset(("release", "release_many"))
+#: ops for which an identifier word is meaningless (the synthesiser
+#: silently drops it)
+_IDENT_IGNORED_OPS = frozenset(
+    ("allocate", "release", "release_many", "discard")
+)
+
+#: manager params the synthesiser consumes, per kind
+_KNOWN_MANAGER_PARAMS = {
+    "pool": frozenset(("size",)),
+    "regfile": frozenset(("regs",)),
+    "fetch": frozenset(),
+    "stage": frozenset(),
+    "reset": frozenset(),
+}
+
+#: processor-level params the synthesiser consumes
+_KNOWN_PROCESSOR_PARAMS = frozenset(("osms",))
+
+
+def _alloc_slot(prim: PrimitiveDecl) -> str:
+    """The token-buffer slot an allocate-form primitive binds."""
+    return prim.slot or (prim.manager or "?")
+
+
+class UndefinedReferencePass(AdlPass):
+    """ADL001: every manager a primitive names and every action word an
+    edge binds must resolve — the synthesiser would otherwise fail with
+    a Python-level error pointing at generated code."""
+
+    code = "ADL001"
+    rule = "undefined-reference"
+
+    def run(self, ctx: AdlContext) -> Iterator[Diagnostic]:
+        for machine in ctx.processor.machines:
+            for edge in machine.edges:
+                for prim in edge.primitives:
+                    if prim.op not in _MANAGER_OPS:
+                        continue
+                    if prim.manager is None:
+                        yield self.diag(
+                            ctx,
+                            f"primitive {prim.op} needs a manager operand",
+                            edge=edge, lineno=prim.lineno,
+                        )
+                    elif prim.manager not in ctx.manager_names:
+                        yield self.diag(
+                            ctx,
+                            f"primitive {prim.op} references undeclared "
+                            f"manager {prim.manager!r}",
+                            edge=edge, lineno=prim.lineno,
+                        )
+                for action in edge.actions:
+                    if action not in ACTION_NAMES:
+                        yield self.diag(
+                            ctx,
+                            f"unknown action {action!r} (vocabulary: "
+                            f"{', '.join(sorted(ACTION_NAMES))})",
+                            edge=edge,
+                        )
+
+
+class DuplicateDeclarationPass(AdlPass):
+    """ADL002: duplicate manager, state or machine names.  Later
+    declarations silently win in the synthesiser's name maps, so the
+    author's first declaration becomes dead weight."""
+
+    code = "ADL002"
+    rule = "duplicate-declaration"
+
+    def run(self, ctx: AdlContext) -> Iterator[Diagnostic]:
+        seen: Dict[str, int] = {}
+        for manager in ctx.processor.managers:
+            if manager.name in seen:
+                yield self.diag(
+                    ctx,
+                    f"duplicate manager {manager.name!r} "
+                    f"(first declared at line {seen[manager.name]})",
+                    lineno=manager.lineno,
+                )
+            elif manager.lineno is not None:
+                seen[manager.name] = manager.lineno
+        machines_seen: Dict[str, int] = {}
+        for machine in ctx.processor.machines:
+            if machine.name in machines_seen:
+                yield self.diag(
+                    ctx,
+                    f"duplicate machine {machine.name!r} "
+                    f"(first declared at line {machines_seen[machine.name]})",
+                    lineno=machine.lineno,
+                )
+            elif machine.lineno is not None:
+                machines_seen[machine.name] = machine.lineno
+            states_seen: Dict[str, int] = {}
+            for state in machine.states:
+                if state.name in states_seen:
+                    yield self.diag(
+                        ctx,
+                        f"duplicate state {state.name!r} in machine "
+                        f"{machine.name!r} (first declared at line "
+                        f"{states_seen[state.name]})",
+                        state=state.name, lineno=state.lineno,
+                    )
+                elif state.lineno is not None:
+                    states_seen[state.name] = state.lineno
+
+
+class DanglingEdgePass(AdlPass):
+    """ADL003: edge endpoints must name declared states of their own
+    machine; a dangling endpoint is an edge into nothing."""
+
+    code = "ADL003"
+    rule = "dangling-edge"
+
+    def run(self, ctx: AdlContext) -> Iterator[Diagnostic]:
+        for machine in ctx.processor.machines:
+            names = ctx.state_names[machine.name]
+            for edge in machine.edges:
+                for endpoint in (edge.src, edge.dst):
+                    if endpoint not in names:
+                        yield self.diag(
+                            ctx,
+                            f"edge {edge.src}->{edge.dst} references "
+                            f"undeclared state {endpoint!r}",
+                            edge=edge,
+                        )
+
+
+class InitialStatePass(AdlPass):
+    """ADL004: exactly one initial state per machine, and every state
+    reachable from it — the spec constructor enforces both with a raise,
+    so catching them here keeps the error on the author's line."""
+
+    code = "ADL004"
+    rule = "initial-state"
+
+    def run(self, ctx: AdlContext) -> Iterator[Diagnostic]:
+        for machine in ctx.processor.machines:
+            initials = [s for s in machine.states if s.initial]
+            if not initials:
+                yield self.diag(
+                    ctx,
+                    f"machine {machine.name!r} declares no initial state",
+                    lineno=machine.lineno,
+                )
+                continue
+            for extra in initials[1:]:
+                yield self.diag(
+                    ctx,
+                    f"machine {machine.name!r} declares a second initial "
+                    f"state {extra.name!r} (first: {initials[0].name!r})",
+                    state=extra.name, lineno=extra.lineno,
+                )
+            names = ctx.state_names[machine.name]
+            adjacency: Dict[str, Set[str]] = {}
+            for edge in machine.edges:
+                if edge.src in names and edge.dst in names:
+                    adjacency.setdefault(edge.src, set()).add(edge.dst)
+            reachable = {initials[0].name}
+            frontier = [initials[0].name]
+            while frontier:
+                for successor in adjacency.get(frontier.pop(), ()):
+                    if successor not in reachable:
+                        reachable.add(successor)
+                        frontier.append(successor)
+            for state in machine.states:
+                if state.name not in reachable and not state.initial:
+                    yield self.diag(
+                        ctx,
+                        f"state {state.name!r} is unreachable from initial "
+                        f"state {initials[0].name!r}",
+                        state=state.name, lineno=state.lineno,
+                    )
+
+
+class IdentifierPass(AdlPass):
+    """ADL005: identifier words must come from the fixed vocabulary,
+    ``allocate_many`` must carry one (it has no meaning without), and an
+    identifier on an op that ignores it is author confusion."""
+
+    code = "ADL005"
+    rule = "identifier"
+
+    def run(self, ctx: AdlContext) -> Iterator[Diagnostic]:
+        for machine in ctx.processor.machines:
+            for edge in machine.edges:
+                for prim in edge.primitives:
+                    if prim.ident is not None and prim.ident not in IDENT_WORDS:
+                        yield self.diag(
+                            ctx,
+                            f"unknown identifier word {prim.ident!r} "
+                            f"(expected one of "
+                            f"{'/'.join(sorted(IDENT_WORDS))})",
+                            edge=edge, lineno=prim.lineno,
+                        )
+                    elif prim.op == "allocate_many" and prim.ident is None:
+                        yield self.diag(
+                            ctx,
+                            f"allocate_many {prim.manager or ''} needs an "
+                            f"identifier ({'/'.join(sorted(IDENT_WORDS))})",
+                            edge=edge, lineno=prim.lineno,
+                        )
+                    elif prim.ident is not None and prim.op in _IDENT_IGNORED_OPS:
+                        yield self.diag(
+                            ctx,
+                            f"identifier {prim.ident!r} on {prim.op} is "
+                            f"ignored by the synthesiser",
+                            severity=Severity.WARNING,
+                            edge=edge, lineno=prim.lineno,
+                        )
+
+
+class CapacityPass(AdlPass):
+    """ADL006: capacity contradictions.  ``allocate_many`` grants one
+    token per identifier element; against a capacity-1 manager (stage,
+    fetch, reset, or a pool smaller than 2) a multi-register operation
+    can never issue — the machine wedges at runtime with no hint why."""
+
+    code = "ADL006"
+    rule = "capacity"
+
+    def run(self, ctx: AdlContext) -> Iterator[Diagnostic]:
+        for manager in ctx.processor.managers:
+            size = manager.params.get("size")
+            if manager.kind == "pool" and size is not None and size <= 0:
+                yield self.diag(
+                    ctx,
+                    f"pool manager {manager.name!r} declares nonpositive "
+                    f"size {size}",
+                    lineno=manager.lineno,
+                )
+            regs = manager.params.get("regs")
+            if manager.kind == "regfile" and regs is not None and regs <= 0:
+                yield self.diag(
+                    ctx,
+                    f"regfile manager {manager.name!r} declares nonpositive "
+                    f"regs {regs}",
+                    lineno=manager.lineno,
+                )
+        for machine in ctx.processor.machines:
+            for edge in machine.edges:
+                for prim in edge.primitives:
+                    if prim.op != "allocate_many" or prim.manager is None:
+                        continue
+                    manager = ctx.managers.get(prim.manager)
+                    if manager is None:
+                        continue  # ADL001's finding
+                    if manager.kind in ("stage", "fetch", "reset"):
+                        yield self.diag(
+                            ctx,
+                            f"allocate_many against capacity-1 "
+                            f"{manager.kind} manager {manager.name!r} can "
+                            f"never satisfy a multi-token identifier",
+                            edge=edge, lineno=prim.lineno,
+                        )
+                    elif manager.kind == "pool" and manager.params.get("size", 1) < 2:
+                        yield self.diag(
+                            ctx,
+                            f"allocate_many against pool manager "
+                            f"{manager.name!r} of size "
+                            f"{manager.params.get('size', 1)} contradicts "
+                            f"its multi-token identifier",
+                            edge=edge, lineno=prim.lineno,
+                        )
+
+
+class TokenBalancePass(AdlPass):
+    """ADL007: abstract token balance per machine.
+
+    Walks every acyclic-distinct slot-set flow from the initial state:
+    allocate-forms bind a slot, release-forms drop one, ``discard``
+    clears (one slot or all).  Two defects surface:
+
+    * an edge returning to the initial state with slots still held —
+      the OSM invariant "the token buffer is empty in the initial
+      state" is violated, i.e. an allocate some path never releases (a
+      source-level precursor of osmlint's OSM001 over the synthesized
+      spec);
+    * a release of a slot that no path into the edge ever allocated —
+      at best dead, at worst a misspelt slot name.
+    """
+
+    code = "ADL007"
+    rule = "token-balance"
+
+    def run(self, ctx: AdlContext) -> Iterator[Diagnostic]:
+        for machine in ctx.processor.machines:
+            yield from self._run_machine(ctx, machine)
+
+    def _run_machine(self, ctx: AdlContext, machine: MachineDecl) -> Iterator[Diagnostic]:
+        initials = [s for s in machine.states if s.initial]
+        names = ctx.state_names[machine.name]
+        edges = [
+            e for e in machine.edges if e.src in names and e.dst in names
+        ]
+        # a broken state graph already has ADL003/ADL004 findings;
+        # running the flow over it would only cascade noise
+        if len(initials) != 1 or len(edges) != len(machine.edges):
+            return
+        initial = initials[0].name
+        out_edges: Dict[str, List[EdgeDecl]] = {}
+        for edge in edges:
+            out_edges.setdefault(edge.src, []).append(edge)
+
+        held: Dict[str, Set[FrozenSet[str]]] = {initial: {frozenset()}}
+        worklist: List[Tuple[str, FrozenSet[str]]] = [(initial, frozenset())]
+        reported: Set[Tuple[str, str, FrozenSet[str]]] = set()
+        while worklist:
+            state, slots = worklist.pop()
+            for edge in out_edges.get(state, ()):
+                after = set(slots)
+                for prim in edge.primitives:
+                    if prim.op in ("allocate", "allocate_many"):
+                        after.add(_alloc_slot(prim))
+                    elif prim.op in _SLOT_OPS:
+                        slot = prim.manager
+                        if slot is None:
+                            continue
+                        if slot not in after:
+                            key = ("release", self.qualname_of(ctx, edge), frozenset([slot]))
+                            if key not in reported:
+                                reported.add(key)
+                                yield self.diag(
+                                    ctx,
+                                    f"{prim.op} of slot {slot!r} which no "
+                                    f"path into this edge allocates",
+                                    edge=edge, lineno=prim.lineno,
+                                )
+                        else:
+                            after.discard(slot)
+                    elif prim.op == "discard":
+                        if prim.manager is None:
+                            after.clear()
+                        else:
+                            after.discard(prim.manager)
+                frozen = frozenset(after)
+                if edge.dst == initial and frozen:
+                    key = ("leak", self.qualname_of(ctx, edge), frozen)
+                    if key not in reported:
+                        reported.add(key)
+                        held_list = ", ".join(sorted(frozen))
+                        yield self.diag(
+                            ctx,
+                            f"returns to initial state {initial!r} with "
+                            f"slot(s) {held_list} still held "
+                            f"(allocate without release)",
+                            edge=edge,
+                        )
+                seen = held.setdefault(edge.dst, set())
+                if frozen not in seen:
+                    seen.add(frozen)
+                    worklist.append((edge.dst, frozen))
+
+    @staticmethod
+    def qualname_of(ctx: AdlContext, edge: EdgeDecl) -> str:
+        return ctx.qualname(edge)
+
+
+class EdgePriorityPass(AdlPass):
+    """ADL008: shadowed and ambiguous sibling edges.
+
+    Outgoing edges of a state fire highest-priority-first, declaration
+    order breaking ties.  An *always-enabled* edge (no primitives — the
+    guard is vacuously true) therefore shadows every sibling ranked
+    after it: they can never fire.  And two siblings with identical
+    priority *and* identical conditions are ambiguous — only the
+    declaration order picks the winner, which is almost never what the
+    author meant."""
+
+    code = "ADL008"
+    rule = "edge-priority"
+
+    def run(self, ctx: AdlContext) -> Iterator[Diagnostic]:
+        for machine in ctx.processor.machines:
+            by_src: Dict[str, List[EdgeDecl]] = {}
+            for edge in machine.edges:
+                by_src.setdefault(edge.src, []).append(edge)
+            for src, siblings in by_src.items():
+                # effective firing order: priority desc, then declaration
+                ranked = sorted(
+                    siblings, key=lambda e: -e.priority
+                )  # sort is stable: declaration order breaks ties
+                blocker = None
+                for edge in ranked:
+                    if blocker is not None:
+                        yield self.diag(
+                            ctx,
+                            f"unreachable: always-enabled edge "
+                            f"{blocker.src}->{blocker.dst} (priority "
+                            f"{blocker.priority}) fires first on every "
+                            f"cycle",
+                            severity=Severity.WARNING,
+                            edge=edge,
+                        )
+                        continue
+                    if not edge.primitives:
+                        blocker = edge
+                seen: Dict[Tuple, EdgeDecl] = {}
+                for edge in siblings:
+                    signature = (
+                        edge.priority,
+                        tuple(
+                            (p.op, p.manager, p.ident, p.slot)
+                            for p in edge.primitives
+                        ),
+                    )
+                    first = seen.get(signature)
+                    if first is not None and edge.primitives:
+                        yield self.diag(
+                            ctx,
+                            f"ambiguous sibling of "
+                            f"{first.src}->{first.dst}: identical "
+                            f"condition and priority {edge.priority}; "
+                            f"declaration order alone decides",
+                            severity=Severity.WARNING,
+                            edge=edge,
+                        )
+                    else:
+                        seen.setdefault(signature, edge)
+
+
+class UnusedDeclarationPass(AdlPass):
+    """ADL009: declarations the synthesiser will silently ignore —
+    managers no primitive references, processor params outside the
+    ``osms`` vocabulary, manager params the kind does not consume, and
+    ``forwarding`` on non-regfile managers."""
+
+    code = "ADL009"
+    rule = "unused-declaration"
+
+    def run(self, ctx: AdlContext) -> Iterator[Diagnostic]:
+        referenced: Set[str] = set()
+        for machine in ctx.processor.machines:
+            for edge in machine.edges:
+                for prim in edge.primitives:
+                    if prim.manager is not None:
+                        referenced.add(prim.manager)
+                    if prim.slot is not None:
+                        referenced.add(prim.slot)
+        for manager in ctx.processor.managers:
+            if manager.name not in referenced:
+                yield self.diag(
+                    ctx,
+                    f"manager {manager.name!r} is never referenced by any "
+                    f"primitive",
+                    severity=Severity.WARNING,
+                    lineno=manager.lineno,
+                )
+            known = _KNOWN_MANAGER_PARAMS.get(manager.kind, frozenset())
+            for key in manager.params:
+                if key not in known:
+                    yield self.diag(
+                        ctx,
+                        f"param {key!r} on {manager.kind} manager "
+                        f"{manager.name!r} is ignored by the synthesiser",
+                        severity=Severity.WARNING,
+                        lineno=manager.lineno,
+                    )
+            if manager.forwarding and manager.kind != "regfile":
+                yield self.diag(
+                    ctx,
+                    f"'forwarding' on {manager.kind} manager "
+                    f"{manager.name!r} is ignored (regfile-only)",
+                    severity=Severity.WARNING,
+                    lineno=manager.lineno,
+                )
+        for name in ctx.processor.params:
+            if name not in _KNOWN_PROCESSOR_PARAMS:
+                yield self.diag(
+                    ctx,
+                    f"processor param {name!r} is ignored by the "
+                    f"synthesiser (known: "
+                    f"{', '.join(sorted(_KNOWN_PROCESSOR_PARAMS))})",
+                    severity=Severity.WARNING,
+                    lineno=ctx.processor.param_lines.get(name),
+                )

@@ -1,0 +1,52 @@
+"""Registry of analyzable ADL description sources.
+
+The spec registry (:mod:`repro.analysis.registry`) maps names to
+*synthesized* specs; adlcheck needs the description **source text**
+(line numbers and all), so it keeps its own parallel registry keyed by
+the same ``adl-*`` names.  ``repro adlcheck <name>`` and the ``repro
+analyze`` umbrella resolve names here first and fall back to treating
+the argument as a file path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = [
+    "available_descriptions",
+    "description_source",
+    "register_description",
+]
+
+_DESCRIPTIONS: Dict[str, str] = {}
+
+
+def register_description(name: str, text: str) -> None:
+    """Register (or replace) a named ADL description source."""
+    _DESCRIPTIONS[name] = text
+
+
+def available_descriptions() -> List[str]:
+    """Names of every registered ADL description."""
+    return sorted(_DESCRIPTIONS)
+
+
+def description_source(name: str) -> str:
+    """Source text of the registered description *name*."""
+    try:
+        return _DESCRIPTIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown description {name!r}; available: "
+            f"{', '.join(available_descriptions())}"
+        ) from None
+
+
+def _register_bundled() -> None:
+    from ...adl.synth import PIPELINE5_ADL, STRONGARM_ADL
+
+    register_description("adl-pipeline5", PIPELINE5_ADL)
+    register_description("adl-strongarm", STRONGARM_ADL)
+
+
+_register_bundled()

@@ -8,10 +8,17 @@ triple reusing the same slots) and a human-readable message.  A
 analysis subject and renders them as text (one finding per line,
 compiler style) or JSON (for CI and tooling).
 
-Every tool — ``repro lint`` (osmlint), ``repro check`` (osmcheck) and
-``repro audit`` (isaaudit) — emits this one JSON schema.  Reports carry
-a ``tool`` name and a ``schema_version`` so downstream consumers can
-dispatch without sniffing rule-code prefixes.
+Every tool — ``repro lint`` (osmlint), ``repro check`` (osmcheck),
+``repro audit`` (isaaudit), ``repro effects`` (effectcheck),
+``repro certify`` (transcheck) and ``repro adlcheck`` — emits this one
+JSON schema.  Reports carry a ``tool`` name and a ``schema_version`` so
+downstream consumers can dispatch without sniffing rule-code prefixes.
+
+A finding over a *generated* artifact (a spec synthesized from an ADL
+description) may additionally carry a :class:`SourceSpan` — the source
+unit and line of the declaration it maps back to — rendered as a
+``description.adl:12`` style suffix and serialized under
+``source_span``.  Hand-written subjects leave it ``None``.
 
 Suppression: a finding attached to an edge/arm whose allow set contains
 the rule code — or whose subject-level allow set contains it — is marked
@@ -27,7 +34,36 @@ from enum import Enum
 from typing import Dict, List, Optional
 
 #: version of the JSON finding/report schema emitted by every tool
-SCHEMA_VERSION = 2
+#: (v3 added the optional per-finding ``source_span``)
+SCHEMA_VERSION = 3
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """Provenance of a finding in a source description.
+
+    ``unit`` names the description (the ADL processor name or a file
+    path), ``line`` is the 1-based line of the originating declaration.
+    The synthesiser stamps ``(unit, line)`` tuples onto the spec states
+    and edges it builds; analysis front ends lift them into this type.
+    """
+
+    unit: str
+    line: int
+
+    def render(self) -> str:
+        return f"{self.unit}:{self.line}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"unit": self.unit, "line": self.line}
+
+    @classmethod
+    def from_obj(cls, obj) -> Optional["SourceSpan"]:
+        """Lift a ``(unit, line)`` tuple / SourceSpan / None."""
+        if obj is None or isinstance(obj, cls):
+            return obj
+        unit, line = obj
+        return cls(str(unit), int(line))
 
 
 class Severity(Enum):
@@ -63,6 +99,8 @@ class Diagnostic:
     state: Optional[str] = None    #: state / instruction class
     edge: Optional[str] = None     #: stable edge qualname / decoder arm
     suppressed: bool = False
+    #: source-description provenance (ADL-synthesized subjects only)
+    source_span: Optional[SourceSpan] = None
 
     @property
     def location(self) -> str:
@@ -76,7 +114,9 @@ class Diagnostic:
 
     def render(self) -> str:
         tag = " [suppressed]" if self.suppressed else ""
-        return f"{self.location}: {self.severity}: {self.code} ({self.rule}): {self.message}{tag}"
+        at = f" (at {self.source_span.render()})" if self.source_span else ""
+        return (f"{self.location}: {self.severity}: {self.code} "
+                f"({self.rule}): {self.message}{at}{tag}")
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -88,6 +128,9 @@ class Diagnostic:
             "edge": self.edge,
             "message": self.message,
             "suppressed": self.suppressed,
+            "source_span": (
+                self.source_span.to_dict() if self.source_span else None
+            ),
         }
 
 

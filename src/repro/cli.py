@@ -5,9 +5,10 @@ Gives the framework a downstream-usable front end:
 * ``run``      — assemble a program and run it on a model or ISS,
                  optionally with a pipeline trace
 * ``asm``      — assemble to a hex/word listing
-* ``analyze``  — umbrella: run all five analysis tools (lint, check,
-                 audit, effects, certify) over model specs and their
-                 ISAs, with one merged JSON report for CI
+* ``analyze``  — umbrella: run all six analysis tools (lint, check,
+                 audit, effects, certify, and adlcheck for ADL-backed
+                 specs) over model specs and their ISAs, with one
+                 merged JSON report for CI
 * ``lint``     — static analysis of model specs (rule codes OSM001…;
                  nonzero exit on unsuppressed error findings)
 * ``check``    — explicit-state model checking (osmcheck) of model
@@ -28,6 +29,12 @@ Gives the framework a downstream-usable front end:
                  execgen closures and compiled ISS blocks are replayed
                  or diffed against their reference sources (rule codes
                  TRV001…; nonzero exit on unsuppressed errors)
+* ``adlcheck`` — source-level semantic analysis (adlcheck) of ADL
+                 descriptions, by registered name or file path: rules
+                 ADL001–ADL009 over the parsed AST plus the ADL010
+                 synthesis closure folding span-remapped lint / check /
+                 effects findings back onto description source lines
+                 (nonzero exit on unsuppressed errors)
 * ``bench``    — quick cycles-per-second measurement of a model
 * ``workload`` — emit a bundled workload's assembly source
 
@@ -47,6 +54,9 @@ Examples::
     python -m repro effects all --json
     python -m repro certify arm strongarm
     python -m repro certify all --json
+    python -m repro adlcheck adl-pipeline5
+    python -m repro adlcheck mydesc.adl --json
+    python -m repro adlcheck all --rules ADL001,ADL010
     python -m repro workload gsm_dec --isa ppc
 """
 
@@ -159,9 +169,10 @@ def cmd_asm(args) -> int:
 
 
 def cmd_analyze(args) -> int:
-    """Umbrella: run all five analysis tools (osmlint, osmcheck,
-    isaaudit, effectcheck, transcheck) over the named model specs and
-    the ISAs they consume; exit 1 if any tool reports a failure.
+    """Umbrella: run all six analysis tools (osmlint, osmcheck,
+    isaaudit, effectcheck, transcheck, and adlcheck for specs backed by
+    an ADL description) over the named model specs and the ISAs they
+    consume; exit 1 if any tool reports a failure.
 
     JSON mode emits one merged report — per model a section per
     spec-level tool, per ISA the audit and certify sections — so CI can
@@ -169,6 +180,8 @@ def cmd_analyze(args) -> int:
     """
     import json
 
+    from .analysis.adl import adlcheck_source, description_source
+    from .analysis.adl import available_descriptions as adl_descriptions
     from .analysis.audit import audit_isa, audit_model
     from .analysis.certify import certify_isa, certify_spec
     from .analysis.check import check_model
@@ -209,12 +222,22 @@ def cmd_analyze(args) -> int:
             "audit": routing.to_dict(),
             "certify": certify.to_dict(),
         }
+        # sixth tool: specs synthesized from an ADL description also get
+        # the description-level analysis, keyed by the same name
+        adlcheck = None
+        if name in adl_descriptions():
+            adlcheck = adlcheck_source(description_source(name), unit=name)
+            ok = ok and adlcheck.ok
+            model_sections[name]["adlcheck"] = adlcheck.to_dict()
         if not args.json:
             print(f"== {name} ==")
             for report in (lint, effects, routing, certify):
                 print(report.render_text(
                     show_suppressed=args.show_suppressed))
             print(check.render_text())
+            if adlcheck is not None:
+                print(adlcheck.render_text(
+                    show_suppressed=args.show_suppressed))
     isa_sections = {}
     for isa in isa_names:
         audit = audit_isa(isa)
@@ -502,6 +525,65 @@ def cmd_effects(args) -> int:
             )
             print(f"{name}: compilability: {verdict}")
     return 0 if all(report.ok for _, report, _ in results) else 1
+
+
+def cmd_adlcheck(args) -> int:
+    """Source-level semantic analysis (adlcheck) of ADL descriptions;
+    exit 1 on any unsuppressed error-severity finding (including parse
+    failures, reported as a located ``ADL000``)."""
+    import json
+    import os
+
+    from .analysis.adl import (
+        DEFAULT_PASSES,
+        adlcheck_source,
+        available_descriptions,
+        description_source,
+    )
+
+    registered = available_descriptions()
+    names = list(args.subjects)
+    if "all" in names:
+        names = registered
+    codes = None
+    if args.rules:
+        codes = {code.strip() for code in args.rules.split(",") if code.strip()}
+        unknown = codes - set(DEFAULT_PASSES)
+        if unknown:
+            raise SystemExit(f"unknown adlcheck rule code(s): {sorted(unknown)}")
+    reports = []
+    for name in names:
+        if name in registered:
+            text = description_source(name)
+        elif os.path.exists(name):
+            text = _read_source(name)
+        else:
+            raise SystemExit(
+                f"unknown description {name!r}: not a registered name "
+                f"({', '.join(registered)}) and no such file"
+            )
+        try:
+            report = adlcheck_source(
+                text, unit=name, codes=codes,
+                synth_closure=not args.no_closure,
+            )
+        except ValueError as exc:  # e.g. --rules ADL010 with --no-closure
+            raise SystemExit(str(exc))
+        reports.append((name, report))
+    if args.json:
+        from .analysis.diagnostics import SCHEMA_VERSION
+
+        payload = {
+            "tool": "adlcheck",
+            "schema_version": SCHEMA_VERSION,
+            "ok": all(report.ok for _, report in reports),
+            "descriptions": {name: report.to_dict() for name, report in reports},
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for name, report in reports:
+            print(report.render_text(show_suppressed=args.show_suppressed))
+    return 0 if all(report.ok for _, report in reports) else 1
 
 
 #: models benched by ``bench --model cases`` (one per bundled ISA)
@@ -864,6 +946,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="include suppressed findings in text output",
     )
     certify.set_defaults(func=cmd_certify)
+
+    adlcheck = sub.add_parser(
+        "adlcheck",
+        help="source-level semantic analysis (adlcheck) of ADL descriptions",
+    )
+    adlcheck.add_argument(
+        "subjects", nargs="+", metavar="SUBJECT",
+        help="registered description name (adl-*), ADL file path, or 'all'",
+    )
+    adlcheck.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+    adlcheck.add_argument(
+        "--rules", "--codes", dest="rules", metavar="CODES",
+        help="comma-separated rule codes to run (e.g. ADL001,ADL010)",
+    )
+    adlcheck.add_argument(
+        "--no-closure", action="store_true",
+        help="skip the ADL010 synthesis-closure pass (source-level rules only)",
+    )
+    adlcheck.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include suppressed findings in text output",
+    )
+    adlcheck.set_defaults(func=cmd_adlcheck)
 
     bench = sub.add_parser("bench", help="measure simulation speed")
     bench.add_argument("--model", default="cases",

@@ -30,12 +30,17 @@ class State:
     """A named state in a machine specification."""
 
     __slots__ = ("name", "is_initial", "on_enter", "out_edges", "spec",
-                 "_plan", "_fused")
+                 "source_span", "_plan", "_fused")
 
     def __init__(self, name: str, is_initial: bool = False, on_enter: Optional[Action] = None):
         self.name = name
         self.is_initial = is_initial
         self.on_enter = on_enter
+        #: ``(unit, lineno)`` provenance when this state was synthesized
+        #: from a source description (ADL); ``None`` for hand-built specs.
+        #: The shared diagnostics layer renders it so analysis findings
+        #: can point at the describing source line.
+        self.source_span: Optional[Tuple[str, int]] = None
         #: owning spec, set by :meth:`MachineSpec.state`; carries the
         #: per-spec :class:`~repro.core.edgecompile.CompileStats` that
         #: :meth:`probe_plan` records compile outcomes into
@@ -96,7 +101,7 @@ class Edge:
     """
 
     __slots__ = ("src", "dst", "condition", "priority", "action", "label",
-                 "index", "lint_allow", "compile_mode")
+                 "index", "lint_allow", "compile_mode", "source_span")
 
     def __init__(
         self,
@@ -125,6 +130,9 @@ class Edge:
         #: :func:`repro.core.edgecompile.apply_compilability` for edges
         #: the effect analyzer cannot certify)
         self.compile_mode: str = "auto"
+        #: ``(unit, lineno)`` provenance when synthesized from a source
+        #: description (see :class:`State.source_span`)
+        self.source_span: Optional[Tuple[str, int]] = None
 
     @property
     def qualname(self) -> str:
@@ -158,6 +166,10 @@ class MachineSpec:
         #: ``Director.add``); the effect analyzer's EFF002 pass audits it
         #: when it carries the ``rank_stable_in_flight`` mark
         self.analysis_rank_key: Optional[Callable] = None
+        #: name of the source description this spec was synthesized from
+        #: (``None`` for hand-written models); states/edges carry the
+        #: per-declaration ``source_span`` counterpart
+        self.source_unit: Optional[str] = None
 
     def allow_lint(self, *codes: str) -> "MachineSpec":
         """Suppress the given lint-rule codes everywhere in this spec."""

@@ -79,11 +79,21 @@ class BaseInterpreter:
 
         The cache is shared with the timing models and invalidated on
         memory writes, so self-modifying code re-decodes (see
-        :mod:`repro.iss.decode_cache`).  When specialising, a miss
-        builds the whole basic block entered at *addr*, so the timing
-        models' fetch units transparently pick up ``exec_fn`` executors.
+        :mod:`repro.iss.decode_cache`).  When specialising, the block
+        layer is probed first — a fetch at a block entry counts as block
+        reuse (``block_hits``) even though the per-instruction layer
+        could also satisfy it, and a miss builds the whole basic block —
+        so the timing models' fetch units transparently pick up
+        ``exec_fn`` executors *and* are attributed in the block-reuse
+        accounting.  Mid-block addresses fall through to the
+        per-instruction layer.
         """
         cache = self.decode_cache
+        if self.specialize:
+            block = cache.blocks.get(addr)
+            if block is not None:
+                cache.block_hits += 1
+                return block.instrs[0]
         instr = cache.entries.get(addr)
         if instr is not None:
             return instr

@@ -20,6 +20,7 @@ from typing import Callable, List, Optional
 from ..core import ResetManager, SlotManager, register_native_emitter
 from ..core.fuse import SlotManagerEmitter
 from ..de.module import HardwareModule
+from ..iss.decode_cache import DecodeCache
 from ..memory.cache import Cache
 from ..memory.tlb import Tlb
 
@@ -89,14 +90,15 @@ class FetchUnit(HardwareModule):
 
     def __init__(self, decode_at: Callable[[int], object], entry: int,
                  icache: Optional[Cache] = None, itlb: Optional[Tlb] = None,
-                 entries: Optional[dict] = None):
+                 cache: Optional[DecodeCache] = None):
         super().__init__("m_f")
         self.manager = _FetchSlotManager("m_f", self)
         self.decode_at = decode_at
-        #: the decode cache's addr->instr dict, probed inline before
-        #: falling back to ``decode_at`` (pure hot-path shortcut: the
-        #: cache mutates this same dict in place on invalidation)
-        self._entries = entries if entries is not None else {}
+        #: the shared decode cache, probed inline before falling back to
+        #: ``decode_at`` (hot-path shortcut; the block layer is probed
+        #: first so re-entering a cached block counts as block reuse —
+        #: the same contract as ``BaseInterpreter.fetch_decode``)
+        self._cache = cache
         self.fetch_pc = entry
         self.icache = icache
         self.itlb = itlb
@@ -115,8 +117,17 @@ class FetchUnit(HardwareModule):
     def fetch_into(self, osm) -> None:
         """Edge action for I->F: create the operation for this OSM."""
         pc = self.fetch_pc
-        instr = self._entries.get(pc)
-        if instr is None:
+        cache = self._cache
+        if cache is not None:
+            block = cache.blocks.get(pc)
+            if block is not None:
+                cache.block_hits += 1
+                instr = block.instrs[0]
+            else:
+                instr = cache.entries.get(pc)
+                if instr is None:
+                    instr = self.decode_at(pc)
+        else:
             instr = self.decode_at(pc)
         seq = self._seq
         osm.operation = Operation(seq, pc, instr)

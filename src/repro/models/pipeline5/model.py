@@ -135,7 +135,7 @@ class Pipeline5Model:
 
         # -- hardware layer: modules and their TMIs -------------------------
         self.fetch = FetchUnit(self.iss.fetch_decode, program.entry, icache, itlb,
-                               entries=self.iss.decode_cache.entries)
+                               cache=self.iss.decode_cache)
         self.decode_stage = StageUnit("m_d")
         self.execute_stage = StageUnit("m_e")
         self.buffer_stage = StageUnit("m_b")

@@ -78,8 +78,8 @@ class WideFetchUnit(FetchUnit):
 
     def __init__(self, decode_at, entry: int, width: int,
                  icache: Optional[Cache] = None,
-                 entries: Optional[dict] = None):
-        super().__init__(decode_at, entry, icache, None, entries=entries)
+                 cache=None):
+        super().__init__(decode_at, entry, icache, None, cache=cache)
         self.manager = _WideFetchManager("m_f", self, width)
 
 
@@ -113,7 +113,7 @@ class VliwModel:
         self.state = self.iss.state
 
         self.fetch = WideFetchUnit(self.iss.fetch_decode, program.entry, width,
-                                   icache, entries=self.iss.decode_cache.entries)
+                                   icache, cache=self.iss.decode_cache)
         self.decode_stage = WideStageUnit("m_d", width)
         self.execute_stage = WideStageUnit("m_e", width)
         self.buffer_stage = WideStageUnit("m_b", width)

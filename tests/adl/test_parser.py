@@ -141,3 +141,109 @@ processor p {
     def test_syntax_error_reports_line(self):
         with pytest.raises(AdlError, match="line"):
             parse("processor p {\n    manager\n}")
+
+    def test_bad_character_reports_line(self):
+        with pytest.raises(AdlError, match=r"line 2: bad character '@'"):
+            parse("processor p {\n    @\n}")
+
+    def test_truncated_description_reports_last_line(self):
+        with pytest.raises(AdlError, match="unexpected end of description") as err:
+            parse("processor p {\n    machine op {")
+        assert err.value.lineno == 2
+        assert "line 2" in str(err.value)
+
+    def test_empty_description_has_no_line(self):
+        with pytest.raises(AdlError, match="unexpected end of description") as err:
+            parse("")
+        assert err.value.lineno is None
+        assert "line" not in str(err.value)
+
+    def test_wrong_token_kind(self):
+        with pytest.raises(AdlError, match="expected int, got 'two'"):
+            parse("processor p { param osms two }")
+
+    def test_wrong_token_value(self):
+        with pytest.raises(AdlError, match=r"expected '\{', got ';'"):
+            parse("processor p ;")
+
+    def test_unknown_processor_item(self):
+        with pytest.raises(AdlError, match="expected manager/machine/param/allow"):
+            parse("processor p { widget w }")
+
+    def test_unknown_machine_item(self):
+        with pytest.raises(AdlError, match="expected state/edge"):
+            parse("processor p { machine op { transition } }")
+
+
+class TestValidateFlag:
+    def test_validate_false_returns_defective_ast(self):
+        processor = parse("""
+processor p {
+    machine op {
+        state I initial
+        edge I -> Ghost { allocate nowhere }
+    }
+}
+""", validate=False)
+        edge = processor.machine.edges[0]
+        assert edge.dst == "Ghost"
+        assert edge.primitives[0].manager == "nowhere"
+
+    def test_validate_true_is_the_default(self):
+        with pytest.raises(AdlError):
+            parse("processor p { machine op { state A } }")
+
+
+class TestSourceLines:
+    def test_declaration_linenos(self):
+        processor = parse(MINIMAL)
+        assert processor.lineno == 2
+        assert [m.lineno for m in processor.managers] == [3, 4]
+        machine = processor.machine
+        assert machine.lineno == 5
+        assert [s.lineno for s in machine.states] == [6, 7]
+        assert [e.lineno for e in machine.edges] == [8, 9]
+        assert machine.edges[0].primitives[0].lineno == 8
+
+    def test_param_linenos(self):
+        processor = parse(PIPELINE5_ADL)
+        assert processor.param_lines["osms"] == 3
+
+    def test_semantic_error_carries_declaration_line(self):
+        with pytest.raises(AdlError) as err:
+            parse("""
+processor p {
+    machine op {
+        state I initial
+        edge I -> Ghost { }
+    }
+}
+""")
+        assert err.value.lineno == 5
+
+
+class TestAllowClauses:
+    def test_processor_level_allow(self):
+        processor = parse("""
+processor p {
+    allow ADL009
+    machine op { state I initial }
+}
+""")
+        assert processor.allow == ["ADL009"]
+
+    def test_edge_level_allow_after_actions(self):
+        processor = parse("""
+processor p {
+    manager m kind stage
+    machine op {
+        state I initial
+        state S
+        edge I -> S { allocate m } action memory allow ADL007 allow ADL008
+        edge S -> I { release m }
+    }
+}
+""")
+        edge = processor.machine.edges[0]
+        assert edge.actions == ["memory"]
+        assert edge.allow == ["ADL007", "ADL008"]

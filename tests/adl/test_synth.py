@@ -110,3 +110,95 @@ processor p {
     machine op { state I initial }
 }
 """, assemble(arm_program("    nop")))
+
+    def test_unknown_action_error_carries_line(self):
+        bad = PIPELINE5_ADL.replace("action fetch", "action teleport")
+        with pytest.raises(AdlError, match="line 20.*unknown action") as err:
+            synthesize(bad, assemble(arm_program("    nop")))
+        assert err.value.lineno == 20
+
+    def test_allocate_many_without_identifier_rejected(self):
+        bad = PIPELINE5_ADL.replace(
+            "allocate_many m_r dests as rupd", "allocate_many m_r as rupd"
+        )
+        with pytest.raises(AdlError, match="needs an identifier"):
+            synthesize(bad, assemble(arm_program("    nop")))
+
+
+#: an execute edge that allocates no stage: legal, but the synthesiser
+#: has no stage to charge multi-cycle holds against
+STAGELESS = """
+processor stageless {
+    param osms 3
+    manager m_f kind fetch
+    manager m_reset kind reset
+    machine op {
+        state I initial
+        state F
+        edge I -> F { allocate m_f } action fetch
+        edge F -> I { release m_f } action execute action retire
+        edge F -> I priority 10 { inquire m_reset; discard } action killed
+    }
+}
+"""
+
+
+class TestSynthEdgeCases:
+    def test_no_execute_stage_still_runs(self):
+        model = synthesize(STAGELESS, assemble(arm_program("    mov r0, #0")))
+        assert model._execute_stage is None
+        model.run()
+        assert model.exit_code == 0
+
+    def test_no_execute_stage_skips_multiplier_hold(self):
+        # a multiply would normally hold the execute stage; with no
+        # stage to hold, execution must still complete correctly
+        model = synthesize(STAGELESS, assemble(arm_program("""
+    mov r1, #3
+    mov r2, #70
+    mul r0, r1, r2
+""")))
+        model.run()
+        assert model.exit_code == 210
+
+    def test_forwarding_manager_variant(self):
+        from repro.core import RegisterFileManager
+        from repro.models.strongarm.managers import ForwardingRegisterFileManager
+
+        program = assemble(arm_program("    mov r0, #0"))
+        forwarding = synthesize(STRONGARM_ADL, program)
+        assert isinstance(forwarding.managers["m_r"], ForwardingRegisterFileManager)
+        plain = synthesize(PIPELINE5_ADL, program)
+        assert isinstance(plain.managers["m_r"], RegisterFileManager)
+        assert not isinstance(plain.managers["m_r"], ForwardingRegisterFileManager)
+
+
+class TestSourceSpans:
+    def test_spec_carries_source_unit_and_spans(self):
+        model = synthesize(PIPELINE5_ADL, assemble(arm_program("    mov r0, #0")))
+        spec = model.spec
+        assert spec.source_unit == "pipeline5"
+        for state in spec.states.values():
+            assert state.source_span is not None
+            unit, line = state.source_span
+            assert unit == "pipeline5" and isinstance(line, int)
+        for edge in spec.edges:
+            assert edge.source_span is not None
+
+    def test_states_and_edges_point_at_declaration_lines(self):
+        model = synthesize(PIPELINE5_ADL, assemble(arm_program("    mov r0, #0")))
+        spec = model.spec
+        assert spec.states["I"].source_span == ("pipeline5", 13)
+        assert spec.states["W"].source_span == ("pipeline5", 18)
+        first_edge = next(e for e in spec.edges if e.label == "I->F")
+        assert first_edge.source_span == ("pipeline5", 20)
+        # a declaration wrapped over two source lines is stamped with
+        # the line it starts on
+        issue_edge = next(e for e in spec.edges if e.label == "D->E")
+        assert issue_edge.source_span == ("pipeline5", 22)
+
+    def test_handwritten_specs_have_no_spans(self):
+        hand = Pipeline5Model(assemble(arm_program("    mov r0, #0")))
+        assert hand.spec.source_unit is None
+        assert all(s.source_span is None for s in hand.spec.states.values())
+        assert all(e.source_span is None for e in hand.spec.edges)

@@ -1,0 +1,79 @@
+"""Tests for the ``repro adlcheck`` CLI subcommand: name/file resolution,
+exit codes, JSON schema, rule filtering, and the analyze umbrella's
+sixth-tool section."""
+
+import json
+
+import pytest
+
+from repro.adl.synth import PIPELINE5_ADL
+from repro.cli import main
+
+BROKEN = PIPELINE5_ADL.replace("allocate m_d;", "allocate m_dd;")
+
+
+@pytest.fixture()
+def broken_file(tmp_path):
+    path = tmp_path / "broken.adl"
+    path.write_text(BROKEN)
+    return str(path)
+
+
+class TestAdlcheckCli:
+    def test_clean_descriptions_exit_zero(self, capsys):
+        assert main(["adlcheck", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "adl-pipeline5: 0 error(s)" in out
+        assert "adl-strongarm: 0 error(s)" in out
+
+    def test_broken_file_exits_nonzero_with_span(self, broken_file, capsys):
+        assert main(["adlcheck", broken_file, "--no-closure"]) == 1
+        out = capsys.readouterr().out
+        assert "ADL001" in out
+        # rendered provenance: " (at <file>:21)"
+        assert f"(at {broken_file}:21)" in out
+
+    def test_unknown_subject_rejected(self):
+        with pytest.raises(SystemExit, match="unknown description"):
+            main(["adlcheck", "no-such-thing"])
+
+    def test_json_schema(self, broken_file, capsys):
+        assert main(["adlcheck", "adl-pipeline5", broken_file, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "adlcheck"
+        assert payload["ok"] is False
+        assert set(payload["descriptions"]) == {"adl-pipeline5", broken_file}
+        assert payload["descriptions"]["adl-pipeline5"]["ok"] is True
+        broken = payload["descriptions"][broken_file]
+        assert broken["ok"] is False
+        finding = next(d for d in broken["diagnostics"]
+                       if d["code"] == "ADL001")
+        assert finding["source_span"] == {"unit": broken_file, "line": 21}
+
+    def test_rules_filter(self, broken_file, capsys):
+        # ADL002 alone does not see the undeclared-manager defect
+        assert main(["adlcheck", broken_file, "--rules", "ADL002"]) == 0
+        with pytest.raises(SystemExit, match="unknown adlcheck rule"):
+            main(["adlcheck", broken_file, "--rules", "ADL999"])
+
+    def test_no_closure_skips_adl010(self, capsys):
+        assert main(["adlcheck", "adl-pipeline5", "--no-closure"]) == 0
+        out = capsys.readouterr().out
+        assert "(9 passes)" in out
+
+
+class TestAnalyzeUmbrella:
+    def test_adl_backed_specs_get_sixth_tool(self, capsys):
+        assert main(["analyze", "adl-pipeline5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        section = payload["models"]["adl-pipeline5"]
+        assert set(section) == {
+            "lint", "check", "effects", "audit", "certify", "adlcheck",
+        }
+        assert section["adlcheck"]["tool"] == "adlcheck"
+        assert section["adlcheck"]["ok"] is True
+
+    def test_handwritten_specs_have_no_adlcheck_section(self, capsys):
+        assert main(["analyze", "pipeline5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "adlcheck" not in payload["models"]["pipeline5"]

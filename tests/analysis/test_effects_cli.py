@@ -6,6 +6,7 @@ import json
 import pytest
 
 from repro.analysis.registry import _REGISTRY, register_spec
+from repro.analysis.diagnostics import SCHEMA_VERSION
 from repro.cli import main
 from repro.core import Allocate, Condition, Guard, MachineSpec, Release, SlotManager
 
@@ -59,7 +60,7 @@ class TestEffectsCli:
                      "--json"]) == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["tool"] == "effects"
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == SCHEMA_VERSION
         assert payload["ok"] is False
         assert set(payload["models"]) == {"pipeline5", "impure"}
         assert payload["models"]["pipeline5"]["ok"] is True
@@ -70,7 +71,7 @@ class TestEffectsCli:
         diagnostic = impure["diagnostics"][0]
         assert set(diagnostic) == {
             "code", "rule", "severity", "spec", "state", "edge",
-            "message", "suppressed",
+            "message", "suppressed", "source_span",
         }
         assert diagnostic["code"] == "EFF001"
         assert diagnostic["edge"] == "grab@0"

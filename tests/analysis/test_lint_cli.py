@@ -61,7 +61,7 @@ class TestLintCli:
         diagnostic = broken["diagnostics"][0]
         assert set(diagnostic) == {
             "code", "rule", "severity", "spec", "state", "edge",
-            "message", "suppressed",
+            "message", "suppressed", "source_span",
         }
         assert diagnostic["code"] == "OSM001"
         assert diagnostic["edge"] == "retire@1"

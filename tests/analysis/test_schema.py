@@ -1,8 +1,9 @@
 """Cross-tool JSON schema stability.
 
-All five analysis front ends — osmlint (``repro lint``), osmcheck
+All six analysis front ends — osmlint (``repro lint``), osmcheck
 (``repro check``), isaaudit (``repro audit``), effectcheck
-(``repro effects``) and transcheck (``repro certify``) — emit the
+(``repro effects``), transcheck (``repro certify``) and adlcheck
+(``repro adlcheck``) — emit the
 shared diagnostics schema of :mod:`repro.analysis.diagnostics`.  These tests pin the contract
 downstream consumers (CI artifact diffing, dashboards) dispatch on:
 a ``tool`` name, the ``schema_version``, and rule codes of the shape
@@ -13,6 +14,7 @@ import re
 
 import pytest
 
+from repro.analysis.adl import adlcheck_source, description_source
 from repro.analysis.audit import audit_target, build_target
 from repro.analysis.certify import certify_spec
 from repro.analysis.check import check_model
@@ -50,12 +52,22 @@ def _certify_report():
     return "certify", certify_spec(build_spec("pipeline5")).to_dict()
 
 
+def _adlcheck_report():
+    # source-level rules only: the ADL010 closure re-runs three other
+    # tools, which this schema test does not need
+    return "adlcheck", adlcheck_source(
+        description_source("adl-pipeline5"), unit="adl-pipeline5",
+        synth_closure=False,
+    ).to_dict()
+
+
 REPORTS = {
     "lint": _lint_report,
     "check": _check_report,
     "audit": _audit_report,
     "effects": _effects_report,
     "certify": _certify_report,
+    "adlcheck": _adlcheck_report,
 }
 
 
@@ -106,7 +118,7 @@ class TestRulePrefixes:
 
     def test_expected_prefix_per_tool(self, payloads):
         expected = {"lint": "OSM", "check": "CHK", "audit": "ISA",
-                    "effects": "EFF", "certify": "TRV"}
+                    "effects": "EFF", "certify": "TRV", "adlcheck": "ADL"}
         for tool, prefix in expected.items():
             _, payload = payloads[tool]
             rules = payload.get("passes", payload.get("properties", []))

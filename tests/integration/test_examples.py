@@ -11,6 +11,7 @@ EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 EXAMPLES = [
     "quickstart",
     "adl_synthesis",
+    "adl_diagnostics",
     "vliw_multithread",
     "formal_analysis",
 ]
