@@ -5,40 +5,54 @@ memory-system exploration never touches the operation layer — the
 separation of concerns Section 4 claims.  This bench sweeps the StrongARM
 D-cache size and the miss penalty on a striding workload and reports the
 cycles/miss-rate series.
+
+The sweep itself is a thin client of the fleet batch API
+(:func:`repro.fleet.sweep`): each point is a plain (model, workload,
+config, seed) job dict, so the same matrix can be replayed through
+``repro submit`` against a shared cached server.
 """
 
 from __future__ import annotations
 
-from repro.baselines.simplescalar import SimpleScalarArm
-from repro.isa.arm import assemble
-from repro.memory import Cache
-from repro.models.strongarm import StrongArmModel
+from repro.fleet import sweep
 from repro.reporting import format_table
-from repro.workloads import kernels
 
 WORKLOAD = "stride8"
 
+_SIZES = (512, 1024, 2048, 8192)
+_PENALTIES = (5, 15, 30, 60)
+
+
+def _job(size: int, penalty: int) -> dict:
+    return {
+        "model": "strongarm",
+        "workload": {"kind": "kernel", "name": WORKLOAD},
+        "config": {
+            "dcache": {"size": size, "line_size": 32, "assoc": 4,
+                       "miss_penalty": penalty},
+            "icache": None, "itlb": None, "dtlb": None,
+            "perfect_memory": False,
+        },
+        "seed": 0,
+    }
+
 
 def run_sweeps():
-    source = kernels.arm_source(WORKLOAD)
+    jobs = ([_job(size, 26) for size in _SIZES]
+            + [_job(512, penalty) for penalty in _PENALTIES])
+    records, _summary = sweep(jobs)
+    bad = [r for r in records if not r["ok"]]
+    assert not bad, f"sweep jobs failed: {[r['error'] for r in bad]}"
+    metrics = [r["result"]["metrics"] for r in records]
 
-    size_series = []
-    for size in (512, 1024, 2048, 8192):
-        dcache = Cache("d", size=size, line_size=32, assoc=4, miss_penalty=26)
-        model = StrongArmModel(assemble(source), dcache=dcache,
-                               icache=None, itlb=None, dtlb=None,
-                               perfect_memory=False)
-        model.run()
-        size_series.append((size, model.cycles, dcache.stats.hit_rate))
-
-    penalty_series = []
-    for penalty in (5, 15, 30, 60):
-        dcache = Cache("d", size=512, line_size=32, assoc=4, miss_penalty=penalty)
-        model = StrongArmModel(assemble(source), dcache=dcache,
-                               icache=None, itlb=None, dtlb=None,
-                               perfect_memory=False)
-        model.run()
-        penalty_series.append((penalty, model.cycles))
+    size_series = [
+        (size, m["cycles"], m["dcache_hit_rate"])
+        for size, m in zip(_SIZES, metrics[:len(_SIZES)])
+    ]
+    penalty_series = [
+        (penalty, m["cycles"])
+        for penalty, m in zip(_PENALTIES, metrics[len(_SIZES):])
+    ]
     return size_series, penalty_series
 
 

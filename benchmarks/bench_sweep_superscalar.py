@@ -6,29 +6,46 @@ design-space sweeps are parameter changes.  This bench demonstrates it by
 sweeping the PPC-750's dispatch/retire width, fetch-queue depth and
 rename-buffer count, and reporting the IPC series a design-exploration
 figure would plot.
+
+The sweep itself is a thin client of the fleet batch API
+(:func:`repro.fleet.sweep`): each point is a plain (model, workload,
+config, seed) job dict, so the same matrix can be replayed through
+``repro submit`` against a shared cached server.
 """
 
 from __future__ import annotations
 
-from repro.isa.ppc import assemble
-from repro.models.ppc750 import Ppc750Model
+from repro.fleet import sweep
 from repro.reporting import format_table
-from repro.workloads import mediabench
 
 WORKLOAD = "gsm_dec"
 
+_WIDTHS = (1, 2, 3, 4)
+_FQ_SIZES = (2, 4, 6, 12)
+_RENAMES = (2, 4, 6, 12)
+
+
+def _job(**config) -> dict:
+    return {
+        "model": "ppc750",
+        "workload": {"kind": "mediabench", "name": WORKLOAD},
+        "config": {"perfect_memory": True, **config},
+        "seed": 0,
+    }
+
 
 def run_sweeps():
-    source = mediabench.ppc_source(WORKLOAD)
+    jobs = ([_job(dispatch_width=w, retire_width=w) for w in _WIDTHS]
+            + [_job(fq_size=size) for size in _FQ_SIZES]
+            + [_job(gpr_rename_buffers=n) for n in _RENAMES])
+    records, _summary = sweep(jobs)
+    bad = [r for r in records if not r["ok"]]
+    assert not bad, f"sweep jobs failed: {[r['error'] for r in bad]}"
+    ipcs = [r["result"]["metrics"]["ipc"] for r in records]
 
-    def ipc(**kwargs):
-        model = Ppc750Model(assemble(source), perfect_memory=True, **kwargs)
-        stats = model.run()
-        return stats.ipc
-
-    width_series = [(w, ipc(dispatch_width=w, retire_width=w)) for w in (1, 2, 3, 4)]
-    fq_series = [(size, ipc(fq_size=size)) for size in (2, 4, 6, 12)]
-    rename_series = [(n, ipc(gpr_rename_buffers=n)) for n in (2, 4, 6, 12)]
+    width_series = list(zip(_WIDTHS, ipcs[:4]))
+    fq_series = list(zip(_FQ_SIZES, ipcs[4:8]))
+    rename_series = list(zip(_RENAMES, ipcs[8:]))
     return width_series, fq_series, rename_series
 
 

@@ -736,6 +736,49 @@ def _print_bench_row(row: dict, verify: bool) -> None:
         print(f"  reference-loop verification: {state}")
 
 
+def _bench_row_key(row):
+    """Identity of a bench row inside ``--out`` files: rows for other
+    (bench, model, quick, fused) combinations must survive a rerun."""
+    return (row.get("bench"), row.get("model"),
+            bool(row.get("quick")), bool(row.get("fused")))
+
+
+def _merge_bench_rows(path: str, rows) -> list:
+    """Merge *rows* into the JSON bench file at *path*.
+
+    Earlier versions wrote ``--out`` with a whole-file ``json.dump``, so
+    re-benching one model clobbered every other model's rows.  Now the
+    existing file (a row object or a list of rows) is read back,
+    rows with a matching :func:`_bench_row_key` are replaced in place,
+    new keys are appended, and the file always ends up a list.  An
+    unreadable or malformed file is treated as empty rather than
+    aborting the bench that just finished.
+    """
+    import json
+    import os
+
+    existing: list = []
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            if isinstance(payload, dict):
+                existing = [payload]
+            elif isinstance(payload, list):
+                existing = [row for row in payload if isinstance(row, dict)]
+        except (OSError, ValueError):
+            existing = []
+    fresh = {_bench_row_key(row): row for row in rows}
+    merged = []
+    for row in existing:
+        merged.append(fresh.pop(_bench_row_key(row), row))
+    merged.extend(fresh.values())
+    with open(path, "w") as handle:
+        json.dump(merged, handle, indent=2)
+        handle.write("\n")
+    return merged
+
+
 def cmd_bench(args) -> int:
     """Benchmark models over the MediaBench workloads.
 
@@ -744,8 +787,9 @@ def cmd_bench(args) -> int:
     phase-attributed stats layer, the whole-model specialization
     counters (``fused_states``/``fused_fallback_states``) and the
     ISS block-cache hit rate.  ``--model cases`` benches every case-study
-    model (StrongARM and PPC 750); a single ``--model`` writes one row
-    object to ``--out``, ``cases`` writes a JSON array.  Unless
+    model (StrongARM and PPC 750).  ``--out`` holds a JSON array and is
+    *merged*, not overwritten: rows are keyed by (bench, model, quick,
+    fused), so partial reruns replace only their own rows.  Unless
     ``--no-verify`` is given, every workload is re-run under the
     director's reference scheduling loop and the simulation results
     (cycles, instructions, transitions, exit code) are compared — a
@@ -765,9 +809,7 @@ def cmd_bench(args) -> int:
     rows = [_bench_model(name, args, fused) for name in model_names]
     payload = rows if args.model == "cases" else rows[0]
     if args.out:
-        with open(args.out, "w") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        _merge_bench_rows(args.out, rows)
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
@@ -781,6 +823,135 @@ def cmd_bench(args) -> int:
                   f"fast={mismatch['fast']} reference={mismatch['reference']}",
                   file=sys.stderr)
     return 1 if failed else 0
+
+
+def cmd_serve(args) -> int:
+    """Run the fleet job server (``repro serve``)."""
+    from .fleet.server import serve
+
+    serve(host=args.host, port=args.port, workers=args.workers,
+          cache_dir=args.cache_dir, start_method=args.start_method)
+    return 0
+
+
+def _load_jobs(args) -> list:
+    import json
+
+    if args.sweep:
+        from .fleet.bench import bench_jobs
+
+        return bench_jobs(quick=args.sweep == "quick")
+    if not args.jobs:
+        raise SystemExit("submit needs a jobs file or --sweep")
+    text = _read_source(args.jobs)
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise SystemExit(f"bad jobs JSON: {exc}")
+    if isinstance(payload, dict):
+        payload = [payload]
+    if not isinstance(payload, list) or not payload:
+        raise SystemExit("jobs file must hold a job object or a list of jobs")
+    return payload
+
+
+def cmd_submit(args) -> int:
+    """Submit jobs to a fleet server (``repro submit``).
+
+    Streams one line per result as the server reports it; exits 1 if
+    any job errored.  ``--ping`` and ``--shutdown`` are connection
+    conveniences for scripts and CI.
+    """
+    import json
+
+    from .fleet.client import FleetClient, FleetClientError
+
+    client = FleetClient(host=args.host, port=args.port,
+                         timeout=args.timeout)
+    try:
+        if args.ping:
+            print(json.dumps(client.ping()))
+            return 0
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2))
+            return 0
+        if args.shutdown:
+            print(json.dumps(client.shutdown()))
+            return 0
+        jobs = _load_jobs(args)
+        summary = None
+        for message in client.submit(jobs):
+            if message.get("type") == "summary":
+                summary = message
+                continue
+            if args.json:
+                print(json.dumps(message))
+            else:
+                progress = message.get("progress", {})
+                state = ("cache" if message.get("cached")
+                         else "dedup" if message.get("dedup")
+                         else "ran")
+                status = "ok" if message.get("ok") else "ERROR"
+                print(f"[{progress.get('completed', '?')}/"
+                      f"{progress.get('total', '?')}] "
+                      f"job {message.get('job')}: {status} ({state})")
+    except FleetClientError as exc:
+        print(f"fleet error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach fleet server at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    if summary is None:
+        print("fleet error: submission ended without a summary",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(summary))
+    else:
+        print(f"{summary['jobs']} jobs: {summary['executed']} executed, "
+              f"{summary['cache_hits']} cache hits, "
+              f"{summary['dedup_hits']} dedup hits, "
+              f"{summary['errors']} errors "
+              f"(hit rate {summary['cache_hit_rate']:.2%})")
+    return 1 if summary.get("errors") else 0
+
+
+def cmd_fleet_bench(args) -> int:
+    """End-to-end fleet throughput bench (``repro fleet-bench``).
+
+    Runs the bench sweep cold then warm over one runner and writes the
+    row to ``--out`` (default ``BENCH_fleet.json``).  Fails unless the
+    warm pass is ≥90% cache hits with bit-identical payloads.
+    """
+    import json
+
+    from .fleet.bench import MIN_WARM_HIT_RATE, fleet_bench
+
+    row = fleet_bench(workers=args.workers, quick=args.quick,
+                      cache_dir=args.cache_dir,
+                      start_method=args.start_method)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(row, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(row, indent=2))
+    else:
+        print(f"fleet bench ({row['workers']} workers, "
+              f"{row['jobs']} jobs, {row['unique_jobs']} unique): "
+              f"cold {row['cold']['jobs_per_second']:.2f} jobs/s, "
+              f"warm {row['warm']['jobs_per_second']:.2f} jobs/s, "
+              f"warm hit rate {row['cache_hit_rate']:.2%}, "
+              f"results {'identical' if row['results_identical'] else 'DIFFER'}")
+    if not row["ok"]:
+        print(f"fleet bench FAILED: warm hit rate {row['cache_hit_rate']:.2%} "
+              f"(need ≥{MIN_WARM_HIT_RATE:.0%}), results_identical="
+              f"{row['results_identical']}, errors "
+              f"{row['cold']['errors']}+{row['warm']['errors']}",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_workload(args) -> int:
@@ -990,6 +1161,66 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-verify", action="store_true",
                        help="skip the reference-loop result verification")
     bench.set_defaults(func=cmd_bench)
+
+    from .fleet.server import DEFAULT_PORT
+
+    serve = sub.add_parser(
+        "serve", help="run the fleet job server (multiprocess, cached)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT)
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes (0 = serial in-process)")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       help="persistent result-cache directory "
+                            "(default: in-memory)")
+    serve.add_argument("--start-method", default="spawn",
+                       choices=("spawn", "fork", "forkserver"))
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit jobs to a fleet server and stream results"
+    )
+    submit.add_argument("jobs", nargs="?",
+                        help="JSON jobs file ('-' for stdin); "
+                             "a job object or a list of jobs")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=DEFAULT_PORT)
+    submit.add_argument("--sweep", choices=("quick", "full"),
+                        help="submit the built-in bench sweep matrix "
+                             "instead of a jobs file")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="socket timeout in seconds")
+    submit.add_argument("--json", action="store_true",
+                        help="stream raw JSON record lines")
+    submit.add_argument("--ping", action="store_true",
+                        help="just check the server is up")
+    submit.add_argument("--stats", action="store_true",
+                        help="print the server's pool + cache counters")
+    submit.add_argument("--shutdown", action="store_true",
+                        help="ask the server to stop")
+    submit.set_defaults(func=cmd_submit)
+
+    fleet_bench = sub.add_parser(
+        "fleet-bench",
+        help="end-to-end fleet throughput + cache hit rate bench",
+    )
+    fleet_bench.add_argument("--workers", type=int, default=2,
+                             help="worker processes (0 = serial in-process)")
+    fleet_bench.add_argument("--quick", action="store_true",
+                             help="CI subset of the sweep matrix")
+    fleet_bench.add_argument("--cache-dir", metavar="DIR",
+                             help="persistent result-cache directory "
+                                  "(default: in-memory)")
+    fleet_bench.add_argument("--start-method", default="spawn",
+                             choices=("spawn", "fork", "forkserver"))
+    fleet_bench.add_argument("--out", metavar="FILE",
+                             default="BENCH_fleet.json",
+                             help="write the JSON row to FILE "
+                                  "(default BENCH_fleet.json)")
+    fleet_bench.add_argument("--json", action="store_true",
+                             help="print the result row as JSON")
+    fleet_bench.set_defaults(func=cmd_fleet_bench)
 
     workload = sub.add_parser("workload", help="print a bundled workload source")
     workload.add_argument("name")

@@ -8,6 +8,19 @@ assemble/build/run call via :meth:`time_phase` or the ``phase=``
 argument of :meth:`stop_timer` — never inside the per-cycle hot loop,
 so the attribution is free at simulation time.  ``repro bench`` reports
 the per-phase breakdown in its JSON row.
+
+Timer misuse contract (explicit, and tested):
+
+* :meth:`stop_timer` with no timer running is a documented no-op that
+  returns ``False`` — harnesses stop defensively in ``finally`` blocks.
+* :meth:`start_timer` while a timer is already running raises
+  ``RuntimeError`` — the old behaviour silently discarded the first
+  interval, under-reporting wall time.
+* Nested :meth:`time_phase` blocks attribute **exclusive** (self) time:
+  an inner phase's seconds are subtracted from its enclosing phase, so
+  ``sum(phase_seconds.values())`` never double-counts a nested interval.
+  A :meth:`stop_timer(phase=...)` interval landing inside an open
+  ``time_phase`` block is likewise credited to the inner phase only.
 """
 
 from __future__ import annotations
@@ -45,19 +58,48 @@ class SimulationStats:
         self.fallback_edges: list = []
         self._wall_start: Optional[float] = None
         self.wall_seconds = 0.0
+        #: open ``time_phase`` frames: ``[name, start, child_seconds]``
+        self._phase_stack: list = []
 
     def start_timer(self) -> None:
+        """Start the wall timer.
+
+        Raises ``RuntimeError`` if a timer is already running: the old
+        behaviour silently dropped the running interval, so overlapping
+        ``start_timer`` calls under-reported wall time with no signal.
+        """
+        if self._wall_start is not None:
+            raise RuntimeError(
+                "start_timer() while a timer is already running — "
+                "the running interval would be silently discarded; "
+                "call stop_timer() first"
+            )
         self._wall_start = time.perf_counter()
 
-    def stop_timer(self, phase: Optional[str] = None) -> None:
+    def stop_timer(self, phase: Optional[str] = None) -> bool:
         """Stop the wall timer; with *phase*, also attribute the elapsed
-        interval to that phase (the kernels pass ``"simulate"``)."""
-        if self._wall_start is not None:
-            elapsed = time.perf_counter() - self._wall_start
-            self.wall_seconds += elapsed
-            self._wall_start = None
-            if phase is not None:
-                self.record_phase(phase, elapsed)
+        interval to that phase (the kernels pass ``"simulate"``).
+
+        Stopping with no timer running is a documented no-op returning
+        ``False`` (harnesses stop defensively from ``finally`` blocks);
+        returns ``True`` when an interval was actually recorded.
+        """
+        if self._wall_start is None:
+            return False
+        now = time.perf_counter()
+        elapsed = now - self._wall_start
+        self.wall_seconds += elapsed
+        self._wall_start = None
+        if phase is not None:
+            self.record_phase(phase, elapsed)
+            if self._phase_stack:
+                # the interval also lies inside an open time_phase block:
+                # charge it to that frame's child account so the enclosing
+                # phase reports exclusive time.  Clamp to the frame's own
+                # extent in case the timer predates the frame.
+                frame = self._phase_stack[-1]
+                frame[2] += min(elapsed, now - frame[1])
+        return True
 
     def record_phase(self, name: str, seconds: float) -> None:
         """Attribute *seconds* of wall time to the named phase."""
@@ -68,13 +110,23 @@ class SimulationStats:
         """Time a ``with`` block and attribute it to the named phase.
 
         Intended for harness-level boundaries (assembling, model build,
-        verification re-runs) — not for per-cycle code.
+        verification re-runs) — not for per-cycle code.  Nested blocks
+        record **exclusive** time: the inner block's whole duration is
+        subtracted from the enclosing phase, so summing
+        ``phase_seconds`` across phases counts every wall-clock second
+        at most once.  (Previously a nested interval was attributed to
+        both phases, double-counting it in the bench breakdown.)
         """
-        start = time.perf_counter()
+        frame = [name, time.perf_counter(), 0.0]
+        self._phase_stack.append(frame)
         try:
             yield
         finally:
-            self.record_phase(name, time.perf_counter() - start)
+            self._phase_stack.pop()
+            elapsed = time.perf_counter() - frame[1]
+            self.record_phase(name, max(0.0, elapsed - frame[2]))
+            if self._phase_stack:
+                self._phase_stack[-1][2] += elapsed
 
     def absorb_compile_stats(self, spec) -> None:
         """Accumulate the edge-probe compile outcomes of *spec* (a

@@ -1,0 +1,114 @@
+"""``repro fleet-bench``: end-to-end throughput of the fleet layer.
+
+Runs a fixed sweep matrix twice over one runner: the **cold** pass
+measures end-to-end jobs/s through the pool with an empty cache, the
+**warm** pass replays the identical matrix and must be served almost
+entirely from the content-addressed cache — the bench fails unless the
+warm pass is at least 90% cache hits AND every warm payload is
+bit-identical to its cold counterpart (the soundness contract the
+determinism tests underwrite).  The JSON row lands in
+``BENCH_fleet.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .pool import FleetRunner
+
+#: instruction mixes swept by the bench (generated workloads — small,
+#: deterministic, distinct cache keys per (mix, seed, model, config))
+_MIXES = (
+    {"alu": 6.0, "mem": 2.0, "mul": 1.0},
+    {"alu": 2.0, "mem": 6.0, "mul": 1.0},
+    {"alu": 3.0, "mem": 3.0, "mul": 3.0},
+)
+
+#: warm-pass cache hit rate the bench (and CI's fleet-smoke job) requires
+MIN_WARM_HIT_RATE = 0.9
+
+
+def _generated(mix: Dict[str, float]) -> Dict[str, Any]:
+    return {"kind": "generated",
+            "mix": {**mix, "block_length": 12, "iterations": 16,
+                    "footprint_words": 32}}
+
+
+def bench_jobs(quick: bool = False) -> List[Dict[str, Any]]:
+    """The sweep matrix: (model, workload, config, seed) products."""
+    strongarm_configs: List[Dict[str, Any]] = [
+        {"perfect_memory": True},
+        {"dcache": {"size": 1024, "line_size": 32, "assoc": 4,
+                    "miss_penalty": 26},
+         "icache": None, "itlb": None, "dtlb": None},
+    ]
+    ppc750_configs: List[Dict[str, Any]] = [
+        {"perfect_memory": True},
+        {"perfect_memory": True, "dispatch_width": 1, "retire_width": 1},
+    ]
+    mixes = _MIXES[:2] if quick else _MIXES
+    seeds = (1,) if quick else (1, 2)
+    if quick:
+        strongarm_configs = strongarm_configs[:1]
+        ppc750_configs = ppc750_configs[:1]
+    jobs: List[Dict[str, Any]] = []
+    for model, configs in (("strongarm", strongarm_configs),
+                           ("ppc750", ppc750_configs)):
+        for config in configs:
+            for mix in mixes:
+                for seed in seeds:
+                    jobs.append({
+                        "model": model,
+                        "workload": _generated(mix),
+                        "config": config,
+                        "seed": seed,
+                        "max_cycles": 2_000_000,
+                    })
+    return jobs
+
+
+def _pass_row(summary: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "jobs": summary["jobs"],
+        "executed": summary["executed"],
+        "cache_hits": summary["cache_hits"],
+        "dedup_hits": summary["dedup_hits"],
+        "errors": summary["errors"],
+        "cache_hit_rate": summary["cache_hit_rate"],
+        "wall_seconds": summary["wall_seconds"],
+        "jobs_per_second": summary["jobs_per_second"],
+    }
+
+
+def fleet_bench(workers: int = 2, quick: bool = False,
+                cache_dir: Optional[str] = None,
+                start_method: str = "spawn") -> Dict[str, Any]:
+    """Run the two-pass bench; returns the ``BENCH_fleet.json`` row."""
+    jobs = bench_jobs(quick=quick)
+    with FleetRunner(workers=workers, cache_dir=cache_dir,
+                     start_method=start_method) as runner:
+        cold_records, cold = runner.run_sweep(jobs)
+        warm_records, warm = runner.run_sweep(jobs)
+    identical = all(
+        a.get("result") == b.get("result")
+        for a, b in zip(cold_records, warm_records)
+    )
+    row = {
+        "bench": "fleet",
+        "quick": bool(quick),
+        "workers": workers,
+        "start_method": start_method,
+        "jobs": len(jobs),
+        "unique_jobs": cold["executed"],
+        "cold": _pass_row(cold),
+        "warm": _pass_row(warm),
+        # headline figures: end-to-end throughput (cold, through the
+        # pool) and the replay cache hit rate (warm)
+        "jobs_per_second": cold["jobs_per_second"],
+        "cache_hit_rate": warm["cache_hit_rate"],
+        "results_identical": identical,
+        "ok": (identical
+               and warm["cache_hit_rate"] >= MIN_WARM_HIT_RATE
+               and cold["errors"] == 0 and warm["errors"] == 0),
+    }
+    return row

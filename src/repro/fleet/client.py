@@ -1,0 +1,75 @@
+"""``repro submit``: client for the fleet job server.
+
+:class:`FleetClient` speaks the JSON-lines protocol of
+:mod:`repro.fleet.server`.  ``submit`` is a generator so callers see
+each result the moment the server streams it — a sweep's early results
+are usable while the tail is still simulating.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Iterator, List
+
+from .server import DEFAULT_PORT
+
+
+class FleetClientError(RuntimeError):
+    """The server reported an error or broke protocol."""
+
+
+class FleetClient:
+    """One fleet server endpoint (host, port); connections per request."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 timeout: float = 300.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, payload: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        with socket.create_connection((self.host, self.port),
+                                      timeout=self.timeout) as conn:
+            conn.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+            with conn.makefile("r", encoding="utf-8") as stream:
+                for line in stream:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    message = json.loads(line)
+                    if message.get("type") == "error":
+                        raise FleetClientError(message.get("message", "error"))
+                    yield message
+
+    def _one(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        for message in self._request(payload):
+            return message
+        raise FleetClientError("server closed the connection without replying")
+
+    def ping(self) -> Dict[str, Any]:
+        return self._one({"op": "ping"})
+
+    def stats(self) -> Dict[str, Any]:
+        return self._one({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._one({"op": "shutdown"})
+
+    def submit(self, jobs: List[Dict[str, Any]]) -> Iterator[Dict[str, Any]]:
+        """Stream ``result`` records, then the terminating ``summary``."""
+        yield from self._request({"op": "submit", "jobs": list(jobs)})
+
+    def run_sweep(self, jobs: List[Dict[str, Any]]):
+        """Submit and drain: ``(records in submission order, summary)``."""
+        records: List[Dict[str, Any]] = []
+        summary: Dict[str, Any] = {}
+        for message in self.submit(jobs):
+            if message.get("type") == "result":
+                records.append(message)
+            elif message.get("type") == "summary":
+                summary = message
+        if not summary:
+            raise FleetClientError("submission ended without a summary")
+        records.sort(key=lambda r: r["job"])
+        return records, summary

@@ -22,9 +22,36 @@ def lcg_stream(seed: int):
 
 
 def lcg_words(seed: int, count: int, lo: int = 0, hi: int = 0xFFFFFFFF) -> List[int]:
-    """*count* reproducible integers uniform in [lo, hi]."""
+    """*count* reproducible integers uniform in [lo, hi].
+
+    Spans up to ``2**31`` draw one raw value; wider spans (the full
+    32-bit default included) compose the *high 16 bits* of several
+    consecutive draws and reduce with a multiply-shift.  A single draw
+    cannot cover a span wider than the 31-bit LCG state: ``raw % span``
+    would never produce values at or above ``lo + 2**31`` (the top bit
+    of a "32-bit" word was simply never set) and the reachable half was
+    modulo-biased.  The wide path avoids both ``% span`` and the draws'
+    low bits deliberately — bit *k* of a power-of-two-modulus LCG has
+    period ``2**(k+1)`` (bit 0 alternates every step), so composing raw
+    draws or reducing modulo ``span`` pins output bits.  The
+    multiply-shift ``(composed * span) >> bits`` over ≥28 guard bits is
+    exactly uniform for power-of-two spans (the default included) and
+    has residual bias below ``2**-28`` otherwise.  Narrow spans keep the
+    historical single-draw streams bit-for-bit.
+    """
     if hi < lo:
         raise ValueError(f"bad range [{lo}, {hi}]")
     span = hi - lo + 1
     stream = lcg_stream(seed)
-    return [lo + (next(stream) % span) for _ in range(count)]
+    if span <= _M:
+        return [lo + (next(stream) % span) for _ in range(count)]
+    chunks = (span.bit_length() + 28 + 15) // 16  # 16 good bits per draw
+    bits = 16 * chunks
+
+    def wide() -> int:
+        composed = 0
+        for _ in range(chunks):
+            composed = (composed << 16) | (next(stream) >> 15)
+        return (composed * span) >> bits
+
+    return [lo + wide() for _ in range(count)]

@@ -89,6 +89,74 @@ class TestPhaseAttribution:
         stats.stop_timer(phase="simulate")
         assert len(stats.phase_seconds) == 1
 
+    def test_stop_timer_reports_whether_it_stopped(self):
+        stats = SimulationStats()
+        assert stats.stop_timer() is False
+        stats.start_timer()
+        assert stats.stop_timer() is True
+        assert stats.stop_timer() is False
+
+    def test_double_start_raises(self):
+        """Overlapping start_timer used to silently drop the running
+        interval; it is now an explicit error."""
+        stats = SimulationStats()
+        stats.start_timer()
+        with pytest.raises(RuntimeError):
+            stats.start_timer()
+        # the original interval is still running and can be stopped
+        assert stats.stop_timer() is True
+        assert stats.wall_seconds > 0.0
+        # and the timer is reusable after the error
+        stats.start_timer()
+        assert stats.stop_timer() is True
+
+    def test_nested_time_phase_is_exclusive(self):
+        """A nested phase's time must not also count toward its parent
+        (the bench breakdown used to double-count verify/build)."""
+        stats = SimulationStats()
+        with stats.time_phase("outer"):
+            time.sleep(0.02)
+            with stats.time_phase("inner"):
+                time.sleep(0.02)
+        total = stats.phase_seconds["outer"] + stats.phase_seconds["inner"]
+        assert stats.phase_seconds["inner"] >= 0.02
+        assert stats.phase_seconds["outer"] >= 0.015
+        # outer excludes inner: the sum is the real elapsed wall time,
+        # well under the ~0.06s a double-counted inner would produce
+        assert total < 0.06
+
+    def test_nested_same_name_accumulates_once(self):
+        stats = SimulationStats()
+        with stats.time_phase("build"):
+            time.sleep(0.01)
+            with stats.time_phase("build"):
+                time.sleep(0.01)
+        assert 0.02 <= stats.phase_seconds["build"] < 0.04
+
+    def test_stop_timer_inside_time_phase_is_exclusive(self):
+        """A stop_timer(phase=...) interval inside an open time_phase
+        block counts toward the inner phase only."""
+        stats = SimulationStats()
+        with stats.time_phase("harness"):
+            stats.start_timer()
+            time.sleep(0.02)
+            stats.stop_timer(phase="simulate")
+        assert stats.phase_seconds["simulate"] >= 0.02
+        assert stats.phase_seconds["harness"] < 0.015
+
+    def test_timer_started_before_phase_clamps_to_frame(self):
+        """Only the part of a stop_timer interval that overlaps the open
+        frame is subtracted from it."""
+        stats = SimulationStats()
+        stats.start_timer()
+        time.sleep(0.02)
+        with stats.time_phase("harness"):
+            time.sleep(0.01)
+            stats.stop_timer(phase="simulate")
+        assert stats.phase_seconds["simulate"] >= 0.03
+        # harness self-time is ~0, never negative
+        assert 0.0 <= stats.phase_seconds["harness"] < 0.01
+
     def test_transitions_per_second(self):
         stats = SimulationStats()
         stats.transitions = 300

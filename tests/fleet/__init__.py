@@ -1,0 +1,1 @@
+"""Fleet layer tests."""

@@ -1,0 +1,90 @@
+"""Result cache backends: hits, misses, corruption, atomicity."""
+
+import json
+import os
+
+import pytest
+
+from repro.fleet import MemoryCache, ResultCache, open_cache
+
+KEY_A = "ab" + "0" * 62
+KEY_B = "cd" + "1" * 62
+
+
+@pytest.fixture(params=["memory", "disk"])
+def cache(request, tmp_path):
+    if request.param == "memory":
+        return MemoryCache()
+    return ResultCache(str(tmp_path / "cache"))
+
+
+class TestCacheContract:
+    def test_miss_then_hit(self, cache):
+        assert cache.get(KEY_A) is None
+        cache.put(KEY_A, {"metrics": {"cycles": 42}})
+        assert cache.get(KEY_A) == {"metrics": {"cycles": 42}}
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_len_counts_entries(self, cache):
+        assert len(cache) == 0
+        cache.put(KEY_A, {"v": 1})
+        cache.put(KEY_B, {"v": 2})
+        cache.put(KEY_A, {"v": 3})  # overwrite, not a new entry
+        assert len(cache) == 2
+
+    def test_payload_identity_across_get(self, cache):
+        payload = {"metrics": {"cycles": 7, "ipc": 0.5}, "model": "strongarm"}
+        cache.put(KEY_A, payload)
+        assert cache.get(KEY_A) == cache.get(KEY_A) == payload
+
+
+class TestResultCache:
+    def test_entries_shard_by_key_prefix(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(KEY_A, {"v": 1})
+        assert os.path.exists(tmp_path / KEY_A[:2] / (KEY_A + ".json"))
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(KEY_A, {"v": 1})
+        path = tmp_path / KEY_A[:2] / (KEY_A + ".json")
+        path.write_text("{torn write")
+        assert cache.get(KEY_A) is None
+        assert not path.exists()
+        cache.put(KEY_A, {"v": 2})
+        assert cache.get(KEY_A) == {"v": 2}
+
+    def test_malformed_key_rejected(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        with pytest.raises(ValueError):
+            cache.get("../../etc/passwd")
+        with pytest.raises(ValueError):
+            cache.put("ZZ" + "0" * 62, {})
+
+    def test_persists_across_instances(self, tmp_path):
+        ResultCache(str(tmp_path)).put(KEY_A, {"v": 1})
+        again = ResultCache(str(tmp_path))
+        assert again.get(KEY_A) == {"v": 1}
+
+    def test_no_tmp_litter_after_put(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(KEY_A, {"v": 1})
+        leftovers = [name for _, _, names in os.walk(tmp_path)
+                     for name in names if name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_entry_is_plain_sorted_json(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(KEY_A, {"b": 1, "a": 2})
+        text = (tmp_path / KEY_A[:2] / (KEY_A + ".json")).read_text()
+        assert json.loads(text) == {"a": 2, "b": 1}
+        assert text.index('"a"') < text.index('"b"')
+
+
+class TestOpenCache:
+    def test_picks_backend(self, tmp_path):
+        assert isinstance(open_cache(None), MemoryCache)
+        disk = open_cache(str(tmp_path / "c"))
+        assert isinstance(disk, ResultCache)
+        assert disk.persistent and not open_cache(None).persistent

@@ -1,0 +1,173 @@
+"""CLI surface of the fleet layer, and the ``bench --out`` merge fix."""
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import _merge_bench_rows, main
+from repro.fleet import FleetServer
+
+JOB = {
+    "model": "strongarm",
+    "workload": {"kind": "source", "text": """
+    .text
+_start:
+    mov r0, #9
+    swi #0
+"""},
+    "config": {"perfect_memory": True},
+    "seed": 1,
+}
+
+
+@pytest.fixture()
+def server():
+    server = FleetServer(host="127.0.0.1", port=0, workers=0)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        thread.join(timeout=5)
+        server.server_close()
+
+
+def _port_args(server):
+    return ["--host", server.address[0], "--port", str(server.address[1])]
+
+
+class TestSubmitCli:
+    def test_ping(self, server, capsys):
+        assert main(["submit", *_port_args(server), "--ping"]) == 0
+        assert json.loads(capsys.readouterr().out)["type"] == "pong"
+
+    def test_jobs_file_roundtrip(self, server, tmp_path, capsys):
+        jobs_file = tmp_path / "jobs.json"
+        jobs_file.write_text(json.dumps([JOB]))
+        assert main(["submit", *_port_args(server), str(jobs_file)]) == 0
+        out = capsys.readouterr().out
+        assert "1 jobs: 1 executed" in out
+
+    def test_json_stream(self, server, tmp_path, capsys):
+        jobs_file = tmp_path / "jobs.json"
+        jobs_file.write_text(json.dumps(JOB))  # bare object is accepted
+        assert main(["submit", *_port_args(server), "--json",
+                     str(jobs_file)]) == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines() if line]
+        assert [m["type"] for m in lines] == ["result", "summary"]
+        assert lines[0]["result"]["metrics"]["exit_code"] == 9
+
+    def test_resubmit_reports_cache_hits(self, server, tmp_path, capsys):
+        jobs_file = tmp_path / "jobs.json"
+        jobs_file.write_text(json.dumps([JOB]))
+        main(["submit", *_port_args(server), str(jobs_file)])
+        capsys.readouterr()
+        assert main(["submit", *_port_args(server), "--json",
+                     str(jobs_file)]) == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines() if line]
+        assert lines[-1]["cache_hits"] == 1
+
+    def test_bad_jobs_file_rejected(self, server, tmp_path):
+        jobs_file = tmp_path / "jobs.json"
+        jobs_file.write_text("not json")
+        with pytest.raises(SystemExit):
+            main(["submit", *_port_args(server), str(jobs_file)])
+
+    def test_unreachable_server_is_exit_1(self, capsys):
+        assert main(["submit", "--port", "1", "--ping"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_job_error_is_exit_1(self, server, tmp_path, capsys):
+        jobs_file = tmp_path / "jobs.json"
+        bad = {**JOB, "workload": {"kind": "source", "text": "bogus r9"}}
+        jobs_file.write_text(json.dumps([bad]))
+        assert main(["submit", *_port_args(server), str(jobs_file)]) == 1
+
+    def test_shutdown(self, server, capsys):
+        assert main(["submit", *_port_args(server), "--shutdown"]) == 0
+        assert json.loads(capsys.readouterr().out)["type"] == "bye"
+
+
+class TestFleetBenchCli:
+    def test_quick_bench_writes_row(self, tmp_path, capsys, monkeypatch):
+        # serial workers keep this CI-cheap; the sweep is the real matrix
+        out = tmp_path / "BENCH_fleet.json"
+        assert main(["fleet-bench", "--quick", "--workers", "0",
+                     "--out", str(out), "--json"]) == 0
+        row = json.loads(out.read_text())
+        assert row["bench"] == "fleet"
+        assert row["jobs_per_second"] > 0
+        assert row["cache_hit_rate"] >= 0.9
+        assert row["results_identical"] is True
+        assert row["ok"] is True
+        printed = json.loads(capsys.readouterr().out)
+        assert printed == row
+
+
+class TestBenchOutMerge:
+    """``repro bench --out`` must merge, not clobber (the old behaviour
+    lost every other model's rows on a partial rerun)."""
+
+    @staticmethod
+    def _row(model, quick=True, fused=True, marker=0):
+        return {"bench": "speed", "model": model, "quick": quick,
+                "fused": fused, "marker": marker}
+
+    def test_partial_rerun_preserves_other_rows(self, tmp_path):
+        out = str(tmp_path / "bench.json")
+        _merge_bench_rows(out, [self._row("strongarm", marker=1),
+                                self._row("ppc750", marker=1)])
+        _merge_bench_rows(out, [self._row("strongarm", marker=2)])
+        rows = json.loads(open(out).read())
+        by_model = {row["model"]: row for row in rows}
+        assert by_model["strongarm"]["marker"] == 2
+        assert by_model["ppc750"]["marker"] == 1
+
+    def test_distinct_modes_do_not_collide(self, tmp_path):
+        out = str(tmp_path / "bench.json")
+        _merge_bench_rows(out, [self._row("strongarm", fused=True)])
+        _merge_bench_rows(out, [self._row("strongarm", fused=False)])
+        _merge_bench_rows(out, [self._row("strongarm", quick=False)])
+        assert len(json.loads(open(out).read())) == 3
+
+    def test_legacy_single_object_file_upgraded(self, tmp_path):
+        out = tmp_path / "bench.json"
+        out.write_text(json.dumps(self._row("ppc750", marker=7)))
+        _merge_bench_rows(str(out), [self._row("strongarm", marker=8)])
+        rows = json.loads(out.read_text())
+        assert [r["model"] for r in rows] == ["ppc750", "strongarm"]
+
+    def test_corrupt_file_does_not_lose_the_new_rows(self, tmp_path):
+        out = tmp_path / "bench.json"
+        out.write_text("{torn")
+        _merge_bench_rows(str(out), [self._row("strongarm")])
+        assert len(json.loads(out.read_text())) == 1
+
+    def test_cli_end_to_end_merge(self, tmp_path, monkeypatch):
+        """Drive the real ``bench`` command twice with a stubbed model
+        bench and assert the second run keeps the first run's row."""
+        import repro.cli as cli
+
+        calls = []
+
+        def fake_bench(model_name, args, fused):
+            calls.append(model_name)
+            return {"bench": "speed", "model": model_name,
+                    "quick": bool(args.quick), "fused": fused,
+                    "run": len(calls), "mismatches": []}
+
+        monkeypatch.setattr(cli, "_bench_model", fake_bench)
+        out = str(tmp_path / "bench.json")
+        assert main(["bench", "--quick", "--json", "--out", out]) == 0  # cases
+        assert main(["bench", "--quick", "--json", "--model", "strongarm",
+                     "--out", out]) == 0
+        rows = json.loads(open(out).read())
+        by_model = {row["model"]: row for row in rows}
+        assert set(by_model) == {"strongarm", "ppc750"}
+        assert by_model["strongarm"]["run"] == 3  # replaced by the rerun
+        assert by_model["ppc750"]["run"] == 2     # survived the rerun

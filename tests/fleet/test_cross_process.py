@@ -1,0 +1,59 @@
+"""Cross-process determinism: the property that makes caching sound.
+
+The fleet cache serves a stored payload in place of re-simulating, so a
+result computed in a freshly ``spawn``-ed worker process must be
+bit-identical to one computed in-process (a spawned interpreter imports
+every module from scratch — nothing can lean on inherited state).  These
+tests pin exactly that, plus the cache-hit half of the contract: a hit
+returns a payload identical to the fresh computation it replaced.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.fleet import FleetRunner, Job, job_key, run_job
+from repro.fleet.worker import run_job_with_key
+
+JOB = {
+    "model": "strongarm",
+    "workload": {"kind": "kernel", "name": "stride8"},
+    "config": {"dcache": {"size": 512, "line_size": 32, "assoc": 4,
+                          "miss_penalty": 26},
+               "icache": None, "itlb": None, "dtlb": None,
+               "perfect_memory": False},
+    "seed": 1,
+}
+
+
+@pytest.fixture(scope="module")
+def spawned_outcome():
+    """JOB's outcome computed in a freshly spawned worker process."""
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=1) as pool:
+        return pool.apply(run_job_with_key, (dict(JOB),))
+
+
+class TestCrossProcessDeterminism:
+    def test_spawned_result_matches_in_process(self, spawned_outcome):
+        local = run_job(dict(JOB))
+        assert local["ok"] and spawned_outcome["ok"]
+        assert spawned_outcome["result"] == local["result"]
+        # bit-identical on the wire, not merely ==
+        dump = lambda p: json.dumps(p, sort_keys=True)  # noqa: E731
+        assert dump(spawned_outcome["result"]) == dump(local["result"])
+
+    def test_spawned_key_matches_in_process(self, spawned_outcome):
+        assert spawned_outcome["key"] == job_key(Job.from_dict(dict(JOB)))
+
+    def test_cache_hit_payload_is_identical(self, tmp_path, spawned_outcome):
+        cache_dir = str(tmp_path / "cache")
+        with FleetRunner(workers=0, cache_dir=cache_dir) as runner:
+            (fresh,), _ = runner.run_sweep([dict(JOB)])
+            (hit,), summary = runner.run_sweep([dict(JOB)])
+        assert not fresh["cached"] and hit["cached"]
+        assert summary["cache_hit_rate"] == 1.0
+        assert hit["result"] == fresh["result"]
+        # and both match the independently spawned computation
+        assert hit["result"] == spawned_outcome["result"]

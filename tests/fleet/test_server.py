@@ -1,0 +1,93 @@
+"""Fleet server/client protocol over a real socket (ephemeral port)."""
+
+import threading
+
+import pytest
+
+from repro.fleet import FleetClient, FleetClientError, FleetServer
+
+JOBS = [
+    {
+        "model": "strongarm",
+        "workload": {"kind": "source", "text": """
+    .text
+_start:
+    mov r0, #3
+    swi #0
+"""},
+        "config": {"perfect_memory": True},
+        "seed": seed,
+    }
+    for seed in (1, 2, 3)
+]
+
+
+@pytest.fixture(scope="module")
+def client():
+    server = FleetServer(host="127.0.0.1", port=0, workers=0)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    host, port = server.address
+    try:
+        yield FleetClient(host=host, port=port, timeout=60.0)
+    finally:
+        server.shutdown()
+        thread.join(timeout=5)
+        server.server_close()
+
+
+class TestProtocol:
+    def test_ping(self, client):
+        pong = client.ping()
+        assert pong["type"] == "pong"
+        assert pong["workers"] == 0
+
+    def test_submit_streams_results_then_summary(self, client):
+        messages = list(client.submit([dict(j) for j in JOBS]))
+        assert [m["type"] for m in messages] == \
+               ["result", "result", "result", "summary"]
+        for done, message in enumerate(messages[:-1], start=1):
+            assert message["progress"] == {"completed": done, "total": 3}
+        summary = messages[-1]
+        assert summary["jobs"] == 3 and summary["errors"] == 0
+
+    def test_resubmit_hits_cache(self, client):
+        first, _ = client.run_sweep([dict(j) for j in JOBS])
+        second, summary = client.run_sweep([dict(j) for j in JOBS])
+        assert summary["cache_hit_rate"] >= 0.9
+        assert all(r["cached"] for r in second)
+        assert [r["result"] for r in second] == [r["result"] for r in first]
+
+    def test_stats_reports_pool_and_cache(self, client):
+        client.run_sweep([dict(JOBS[0])])
+        stats = client.stats()
+        assert stats["type"] == "stats"
+        assert stats["executed"] >= 1
+        assert stats["cache"]["entries"] >= 1
+        assert stats["cache"]["persistent"] is False
+
+    def test_bad_submit_reports_error(self, client):
+        with pytest.raises(FleetClientError, match="jobs"):
+            list(client.submit([]))
+        with pytest.raises(FleetClientError, match="unknown fleet model"):
+            list(client.submit([{"model": "cray1",
+                                 "workload": {"kind": "source", "text": "x"}}]))
+
+    def test_unknown_op_reports_error(self, client):
+        with pytest.raises(FleetClientError, match="unknown op"):
+            client._one({"op": "dance"})
+
+
+class TestShutdown:
+    def test_shutdown_stops_the_server(self):
+        server = FleetServer(host="127.0.0.1", port=0, workers=0)
+        thread = threading.Thread(target=server.serve_forever,
+                                  kwargs={"poll_interval": 0.05}, daemon=True)
+        thread.start()
+        host, port = server.address
+        bye = FleetClient(host=host, port=port, timeout=10.0).shutdown()
+        assert bye["type"] == "bye"
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        server.server_close()

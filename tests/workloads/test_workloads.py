@@ -21,6 +21,43 @@ class TestRng:
         with pytest.raises(ValueError):
             rng.lcg_words(seed=1, count=1, lo=5, hi=2)
 
+    def test_narrow_spans_stay_bit_identical(self):
+        """Spans ≤ 2**31 must keep the historical single-draw stream."""
+        expected = []
+        stream = rng.lcg_stream(11)
+        for _ in range(64):
+            expected.append(next(stream) % 1000)
+        assert rng.lcg_words(seed=11, count=64, lo=0, hi=999) == expected
+        # the widest single-draw span, exactly 2**31
+        stream = rng.lcg_stream(11)
+        expected = [next(stream) for _ in range(64)]
+        assert rng.lcg_words(seed=11, count=64, lo=0,
+                             hi=(1 << 31) - 1) == expected
+
+    def test_full_32bit_range_reaches_top_half(self):
+        """Regression: values ≥ 2**31 were unreachable (the LCG modulus
+        is 2**31, so one raw draw can never set a 32-bit word's top
+        bit) and the bottom half was modulo-biased."""
+        values = rng.lcg_words(seed=5, count=512)  # default [0, 2**32-1]
+        assert all(0 <= v <= 0xFFFFFFFF for v in values)
+        top = sum(1 for v in values if v >> 31)
+        # fair-coin top bit: 512 draws land well inside [150, 362]
+        assert 150 < top < 362
+
+    def test_wide_span_bit_distribution(self):
+        """Every bit of a full-range word should flip roughly half the
+        time — the old single-draw path pinned bit 31 to zero."""
+        values = rng.lcg_words(seed=123, count=1024)
+        for bit in range(32):
+            ones = sum(1 for v in values if (v >> bit) & 1)
+            assert 300 < ones < 724, f"bit {bit} stuck ({ones}/1024 set)"
+
+    def test_wide_span_respects_bounds(self):
+        lo, hi = 10, 10 + (1 << 31)  # span 2**31 + 1: needs two draws
+        values = rng.lcg_words(seed=9, count=256, lo=lo, hi=hi)
+        assert all(lo <= v <= hi for v in values)
+        assert any(v - lo >= (1 << 30) for v in values)
+
 
 class TestKernelLoops:
     def test_exactly_forty(self):
